@@ -1,0 +1,173 @@
+//! Criterion microbenchmarks of the runtime's hot paths (real wall time,
+//! not virtual time): orec operations, the transaction-local map, session
+//! access costs, single transactions end to end, and B+Tree operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+
+use palloc::PHeap;
+use pmem_sim::{DurabilityDomain, Machine, MachineConfig, MediaKind, PAddr, PoolId};
+use ptm::orec::OrecTable;
+use ptm::umap::U64Map;
+use ptm::{Algo, Ptm, PtmConfig, TxThread};
+
+fn bench_orecs(c: &mut Criterion) {
+    let table = OrecTable::new(1 << 18);
+    let addr = PAddr::new(PoolId(1), 12345);
+    c.bench_function("orec/index_of", |b| {
+        b.iter(|| std::hint::black_box(table.index_of(std::hint::black_box(addr))))
+    });
+    c.bench_function("orec/lock_release", |b| {
+        let idx = table.index_of(addr);
+        b.iter(|| {
+            table.try_lock(idx, 0, 1).unwrap();
+            table.release(idx, 0);
+        })
+    });
+}
+
+fn bench_umap(c: &mut Criterion) {
+    c.bench_function("umap/insert_get_clear_x64", |b| {
+        let mut m = U64Map::new(128);
+        b.iter(|| {
+            for k in 0..64u64 {
+                m.insert(k * 31 + 1, k);
+            }
+            for k in 0..64u64 {
+                std::hint::black_box(m.get(k * 31 + 1));
+            }
+            m.clear();
+        })
+    });
+}
+
+fn machine(domain: DurabilityDomain) -> Arc<Machine> {
+    Machine::new(MachineConfig {
+        domain,
+        track_persistence: false,
+        window_ns: u64::MAX,
+        ..MachineConfig::default()
+    })
+}
+
+fn bench_session(c: &mut Criterion) {
+    let m = machine(DurabilityDomain::Adr);
+    let p = m.alloc_pool("b", 1 << 16, MediaKind::Optane);
+    let mut s = m.session(0);
+    let mut i = 0u64;
+    c.bench_function("session/store_clwb_sfence", |b| {
+        b.iter(|| {
+            let a = p.addr((i * 8) % (1 << 15));
+            s.store(a, i);
+            s.clwb(a);
+            s.sfence();
+            i += 1;
+        })
+    });
+    let mut j = 0u64;
+    c.bench_function("session/load_hit", |b| {
+        b.iter(|| {
+            std::hint::black_box(s.load(p.addr(j % 64)));
+            j += 1;
+        })
+    });
+}
+
+fn bench_txn(c: &mut Criterion) {
+    for (name, algo) in [("redo", Algo::RedoLazy), ("undo", Algo::UndoEager)] {
+        let m = machine(DurabilityDomain::Adr);
+        let heap = PHeap::format(&m, "heap", 1 << 18, 8);
+        let cfg = PtmConfig {
+            algo,
+            ..PtmConfig::default()
+        };
+        let ptm = Ptm::new(cfg);
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let block = heap.alloc(th.session_mut(), 64);
+        let mut k = 0u64;
+        c.bench_function(&format!("txn/{name}_8w_tx"), |b| {
+            b.iter(|| {
+                th.run(|tx| {
+                    for w in 0..8u64 {
+                        let v = tx.read_at(block, (k + w) % 64)?;
+                        tx.write_at(block, (k + w) % 64, v + 1)?;
+                    }
+                    Ok(())
+                });
+                k += 1;
+            })
+        });
+    }
+}
+
+fn bench_structs(c: &mut Criterion) {
+    let m = machine(DurabilityDomain::Eadr);
+    let heap = PHeap::format(&m, "heap", 1 << 22, 8);
+    let ptm = Ptm::new(PtmConfig::redo());
+    let mut th = TxThread::new(ptm, heap, m.session(0));
+    let map = th.run(|tx| pstructs::PHashMap::create(tx, 1 << 14));
+    let sl = th.run(pstructs::PSkipList::create);
+    for k in 0..8_192u64 {
+        th.run(|tx| map.insert(tx, k, k).map(|_| ()));
+        th.run(|tx| sl.insert(tx, k, k).map(|_| ()));
+    }
+    let mut q = 0u64;
+    c.bench_function("hashmap/get", |b| {
+        b.iter(|| {
+            q += 1;
+            th.run(|tx| map.get(tx, q % 8_192))
+        })
+    });
+    let mut r = 0u64;
+    c.bench_function("skiplist/get", |b| {
+        b.iter(|| {
+            r += 1;
+            th.run(|tx| sl.get(tx, r % 8_192))
+        })
+    });
+    let mut w = 0u64;
+    c.bench_function("skiplist/insert", |b| {
+        b.iter(|| {
+            // Overwrite within the existing key set so iterations do not
+            // grow the heap unboundedly.
+            w = (w + 7) % 8_192;
+            th.run(|tx| sl.insert(tx, w, w).map(|_| ()))
+        })
+    });
+}
+
+fn bench_bptree(c: &mut Criterion) {
+    let m = machine(DurabilityDomain::Eadr);
+    let heap = PHeap::format(&m, "heap", 1 << 22, 8);
+    let ptm = Ptm::new(PtmConfig::redo());
+    let mut th = TxThread::new(ptm, heap, m.session(0));
+    let tree = th.run(pstructs::BpTree::create);
+    for kk in 0..10_000u64 {
+        th.run(|tx| tree.insert(tx, kk * 7 % 65_536, kk).map(|_| ()));
+    }
+    let mut k = 0u64;
+    c.bench_function("bptree/insert", |b| {
+        b.iter_batched(
+            || {
+                k += 1;
+                k * 7 % 65_536
+            },
+            |key| th.run(|tx| tree.insert(tx, key, key).map(|_| ())),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut q = 0u64;
+    c.bench_function("bptree/get", |b| {
+        b.iter(|| {
+            q += 1;
+            th.run(|tx| tree.get(tx, q * 7 % 65_536))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_orecs, bench_umap, bench_session, bench_txn, bench_bptree, bench_structs
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! The paper's §V future-work question: is HTM a viable strategy for
+//! accelerating PTM? Hardware transactions (TSX-style) are incompatible
+//! with ADR (a `clwb` aborts them) but compose with eADR and PDRAM, where
+//! commit-time cache visibility *is* durability. This ablation compares
+//! the hybrid (HTM-first, software fallback) against pure software under
+//! each compatible domain, and confirms the no-op under ADR.
+
+use bench::{run_point_with, HarnessOpts};
+use pmem_sim::{DurabilityDomain, MediaKind};
+use ptm::Algo;
+use workloads::driver::Scenario;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("workload,domain,threads,stm_mops,hybrid_mops,htm_commit_pct,speedup_pct");
+    for name in ["tatp", "tpcc-hash", "btree-mixed"] {
+        for (domain, dname) in [
+            (DurabilityDomain::Eadr, "eADR"),
+            (DurabilityDomain::Pdram, "PDRAM"),
+            (DurabilityDomain::Adr, "ADR"),
+        ] {
+            for &threads in &opts.threads {
+                let sc = Scenario::new(dname, MediaKind::Optane, domain, Algo::RedoLazy);
+                let mut rc = opts.run_config(threads);
+                rc.ptm.htm_retries = 0;
+                let stm = run_point_with(name, &sc, &rc, opts.quick);
+                rc.ptm.htm_retries = 4;
+                let hybrid = run_point_with(name, &sc, &rc, opts.quick);
+                let htm_pct = 100.0 * hybrid.ptm.htm_commits as f64
+                    / hybrid.ptm.commits.max(1) as f64;
+                println!(
+                    "{},{},{},{:.4},{:.4},{:.1},{:.1}",
+                    name,
+                    dname,
+                    threads,
+                    stm.throughput_mops(),
+                    hybrid.throughput_mops(),
+                    htm_pct,
+                    (hybrid.throughput_mops() / stm.throughput_mops() - 1.0) * 100.0
+                );
+            }
+        }
+    }
+}

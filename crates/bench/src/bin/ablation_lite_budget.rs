@@ -1,0 +1,28 @@
+//! Ablation 4 (DESIGN.md §5): PDRAM-Lite's DRAM log budget. The paper
+//! argues a handful of pages per thread suffices (Vacation <= 37 lines,
+//! TPCC <= 36); sweep the budget and watch for the knee.
+
+use bench::{run_point_with, HarnessOpts};
+use pmem_sim::{DurabilityDomain, MediaKind};
+use ptm::Algo;
+use workloads::driver::Scenario;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let threads = *opts.threads.iter().max().unwrap_or(&4);
+    println!("workload,lite_entries,throughput_mops");
+    for name in ["tpcc-hash", "tatp", "vacation-low"] {
+        for lite_entries in [8usize, 16, 32, 64, 128, 512] {
+            let sc = Scenario::new(
+                format!("lite{lite_entries}"),
+                MediaKind::Optane,
+                DurabilityDomain::PdramLite,
+                Algo::RedoLazy,
+            );
+            let mut rc = opts.run_config(threads);
+            rc.ptm.lite_log_entries = lite_entries;
+            let r = run_point_with(name, &sc, &rc, opts.quick);
+            println!("{},{},{:.4}", name, lite_entries, r.throughput_mops());
+        }
+    }
+}

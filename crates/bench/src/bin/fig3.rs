@@ -1,0 +1,11 @@
+//! Figure 3: throughput vs threads for the six panel workloads, curves
+//! {DRAM, Optane} x {ADR, eADR} x {undo, redo}.
+
+use bench::{panel_workloads, run_figure, HarnessOpts};
+use workloads::Scenario;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    eprintln!("# fig3: {} workloads x 8 scenarios x {:?} threads", panel_workloads().len(), opts.threads);
+    run_figure(&panel_workloads(), &Scenario::fig3_grid(), &opts);
+}

@@ -1,0 +1,11 @@
+//! Figure 6: the proposed durability domains (PDRAM, PDRAM-Lite) against
+//! DRAM and eADR, for the six panel workloads.
+
+use bench::{panel_workloads, run_figure, HarnessOpts};
+use workloads::Scenario;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    eprintln!("# fig6: {} workloads x 7 scenarios x {:?} threads", panel_workloads().len(), opts.threads);
+    run_figure(&panel_workloads(), &Scenario::fig6_grid(), &opts);
+}

@@ -1,0 +1,10 @@
+//! Figure 7: TATP under the proposed durability domains.
+
+use bench::{run_figure, HarnessOpts};
+use workloads::Scenario;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    eprintln!("# fig7: tatp x 7 scenarios x {:?} threads", opts.threads);
+    run_figure(&["tatp"], &Scenario::fig6_grid(), &opts);
+}

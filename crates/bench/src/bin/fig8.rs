@@ -1,0 +1,55 @@
+//! Figure 8: memcached-like KV throughput (single worker thread) vs
+//! working-set size, across durability domains. Working sets are scaled
+//! to the simulator's cache geometry (4 MB L3, 64 MB DRAM cache) but
+//! preserve the paper's four regimes: fits-in-L3, fits-in-DRAM,
+//! exceeds-DRAM, index-uncacheable.
+
+use bench::{run_boxed, HarnessOpts};
+use pmem_sim::{DurabilityDomain, MediaKind};
+use ptm::Algo;
+use workloads::driver::{RunConfig, Scenario};
+use workloads::KvStore;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    // items = working-set KB (1 KB values).
+    let working_sets_kb: Vec<u64> = if opts.quick {
+        vec![512, 8 << 10, 24 << 10]
+    } else {
+        vec![2 << 10, 16 << 10, 48 << 10, 96 << 10, 160 << 10, 256 << 10]
+    };
+    let scenarios = vec![
+        Scenario::new("DRAM_R", MediaKind::Dram, DurabilityDomain::Eadr, Algo::RedoLazy),
+        Scenario::new("ADR_R", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy),
+        Scenario::new("ADR_U", MediaKind::Optane, DurabilityDomain::Adr, Algo::UndoEager),
+        Scenario::new("eADR_R", MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy),
+        Scenario::new("eADR_U", MediaKind::Optane, DurabilityDomain::Eadr, Algo::UndoEager),
+        Scenario::new("PDRAM_R", MediaKind::Optane, DurabilityDomain::Pdram, Algo::RedoLazy),
+        Scenario::new("PDRAM_U", MediaKind::Optane, DurabilityDomain::Pdram, Algo::UndoEager),
+        Scenario::new("PDRAM-Lite", MediaKind::Optane, DurabilityDomain::PdramLite, Algo::RedoLazy),
+    ];
+    let rc = RunConfig {
+        threads: 1,
+        ops_per_thread: opts.ops_per_thread,
+        ..RunConfig::default()
+    };
+    let dram_capacity_kb = (rc.model.dram_cache_bytes >> 10) as u64;
+    println!("scenario,working_set_mb,requests_per_vsec");
+    for sc in &scenarios {
+        for &ws_kb in &working_sets_kb {
+            // The paper: "for the DRAM curves, operation beyond [DRAM
+            // capacity] is not possible".
+            if sc.heap_media == MediaKind::Dram && ws_kb > dram_capacity_kb {
+                continue;
+            }
+            let mut w = KvStore::new(ws_kb);
+            let r = run_boxed(&mut w, sc, &rc);
+            println!(
+                "{},{:.1},{:.0}",
+                sc.label,
+                ws_kb as f64 / 1024.0,
+                r.throughput_mops() * 1_000_000.0
+            );
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Single-thread transaction latency percentiles per durability domain —
+//! the paper's discussion of single-thread latency (§V: "higher
+//! single-thread latency" on Optane), made explicit.
+
+use bench::{run_point, HarnessOpts};
+use workloads::Scenario;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("workload,scenario,p50_ns,p95_ns,p99_ns,mops");
+    for name in ["tatp", "tpcc-hash"] {
+        for sc in Scenario::fig3_grid().iter().chain(Scenario::fig6_grid().iter()) {
+            let r = run_point(name, sc, &opts, 1);
+            let (p50, p95, p99) = r.latency_ns;
+            println!(
+                "{},{},{},{},{},{:.4}",
+                name, r.label, p50, p95, p99, r.throughput_mops()
+            );
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Table I: commit/abort ratio for TPCC (Hash Table) with redo logging,
+//! rows {DRAM, Optane} x {ADR, eADR}, columns = thread counts.
+
+fn main() {
+    bench::commit_abort_table(ptm::Algo::RedoLazy);
+}

@@ -1,0 +1,5 @@
+//! Table II: commit/abort ratio for TPCC (Hash Table) with undo logging.
+
+fn main() {
+    bench::commit_abort_table(ptm::Algo::UndoEager);
+}

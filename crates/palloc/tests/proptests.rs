@@ -1,0 +1,115 @@
+//! Property-based tests of the persistent allocator.
+
+use palloc::classes::{class_index, class_words, index_class, NUM_CLASSES};
+use palloc::PHeap;
+use pmem_sim::{DurabilityDomain, Machine, MachineConfig, PAddr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn machine() -> Arc<Machine> {
+    Machine::new(MachineConfig::functional(DurabilityDomain::Eadr))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Size classes: monotone covers, fixpoints, index bijection.
+    #[test]
+    fn classes_are_well_formed(words in 1usize..5_000) {
+        let c = class_words(words);
+        prop_assert!(c >= words);
+        prop_assert_eq!(class_words(c), c);
+        let idx = class_index(c);
+        prop_assert!(idx < NUM_CLASSES);
+        prop_assert_eq!(index_class(idx), c);
+    }
+
+    /// Random alloc/free interleavings: live blocks never overlap, frees
+    /// are reusable, and block_words reports the class.
+    #[test]
+    fn alloc_free_no_overlap(ops in prop::collection::vec((0u8..3, 1usize..200), 1..120)) {
+        let m = machine();
+        let h = PHeap::format(&m, "h", 1 << 18, 4);
+        let mut s = m.session(0);
+        let mut live: Vec<(PAddr, usize)> = Vec::new();
+        for &(op, words) in &ops {
+            match op {
+                0 | 1 => {
+                    let a = h.alloc(&mut s, words);
+                    let cls = h.block_words(a);
+                    prop_assert!(cls >= words);
+                    // No overlap with any live block (incl. headers).
+                    let lo = a.word() - 1;
+                    let hi = a.word() + cls as u64;
+                    for &(b, bcls) in &live {
+                        let blo = b.word() - 1;
+                        let bhi = b.word() + bcls as u64;
+                        prop_assert!(hi <= blo || bhi <= lo,
+                            "overlap: [{},{}) vs [{},{})", lo, hi, blo, bhi);
+                    }
+                    live.push((a, cls));
+                }
+                _ => {
+                    if let Some((a, _)) = live.pop() {
+                        h.free(&mut s, a);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Crash + attach preserves every rooted chain and reclaims
+    /// everything else; the allocator keeps working afterwards.
+    #[test]
+    fn gc_preserves_rooted_chains(
+        chain_lens in prop::collection::vec(1usize..8, 1..4),
+        leaks in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let m = machine();
+        let h = PHeap::format(&m, "h", 1 << 16, 8);
+        let mut s = m.session(0);
+        // Build one linked chain per root; node payload word 1 = id.
+        let mut expected: HashMap<usize, Vec<u64>> = HashMap::new();
+        for (slot, &len) in chain_lens.iter().enumerate() {
+            let mut head = PAddr::NULL;
+            let mut ids = Vec::new();
+            for i in 0..len {
+                let n = h.alloc(&mut s, 2);
+                let id = (slot * 100 + i) as u64;
+                s.store(n.offset(0), head.0);
+                s.store(n.offset(1), id);
+                head = n;
+                ids.push(id);
+            }
+            h.set_root(&mut s, slot, head);
+            expected.insert(slot, ids);
+        }
+        for _ in 0..leaks {
+            let _ = h.alloc(&mut s, 3);
+        }
+        let total_blocks: usize = chain_lens.iter().sum::<usize>() + leaks;
+        let img = m.crash(seed);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Eadr));
+        let (h2, gc) = PHeap::attach(m2.pool(h.pool().id())).unwrap();
+        prop_assert_eq!(gc.blocks_scanned, total_blocks);
+        prop_assert_eq!(gc.reclaimed_blocks, leaks);
+        // Walk each chain; ids must come back in reverse insertion order.
+        for (slot, ids) in &expected {
+            let mut cur = h2.root_raw(*slot);
+            let mut got = Vec::new();
+            while !cur.is_null() {
+                got.push(h2.pool().raw_load(cur.word() + 1));
+                cur = PAddr(h2.pool().raw_load(cur.word()));
+            }
+            let mut want = ids.clone();
+            want.reverse();
+            prop_assert_eq!(got, want);
+        }
+        // Allocator still functional.
+        let mut s2 = m2.session(0);
+        let fresh = h2.alloc(&mut s2, 5);
+        prop_assert!(fresh.word() > 0);
+    }
+}

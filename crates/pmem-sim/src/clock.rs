@@ -1,0 +1,434 @@
+//! Per-thread virtual clocks with bounded-lag coordination.
+//!
+//! Every simulated memory operation advances the issuing thread's *virtual*
+//! clock by the operation's modeled latency. Threads run on real OS threads,
+//! but a thread whose virtual clock runs more than `window_ns` ahead of the
+//! slowest still-active thread yields until the others catch up. This keeps
+//! virtual time roughly aligned with real time, so that a lock held for a
+//! long *virtual* interval (e.g. across ADR flushes and fences) is exposed
+//! to other threads for a proportionally long *real* interval — which is
+//! exactly the mechanism behind the paper's contention-window findings
+//! (Tables I/II).
+//!
+//! The coordination is deliberately approximate: it trades strict
+//! discrete-event ordering for scalability, which is the right trade for
+//! reproducing throughput *shapes* rather than cycle-exact traces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel virtual time for a thread that has finished its run.
+const DONE: u64 = u64::MAX;
+
+/// Shared state for one virtual thread's clock.
+#[derive(Debug)]
+pub struct ClockSlot {
+    vt: AtomicU64,
+    /// Final virtual time recorded when the thread finishes (the live
+    /// `vt` becomes the DONE sentinel, but the makespan still needs the
+    /// real value).
+    final_vt: AtomicU64,
+    /// Set while the thread is parked at a freeze point.
+    parked: std::sync::atomic::AtomicBool,
+}
+
+impl ClockSlot {
+    fn new() -> Self {
+        ClockSlot {
+            vt: AtomicU64::new(0),
+            final_vt: AtomicU64::new(0),
+            parked: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+}
+
+/// The clock domain: one slot per registered virtual thread.
+#[derive(Debug)]
+pub struct ClockDomain {
+    slots: Vec<Arc<ClockSlot>>,
+    window_ns: u64,
+    /// Cached lower bound of the minimum active clock; refreshed lazily.
+    min_cache: AtomicU64,
+    /// Stop-the-world flag: threads park at their next publish point.
+    /// Used to make a concurrent crash snapshot instantaneous (a real
+    /// power failure does not interleave with further execution).
+    freeze: std::sync::atomic::AtomicBool,
+}
+
+impl ClockDomain {
+    /// Create a domain with `n` virtual threads and the given lag window.
+    ///
+    /// A window of `u64::MAX` disables throttling entirely (single-threaded
+    /// use, or functional tests).
+    pub fn new(n: usize, window_ns: u64) -> Self {
+        ClockDomain {
+            slots: (0..n).map(|_| Arc::new(ClockSlot::new())).collect(),
+            window_ns,
+            min_cache: AtomicU64::new(0),
+            freeze: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Stop the world: every thread parks at its next publish point
+    /// (within ~64 memory operations). Blocks until all threads are
+    /// parked or finished. Call [`ClockDomain::thaw`] to resume.
+    pub fn freeze(&self) {
+        use std::sync::atomic::Ordering as O;
+        self.freeze.store(true, O::SeqCst);
+        loop {
+            let all_stopped = self.slots.iter().all(|s| {
+                s.parked.load(O::SeqCst) || s.vt.load(O::SeqCst) == DONE
+            });
+            if all_stopped {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Resume after a [`ClockDomain::freeze`].
+    pub fn thaw(&self) {
+        self.freeze.store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Number of registered virtual threads.
+    pub fn threads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The configured lag window in virtual nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Obtain a handle for virtual thread `tid`.
+    ///
+    /// # Panics
+    /// Panics if `tid` is out of range.
+    pub fn handle(self: &Arc<Self>, tid: usize) -> ClockHandle {
+        assert!(tid < self.slots.len(), "thread id {tid} out of range");
+        ClockHandle {
+            slot: Arc::clone(&self.slots[tid]),
+            domain: Arc::clone(self),
+            local_vt: 0,
+            publish_mask: 0x3f,
+            ops_since_publish: 0,
+            defer_park: 0,
+        }
+    }
+
+    /// Recompute and cache the minimum virtual time over active threads.
+    /// Returns `DONE` when every thread has finished.
+    fn refresh_min(&self) -> u64 {
+        let mut min = DONE;
+        for s in &self.slots {
+            let v = s.vt.load(Ordering::Acquire);
+            if v < min {
+                min = v;
+            }
+        }
+        self.min_cache.store(min, Ordering::Release);
+        min
+    }
+
+    /// The largest virtual time any thread has reached (the simulation's
+    /// makespan once all threads are done).
+    pub fn max_time(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| {
+                let v = s.vt.load(Ordering::Acquire);
+                let f = s.final_vt.load(Ordering::Acquire);
+                if v == DONE {
+                    f
+                } else {
+                    v.max(f)
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A per-thread handle: owns a fast local clock, periodically published to
+/// the shared slot for lag coordination.
+pub struct ClockHandle {
+    slot: Arc<ClockSlot>,
+    domain: Arc<ClockDomain>,
+    local_vt: u64,
+    /// Publish (and maybe throttle) every `publish_mask + 1` advances.
+    publish_mask: u32,
+    ops_since_publish: u32,
+    /// While > 0, the handle neither parks for a freeze nor throttles:
+    /// the thread is inside a crash-atomic section (e.g. an HTM commit's
+    /// write application) that a power failure must not split.
+    defer_park: u32,
+}
+
+impl ClockHandle {
+    /// Current virtual time of this thread, in nanoseconds.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.local_vt
+    }
+
+    /// Advance this thread's virtual clock by `ns`, throttling if the
+    /// thread has run too far ahead of the slowest active peer.
+    #[inline]
+    pub fn advance(&mut self, ns: u64) {
+        self.local_vt += ns;
+        self.ops_since_publish = self.ops_since_publish.wrapping_add(1);
+        // Publish either periodically or when we may have crossed the
+        // window relative to the cached minimum.
+        let min = self.domain.min_cache.load(Ordering::Relaxed);
+        if self.ops_since_publish & self.publish_mask == 0
+            || self.local_vt > min.saturating_add(self.domain.window_ns)
+        {
+            self.publish_and_throttle();
+        }
+    }
+
+    /// Set the clock forward to at least `target` (used for stalls that
+    /// wait on shared servers). No-op if `target` is in the past.
+    #[inline]
+    pub fn advance_to(&mut self, target: u64) {
+        if target > self.local_vt {
+            let delta = target - self.local_vt;
+            self.advance(delta);
+        }
+    }
+
+    /// Park at a freeze point if a stop-the-world is in progress.
+    #[cold]
+    fn maybe_park(&self) {
+        use std::sync::atomic::Ordering as O;
+        if self.domain.freeze.load(O::Relaxed) {
+            self.slot.parked.store(true, O::SeqCst);
+            while self.domain.freeze.load(O::SeqCst) {
+                std::thread::yield_now();
+            }
+            self.slot.parked.store(false, O::SeqCst);
+        }
+    }
+
+    #[cold]
+    fn publish_and_throttle(&mut self) {
+        self.slot.vt.store(self.local_vt, Ordering::Release);
+        self.ops_since_publish = 0;
+        if self.defer_park > 0 {
+            // Crash-atomic section: no parking, no throttling (a frozen
+            // peer would never advance the minimum, and the freeze itself
+            // is waiting for us to reach a park point *after* the
+            // section).
+            return;
+        }
+        self.maybe_park();
+        if self.domain.window_ns == u64::MAX || self.domain.slots.len() == 1 {
+            return;
+        }
+        loop {
+            let min = self.domain.refresh_min();
+            if min == DONE || self.local_vt <= min.saturating_add(self.domain.window_ns) {
+                break;
+            }
+            // A freeze can arrive while we are waiting here; without this
+            // check the parked peers never advance the minimum and both
+            // this loop and the freeze would wait forever.
+            self.maybe_park();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Enter a crash-atomic section: until the matching
+    /// [`ClockHandle::exit_atomic`], this thread will not park at a
+    /// freeze point (a simulated power failure cannot split the section).
+    /// Nestable. Keep sections short — the world-stop waits them out.
+    pub fn enter_atomic(&mut self) {
+        self.defer_park += 1;
+    }
+
+    /// Leave a crash-atomic section (parks immediately if a freeze is
+    /// pending).
+    pub fn exit_atomic(&mut self) {
+        debug_assert!(self.defer_park > 0);
+        self.defer_park -= 1;
+        if self.defer_park == 0 {
+            self.maybe_park();
+        }
+    }
+
+    /// Mark this virtual thread finished: it no longer constrains others.
+    pub fn finish(&mut self) {
+        self.slot.final_vt.fetch_max(self.local_vt, Ordering::AcqRel);
+        self.slot.vt.store(DONE, Ordering::Release);
+        self.domain.refresh_min();
+    }
+
+    /// Explicitly publish the local clock (e.g. before blocking on
+    /// application-level synchronization) so peers are not held back.
+    /// Also a freeze safe-point: a thread that publishes manually on every
+    /// iteration (e.g. a backoff loop) would otherwise never reach the
+    /// batch-counter publish path and never park, deadlocking
+    /// [`ClockDomain::freeze`] against itself.
+    pub fn publish(&mut self) {
+        self.slot.vt.store(self.local_vt, Ordering::Release);
+        self.ops_since_publish = 0;
+        self.maybe_park();
+    }
+}
+
+impl Drop for ClockHandle {
+    fn drop(&mut self) {
+        // A dropped handle must not stall the rest of the simulation, but
+        // its elapsed time still counts toward the makespan.
+        self.slot.final_vt.fetch_max(self.local_vt, Ordering::AcqRel);
+        self.slot.vt.store(DONE, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_never_throttles() {
+        let d = Arc::new(ClockDomain::new(1, 100));
+        let mut h = d.handle(0);
+        for _ in 0..10_000 {
+            h.advance(50);
+        }
+        assert_eq!(h.now(), 500_000);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let d = Arc::new(ClockDomain::new(1, u64::MAX));
+        let mut h = d.handle(0);
+        h.advance(100);
+        h.advance_to(50); // past: no-op
+        assert_eq!(h.now(), 100);
+        h.advance_to(250);
+        assert_eq!(h.now(), 250);
+    }
+
+    #[test]
+    fn finished_threads_do_not_block_others() {
+        let d = Arc::new(ClockDomain::new(2, 10));
+        let mut a = d.handle(0);
+        let mut b = d.handle(1);
+        b.finish();
+        // With b done, a may run arbitrarily far ahead without blocking.
+        for _ in 0..1000 {
+            a.advance(1_000);
+        }
+        assert_eq!(a.now(), 1_000_000);
+    }
+
+    #[test]
+    fn two_threads_stay_within_window() {
+        let d = Arc::new(ClockDomain::new(2, 1_000));
+        let d2 = Arc::clone(&d);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut h = d2.handle(1);
+                for _ in 0..50_000 {
+                    h.advance(10);
+                }
+                h.finish();
+            });
+            let mut h = d.handle(0);
+            for _ in 0..50_000 {
+                h.advance(10);
+                // Every publish point, check the invariant loosely: we can
+                // read the peer's published time and must not be more than
+                // window + one publish-batch ahead of it.
+                let peer = d.slots[1].vt.load(Ordering::Acquire);
+                if peer != DONE {
+                    let slack = d.window_ns + 64 * 10 + 10;
+                    assert!(
+                        h.now() <= peer.saturating_add(slack),
+                        "ran ahead: self={} peer={}",
+                        h.now(),
+                        peer
+                    );
+                }
+            }
+            h.finish();
+        });
+    }
+
+    #[test]
+    fn max_time_reports_makespan() {
+        let d = Arc::new(ClockDomain::new(2, u64::MAX));
+        let mut a = d.handle(0);
+        let mut b = d.handle(1);
+        a.advance(500);
+        a.publish();
+        b.advance(900);
+        b.publish();
+        assert_eq!(d.max_time(), 900);
+    }
+
+    #[test]
+    fn dropped_handle_releases_peers() {
+        let d = Arc::new(ClockDomain::new(2, 10));
+        {
+            let _h = d.handle(1);
+        } // dropped immediately
+        let mut a = d.handle(0);
+        for _ in 0..1000 {
+            a.advance(100);
+        }
+        assert_eq!(a.now(), 100_000);
+    }
+}
+
+#[cfg(test)]
+mod freeze_tests {
+    use super::*;
+
+    #[test]
+    fn freeze_blocks_until_all_park_and_thaw_releases() {
+        let d = Arc::new(ClockDomain::new(2, u64::MAX));
+        let d2 = Arc::clone(&d);
+        let progressed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let p2 = Arc::clone(&progressed);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let s2 = Arc::clone(&stop);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut h = d2.handle(1);
+                while !s2.load(std::sync::atomic::Ordering::Relaxed) {
+                    h.advance(10);
+                    p2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                h.finish();
+            });
+            let mut h0 = d.handle(0);
+            h0.finish(); // main's slot must not block the freeze
+            d.freeze();
+            // World stopped: the worker makes (almost) no progress while
+            // frozen — allow the <=64-op publish batch in flight.
+            let at_freeze = progressed.load(std::sync::atomic::Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let later = progressed.load(std::sync::atomic::Ordering::SeqCst);
+            assert!(later - at_freeze <= 64, "worker ran while frozen: {}", later - at_freeze);
+            d.thaw();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        // After the scope, the worker resumed and exited: progress resumed.
+        assert!(progressed.load(std::sync::atomic::Ordering::SeqCst) > 0);
+    }
+
+    #[test]
+    fn freeze_returns_immediately_when_all_done() {
+        let d = Arc::new(ClockDomain::new(3, 100));
+        for tid in 0..3 {
+            let mut h = d.handle(tid);
+            h.advance(5);
+            h.finish();
+        }
+        d.freeze(); // must not hang
+        d.thaw();
+    }
+}

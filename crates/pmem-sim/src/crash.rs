@@ -1,0 +1,285 @@
+//! Power-failure simulation.
+//!
+//! [`Machine::crash`] produces a [`CrashImage`]: the memory contents that
+//! survive a power failure under the active durability domain.
+//!
+//! * DRAM-backed pools are always lost (zeroed).
+//! * Under eADR / PDRAM / PDRAM-Lite, Optane-backed pools survive with
+//!   their full cache-visible contents (the reserve power flushes caches).
+//! * Under ADR (and the deprecated NoPowerReserve), a pool survives with
+//!   its durable shadow — the lines committed by `clwb`+`sfence` or
+//!   displaced by evictions — **plus an adversarially random subset of the
+//!   words that were dirty but unflushed**. Real hardware gives no
+//!   guarantee either way for such words (they may have been evicted
+//!   moments before the failure), so recovery code must be correct for
+//!   every subset; randomizing over seeds gives property tests teeth.
+//!
+//! [`Machine::reboot`] rebuilds a machine from an image, preserving pool
+//! ids so persistent offsets ([`crate::PAddr`]) remain meaningful across
+//! the crash — exactly like re-mapping a DAX file at the same base.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::domain::DurabilityDomain;
+use crate::machine::{Machine, MachineConfig};
+use crate::pool::{MediaKind, PersistenceClass};
+
+/// Surviving contents of one pool.
+#[derive(Debug, Clone)]
+pub struct PoolImage {
+    pub name: String,
+    pub media: MediaKind,
+    pub class: PersistenceClass,
+    pub words: Vec<u64>,
+}
+
+/// Surviving contents of the whole machine.
+#[derive(Debug, Clone)]
+pub struct CrashImage {
+    pub domain: DurabilityDomain,
+    /// Pool images in pool-id order (id 1 first).
+    pub pools: Vec<PoolImage>,
+}
+
+impl Machine {
+    /// Simulate a power failure and return what survives.
+    ///
+    /// `seed` drives the adversarial choices (ADR-class domains only);
+    /// running recovery over many seeds explores the space of possible
+    /// failure images.
+    ///
+    /// # Panics
+    /// Panics if the machine was built without `track_persistence` and the
+    /// domain needs a durable shadow (ADR / NoPowerReserve).
+    pub fn crash(&self, seed: u64) -> CrashImage {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let domain = self.domain();
+        let mut pools = Vec::new();
+        for pool in self.pools() {
+            let words = if pool.media_kind() == MediaKind::Dram {
+                vec![0u64; pool.len_words()]
+            } else if domain.preserves_cache_visible(pool.media_kind(), pool.class()) {
+                pool.dump_current()
+            } else {
+                let mut base = pool.dump_shadow().unwrap_or_else(|| {
+                    panic!(
+                        "crash under {domain:?} requires track_persistence \
+                         (pool `{}` has no durable shadow)",
+                        pool.name()
+                    )
+                });
+                // Adversary: each unflushed dirty word may or may not have
+                // reached media.
+                let current = pool.dump_current();
+                for (w, slot) in base.iter_mut().enumerate() {
+                    if *slot != current[w] && rng.gen_bool(0.5) {
+                        *slot = current[w];
+                    }
+                }
+                base
+            };
+            pools.push(PoolImage {
+                name: pool.name().to_string(),
+                media: pool.media_kind(),
+                class: pool.class(),
+                words,
+            });
+        }
+        CrashImage { domain, pools }
+    }
+
+    /// Build a fresh machine whose pools are reconstructed from `image`,
+    /// with identical pool ids (so persisted [`crate::PAddr`]s stay valid).
+    pub fn reboot(image: &CrashImage, config: MachineConfig) -> Arc<Machine> {
+        let machine = Machine::new(config);
+        for pi in &image.pools {
+            let pool = machine.alloc_pool_with_class(&pi.name, pi.words.len(), pi.media, pi.class);
+            assert_eq!(
+                pool.len_words(),
+                pi.words.len(),
+                "pool `{}` image not line-aligned",
+                pi.name
+            );
+            pool.load_image(&pi.words);
+        }
+        machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::pool::PAddr;
+    use crate::DurabilityDomain as DD;
+
+    fn tracked(domain: DD) -> Arc<Machine> {
+        Machine::new(MachineConfig {
+            domain,
+            track_persistence: true,
+            window_ns: u64::MAX,
+            ..MachineConfig::default()
+        })
+    }
+
+    #[test]
+    fn dram_pool_is_lost() {
+        let m = tracked(DD::Eadr);
+        let p = m.alloc_pool("d", 64, MediaKind::Dram);
+        let mut s = m.session(0);
+        s.store(p.addr(0), 123);
+        let img = m.crash(0);
+        assert_eq!(img.pools[0].words[0], 0);
+    }
+
+    #[test]
+    fn eadr_preserves_unflushed_stores() {
+        let m = tracked(DD::Eadr);
+        let p = m.alloc_pool("o", 64, MediaKind::Optane);
+        let mut s = m.session(0);
+        s.store(p.addr(5), 99); // never flushed
+        let img = m.crash(0);
+        assert_eq!(img.pools[0].words[5], 99);
+    }
+
+    #[test]
+    fn adr_preserves_flushed_stores_always() {
+        let m = tracked(DD::Adr);
+        let p = m.alloc_pool("o", 64, MediaKind::Optane);
+        let mut s = m.session(0);
+        s.store(p.addr(2), 7);
+        s.clwb(p.addr(2));
+        s.sfence();
+        for seed in 0..32 {
+            let img = m.crash(seed);
+            assert_eq!(img.pools[0].words[2], 7, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adr_unflushed_store_sometimes_lost_sometimes_kept() {
+        let m = tracked(DD::Adr);
+        let p = m.alloc_pool("o", 64, MediaKind::Optane);
+        let mut s = m.session(0);
+        s.store(p.addr(0), 55); // dirty, unflushed
+        let mut kept = 0;
+        let mut lost = 0;
+        for seed in 0..64 {
+            let img = m.crash(seed);
+            match img.pools[0].words[0] {
+                55 => kept += 1,
+                0 => lost += 1,
+                other => panic!("impossible survivor value {other}"),
+            }
+        }
+        assert!(kept > 0, "adversary must sometimes persist dirty words");
+        assert!(lost > 0, "adversary must sometimes drop dirty words");
+    }
+
+    #[test]
+    fn pdram_preserves_everything_optane_backed() {
+        let m = tracked(DD::Pdram);
+        let p = m.alloc_pool("o", 64, MediaKind::Optane);
+        let mut s = m.session(0);
+        s.store(p.addr(1), 1);
+        s.store(p.addr(9), 2);
+        let img = m.crash(3);
+        assert_eq!(img.pools[0].words[1], 1);
+        assert_eq!(img.pools[0].words[9], 2);
+    }
+
+    #[test]
+    fn pdram_lite_preserves_lite_pool_and_normal_pool() {
+        let m = tracked(DD::PdramLite);
+        let log = m.alloc_pool_with_class("log", 64, MediaKind::Optane, PersistenceClass::PdramLite);
+        let heap = m.alloc_pool("heap", 64, MediaKind::Optane);
+        let mut s = m.session(0);
+        s.store(log.addr(0), 10);
+        s.store(heap.addr(0), 20);
+        let img = m.crash(0);
+        assert_eq!(img.pools[0].words[0], 10, "lite pool survives");
+        assert_eq!(img.pools[1].words[0], 20, "eADR semantics for the rest");
+    }
+
+    #[test]
+    fn reboot_restores_pool_ids_and_contents() {
+        let m = tracked(DD::Eadr);
+        let a = m.alloc_pool("a", 64, MediaKind::Optane);
+        let b = m.alloc_pool("b", 128, MediaKind::Optane);
+        let mut s = m.session(0);
+        s.store(a.addr(3), 30);
+        s.store(b.addr(7), 70);
+        // A persisted cross-pool pointer.
+        let ptr = b.addr(7);
+        s.store(a.addr(0), ptr.0);
+        let img = m.crash(0);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(DD::Eadr));
+        let a2 = m2.pool(a.id());
+        assert_eq!(a2.name(), "a");
+        assert_eq!(a2.raw_load(3), 30);
+        // The persisted pointer still resolves.
+        let restored = PAddr(a2.raw_load(0));
+        assert_eq!(m2.pool(restored.pool()).raw_load(restored.word()), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires track_persistence")]
+    fn adr_crash_without_tracking_panics() {
+        let m = Machine::new(MachineConfig {
+            domain: DD::Adr,
+            track_persistence: false,
+            window_ns: u64::MAX,
+            ..MachineConfig::default()
+        });
+        m.alloc_pool("o", 64, MediaKind::Optane);
+        let _ = m.crash(0);
+    }
+
+    #[test]
+    fn crash_is_deterministic_per_seed() {
+        let m = tracked(DD::Adr);
+        let p = m.alloc_pool("o", 256, MediaKind::Optane);
+        let mut s = m.session(0);
+        for i in 0..32 {
+            s.store(p.addr(i), i + 1);
+        }
+        let x = m.crash(42);
+        let y = m.crash(42);
+        assert_eq!(x.pools[0].words, y.pools[0].words);
+    }
+}
+
+#[cfg(test)]
+mod no_power_reserve_tests {
+    use crate::machine::{Machine, MachineConfig};
+    use crate::pool::MediaKind;
+    use crate::DurabilityDomain as DD;
+
+    /// The deprecated pre-ADR domain: even flushed-and-fenced stores have
+    /// no guarantee (the WPQ itself may be lost) — which is exactly why
+    /// it was "too cumbersome and slow" to program against and was
+    /// deprecated (paper §II-B).
+    #[test]
+    fn flushed_stores_may_still_be_lost() {
+        let m = Machine::new(MachineConfig::functional(DD::NoPowerReserve));
+        let p = m.alloc_pool("o", 64, MediaKind::Optane);
+        let mut s = m.session(0);
+        s.store(p.addr(0), 77);
+        s.clwb(p.addr(0));
+        s.sfence();
+        let mut lost = 0;
+        let mut kept = 0;
+        for seed in 0..64 {
+            match m.crash(seed).pools[0].words[0] {
+                0 => lost += 1,
+                77 => kept += 1,
+                other => panic!("impossible value {other}"),
+            }
+        }
+        assert!(lost > 0, "NoPowerReserve gives no flush+fence guarantee");
+        assert!(kept > 0, "...but the write often drains anyway");
+    }
+}

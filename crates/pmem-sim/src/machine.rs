@@ -1,0 +1,256 @@
+//! The simulated machine: pools + cache + bandwidth servers + clocks.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::bandwidth::Servers;
+use crate::cache::CacheSim;
+use crate::clock::ClockDomain;
+use crate::domain::DurabilityDomain;
+use crate::latency::LatencyModel;
+use crate::pool::{MediaKind, PersistenceClass, PmemPool, PoolId};
+use crate::session::MemSession;
+use crate::stats::MachineStats;
+
+/// Construction parameters for a [`Machine`].
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// The active durability domain.
+    pub domain: DurabilityDomain,
+    /// Timing parameters.
+    pub model: LatencyModel,
+    /// Enable per-pool durable shadows so crashes can be simulated.
+    /// Costs 2x memory and some tracking work; off for pure benchmarks.
+    pub track_persistence: bool,
+    /// Bounded-lag window for multi-threaded runs, in virtual ns.
+    pub window_ns: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            domain: DurabilityDomain::Adr,
+            model: LatencyModel::default(),
+            track_persistence: false,
+            window_ns: 2_000,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A config for functional tests: zero latency, tracking on.
+    pub fn functional(domain: DurabilityDomain) -> Self {
+        MachineConfig {
+            domain,
+            model: LatencyModel::zero(),
+            track_persistence: true,
+            window_ns: u64::MAX,
+        }
+    }
+}
+
+/// One simulated Optane-class machine.
+///
+/// A `Machine` owns its pools, the shared L3 model, the bandwidth servers
+/// and the virtual-clock domain of the current run. Threads interact with
+/// it through per-thread [`MemSession`]s.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    pools: RwLock<Vec<Arc<PmemPool>>>,
+    next_pool: AtomicU32,
+    pub(crate) cache: CacheSim,
+    /// Second-level model: the DRAM cache of Optane pages backing the
+    /// PDRAM / PDRAM-Lite domains (Memory-Mode directory). Only consulted
+    /// for pools those domains accelerate.
+    pub(crate) dram_cache: CacheSim,
+    pub(crate) servers: Servers,
+    clocks: RwLock<Arc<ClockDomain>>,
+    pub stats: MachineStats,
+}
+
+impl Machine {
+    pub fn new(config: MachineConfig) -> Arc<Self> {
+        let cache = CacheSim::new(config.model.l3_bytes);
+        let dram_cache = CacheSim::new(config.model.dram_cache_bytes);
+        let servers = Servers::new(config.model.optane_write_banks);
+        let clocks = Arc::new(ClockDomain::new(1, u64::MAX));
+        Arc::new(Machine {
+            config,
+            pools: RwLock::new(Vec::new()),
+            next_pool: AtomicU32::new(1), // pool 0 reserved so PAddr::NULL stays invalid
+            cache,
+            dram_cache,
+            servers,
+            clocks: RwLock::new(clocks),
+            stats: MachineStats::new(),
+        })
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    pub fn domain(&self) -> DurabilityDomain {
+        self.config.domain
+    }
+
+    pub fn model(&self) -> &LatencyModel {
+        &self.config.model
+    }
+
+    /// Allocate a pool of `len_words` words of ordinary persistence class.
+    pub fn alloc_pool(&self, name: &str, len_words: usize, media: MediaKind) -> Arc<PmemPool> {
+        self.alloc_pool_with_class(name, len_words, media, PersistenceClass::Normal)
+    }
+
+    /// Allocate a pool with an explicit persistence class (used for the
+    /// PDRAM-Lite redo-log region).
+    pub fn alloc_pool_with_class(
+        &self,
+        name: &str,
+        len_words: usize,
+        media: MediaKind,
+        class: PersistenceClass,
+    ) -> Arc<PmemPool> {
+        let id = PoolId(self.next_pool.fetch_add(1, Ordering::Relaxed));
+        let pool = Arc::new(PmemPool::new(
+            id,
+            name,
+            len_words,
+            media,
+            class,
+            self.config.track_persistence,
+        ));
+        let mut pools = self.pools.write().unwrap();
+        let idx = id.0 as usize;
+        if pools.len() <= idx {
+            pools.resize_with(idx + 1, || {
+                // Fill gaps (incl. reserved pool 0) with zero-size stubs.
+                Arc::new(PmemPool::new(
+                    PoolId(0),
+                    "reserved",
+                    0,
+                    MediaKind::Dram,
+                    PersistenceClass::Normal,
+                    false,
+                ))
+            });
+        }
+        pools[idx] = Arc::clone(&pool);
+        pool
+    }
+
+    /// Look up a pool by id.
+    pub fn pool(&self, id: PoolId) -> Arc<PmemPool> {
+        let pools = self.pools.read().unwrap();
+        Arc::clone(&pools[id.0 as usize])
+    }
+
+    /// All pools, in id order (skipping the reserved stub at index 0).
+    pub fn pools(&self) -> Vec<Arc<PmemPool>> {
+        let pools = self.pools.read().unwrap();
+        pools.iter().skip(1).cloned().collect()
+    }
+
+    /// Start a fresh timed run with `threads` virtual threads. Resets the
+    /// bandwidth servers and replaces the clock domain; previously created
+    /// sessions become stale and must not be used afterwards.
+    pub fn begin_run(&self, threads: usize, window_ns: u64) {
+        self.servers.reset();
+        *self.clocks.write().unwrap() = Arc::new(ClockDomain::new(threads, window_ns));
+    }
+
+    /// Obtain a session for virtual thread `tid` in the current run.
+    pub fn session(self: &Arc<Self>, tid: usize) -> MemSession {
+        let domain = Arc::clone(&self.clocks.read().unwrap());
+        MemSession::new(Arc::clone(self), tid, domain.handle(tid))
+    }
+
+    /// The makespan of the current run: the largest virtual time reached by
+    /// any thread. Throughput = operations / makespan.
+    pub fn run_time_ns(&self) -> u64 {
+        self.clocks.read().unwrap().max_time()
+    }
+
+    /// Whether the machine tracks durable shadows (crash simulation).
+    pub fn tracking(&self) -> bool {
+        self.config.track_persistence
+    }
+
+    /// Stop the world before a concurrent crash snapshot: every session
+    /// thread parks at its next publish point (within ~64 memory
+    /// operations). A crash taken while threads keep running would
+    /// otherwise sample a smeared, non-instantaneous memory state.
+    /// Blocks until all threads of the current run are parked or done.
+    pub fn freeze(&self) {
+        self.clocks.read().unwrap().freeze();
+    }
+
+    /// Resume after [`Machine::freeze`].
+    pub fn thaw(&self) {
+        self.clocks.read().unwrap().thaw();
+    }
+
+    /// Drop cached lines (e.g. to cold-start a measurement phase).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+        self.dram_cache.clear();
+    }
+
+    /// Drop only the L3 model, keeping the PDRAM DRAM-cache warm (models
+    /// an L3-capacity working set churn without evicting DRAM pages).
+    pub fn clear_l3(&self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_get_distinct_ids_and_lookup_works() {
+        let m = Machine::new(MachineConfig::default());
+        let a = m.alloc_pool("a", 64, MediaKind::Optane);
+        let b = m.alloc_pool("b", 64, MediaKind::Dram);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(m.pool(a.id()).name(), "a");
+        assert_eq!(m.pool(b.id()).name(), "b");
+        assert_eq!(m.pools().len(), 2);
+    }
+
+    #[test]
+    fn pool_zero_is_reserved() {
+        let m = Machine::new(MachineConfig::default());
+        let a = m.alloc_pool("a", 64, MediaKind::Optane);
+        assert!(a.id().0 >= 1, "PAddr::NULL must never address a real pool");
+    }
+
+    #[test]
+    fn begin_run_resets_servers() {
+        let m = Machine::new(MachineConfig::default());
+        m.servers.write_for(true, 7).request(0, 1_000);
+        m.begin_run(2, 1_000);
+        for b in &m.servers.optane_write {
+            assert_eq!(b.backlog(0), 0);
+        }
+    }
+
+    #[test]
+    fn session_ids_bound_by_run_threads() {
+        let m = Machine::new(MachineConfig::default());
+        m.begin_run(2, u64::MAX);
+        let _s0 = m.session(0);
+        let _s1 = m.session(1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.session(2)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn functional_config_is_tracked_and_free() {
+        let cfg = MachineConfig::functional(DurabilityDomain::Adr);
+        assert!(cfg.track_persistence);
+        assert_eq!(cfg.model.sfence_ns, 0);
+    }
+}

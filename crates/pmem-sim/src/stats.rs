@@ -1,0 +1,143 @@
+//! Machine-wide event counters.
+//!
+//! Counters are relaxed atomics updated on the access fast paths; they feed
+//! the paper's secondary measurements (flush/fence counts, writeback
+//! volume, WPQ stalls) and many shape assertions in tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters (shared, relaxed).
+#[derive(Debug, Default)]
+pub struct MachineStats {
+    pub loads: AtomicU64,
+    pub stores: AtomicU64,
+    pub l3_hits: AtomicU64,
+    pub l3_misses: AtomicU64,
+    pub clwbs: AtomicU64,
+    /// `clwb`s that actually wrote a dirty line back.
+    pub clwb_writebacks: AtomicU64,
+    pub sfences: AtomicU64,
+    /// Dirty lines displaced by capacity/conflict evictions.
+    pub evictions: AtomicU64,
+    /// Lines written to Optane media (flushes + evictions + PDRAM writeback).
+    pub optane_lines_written: AtomicU64,
+    /// Lines written to DRAM.
+    pub dram_lines_written: AtomicU64,
+    /// Virtual ns spent stalled on a full WPQ / writeback backlog.
+    pub wpq_stall_ns: AtomicU64,
+    /// Virtual ns spent waiting in `sfence` for outstanding flushes.
+    pub fence_wait_ns: AtomicU64,
+}
+
+/// A plain-value snapshot of [`MachineStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub loads: u64,
+    pub stores: u64,
+    pub l3_hits: u64,
+    pub l3_misses: u64,
+    pub clwbs: u64,
+    pub clwb_writebacks: u64,
+    pub sfences: u64,
+    pub evictions: u64,
+    pub optane_lines_written: u64,
+    pub dram_lines_written: u64,
+    pub wpq_stall_ns: u64,
+    pub fence_wait_ns: u64,
+}
+
+impl MachineStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Capture the current values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            loads: self.loads.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            l3_hits: self.l3_hits.load(Ordering::Relaxed),
+            l3_misses: self.l3_misses.load(Ordering::Relaxed),
+            clwbs: self.clwbs.load(Ordering::Relaxed),
+            clwb_writebacks: self.clwb_writebacks.load(Ordering::Relaxed),
+            sfences: self.sfences.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            optane_lines_written: self.optane_lines_written.load(Ordering::Relaxed),
+            dram_lines_written: self.dram_lines_written.load(Ordering::Relaxed),
+            wpq_stall_ns: self.wpq_stall_ns.load(Ordering::Relaxed),
+            fence_wait_ns: self.fence_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters (between benchmark phases).
+    pub fn reset(&self) {
+        for c in [
+            &self.loads,
+            &self.stores,
+            &self.l3_hits,
+            &self.l3_misses,
+            &self.clwbs,
+            &self.clwb_writebacks,
+            &self.sfences,
+            &self.evictions,
+            &self.optane_lines_written,
+            &self.dram_lines_written,
+            &self.wpq_stall_ns,
+            &self.fence_wait_ns,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Difference against an earlier snapshot (per-phase deltas).
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            l3_hits: self.l3_hits - earlier.l3_hits,
+            l3_misses: self.l3_misses - earlier.l3_misses,
+            clwbs: self.clwbs - earlier.clwbs,
+            clwb_writebacks: self.clwb_writebacks - earlier.clwb_writebacks,
+            sfences: self.sfences - earlier.sfences,
+            evictions: self.evictions - earlier.evictions,
+            optane_lines_written: self.optane_lines_written - earlier.optane_lines_written,
+            dram_lines_written: self.dram_lines_written - earlier.dram_lines_written,
+            wpq_stall_ns: self.wpq_stall_ns - earlier.wpq_stall_ns,
+            fence_wait_ns: self.fence_wait_ns - earlier.fence_wait_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = MachineStats::new();
+        MachineStats::bump(&s.loads, 3);
+        MachineStats::bump(&s.sfences, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.loads, 3);
+        assert_eq!(snap.sfences, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let s = MachineStats::new();
+        MachineStats::bump(&s.stores, 10);
+        let a = s.snapshot();
+        MachineStats::bump(&s.stores, 5);
+        let b = s.snapshot();
+        assert_eq!(b.delta_since(&a).stores, 5);
+    }
+}

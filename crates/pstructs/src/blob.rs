@@ -1,0 +1,126 @@
+//! Persistent byte blobs: variable-length byte strings packed into word
+//! storage, for values larger than a word (the KV store's 1 KB values,
+//! string fields). A blob is immutable once written; replacing a value
+//! allocates a fresh blob and frees the old one (simple, and exactly the
+//! copy-on-write discipline persistent stores favor — an in-place
+//! partial overwrite that crashes would otherwise need byte-level
+//! logging).
+//!
+//! Layout: `[len_bytes, data_word, data_word, ...]`.
+
+use pmem_sim::PAddr;
+use ptm::{Tx, TxResult};
+
+/// Handle to a persistent blob (the address of its length header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PBlob {
+    addr: PAddr,
+}
+
+impl PBlob {
+    /// Write `bytes` as a new blob inside the transaction.
+    pub fn create(tx: &mut Tx<'_>, bytes: &[u8]) -> TxResult<PBlob> {
+        let words = bytes.len().div_ceil(8);
+        let addr = tx.alloc(1 + words.max(1));
+        tx.write(addr, bytes.len() as u64)?;
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            tx.write_at(addr, 1 + i as u64, u64::from_le_bytes(w))?;
+        }
+        Ok(PBlob { addr })
+    }
+
+    /// Re-attach from a persisted address.
+    pub fn from_addr(addr: PAddr) -> PBlob {
+        PBlob { addr }
+    }
+
+    pub fn addr(&self) -> PAddr {
+        self.addr
+    }
+
+    /// Length in bytes.
+    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<usize> {
+        Ok(tx.read(self.addr)? as usize)
+    }
+
+    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Read the whole blob.
+    pub fn read(&self, tx: &mut Tx<'_>) -> TxResult<Vec<u8>> {
+        let len = self.len(tx)?;
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len.div_ceil(8) {
+            let w = tx.read_at(self.addr, 1 + i as u64)?.to_le_bytes();
+            let take = (len - out.len()).min(8);
+            out.extend_from_slice(&w[..take]);
+        }
+        Ok(out)
+    }
+
+    /// Free the blob's storage (deferred to commit).
+    pub fn free(self, tx: &mut Tx<'_>) {
+        tx.free(self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palloc::PHeap;
+    use pmem_sim::{DurabilityDomain, Machine, MachineConfig};
+    use ptm::{Ptm, PtmConfig, TxThread};
+
+    fn setup() -> TxThread {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
+        let heap = PHeap::format(&m, "heap", 1 << 18, 8);
+        TxThread::new(Ptm::new(PtmConfig::redo()), heap, m.session(0))
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let mut th = setup();
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 100, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let d = data.clone();
+            let blob = th.run(|tx| PBlob::create(tx, &d));
+            assert_eq!(th.run(|tx| blob.len(tx)), len);
+            assert_eq!(th.run(|tx| blob.read(tx)), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn utf8_string_roundtrip() {
+        let mut th = setup();
+        let s = "persistent memory — durable строка 永続";
+        let blob = th.run(|tx| PBlob::create(tx, s.as_bytes()));
+        let back = th.run(|tx| blob.read(tx));
+        assert_eq!(String::from_utf8(back).unwrap(), s);
+    }
+
+    #[test]
+    fn handle_survives_transactions() {
+        let mut th = setup();
+        let blob = th.run(|tx| PBlob::create(tx, b"hello"));
+        let addr = blob.addr();
+        // A later transaction re-attaches by address.
+        let blob2 = PBlob::from_addr(addr);
+        assert_eq!(th.run(|tx| blob2.read(tx)), b"hello");
+    }
+
+    #[test]
+    fn free_releases_storage() {
+        let mut th = setup();
+        let heap = std::sync::Arc::clone(th.heap());
+        let blob = th.run(|tx| PBlob::create(tx, &[9u8; 64]));
+        let before = heap.free_blocks();
+        th.run(|tx| {
+            PBlob::from_addr(blob.addr()).free(tx);
+            Ok(())
+        });
+        assert_eq!(heap.free_blocks(), before + 1);
+    }
+}

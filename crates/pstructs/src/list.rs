@@ -1,0 +1,183 @@
+//! A persistent sorted linked list (set semantics) over the PTM — the
+//! classic STM microbenchmark shape: long read chains, single-node writes.
+
+use pmem_sim::PAddr;
+use ptm::{Tx, TxResult};
+
+const N_KEY: u64 = 0;
+const N_NEXT: u64 = 1;
+const NODE_WORDS: usize = 2;
+
+/// Header: sentinel head pointer.
+const H_HEAD: u64 = 0;
+pub const HEADER_WORDS: usize = 2;
+
+/// Handle to a persistent sorted list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PList {
+    header: PAddr,
+}
+
+impl PList {
+    pub fn create(tx: &mut Tx<'_>) -> TxResult<PList> {
+        let header = tx.alloc(HEADER_WORDS);
+        tx.write_at(header, H_HEAD, 0)?;
+        Ok(PList { header })
+    }
+
+    pub fn from_header(header: PAddr) -> PList {
+        PList { header }
+    }
+
+    pub fn header(&self) -> PAddr {
+        self.header
+    }
+
+    /// Number of keys. O(n): walks the list (no shared counter word).
+    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        Ok(self.to_vec(tx)?.len() as u64)
+    }
+
+    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<bool> {
+        let mut cur = tx.read_ptr(self.header.offset(H_HEAD))?;
+        while !cur.is_null() {
+            let k = tx.read_at(cur, N_KEY)?;
+            if k == key {
+                return Ok(true);
+            }
+            if k > key {
+                return Ok(false);
+            }
+            cur = tx.read_ptr(cur.offset(N_NEXT))?;
+        }
+        Ok(false)
+    }
+
+    /// Insert; returns `false` if the key was already present.
+    pub fn insert(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<bool> {
+        let mut prev: Option<PAddr> = None;
+        let mut cur = tx.read_ptr(self.header.offset(H_HEAD))?;
+        while !cur.is_null() {
+            let k = tx.read_at(cur, N_KEY)?;
+            if k == key {
+                return Ok(false);
+            }
+            if k > key {
+                break;
+            }
+            prev = Some(cur);
+            cur = tx.read_ptr(cur.offset(N_NEXT))?;
+        }
+        let node = tx.alloc(NODE_WORDS);
+        tx.write_at(node, N_KEY, key)?;
+        tx.write_ptr(node.offset(N_NEXT), cur)?;
+        match prev {
+            Some(p) => tx.write_ptr(p.offset(N_NEXT), node)?,
+            None => tx.write_ptr(self.header.offset(H_HEAD), node)?,
+        }
+        Ok(true)
+    }
+
+    /// Remove; returns `false` if absent. Frees the node.
+    pub fn remove(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<bool> {
+        let mut prev: Option<PAddr> = None;
+        let mut cur = tx.read_ptr(self.header.offset(H_HEAD))?;
+        while !cur.is_null() {
+            let k = tx.read_at(cur, N_KEY)?;
+            if k > key {
+                return Ok(false);
+            }
+            let next = tx.read_ptr(cur.offset(N_NEXT))?;
+            if k == key {
+                match prev {
+                    Some(p) => tx.write_ptr(p.offset(N_NEXT), next)?,
+                    None => tx.write_ptr(self.header.offset(H_HEAD), next)?,
+                }
+                tx.free(cur);
+                return Ok(true);
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+        Ok(false)
+    }
+
+    /// All keys in order (tests).
+    pub fn to_vec(&self, tx: &mut Tx<'_>) -> TxResult<Vec<u64>> {
+        let mut out = Vec::new();
+        let mut cur = tx.read_ptr(self.header.offset(H_HEAD))?;
+        while !cur.is_null() {
+            out.push(tx.read_at(cur, N_KEY)?);
+            cur = tx.read_ptr(cur.offset(N_NEXT))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palloc::PHeap;
+    use pmem_sim::{DurabilityDomain, Machine, MachineConfig};
+    use ptm::{Ptm, PtmConfig, TxThread};
+
+    fn setup() -> TxThread {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
+        let heap = PHeap::format(&m, "heap", 1 << 18, 8);
+        TxThread::new(Ptm::new(PtmConfig::redo()), heap, m.session(0))
+    }
+
+    #[test]
+    fn stays_sorted_and_deduplicated() {
+        let mut th = setup();
+        let l = th.run(PList::create);
+        for k in [5u64, 3, 9, 3, 7, 1, 9] {
+            th.run(|tx| l.insert(tx, k).map(|_| ()));
+        }
+        assert_eq!(th.run(|tx| l.to_vec(tx)), vec![1, 3, 5, 7, 9]);
+        assert_eq!(th.run(|tx| l.len(tx)), 5);
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut th = setup();
+        let l = th.run(PList::create);
+        for k in 0..20u64 {
+            th.run(|tx| l.insert(tx, k).map(|_| ()));
+        }
+        assert!(th.run(|tx| l.contains(tx, 10)));
+        assert!(th.run(|tx| l.remove(tx, 10)));
+        assert!(!th.run(|tx| l.contains(tx, 10)));
+        assert!(!th.run(|tx| l.remove(tx, 10)));
+        // Head and tail removals.
+        assert!(th.run(|tx| l.remove(tx, 0)));
+        assert!(th.run(|tx| l.remove(tx, 19)));
+        assert_eq!(th.run(|tx| l.len(tx)), 17);
+    }
+
+    #[test]
+    fn model_check_against_btreeset() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut th = setup();
+        let l = th.run(PList::create);
+        let mut model = std::collections::BTreeSet::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1_500 {
+            let key = rng.gen_range(0..64u64);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(th.run(|tx| l.insert(tx, key)), model.insert(key)),
+                1 => assert_eq!(th.run(|tx| l.contains(tx, key)), model.contains(&key)),
+                _ => assert_eq!(th.run(|tx| l.remove(tx, key)), model.remove(&key)),
+            }
+        }
+        let got = th.run(|tx| l.to_vec(tx));
+        let want: Vec<u64> = model.into_iter().collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,235 @@
+//! A persistent growable vector of u64 over the PTM.
+//!
+//! Classic cap-doubling vector with the header indirecting to the data
+//! block, so growth is a single transactional pointer swing: allocate
+//! the bigger block, copy, publish, free the old one — all atomic under
+//! the enclosing transaction.
+//!
+//! Header: `[data_ptr, len, cap, pad]`; data block: `cap` words.
+
+use pmem_sim::PAddr;
+use ptm::{Tx, TxResult};
+
+const H_DATA: u64 = 0;
+const H_LEN: u64 = 1;
+const H_CAP: u64 = 2;
+pub const HEADER_WORDS: usize = 4;
+
+const INITIAL_CAP: u64 = 8;
+
+/// Handle to a persistent vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PVec {
+    header: PAddr,
+}
+
+impl PVec {
+    pub fn create(tx: &mut Tx<'_>) -> TxResult<PVec> {
+        let header = tx.alloc(HEADER_WORDS);
+        let data = tx.alloc(INITIAL_CAP as usize);
+        tx.write_ptr(header.offset(H_DATA), data)?;
+        tx.write_at(header, H_LEN, 0)?;
+        tx.write_at(header, H_CAP, INITIAL_CAP)?;
+        Ok(PVec { header })
+    }
+
+    pub fn from_header(header: PAddr) -> PVec {
+        PVec { header }
+    }
+
+    pub fn header(&self) -> PAddr {
+        self.header
+    }
+
+    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        tx.read_at(self.header, H_LEN)
+    }
+
+    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    pub fn capacity(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        tx.read_at(self.header, H_CAP)
+    }
+
+    /// Element read.
+    ///
+    /// # Errors
+    /// Aborts the transaction on out-of-bounds access? No — bounds are a
+    /// program error, not a conflict: panics.
+    pub fn get(&self, tx: &mut Tx<'_>, i: u64) -> TxResult<u64> {
+        let len = self.len(tx)?;
+        assert!(i < len, "PVec index {i} out of bounds (len {len})");
+        let data = tx.read_ptr(self.header.offset(H_DATA))?;
+        tx.read_at(data, i)
+    }
+
+    /// Element write.
+    pub fn set(&self, tx: &mut Tx<'_>, i: u64, v: u64) -> TxResult<()> {
+        let len = self.len(tx)?;
+        assert!(i < len, "PVec index {i} out of bounds (len {len})");
+        let data = tx.read_ptr(self.header.offset(H_DATA))?;
+        tx.write_at(data, i, v)
+    }
+
+    /// Append, growing (cap doubling) when full.
+    pub fn push(&self, tx: &mut Tx<'_>, v: u64) -> TxResult<()> {
+        let len = self.len(tx)?;
+        let cap = tx.read_at(self.header, H_CAP)?;
+        let mut data = tx.read_ptr(self.header.offset(H_DATA))?;
+        if len == cap {
+            let new_cap = cap * 2;
+            let new_data = tx.alloc(new_cap as usize);
+            for i in 0..len {
+                let w = tx.read_at(data, i)?;
+                tx.write_at(new_data, i, w)?;
+            }
+            tx.write_ptr(self.header.offset(H_DATA), new_data)?;
+            tx.write_at(self.header, H_CAP, new_cap)?;
+            tx.free(data);
+            data = new_data;
+        }
+        tx.write_at(data, len, v)?;
+        tx.write_at(self.header, H_LEN, len + 1)
+    }
+
+    /// Remove and return the last element.
+    pub fn pop(&self, tx: &mut Tx<'_>) -> TxResult<Option<u64>> {
+        let len = self.len(tx)?;
+        if len == 0 {
+            return Ok(None);
+        }
+        let data = tx.read_ptr(self.header.offset(H_DATA))?;
+        let v = tx.read_at(data, len - 1)?;
+        tx.write_at(self.header, H_LEN, len - 1)?;
+        Ok(Some(v))
+    }
+
+    /// All elements (tests).
+    pub fn to_vec(&self, tx: &mut Tx<'_>) -> TxResult<Vec<u64>> {
+        let len = self.len(tx)?;
+        let data = tx.read_ptr(self.header.offset(H_DATA))?;
+        (0..len).map(|i| tx.read_at(data, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palloc::PHeap;
+    use pmem_sim::{DurabilityDomain, Machine, MachineConfig};
+    use ptm::{Algo, Ptm, PtmConfig, TxThread};
+
+    fn setup(algo: Algo) -> TxThread {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
+        let heap = PHeap::format(&m, "heap", 1 << 18, 8);
+        let cfg = PtmConfig {
+            algo,
+            ..PtmConfig::default()
+        };
+        TxThread::new(Ptm::new(cfg), heap, m.session(0))
+    }
+
+    #[test]
+    fn push_get_set_pop() {
+        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+            let mut th = setup(algo);
+            let v = th.run(PVec::create);
+            for i in 0..5u64 {
+                th.run(|tx| v.push(tx, i * 10));
+            }
+            assert_eq!(th.run(|tx| v.len(tx)), 5);
+            assert_eq!(th.run(|tx| v.get(tx, 3)), 30);
+            th.run(|tx| v.set(tx, 3, 99));
+            assert_eq!(th.run(|tx| v.get(tx, 3)), 99);
+            assert_eq!(th.run(|tx| v.pop(tx)), Some(40));
+            assert_eq!(th.run(|tx| v.len(tx)), 4, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn growth_preserves_contents_and_frees_old_block() {
+        let mut th = setup(Algo::RedoLazy);
+        let heap = std::sync::Arc::clone(th.heap());
+        let v = th.run(PVec::create);
+        for i in 0..100u64 {
+            th.run(|tx| v.push(tx, i));
+        }
+        assert_eq!(th.run(|tx| v.capacity(tx)), 128);
+        let all = th.run(|tx| v.to_vec(tx));
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // Four growths (8->16->32->64->128): four old blocks freed.
+        assert!(heap.free_blocks() >= 4);
+    }
+
+    #[test]
+    fn growth_mid_transaction_is_atomic() {
+        // Fill to capacity, then push twice inside one tx that aborts
+        // once: after the retry, contents are exact.
+        let mut th = setup(Algo::RedoLazy);
+        let v = th.run(PVec::create);
+        for i in 0..8u64 {
+            th.run(|tx| v.push(tx, i));
+        }
+        let mut first = true;
+        th.run(|tx| {
+            v.push(tx, 100)?;
+            v.push(tx, 101)?;
+            if first {
+                first = false;
+                return Err(ptm::Abort);
+            }
+            Ok(())
+        });
+        let all = th.run(|tx| v.to_vec(tx));
+        assert_eq!(all.len(), 10);
+        assert_eq!(&all[8..], &[100, 101]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let mut th = setup(Algo::RedoLazy);
+        let v = th.run(PVec::create);
+        th.run(|tx| v.get(tx, 0));
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let mut th = setup(Algo::RedoLazy);
+        let v = th.run(PVec::create);
+        assert_eq!(th.run(|tx| v.pop(tx)), None);
+    }
+
+    #[test]
+    fn model_check_against_vec() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut th = setup(Algo::UndoEager);
+        let v = th.run(PVec::create);
+        let mut model: Vec<u64> = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..800 {
+            match rng.gen_range(0..4) {
+                0 | 1 => {
+                    let x = rng.gen::<u32>() as u64;
+                    th.run(|tx| v.push(tx, x));
+                    model.push(x);
+                }
+                2 => {
+                    assert_eq!(th.run(|tx| v.pop(tx)), model.pop());
+                }
+                _ => {
+                    if !model.is_empty() {
+                        let i = rng.gen_range(0..model.len() as u64);
+                        let x = rng.gen::<u32>() as u64;
+                        th.run(|tx| v.set(tx, i, x));
+                        model[i as usize] = x;
+                    }
+                }
+            }
+        }
+        assert_eq!(th.run(|tx| v.to_vec(tx)), model);
+    }
+}

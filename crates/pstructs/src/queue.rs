@@ -1,0 +1,185 @@
+//! A persistent FIFO queue over the PTM (used by Vacation-style task
+//! hand-off and as a simple write-heavy structure in tests).
+
+use pmem_sim::PAddr;
+use ptm::{Tx, TxResult};
+
+const N_VAL: u64 = 0;
+const N_NEXT: u64 = 1;
+const NODE_WORDS: usize = 2;
+
+/// Header: head, tail, length.
+const H_HEAD: u64 = 0;
+const H_TAIL: u64 = 1;
+const H_LEN: u64 = 2;
+pub const HEADER_WORDS: usize = 4;
+
+/// Handle to a persistent queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PQueue {
+    header: PAddr,
+}
+
+impl PQueue {
+    pub fn create(tx: &mut Tx<'_>) -> TxResult<PQueue> {
+        let header = tx.alloc(HEADER_WORDS);
+        tx.write_at(header, H_HEAD, 0)?;
+        tx.write_at(header, H_TAIL, 0)?;
+        tx.write_at(header, H_LEN, 0)?;
+        Ok(PQueue { header })
+    }
+
+    pub fn from_header(header: PAddr) -> PQueue {
+        PQueue { header }
+    }
+
+    pub fn header(&self) -> PAddr {
+        self.header
+    }
+
+    pub fn len(&self, tx: &mut Tx<'_>) -> TxResult<u64> {
+        tx.read_at(self.header, H_LEN)
+    }
+
+    pub fn is_empty(&self, tx: &mut Tx<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Append at the tail.
+    pub fn enqueue(&self, tx: &mut Tx<'_>, val: u64) -> TxResult<()> {
+        let node = tx.alloc(NODE_WORDS);
+        tx.write_at(node, N_VAL, val)?;
+        tx.write_at(node, N_NEXT, 0)?;
+        let tail = tx.read_ptr(self.header.offset(H_TAIL))?;
+        if tail.is_null() {
+            tx.write_ptr(self.header.offset(H_HEAD), node)?;
+        } else {
+            tx.write_ptr(tail.offset(N_NEXT), node)?;
+        }
+        tx.write_ptr(self.header.offset(H_TAIL), node)?;
+        let len = tx.read_at(self.header, H_LEN)?;
+        tx.write_at(self.header, H_LEN, len + 1)?;
+        Ok(())
+    }
+
+    /// Remove from the head; `None` when empty. Frees the node.
+    pub fn dequeue(&self, tx: &mut Tx<'_>) -> TxResult<Option<u64>> {
+        let head = tx.read_ptr(self.header.offset(H_HEAD))?;
+        if head.is_null() {
+            return Ok(None);
+        }
+        let val = tx.read_at(head, N_VAL)?;
+        let next = tx.read_ptr(head.offset(N_NEXT))?;
+        tx.write_ptr(self.header.offset(H_HEAD), next)?;
+        if next.is_null() {
+            tx.write_ptr(self.header.offset(H_TAIL), PAddr::NULL)?;
+        }
+        tx.free(head);
+        let len = tx.read_at(self.header, H_LEN)?;
+        tx.write_at(self.header, H_LEN, len - 1)?;
+        Ok(Some(val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palloc::PHeap;
+    use pmem_sim::{DurabilityDomain, Machine, MachineConfig};
+    use ptm::{Ptm, PtmConfig, TxThread};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Machine>, Arc<PHeap>, Arc<Ptm>, TxThread) {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
+        let heap = PHeap::format(&m, "heap", 1 << 18, 8);
+        let ptm = Ptm::new(PtmConfig::redo());
+        let th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        (m, heap, ptm, th)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (_m, _h, _p, mut th) = setup();
+        let q = th.run(PQueue::create);
+        for v in 1..=5u64 {
+            th.run(|tx| q.enqueue(tx, v));
+        }
+        for v in 1..=5u64 {
+            assert_eq!(th.run(|tx| q.dequeue(tx)), Some(v));
+        }
+        assert_eq!(th.run(|tx| q.dequeue(tx)), None);
+        assert!(th.run(|tx| q.is_empty(tx)));
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue() {
+        let (_m, _h, _p, mut th) = setup();
+        let q = th.run(PQueue::create);
+        th.run(|tx| q.enqueue(tx, 1));
+        th.run(|tx| q.enqueue(tx, 2));
+        assert_eq!(th.run(|tx| q.dequeue(tx)), Some(1));
+        th.run(|tx| q.enqueue(tx, 3));
+        assert_eq!(th.run(|tx| q.dequeue(tx)), Some(2));
+        assert_eq!(th.run(|tx| q.dequeue(tx)), Some(3));
+        assert_eq!(th.run(|tx| q.len(tx)), 0);
+    }
+
+    #[test]
+    fn empty_then_refill_resets_tail() {
+        let (_m, _h, _p, mut th) = setup();
+        let q = th.run(PQueue::create);
+        th.run(|tx| q.enqueue(tx, 9));
+        assert_eq!(th.run(|tx| q.dequeue(tx)), Some(9));
+        // Tail must have been reset; the next enqueue must be dequeueable.
+        th.run(|tx| q.enqueue(tx, 10));
+        assert_eq!(th.run(|tx| q.dequeue(tx)), Some(10));
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_items() {
+        let (m, heap, ptm, mut th0) = setup();
+        let q = th0.run(PQueue::create);
+        drop(th0);
+        let producers = 2usize;
+        let per = 200u64;
+        m.begin_run(producers * 2, u64::MAX);
+        let consumed: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            for tid in 0..producers {
+                let m = Arc::clone(&m);
+                let ptm = Arc::clone(&ptm);
+                let heap = Arc::clone(&heap);
+                scope.spawn(move || {
+                    let mut th = TxThread::new(ptm, heap, m.session(tid));
+                    for i in 0..per {
+                        let v = (tid as u64) << 32 | i;
+                        th.run(|tx| q.enqueue(tx, v));
+                    }
+                });
+            }
+            let handles: Vec<_> = (0..producers)
+                .map(|c| {
+                    let m = Arc::clone(&m);
+                    let ptm = Arc::clone(&ptm);
+                    let heap = Arc::clone(&heap);
+                    scope.spawn(move || {
+                        let mut th = TxThread::new(ptm, heap, m.session(producers + c));
+                        let mut got = Vec::new();
+                        let mut misses = 0;
+                        while got.len() < per as usize && misses < 1_000_000 {
+                            match th.run(|tx| q.dequeue(tx)) {
+                                Some(v) => got.push(v),
+                                None => misses += 1,
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = consumed.into_iter().flatten().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, producers as u64 * per, "items lost or duplicated");
+    }
+}

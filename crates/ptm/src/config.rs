@@ -1,0 +1,154 @@
+//! PTM configuration: algorithm selection and the paper's tuning knobs.
+
+/// Which PTM algorithm to run (the two best performers from the authors'
+/// PACT'19 suite, as used throughout the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// "orec-lazy": commit-time locking with redo logging. Reads consult
+    /// the redo log; writes are buffered and applied at commit. O(1)
+    /// fences per transaction.
+    RedoLazy,
+    /// "orec-eager": encounter-time locking with undo logging. Writes go
+    /// in place after persisting the old value. O(W) fences.
+    UndoEager,
+}
+
+impl Algo {
+    /// Suffix used in the paper's curve labels ("R" / "U").
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::RedoLazy => "R",
+            Algo::UndoEager => "U",
+        }
+    }
+}
+
+/// When redo-log lines are flushed (§III-B: the paper found no noticeable
+/// difference; `bench --bin ablation_flush_timing` reproduces that).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushTiming {
+    /// `clwb` each log line as it is written.
+    Incremental,
+    /// `clwb` all log lines in a tight loop just before the commit marker.
+    Batched,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct PtmConfig {
+    pub algo: Algo,
+    pub flush_timing: FlushTiming,
+    /// Table III's deliberately *incorrect* variant: issue `clwb`s but no
+    /// `sfence`s. Measurement-only — recovery guarantees are void.
+    pub elide_fences: bool,
+    /// The paper's split-log optimization (§III-A): keep the log's hash
+    /// index in DRAM. When `false`, index probes are charged Optane
+    /// latency (ablation).
+    pub split_log_index: bool,
+    /// TL2-style timestamp extension on validation failure.
+    pub ts_extension: bool,
+    /// Number of orecs (rounded to a power of two).
+    pub orec_count: usize,
+    /// Log capacity in entries (4 words each).
+    pub log_capacity: usize,
+    /// PDRAM-Lite primary log budget, in entries. Entries beyond it spill
+    /// to an Optane overflow region (§IV-B: a handful of pages per thread
+    /// with fall-back to Optane "should suffice").
+    pub lite_log_entries: usize,
+    /// Where the persistent heap lives (Optane vs the paper's DRAM
+    /// ramdisk baseline). Stored here so the harness can construct
+    /// matching log pools.
+    pub heap_media: pmem_sim::MediaKind,
+    /// Modeled cost of one orec/global-clock access (DRAM metadata, hot).
+    pub orec_ns: u64,
+    /// Modeled cost of one log-index probe when `split_log_index`.
+    pub index_ns: u64,
+    /// Spin iterations on a locked orec before aborting.
+    pub lock_spin: u32,
+    /// Abort ceiling before declaring livelock (panics). Generous.
+    pub max_retries: u32,
+    /// Hardware-TM attempts before falling back to the software path
+    /// (0 disables the hybrid entirely). The paper's §V future work:
+    /// TSX-style transactions skip all orec instrumentation and logging,
+    /// but are incompatible with ADR (`clwb` aborts a hardware
+    /// transaction), so under flush-requiring domains the hybrid always
+    /// takes the software path.
+    pub htm_retries: u32,
+    /// Modeled cost of `xbegin`.
+    pub htm_begin_ns: u64,
+    /// Modeled cost of `xend` (commit).
+    pub htm_commit_ns: u64,
+    /// Hardware write-set capacity in words; exceeding it is a capacity
+    /// abort (TSX is L1-bound).
+    pub htm_capacity: usize,
+}
+
+impl Default for PtmConfig {
+    fn default() -> Self {
+        PtmConfig {
+            algo: Algo::RedoLazy,
+            flush_timing: FlushTiming::Batched,
+            elide_fences: false,
+            split_log_index: true,
+            ts_extension: true,
+            orec_count: 1 << 18,
+            log_capacity: 1 << 13,
+            lite_log_entries: 128,
+            heap_media: pmem_sim::MediaKind::Optane,
+            orec_ns: 4,
+            index_ns: 4,
+            lock_spin: 16,
+            max_retries: 1_000_000,
+            htm_retries: 0,
+            htm_begin_ns: 40,
+            htm_commit_ns: 40,
+            htm_capacity: 256,
+        }
+    }
+}
+
+impl PtmConfig {
+    /// Hybrid HTM-first configuration (falls back to the given algorithm).
+    pub fn hybrid(algo: Algo) -> Self {
+        PtmConfig {
+            algo,
+            htm_retries: 4,
+            ..Self::default()
+        }
+    }
+
+    pub fn redo() -> Self {
+        PtmConfig {
+            algo: Algo::RedoLazy,
+            ..Self::default()
+        }
+    }
+
+    pub fn undo() -> Self {
+        PtmConfig {
+            algo: Algo::UndoEager,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = PtmConfig::default();
+        assert!(c.split_log_index, "paper's tuned algorithms split the log");
+        assert!(c.ts_extension, "every optimization enabled");
+        assert!(!c.elide_fences, "fence elision is an incorrect variant");
+    }
+
+    #[test]
+    fn constructors_pick_algorithms() {
+        assert_eq!(PtmConfig::redo().algo, Algo::RedoLazy);
+        assert_eq!(PtmConfig::undo().algo, Algo::UndoEager);
+        assert_eq!(Algo::RedoLazy.label(), "R");
+        assert_eq!(Algo::UndoEager.label(), "U");
+    }
+}

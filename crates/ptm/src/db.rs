@@ -1,0 +1,218 @@
+//! A convenience façade bundling the machine + heap + PTM lifecycle.
+//!
+//! Most programs want exactly one persistent heap and one PTM instance,
+//! and a two-call story for crashes: [`PtmDb::crash`] to capture the
+//! failure image, [`PtmDb::reopen`] to get back a fully recovered
+//! database (PTM log replay/rollback + allocator GC + root table).
+//!
+//! ```
+//! use pmem_sim::{DurabilityDomain, MachineConfig};
+//! use ptm::db::PtmDb;
+//! use ptm::PtmConfig;
+//!
+//! let db = PtmDb::create(
+//!     MachineConfig::functional(DurabilityDomain::Adr),
+//!     PtmConfig::redo(),
+//!     1 << 16,
+//!     8,
+//! );
+//! let mut th = db.thread(0);
+//! let heap = db.heap().clone();
+//! let cell = heap.alloc(th.session_mut(), 1);
+//! th.run(|tx| tx.write(cell, 7));
+//! heap.set_root(th.session_mut(), 0, cell);
+//! drop(th);
+//!
+//! let image = db.crash(1);
+//! let (db2, reports) = PtmDb::reopen(&image, MachineConfig::functional(DurabilityDomain::Adr), PtmConfig::redo());
+//! assert_eq!(reports.gc.blocks_scanned, 1);
+//! let cell2 = db2.heap().root_raw(0);
+//! assert_eq!(db2.heap().pool().raw_load(cell2.word()), 7);
+//! ```
+
+use std::sync::Arc;
+
+use palloc::{GcReport, PHeap};
+use pmem_sim::{CrashImage, Machine, MachineConfig};
+
+use crate::config::PtmConfig;
+use crate::recovery::{recover, RecoveryReport};
+use crate::txn::{Ptm, TxThread};
+
+/// Pool name the façade uses for its heap (how `reopen` finds it again).
+pub const DB_HEAP_NAME: &str = "ptmdb-heap";
+
+/// Everything recovery did during [`PtmDb::reopen`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReopenReports {
+    pub recovery: RecoveryReport,
+    pub gc: GcReport,
+}
+
+/// A persistent database: one machine, one heap, one PTM.
+pub struct PtmDb {
+    machine: Arc<Machine>,
+    heap: Arc<PHeap>,
+    ptm: Arc<Ptm>,
+}
+
+impl PtmDb {
+    /// Create a fresh database.
+    pub fn create(
+        machine_cfg: MachineConfig,
+        ptm_cfg: PtmConfig,
+        heap_words: usize,
+        roots: usize,
+    ) -> PtmDb {
+        let machine = Machine::new(machine_cfg);
+        let heap =
+            PHeap::format_with_media(&machine, DB_HEAP_NAME, heap_words, roots, ptm_cfg.heap_media);
+        let ptm = Ptm::new(ptm_cfg);
+        PtmDb { machine, heap, ptm }
+    }
+
+    /// Reboot from a crash image: runs PTM recovery (replaying committed
+    /// redo logs, rolling back in-flight undo logs), re-attaches the heap
+    /// (allocator GC), and returns a ready-to-use database.
+    ///
+    /// # Panics
+    /// Panics if the image contains no [`DB_HEAP_NAME`] pool or the heap
+    /// fails validation.
+    pub fn reopen(
+        image: &CrashImage,
+        machine_cfg: MachineConfig,
+        ptm_cfg: PtmConfig,
+    ) -> (PtmDb, ReopenReports) {
+        let machine = Machine::reboot(image, machine_cfg);
+        let recovery = recover(&machine);
+        let pool = machine
+            .pools()
+            .into_iter()
+            .find(|p| p.name() == DB_HEAP_NAME)
+            .expect("crash image contains no PtmDb heap");
+        let (heap, gc) = PHeap::attach(pool).expect("heap attach");
+        let ptm = Ptm::new(ptm_cfg);
+        (
+            PtmDb { machine, heap, ptm },
+            ReopenReports { recovery, gc },
+        )
+    }
+
+    /// Begin a timed run with `threads` virtual threads (see
+    /// [`Machine::begin_run`]).
+    pub fn begin_run(&self, threads: usize, window_ns: u64) {
+        self.machine.begin_run(threads, window_ns);
+    }
+
+    /// A transaction executor for virtual thread `tid`.
+    pub fn thread(&self, tid: usize) -> TxThread {
+        TxThread::new(
+            Arc::clone(&self.ptm),
+            Arc::clone(&self.heap),
+            self.machine.session(tid),
+        )
+    }
+
+    /// Simulate a power failure (callers running concurrent threads
+    /// should [`Machine::freeze`] first).
+    pub fn crash(&self, seed: u64) -> CrashImage {
+        self.machine.crash(seed)
+    }
+
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    pub fn heap(&self) -> &Arc<PHeap> {
+        &self.heap
+    }
+
+    pub fn ptm(&self) -> &Arc<Ptm> {
+        &self.ptm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::DurabilityDomain;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::functional(DurabilityDomain::Adr)
+    }
+
+    #[test]
+    fn create_write_crash_reopen_roundtrip() {
+        let db = PtmDb::create(cfg(), PtmConfig::redo(), 1 << 14, 4);
+        let mut th = db.thread(0);
+        let heap = Arc::clone(db.heap());
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| {
+            tx.write(a, 11)?;
+            tx.write_at(a, 1, 22)
+        });
+        heap.set_root(th.session_mut(), 0, a);
+        drop(th);
+        let image = db.crash(9);
+        let (db2, reports) = PtmDb::reopen(&image, cfg(), PtmConfig::redo());
+        assert_eq!(reports.recovery.logs_scanned, 1);
+        let a2 = db2.heap().root_raw(0);
+        assert_eq!(a2, a);
+        let mut th2 = db2.thread(0);
+        assert_eq!(th2.run(|tx| tx.read(a2)), 11);
+        assert_eq!(th2.run(|tx| tx.read_at(a2, 1)), 22);
+    }
+
+    #[test]
+    fn reopen_reports_gc_findings() {
+        let db = PtmDb::create(cfg(), PtmConfig::undo(), 1 << 14, 4);
+        let mut th = db.thread(0);
+        let heap = Arc::clone(db.heap());
+        let kept = heap.alloc(th.session_mut(), 8);
+        th.run(|tx| tx.write(kept, 1));
+        heap.set_root(th.session_mut(), 0, kept);
+        let _leak = heap.alloc(th.session_mut(), 8);
+        drop(th);
+        let image = db.crash(3);
+        let (_db2, reports) = PtmDb::reopen(&image, cfg(), PtmConfig::undo());
+        assert_eq!(reports.gc.live_blocks, 1);
+        assert_eq!(reports.gc.leaked_blocks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no PtmDb heap")]
+    fn reopen_rejects_foreign_images() {
+        let m = Machine::new(cfg());
+        m.alloc_pool("something-else", 64, pmem_sim::MediaKind::Optane);
+        let image = m.crash(0);
+        let _ = PtmDb::reopen(&image, cfg(), PtmConfig::redo());
+    }
+
+    #[test]
+    fn multi_thread_runs_work() {
+        let db = PtmDb::create(cfg(), PtmConfig::redo(), 1 << 14, 4);
+        let mut th = db.thread(0);
+        let heap = Arc::clone(db.heap());
+        let ctr = heap.alloc(th.session_mut(), 1);
+        th.run(|tx| tx.write(ctr, 0));
+        drop(th);
+        db.begin_run(3, u64::MAX);
+        std::thread::scope(|s| {
+            for tid in 0..3 {
+                let db = &db;
+                s.spawn(move || {
+                    let mut th = db.thread(tid);
+                    for _ in 0..100 {
+                        th.run(|tx| {
+                            let v = tx.read(ctr)?;
+                            tx.write(ctr, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        db.begin_run(1, u64::MAX);
+        let mut th = db.thread(0);
+        assert_eq!(th.run(|tx| tx.read(ctr)), 300);
+    }
+}

@@ -1,0 +1,353 @@
+//! Post-crash recovery.
+//!
+//! Runs once, single-threaded, after [`pmem_sim::Machine::reboot`] and
+//! before any new transactions. It discovers every thread's persistent
+//! log by pool name and:
+//!
+//! * **redo, COMMITTED**: the transaction logically happened — replay all
+//!   `count` entries into program data and persist them, then retire the
+//!   log. Replay is idempotent, so a crash *during recovery* is handled
+//!   by simply recovering again.
+//! * **redo, not committed**: the transaction never happened; retire the
+//!   log.
+//! * **undo, live entries**: the crash interrupted an in-flight
+//!   transaction after some in-place writes — roll the entries back in
+//!   reverse order, persist the restored values, truncate.
+//!
+//! Recovery is untimed (it happens outside measured execution) and uses
+//! raw pool operations plus `persist_line_now`.
+
+use std::sync::Arc;
+
+use pmem_sim::{Machine, PAddr, WORDS_PER_LINE};
+
+use crate::log::{
+    seal, TxLog, ALGO_REDO, ALGO_UNDO, ENTRY0, ENTRY_WORDS, LOG_POOL_PREFIX, OVF_POOL_PREFIX,
+    STATE_COMMITTED, STATE_IDLE, W_ALGO, W_COUNT, W_OVF, W_PRIMARY_CAP, W_SEQ, W_STATE,
+};
+
+/// What recovery found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Per-thread logs examined.
+    pub logs_scanned: usize,
+    /// Committed redo logs replayed forward.
+    pub redo_replayed: usize,
+    /// Redo entries written back during replay.
+    pub redo_entries: usize,
+    /// In-flight undo logs rolled back.
+    pub undo_rolled_back: usize,
+    /// Undo entries restored.
+    pub undo_entries: usize,
+    /// Undo entries rejected by the torn-write checksum.
+    pub torn_entries: usize,
+}
+
+fn store_persist(machine: &Machine, addr: PAddr, value: u64) {
+    let pool = machine.pool(addr.pool());
+    pool.raw_store(addr.word(), value);
+    pool.persist_line_now(addr.word() / WORDS_PER_LINE as u64);
+}
+
+/// Recover every PTM log on `machine`. Idempotent.
+pub fn recover(machine: &Arc<Machine>) -> RecoveryReport {
+    let mut report = RecoveryReport::default();
+    for primary in machine.pools() {
+        if !primary.name().starts_with(LOG_POOL_PREFIX)
+            || primary.name().starts_with(OVF_POOL_PREFIX)
+        {
+            continue;
+        }
+        report.logs_scanned += 1;
+        let algo = primary.raw_load(W_ALGO);
+        let primary_cap = primary.raw_load(W_PRIMARY_CAP) as usize;
+        let ovf_id = primary.raw_load(W_OVF) as u32;
+        let overflow = (ovf_id != 0).then(|| machine.pool(pmem_sim::PoolId(ovf_id)));
+        match algo {
+            ALGO_REDO => {
+                let state = primary.raw_load(W_STATE);
+                if state == STATE_COMMITTED {
+                    let count = primary.raw_load(W_COUNT) as usize;
+                    for i in 0..count {
+                        let (a, v, _) =
+                            TxLog::raw_entry(&primary, overflow.as_deref(), primary_cap, i);
+                        store_persist(machine, PAddr(a), v);
+                        report.redo_entries += 1;
+                    }
+                    report.redo_replayed += 1;
+                }
+                primary.raw_store(W_STATE, STATE_IDLE);
+                primary.persist_line_now(0);
+            }
+            ALGO_UNDO => {
+                // Collect the valid prefix of entries, sealed under the
+                // descriptor's persisted sequence number.
+                let seq = primary.raw_load(W_SEQ);
+                let mut valid = Vec::new();
+                let capacity = primary_cap
+                    + overflow
+                        .as_ref()
+                        .map_or(0, |p| p.len_words() / ENTRY_WORDS as usize);
+                for i in 0..capacity {
+                    let (a, old, chk) =
+                        TxLog::raw_entry(&primary, overflow.as_deref(), primary_cap, i);
+                    if a == 0 {
+                        break;
+                    }
+                    if chk != seal(a, old, seq) {
+                        // Torn tail entry: its in-place store never
+                        // happened (the fence orders entry before data),
+                        // so stopping here is safe.
+                        report.torn_entries += 1;
+                        break;
+                    }
+                    valid.push((a, old));
+                }
+                if !valid.is_empty() {
+                    for &(a, old) in valid.iter().rev() {
+                        store_persist(machine, PAddr(a), old);
+                        report.undo_entries += 1;
+                    }
+                    report.undo_rolled_back += 1;
+                }
+                // Truncate.
+                primary.raw_store(ENTRY0, 0);
+                primary.persist_line_now(ENTRY0 / WORDS_PER_LINE as u64);
+                primary.raw_store(W_STATE, STATE_IDLE);
+                primary.persist_line_now(0);
+            }
+            _ => {
+                // Unformatted or foreign pool that happens to share the
+                // prefix: leave it alone.
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PtmConfig;
+    use crate::log::{STATE_COMMITTED, W_COUNT, W_STATE};
+    use crate::txn::{Ptm, TxThread};
+    use palloc::PHeap;
+    use pmem_sim::{DurabilityDomain, MachineConfig, MediaKind};
+
+    #[test]
+    fn clean_logs_recover_to_nothing() {
+        let m = pmem_sim::Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        let heap = PHeap::format(&m, "heap", 1 << 14, 4);
+        let ptm = Ptm::new(PtmConfig::redo());
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| tx.write(a, 5));
+        let img = m.crash(0);
+        let m2 = pmem_sim::Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+        let r = recover(&m2);
+        assert_eq!(r.logs_scanned, 1);
+        assert_eq!(r.redo_replayed, 0);
+        assert_eq!(r.undo_rolled_back, 0);
+        assert_eq!(m2.pool(a.pool()).raw_load(a.word()), 5);
+    }
+
+    #[test]
+    fn committed_marker_without_writeback_replays() {
+        // Hand-craft the dangerous window: log persisted, marker durable,
+        // but data writeback lost.
+        let m = pmem_sim::Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        let heap = PHeap::format(&m, "heap", 1 << 14, 4);
+        let cfg = PtmConfig::redo();
+        let log = crate::log::TxLog::create(&m, 0, &cfg);
+        let target = {
+            let mut s = m.session(0);
+            let t = heap.alloc(&mut s, 4);
+            s.store(t, 1);
+            s.clwb(t);
+            s.sfence();
+            t
+        };
+        // Entry 0: write target := 42, fully persisted; marker durable.
+        let e = log.entry_addr(0);
+        log.primary.raw_store(e.word(), target.0);
+        log.primary.raw_store(e.word() + 1, 42);
+        log.primary.persist_line_now(e.line());
+        log.primary.raw_store(W_COUNT, 1);
+        log.primary.raw_store(W_STATE, STATE_COMMITTED);
+        log.primary.persist_line_now(0);
+        // Crash: the in-place data store never happened.
+        let img = m.crash(1);
+        let m2 = pmem_sim::Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+        let r = recover(&m2);
+        assert_eq!(r.redo_replayed, 1);
+        assert_eq!(r.redo_entries, 1);
+        assert_eq!(m2.pool(target.pool()).raw_load(target.word()), 42);
+        // Idempotence: recovering again changes nothing.
+        let r2 = recover(&m2);
+        assert_eq!(r2.redo_replayed, 0);
+        assert_eq!(m2.pool(target.pool()).raw_load(target.word()), 42);
+    }
+
+    #[test]
+    fn inflight_undo_rolls_back() {
+        // Hand-craft an in-flight undo transaction: entry persisted, data
+        // overwritten in place, no truncation.
+        let m = pmem_sim::Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        let heap = PHeap::format(&m, "heap", 1 << 14, 4);
+        let cfg = PtmConfig::undo();
+        let log = crate::log::TxLog::create(&m, 0, &cfg);
+        let target = {
+            let mut s = m.session(0);
+            let t = heap.alloc(&mut s, 4);
+            s.store(t, 7);
+            s.clwb(t);
+            s.sfence();
+            t
+        };
+        let e = log.entry_addr(0);
+        log.primary.raw_store(e.word(), target.0);
+        log.primary.raw_store(e.word() + 1, 7); // old value
+        log.primary.raw_store(e.word() + 2, seal(target.0, 7, 0));
+        log.primary.persist_line_now(e.line());
+        // Speculative in-place store, durable (worst case).
+        heap.pool().raw_store(target.word(), 999);
+        heap.pool().persist_line_now(target.line());
+        let img = m.crash(2);
+        let m2 = pmem_sim::Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+        let r = recover(&m2);
+        assert_eq!(r.undo_rolled_back, 1);
+        assert_eq!(r.undo_entries, 1);
+        assert_eq!(m2.pool(target.pool()).raw_load(target.word()), 7);
+    }
+
+    #[test]
+    fn torn_undo_entry_is_rejected() {
+        let m = pmem_sim::Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        let _heap = PHeap::format(&m, "heap", 1 << 14, 4);
+        let cfg = PtmConfig::undo();
+        let log = crate::log::TxLog::create(&m, 0, &cfg);
+        let e = log.entry_addr(0);
+        // addr and checksum present, value word lost (zero), true old != 0.
+        let fake_addr = PAddr::new(log.primary.id(), 9_999).0;
+        log.primary.raw_store(e.word(), fake_addr);
+        log.primary.raw_store(e.word() + 1, 0);
+        log.primary.raw_store(e.word() + 2, seal(fake_addr, 31337, 0));
+        log.primary.persist_line_now(e.line());
+        let img = m.crash(3);
+        let m2 = pmem_sim::Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+        let r = recover(&m2);
+        assert_eq!(r.torn_entries, 1);
+        assert_eq!(r.undo_rolled_back, 0, "torn entry must not be replayed");
+    }
+
+    #[test]
+    fn foreign_prefixed_pool_is_ignored() {
+        let m = pmem_sim::Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        m.alloc_pool("ptm-log-weird", 64, MediaKind::Optane); // ALGO word = 0
+        let r = recover(&m);
+        assert_eq!(r.logs_scanned, 1);
+        assert_eq!(r.redo_replayed + r.undo_rolled_back, 0);
+    }
+}
+
+#[cfg(test)]
+mod overflow_recovery_tests {
+    use super::*;
+    use crate::config::{Algo, PtmConfig};
+    use crate::txn::{Ptm, TxThread};
+    use palloc::PHeap;
+    use pmem_sim::{DurabilityDomain, Machine, MachineConfig};
+
+    /// A PDRAM-Lite redo log that spills past its primary budget into the
+    /// Optane overflow pool must still replay correctly after a crash.
+    #[test]
+    fn committed_log_spanning_overflow_replays() {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::PdramLite));
+        let heap = PHeap::format(&m, "heap", 1 << 16, 4);
+        let cfg = PtmConfig {
+            algo: Algo::RedoLazy,
+            lite_log_entries: 8, // tiny budget: most entries spill
+            ..PtmConfig::default()
+        };
+        let ptm = Ptm::new(cfg.clone());
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let h = std::sync::Arc::clone(&heap);
+        let block = h.alloc(th.session_mut(), 64);
+        // A transaction with 32 writes: 8 entries in the lite pool, 24 in
+        // the overflow pool.
+        th.run(|tx| {
+            for i in 0..32u64 {
+                tx.write_at(block, i, 1000 + i)?;
+            }
+            Ok(())
+        });
+        // Hand-roll the dangerous redo window: re-mark the (already
+        // retired) log as COMMITTED and wipe the in-place data, then make
+        // sure recovery replays all 32 entries from both pools.
+        let log_pool = m
+            .pools()
+            .into_iter()
+            .find(|p| p.name() == "ptm-log-0")
+            .unwrap();
+        log_pool.raw_store(crate::log::W_COUNT, 32);
+        log_pool.raw_store(crate::log::W_STATE, crate::log::STATE_COMMITTED);
+        log_pool.persist_line_now(0);
+        for i in 0..32u64 {
+            heap.pool().raw_store(block.word() + i, 0);
+            heap.pool().persist_line_now((block.word() + i) / 8);
+        }
+        let img = m.crash(5);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::PdramLite));
+        let r = recover(&m2);
+        assert_eq!(r.redo_replayed, 1);
+        assert_eq!(r.redo_entries, 32);
+        let heap_pool = m2.pool(heap.pool().id());
+        for i in 0..32u64 {
+            assert_eq!(heap_pool.raw_load(block.word() + i), 1000 + i, "entry {i}");
+        }
+    }
+
+    /// Undo entries spilling into the overflow pool roll back correctly.
+    #[test]
+    fn inflight_undo_spanning_overflow_rolls_back() {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::PdramLite));
+        let heap = PHeap::format(&m, "heap", 1 << 16, 4);
+        let cfg = PtmConfig {
+            algo: Algo::UndoEager,
+            lite_log_entries: 4,
+            ..PtmConfig::default()
+        };
+        let log = crate::log::TxLog::create(&m, 0, &cfg);
+        assert!(log.overflow.is_some());
+        let mut s = m.session(0);
+        let h = std::sync::Arc::clone(&heap);
+        let block = h.alloc(&mut s, 16);
+        for i in 0..16u64 {
+            s.store(block.offset(i), 7);
+        }
+        // Craft an in-flight tx: 12 undo entries (4 primary + 8 overflow),
+        // sealed under seq 3, with speculative in-place damage.
+        log.primary.raw_store(crate::log::W_SEQ, 3);
+        log.primary.persist_line_now(0);
+        for i in 0..12usize {
+            let e = log.entry_addr(i);
+            let pool = m.pool(e.pool());
+            let a = block.offset(i as u64);
+            pool.raw_store(e.word(), a.0);
+            pool.raw_store(e.word() + 1, 7);
+            pool.raw_store(e.word() + 2, crate::log::seal(a.0, 7, 3));
+            pool.persist_line_now(e.line());
+            heap.pool().raw_store(a.word(), 999);
+            heap.pool().persist_line_now(a.line());
+        }
+        let img = m.crash(6);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::PdramLite));
+        let r = recover(&m2);
+        assert_eq!(r.undo_rolled_back, 1);
+        assert_eq!(r.undo_entries, 12);
+        let heap_pool = m2.pool(heap.pool().id());
+        for i in 0..12u64 {
+            assert_eq!(heap_pool.raw_load(block.word() + i), 7, "entry {i}");
+        }
+    }
+}

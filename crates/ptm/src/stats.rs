@@ -1,0 +1,147 @@
+//! Commit/abort accounting (Tables I and II report commit-to-abort ratios).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared transaction outcome counters.
+#[derive(Debug, Default)]
+pub struct PtmStats {
+    pub commits: AtomicU64,
+    pub aborts: AtomicU64,
+    /// Aborts broken out by cause, for diagnosis and ablations.
+    pub aborts_read_locked: AtomicU64,
+    pub aborts_read_version: AtomicU64,
+    pub aborts_acquire: AtomicU64,
+    pub aborts_validation: AtomicU64,
+    /// Successful timestamp extensions (reads salvaged).
+    pub extensions: AtomicU64,
+    /// Transactions committed on the hardware path.
+    pub htm_commits: AtomicU64,
+    /// Hardware-path aborts (conflict/validation).
+    pub htm_aborts: AtomicU64,
+    /// Transactions that exhausted hardware retries and took the
+    /// software path.
+    pub htm_fallbacks: AtomicU64,
+    /// Largest write set observed, in log entries (the paper's §IV-B
+    /// sizing argument for PDRAM-Lite: Vacation <= 37 log cache lines,
+    /// TPCC <= 36).
+    pub max_write_entries: AtomicU64,
+}
+
+/// Plain-value snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PtmStatsSnapshot {
+    pub commits: u64,
+    pub aborts: u64,
+    pub aborts_read_locked: u64,
+    pub aborts_read_version: u64,
+    pub aborts_acquire: u64,
+    pub aborts_validation: u64,
+    pub extensions: u64,
+    pub htm_commits: u64,
+    pub htm_aborts: u64,
+    pub htm_fallbacks: u64,
+    pub max_write_entries: u64,
+}
+
+impl PtmStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a committed transaction's write-set size.
+    #[inline]
+    pub fn note_write_set(&self, entries: u64) {
+        self.max_write_entries.fetch_max(entries, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> PtmStatsSnapshot {
+        PtmStatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            aborts_read_locked: self.aborts_read_locked.load(Ordering::Relaxed),
+            aborts_read_version: self.aborts_read_version.load(Ordering::Relaxed),
+            aborts_acquire: self.aborts_acquire.load(Ordering::Relaxed),
+            aborts_validation: self.aborts_validation.load(Ordering::Relaxed),
+            extensions: self.extensions.load(Ordering::Relaxed),
+            htm_commits: self.htm_commits.load(Ordering::Relaxed),
+            htm_aborts: self.htm_aborts.load(Ordering::Relaxed),
+            htm_fallbacks: self.htm_fallbacks.load(Ordering::Relaxed),
+            max_write_entries: self.max_write_entries.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        for c in [
+            &self.commits,
+            &self.aborts,
+            &self.aborts_read_locked,
+            &self.aborts_read_version,
+            &self.aborts_acquire,
+            &self.aborts_validation,
+            &self.extensions,
+            &self.htm_commits,
+            &self.htm_aborts,
+            &self.htm_fallbacks,
+            &self.max_write_entries,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl PtmStatsSnapshot {
+    /// The paper's Tables I/II metric: committed transactions per abort.
+    /// Returns `f64::INFINITY` when no aborts occurred.
+    pub fn commit_abort_ratio(&self) -> f64 {
+        if self.aborts == 0 {
+            f64::INFINITY
+        } else {
+            self.commits as f64 / self.aborts as f64
+        }
+    }
+
+    pub fn delta_since(&self, earlier: &PtmStatsSnapshot) -> PtmStatsSnapshot {
+        PtmStatsSnapshot {
+            commits: self.commits - earlier.commits,
+            aborts: self.aborts - earlier.aborts,
+            aborts_read_locked: self.aborts_read_locked - earlier.aborts_read_locked,
+            aborts_read_version: self.aborts_read_version - earlier.aborts_read_version,
+            aborts_acquire: self.aborts_acquire - earlier.aborts_acquire,
+            aborts_validation: self.aborts_validation - earlier.aborts_validation,
+            extensions: self.extensions - earlier.extensions,
+            htm_commits: self.htm_commits - earlier.htm_commits,
+            htm_aborts: self.htm_aborts - earlier.htm_aborts,
+            htm_fallbacks: self.htm_fallbacks - earlier.htm_fallbacks,
+            max_write_entries: self.max_write_entries.max(earlier.max_write_entries),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_aborts() {
+        let s = PtmStats::new();
+        PtmStats::bump(&s.commits);
+        assert_eq!(s.snapshot().commit_abort_ratio(), f64::INFINITY);
+        PtmStats::bump(&s.aborts);
+        PtmStats::bump(&s.commits);
+        assert_eq!(s.snapshot().commit_abort_ratio(), 2.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = PtmStats::new();
+        PtmStats::bump(&s.commits);
+        PtmStats::bump(&s.extensions);
+        s.reset();
+        assert_eq!(s.snapshot(), PtmStatsSnapshot::default());
+    }
+}

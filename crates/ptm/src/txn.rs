@@ -1,0 +1,1446 @@
+//! The transaction engine: orec-lazy (redo) and orec-eager (undo).
+//!
+//! Both algorithms follow TL2-style timestamp validation against the
+//! global clock, with every optimization the paper enables:
+//!
+//! * **timestamp extension** — a read that observes a too-new version
+//!   revalidates the read set and moves the start time forward instead of
+//!   aborting;
+//! * **read-only fast path** — transactions with no writes commit without
+//!   touching the clock or any orec;
+//! * **split log** — the log's hash index is a DRAM structure
+//!   ([`crate::umap::U64Map`]); only the entry payloads occupy persistent
+//!   memory;
+//! * **commit-time validation elision** — if the commit timestamp is
+//!   exactly `start_time + 2`, no other writer committed in between and
+//!   the read set is valid by construction.
+//!
+//! The persistence choreography is the part the paper measures:
+//!
+//! * **orec-lazy** flushes its redo-log lines and issues **O(1)** fences:
+//!   one after the log, one with the COMMITTED marker, one after
+//!   writeback, one with the IDLE marker;
+//! * **orec-eager** issues **O(W)** fences: every first write to a
+//!   location persists an undo entry (`clwb` + `sfence`) *before* the
+//!   in-place store.
+//!
+//! Under eADR-class durability domains the `clwb`/`sfence` calls are
+//! free ([`pmem_sim::MemSession`] elides them), which is precisely the
+//! paper's ADR→eADR transformation. `PtmConfig::elide_fences` instead
+//! skips only the fences while keeping flushes — the deliberately
+//! incorrect variant behind Table III.
+
+use std::sync::Arc;
+
+use palloc::PHeap;
+use pmem_sim::{MemSession, PAddr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{Algo, FlushTiming, PtmConfig};
+use crate::log::{TxLog, STATE_COMMITTED, STATE_IDLE};
+use crate::orec::{is_locked, owner_of, GlobalClock, OrecTable};
+use crate::stats::{PtmStats, PtmStatsSnapshot};
+use crate::umap::U64Map;
+
+/// A shared PTM instance: one per machine/heap.
+pub struct Ptm {
+    pub config: PtmConfig,
+    pub orecs: OrecTable,
+    pub clock: GlobalClock,
+    pub stats: PtmStats,
+}
+
+impl Ptm {
+    pub fn new(config: PtmConfig) -> Arc<Ptm> {
+        let orecs = OrecTable::new(config.orec_count);
+        Arc::new(Ptm {
+            config,
+            orecs,
+            clock: GlobalClock::new(),
+            stats: PtmStats::new(),
+        })
+    }
+
+    /// Snapshot of commit/abort counters.
+    pub fn stats_snapshot(&self) -> PtmStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+/// Marker type: the transaction must abort and retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort;
+
+/// Result of instrumented transactional operations.
+pub type TxResult<T> = Result<T, Abort>;
+
+/// Per-thread transaction executor.
+///
+/// Owns the thread's [`MemSession`] and persistent log. Obtain one per
+/// virtual thread, then call [`TxThread::run`] with a closure over
+/// [`Tx`]. The closure **must propagate** `Err(Abort)` from `read`/`write`
+/// (use `?`) — swallowing it would let inconsistent reads escape.
+pub struct TxThread {
+    ptm: Arc<Ptm>,
+    heap: Arc<PHeap>,
+    s: MemSession,
+    tid: u64,
+    log: TxLog,
+
+    start_time: u64,
+    read_set: Vec<(u32, u64)>,
+    /// Redo: (addr bits, new value). Undo: (addr bits, old value).
+    entries: Vec<(u64, u64)>,
+    redo_index: U64Map,
+    /// Held orecs with their pre-lock versions.
+    owned: Vec<(u32, u64)>,
+    owned_map: U64Map,
+    undo_logged: U64Map,
+    eager_writes: Vec<u64>,
+    /// Blocks allocated and zero-initialized this transaction via the
+    /// alloc-new optimization: their stores bypass the log (they are
+    /// unreachable until a logged pointer-write commits) but their lines
+    /// must be flushed before the commit point.
+    fresh_blocks: Vec<(u64, usize)>,
+    tx_allocs: Vec<PAddr>,
+    tx_frees: Vec<PAddr>,
+    /// Cached copy of the persistent undo sequence number (log header
+    /// word `W_SEQ`).
+    undo_seq: u64,
+    /// Executing on the hardware path (no logging, no orec charges).
+    in_htm: bool,
+    rng: SmallRng,
+    attempts: u32,
+}
+
+impl TxThread {
+    /// Create an executor for the session's virtual thread; allocates the
+    /// thread's persistent log pools on the session's machine.
+    pub fn new(ptm: Arc<Ptm>, heap: Arc<PHeap>, s: MemSession) -> TxThread {
+        let tid = s.tid() as u64;
+        let log = TxLog::create(s.machine(), s.tid(), &ptm.config);
+        let cap = ptm.config.log_capacity.min(1 << 12);
+        TxThread {
+            ptm,
+            heap,
+            s,
+            tid,
+            log,
+            start_time: 0,
+            read_set: Vec::with_capacity(256),
+            entries: Vec::with_capacity(cap.min(256)),
+            redo_index: U64Map::new(64),
+            owned: Vec::with_capacity(64),
+            owned_map: U64Map::new(64),
+            undo_logged: U64Map::new(64),
+            eager_writes: Vec::with_capacity(64),
+            fresh_blocks: Vec::new(),
+            tx_allocs: Vec::new(),
+            tx_frees: Vec::new(),
+            undo_seq: 0,
+            in_htm: false,
+            rng: SmallRng::seed_from_u64(0x9E37 ^ tid),
+            attempts: 0,
+        }
+    }
+
+    /// Run `f` as a transaction, retrying on aborts until it commits.
+    ///
+    /// With `htm_retries > 0` and a durability domain that does not
+    /// require flushes (eADR / PDRAM / PDRAM-Lite), the hardware path is
+    /// attempted first: no orec instrumentation, no log, no flushes —
+    /// conflicts and capacity overflows fall back to the software
+    /// algorithm. Under ADR the hardware path is skipped entirely: a
+    /// `clwb` inside a hardware transaction aborts it (the paper's §V
+    /// observation about TSX).
+    pub fn run<T>(&mut self, mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
+        let htm_retries = self.ptm.config.htm_retries;
+        if htm_retries > 0 && !self.s.machine().domain().requires_flushes() {
+            for attempt in 0..htm_retries {
+                self.begin();
+                self.in_htm = true;
+                self.s.advance(self.ptm.config.htm_begin_ns);
+                let outcome = f(&mut Tx { th: self });
+                let committed = match outcome {
+                    Ok(v) => {
+                        if self.commit_htm() {
+                            self.in_htm = false;
+                            PtmStats::bump(&self.ptm.stats.htm_commits);
+                            PtmStats::bump(&self.ptm.stats.commits);
+                            return v;
+                        }
+                        false
+                    }
+                    Err(Abort) => false,
+                };
+                debug_assert!(!committed);
+                self.in_htm = false;
+                PtmStats::bump(&self.ptm.stats.htm_aborts);
+                self.abort_cleanup();
+                self.s.advance(60u64 << attempt.min(6));
+            }
+            PtmStats::bump(&self.ptm.stats.htm_fallbacks);
+        }
+        self.run_software(f)
+    }
+
+    /// The software (STM) retry loop.
+    fn run_software<T>(&mut self, mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
+        self.attempts = 0;
+        loop {
+            self.begin();
+            let outcome = f(&mut Tx { th: self });
+            match outcome {
+                Ok(v) => {
+                    if self.try_commit() {
+                        PtmStats::bump(&self.ptm.stats.commits);
+                        return v;
+                    }
+                }
+                Err(Abort) => self.user_abort(),
+            }
+            PtmStats::bump(&self.ptm.stats.aborts);
+            self.abort_cleanup();
+            self.attempts += 1;
+            assert!(
+                self.attempts < self.ptm.config.max_retries,
+                "transaction livelock: {} consecutive aborts on thread {}",
+                self.attempts,
+                self.tid
+            );
+            self.backoff();
+        }
+    }
+
+    /// The underlying session, for non-transactional phases (setup).
+    pub fn session_mut(&mut self) -> &mut MemSession {
+        &mut self.s
+    }
+
+    /// The heap this executor allocates from.
+    pub fn heap(&self) -> &Arc<PHeap> {
+        &self.heap
+    }
+
+    /// The shared PTM.
+    pub fn ptm(&self) -> &Arc<Ptm> {
+        &self.ptm
+    }
+
+    /// Consume the executor, returning its session.
+    pub fn into_session(self) -> MemSession {
+        self.s
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    #[inline]
+    fn fence(&mut self) {
+        if !self.ptm.config.elide_fences {
+            self.s.sfence();
+        }
+    }
+
+    #[inline]
+    fn index_cost(&mut self) {
+        let cfg = &self.ptm.config;
+        if cfg.split_log_index {
+            self.s.advance(cfg.index_ns);
+        } else {
+            // Unsplit ablation: the index itself lives in Optane; charge a
+            // partial media access per probe (some probes hit cache).
+            let extra = self.s.machine().model().optane_load_ns / 4;
+            self.s.advance(cfg.index_ns + extra);
+        }
+    }
+
+    fn begin(&mut self) {
+        self.read_set.clear();
+        self.entries.clear();
+        self.redo_index.clear();
+        self.owned.clear();
+        self.owned_map.clear();
+        self.undo_logged.clear();
+        self.eager_writes.clear();
+        self.fresh_blocks.clear();
+        self.tx_allocs.clear();
+        self.tx_frees.clear();
+        self.start_time = self.ptm.clock.sample();
+        self.s.advance(self.ptm.config.orec_ns);
+    }
+
+    /// Timestamp extension: revalidate the read set at a newer clock.
+    fn extend(&mut self) -> bool {
+        let cfg_orec_ns = self.ptm.config.orec_ns;
+        let ts = self.ptm.clock.sample();
+        self.s
+            .advance(cfg_orec_ns * (self.read_set.len() as u64 + 1));
+        for i in 0..self.read_set.len() {
+            let (o, ver) = self.read_set[i];
+            let cur = self.ptm.orecs.load(o);
+            if cur == ver {
+                continue;
+            }
+            if is_locked(cur) && owner_of(cur) == self.tid {
+                if let Some(idx) = self.owned_map.get(o as u64) {
+                    if self.owned[idx as usize].1 == ver {
+                        continue;
+                    }
+                }
+            }
+            return false;
+        }
+        self.start_time = ts;
+        PtmStats::bump(&self.ptm.stats.extensions);
+        true
+    }
+
+    pub(crate) fn tx_read(&mut self, addr: PAddr) -> TxResult<u64> {
+        if self.in_htm {
+            return self.htm_read(addr);
+        }
+        let cfg_algo = self.ptm.config.algo;
+        if cfg_algo == Algo::RedoLazy && !self.entries.is_empty() {
+            self.index_cost();
+            if let Some(i) = self.redo_index.get(addr.0) {
+                return Ok(self.entries[i as usize].1);
+            }
+        }
+        let o = self.ptm.orecs.index_of(addr);
+        if cfg_algo == Algo::UndoEager && !self.owned.is_empty() {
+            self.s.advance(self.ptm.config.index_ns);
+            if self.owned_map.get(o as u64).is_some() {
+                // We hold the stripe: in-place values are ours to read.
+                return Ok(self.s.load(addr));
+            }
+        }
+        let spin_limit = self.ptm.config.lock_spin;
+        let orec_ns = self.ptm.config.orec_ns;
+        let mut spins = 0;
+        loop {
+            self.s.advance(orec_ns);
+            let v1 = self.ptm.orecs.load(o);
+            if is_locked(v1) {
+                if spins < spin_limit {
+                    spins += 1;
+                    self.s.advance(8);
+                    continue;
+                }
+                PtmStats::bump(&self.ptm.stats.aborts_read_locked);
+                return Err(Abort);
+            }
+            if v1 > self.start_time {
+                if self.ptm.config.ts_extension && self.extend() {
+                    continue;
+                }
+                PtmStats::bump(&self.ptm.stats.aborts_read_version);
+                return Err(Abort);
+            }
+            let val = self.s.load(addr);
+            self.s.advance(orec_ns);
+            let v2 = self.ptm.orecs.load(o);
+            if v2 != v1 {
+                if spins < spin_limit {
+                    spins += 1;
+                    continue;
+                }
+                PtmStats::bump(&self.ptm.stats.aborts_read_version);
+                return Err(Abort);
+            }
+            self.read_set.push((o, v1));
+            return Ok(val);
+        }
+    }
+
+    pub(crate) fn tx_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        if self.in_htm {
+            return self.htm_write(addr, val);
+        }
+        match self.ptm.config.algo {
+            Algo::RedoLazy => self.redo_write(addr, val),
+            Algo::UndoEager => self.eager_write(addr, val),
+        }
+    }
+
+    fn redo_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        self.index_cost();
+        if let Some(i) = self.redo_index.get(addr.0) {
+            let i = i as usize;
+            self.entries[i].1 = val;
+            let e = self.log.entry_addr(i);
+            self.s.store(e.offset(1), val);
+            return Ok(());
+        }
+        let i = self.entries.len();
+        assert!(i < self.log.capacity, "redo log overflow ({i} entries)");
+        self.entries.push((addr.0, val));
+        self.redo_index.insert(addr.0, i as u64);
+        let e = self.log.entry_addr(i);
+        self.s.store(e, addr.0);
+        self.s.store(e.offset(1), val);
+        // Incremental flush timing (§III-B): stagger `clwb`s during
+        // execution by flushing each log line as it *completes* (the
+        // commit still covers every touched line). The paper found this
+        // makes no difference vs batching — flushing half-filled lines on
+        // every append would instead double the writeback traffic.
+        if self.ptm.config.flush_timing == FlushTiming::Incremental && i > 0 {
+            let prev = self.log.entry_addr(i - 1);
+            if prev.line() != e.line() || prev.pool() != e.pool() {
+                self.s.clwb(prev);
+            }
+        }
+        Ok(())
+    }
+
+    fn eager_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        let o = self.ptm.orecs.index_of(addr);
+        self.index_cost();
+        if self.owned_map.get(o as u64).is_none() {
+            let spin_limit = self.ptm.config.lock_spin;
+            let orec_ns = self.ptm.config.orec_ns;
+            let mut spins = 0;
+            loop {
+                self.s.advance(orec_ns);
+                let v = self.ptm.orecs.load(o);
+                if is_locked(v) {
+                    // (cannot be ours: owned_map said no)
+                    if spins < spin_limit {
+                        spins += 1;
+                        self.s.advance(8);
+                        continue;
+                    }
+                    PtmStats::bump(&self.ptm.stats.aborts_acquire);
+                    return Err(Abort);
+                }
+                if v > self.start_time {
+                    // Acquiring a newer stripe would let owned-stripe reads
+                    // see post-snapshot values; extend or abort.
+                    if self.ptm.config.ts_extension && self.extend() {
+                        continue;
+                    }
+                    PtmStats::bump(&self.ptm.stats.aborts_acquire);
+                    return Err(Abort);
+                }
+                self.s.advance(orec_ns);
+                if self.ptm.orecs.try_lock(o, v, self.tid).is_ok() {
+                    self.owned_map.insert(o as u64, self.owned.len() as u64);
+                    self.owned.push((o, v));
+                    break;
+                }
+                if spins >= spin_limit {
+                    PtmStats::bump(&self.ptm.stats.aborts_acquire);
+                    return Err(Abort);
+                }
+                spins += 1;
+            }
+        }
+        // First write to this address: persist the old value, fenced,
+        // before the in-place store (the undo fence the paper measures).
+        self.index_cost();
+        if self.undo_logged.get(addr.0).is_none() {
+            self.undo_logged.insert(addr.0, 1);
+            let i = self.entries.len();
+            assert!(i < self.log.capacity, "undo log overflow ({i} entries)");
+            if i == 0 {
+                // First entry of this transaction: persist the bumped
+                // sequence number before any entry can become valid, so
+                // recovery rejects stale entries from earlier
+                // transactions that lie past ours.
+                self.undo_seq += 1;
+                let seq_addr = self.log.seq_addr();
+                self.s.store(seq_addr, self.undo_seq);
+                self.s.clwb(seq_addr);
+                self.fence();
+            }
+            let old = self.s.load(addr);
+            self.entries.push((addr.0, old));
+            let e = self.log.entry_addr(i);
+            self.s.store(e, addr.0);
+            self.s.store(e.offset(1), old);
+            self.s.store(e.offset(2), crate::log::seal(addr.0, old, self.undo_seq));
+            self.s.clwb(e);
+            self.fence();
+        }
+        self.s.store(addr, val);
+        self.eager_writes.push(addr.0);
+        Ok(())
+    }
+
+    /// Hardware-path read: the cache coherence protocol does the conflict
+    /// tracking, so no orec time is charged — but a locked or too-new
+    /// stripe means a software writer is (or was) active and the hardware
+    /// transaction must abort.
+    fn htm_read(&mut self, addr: PAddr) -> TxResult<u64> {
+        if !self.entries.is_empty() {
+            if let Some(i) = self.redo_index.get(addr.0) {
+                return Ok(self.entries[i as usize].1);
+            }
+        }
+        let o = self.ptm.orecs.index_of(addr);
+        let v = self.ptm.orecs.load(o);
+        if is_locked(v) || v > self.start_time {
+            return Err(Abort);
+        }
+        Ok(self.s.load(addr))
+    }
+
+    /// Hardware-path write: buffered in the (volatile) write set; exceeds
+    /// of the modeled L1-bound capacity abort the hardware transaction.
+    fn htm_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        if let Some(i) = self.redo_index.get(addr.0) {
+            self.entries[i as usize].1 = val;
+            return Ok(());
+        }
+        if self.entries.len() >= self.ptm.config.htm_capacity {
+            return Err(Abort); // capacity abort
+        }
+        self.entries.push((addr.0, val));
+        self.redo_index.insert(addr.0, self.entries.len() as u64 - 1);
+        Ok(())
+    }
+
+    /// Hardware-path commit: acquire the write-set stripes, then
+    /// atomically validate-and-serialize on the global clock (no other
+    /// transaction may have committed since begin — conservative, like a
+    /// real HTM's read-set tracking at line granularity), then apply.
+    /// No logging and no flushes: under eADR-class domains the stores are
+    /// durable the moment they are cache-visible, which is exactly why
+    /// the paper expects TSX to compose with eADR but not ADR.
+    fn commit_htm(&mut self) -> bool {
+        self.s.advance(self.ptm.config.htm_commit_ns);
+        if self.entries.is_empty() {
+            // Read-only: all reads saw orec versions <= start_time and
+            // unlocked stripes; any later committer would have bumped the
+            // clock, which htm_read's version check bounds. Commit.
+            self.apply_frees();
+            return true;
+        }
+        for i in 0..self.entries.len() {
+            let addr = PAddr(self.entries[i].0);
+            let o = self.ptm.orecs.index_of(addr);
+            if self.owned_map.get(o as u64).is_some() {
+                continue;
+            }
+            let v = self.ptm.orecs.load(o);
+            if is_locked(v) || self.ptm.orecs.try_lock(o, v, self.tid).is_err() {
+                self.release_owned_restore();
+                return false;
+            }
+            self.owned_map.insert(o as u64, self.owned.len() as u64);
+            self.owned.push((o, v));
+        }
+        let wv = match self.ptm.clock.try_advance(self.start_time) {
+            Ok(wv) => wv,
+            Err(_) => {
+                self.release_owned_restore();
+                return false;
+            }
+        };
+        // A real hardware transaction's stores become visible (and, under
+        // eADR, durable) atomically at xend; a simulated power failure
+        // must not split the application of the write set — there is no
+        // log to repair a torn hardware commit.
+        self.s.enter_atomic();
+        for i in 0..self.entries.len() {
+            let (a, v) = self.entries[i];
+            self.s.store(PAddr(a), v);
+        }
+        for i in 0..self.owned.len() {
+            let (o, _) = self.owned[i];
+            self.ptm.orecs.release(o, wv);
+        }
+        self.s.exit_atomic();
+        self.apply_frees();
+        true
+    }
+
+    fn try_commit(&mut self) -> bool {
+        match self.ptm.config.algo {
+            Algo::RedoLazy => self.commit_redo(),
+            Algo::UndoEager => self.commit_undo(),
+        }
+    }
+
+    /// Validate the read set against held/current orecs. Assumes write
+    /// orecs are already acquired.
+    fn validate_reads(&mut self) -> bool {
+        self.s
+            .advance(self.ptm.config.orec_ns * self.read_set.len() as u64);
+        for i in 0..self.read_set.len() {
+            let (o, ver) = self.read_set[i];
+            let cur = self.ptm.orecs.load(o);
+            if cur == ver {
+                continue;
+            }
+            if is_locked(cur) && owner_of(cur) == self.tid {
+                if let Some(idx) = self.owned_map.get(o as u64) {
+                    if self.owned[idx as usize].1 == ver {
+                        continue;
+                    }
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Flush the lines of alloc-new blocks (unlogged initialization) so
+    /// they are durable before the commit point.
+    fn flush_fresh_blocks(&mut self) {
+        for i in 0..self.fresh_blocks.len() {
+            let (addr_bits, words) = self.fresh_blocks[i];
+            let base = PAddr(addr_bits);
+            let mut w = 0u64;
+            while w < words as u64 {
+                self.s.clwb(base.offset(w));
+                w += pmem_sim::WORDS_PER_LINE as u64;
+            }
+        }
+    }
+
+    fn commit_redo(&mut self) -> bool {
+        if self.entries.is_empty() {
+            // Read-only: per-read validation against start_time already
+            // guarantees a consistent snapshot.
+            self.apply_frees();
+            return true;
+        }
+        // Acquire all write-set orecs (commit-time locking).
+        let spin_limit = self.ptm.config.lock_spin;
+        let orec_ns = self.ptm.config.orec_ns;
+        for i in 0..self.entries.len() {
+            let addr = PAddr(self.entries[i].0);
+            let o = self.ptm.orecs.index_of(addr);
+            self.s.advance(self.ptm.config.index_ns);
+            if self.owned_map.get(o as u64).is_some() {
+                continue;
+            }
+            let mut spins = 0;
+            let acquired = loop {
+                self.s.advance(orec_ns);
+                let v = self.ptm.orecs.load(o);
+                if is_locked(v) {
+                    if spins < spin_limit {
+                        spins += 1;
+                        self.s.advance(8);
+                        continue;
+                    }
+                    break false;
+                }
+                self.s.advance(orec_ns);
+                if self.ptm.orecs.try_lock(o, v, self.tid).is_ok() {
+                    self.owned_map.insert(o as u64, self.owned.len() as u64);
+                    self.owned.push((o, v));
+                    break true;
+                }
+                if spins >= spin_limit {
+                    break false;
+                }
+                spins += 1;
+            };
+            if !acquired {
+                PtmStats::bump(&self.ptm.stats.aborts_acquire);
+                self.release_owned_restore();
+                return false;
+            }
+        }
+        let wv = self.ptm.clock.bump();
+        self.s.advance(orec_ns);
+        if wv != self.start_time + 2 && !self.validate_reads() {
+            PtmStats::bump(&self.ptm.stats.aborts_validation);
+            self.release_owned_restore();
+            return false;
+        }
+        // Persist alloc-new initialization and the redo log: flush each
+        // line once, one fence for both.
+        self.flush_fresh_blocks();
+        let mut last_line = (pmem_sim::PoolId(u32::MAX), u64::MAX);
+        for i in 0..self.entries.len() {
+            let e = self.log.entry_addr(i);
+            let line = (e.pool(), e.line());
+            if line != last_line {
+                self.s.clwb(e);
+                last_line = line;
+            }
+        }
+        self.fence();
+        // Linearization + durability point: the COMMITTED marker.
+        let state = self.log.state_addr();
+        let count = self.log.count_addr();
+        self.s.store(count, self.entries.len() as u64);
+        self.s.store(state, STATE_COMMITTED);
+        self.s.clwb(state); // state & count share the header line
+        self.fence();
+        // Write back and persist program data.
+        for i in 0..self.entries.len() {
+            let (a, v) = self.entries[i];
+            let addr = PAddr(a);
+            self.s.store(addr, v);
+            self.s.clwb(addr);
+        }
+        self.fence();
+        // Retire the log.
+        self.s.store(state, STATE_IDLE);
+        self.s.clwb(state);
+        self.fence();
+        // Make the writes visible at the commit timestamp.
+        self.s.advance(orec_ns * self.owned.len() as u64);
+        for i in 0..self.owned.len() {
+            let (o, _) = self.owned[i];
+            self.ptm.orecs.release(o, wv);
+        }
+        self.ptm.stats.note_write_set(self.entries.len() as u64);
+        self.apply_frees();
+        true
+    }
+
+    fn commit_undo(&mut self) -> bool {
+        if self.owned.is_empty() && self.fresh_blocks.is_empty() {
+            self.apply_frees();
+            return true; // read-only
+        }
+        let orec_ns = self.ptm.config.orec_ns;
+        let wv = self.ptm.clock.bump();
+        self.s.advance(orec_ns);
+        if wv != self.start_time + 2 && !self.validate_reads() {
+            PtmStats::bump(&self.ptm.stats.aborts_validation);
+            self.rollback_undo(wv);
+            return false;
+        }
+        // Flush the in-place data and alloc-new blocks, one fence.
+        self.flush_fresh_blocks();
+        for i in 0..self.eager_writes.len() {
+            let addr = PAddr(self.eager_writes[i]);
+            self.s.clwb(addr);
+        }
+        self.fence();
+        // Truncate the undo log: entry 0's addr word zeroed, durable.
+        let e0 = self.log.entry_addr(0);
+        self.s.store(e0, 0);
+        self.s.clwb(e0);
+        self.fence();
+        self.s.advance(orec_ns * self.owned.len() as u64);
+        for i in 0..self.owned.len() {
+            let (o, _) = self.owned[i];
+            self.ptm.orecs.release(o, wv);
+        }
+        self.ptm.stats.note_write_set(self.entries.len() as u64);
+        self.apply_frees();
+        true
+    }
+
+    /// Redo abort: nothing was written in place; restore pre-lock versions.
+    fn release_owned_restore(&mut self) {
+        self.s
+            .advance(self.ptm.config.orec_ns * self.owned.len() as u64);
+        for i in 0..self.owned.len() {
+            let (o, prev) = self.owned[i];
+            self.ptm.orecs.release(o, prev);
+        }
+        self.owned.clear();
+        self.owned_map.clear();
+    }
+
+    /// Undo abort: restore old values (durably), truncate, release at a
+    /// fresh timestamp so concurrent readers of speculative values fail
+    /// validation.
+    fn rollback_undo(&mut self, wv: u64) {
+        for i in (0..self.entries.len()).rev() {
+            let (a, old) = self.entries[i];
+            let addr = PAddr(a);
+            self.s.store(addr, old);
+            self.s.clwb(addr);
+        }
+        self.fence();
+        if !self.entries.is_empty() {
+            let e0 = self.log.entry_addr(0);
+            self.s.store(e0, 0);
+            self.s.clwb(e0);
+            self.fence();
+        }
+        self.s
+            .advance(self.ptm.config.orec_ns * self.owned.len() as u64);
+        for i in 0..self.owned.len() {
+            let (o, _) = self.owned[i];
+            self.ptm.orecs.release(o, wv);
+        }
+        self.owned.clear();
+        self.owned_map.clear();
+    }
+
+    /// Abort initiated by user code (`Err(Abort)` escaped the closure).
+    fn user_abort(&mut self) {
+        match self.ptm.config.algo {
+            Algo::RedoLazy => self.release_owned_restore(),
+            Algo::UndoEager => {
+                if !self.owned.is_empty() {
+                    let wv = self.ptm.clock.bump();
+                    self.rollback_undo(wv);
+                }
+            }
+        }
+    }
+
+    /// Return transactionally-allocated blocks after an abort.
+    fn abort_cleanup(&mut self) {
+        let heap = Arc::clone(&self.heap);
+        for i in 0..self.tx_allocs.len() {
+            let a = self.tx_allocs[i];
+            heap.free(&mut self.s, a);
+        }
+        self.tx_allocs.clear();
+        self.tx_frees.clear();
+    }
+
+    /// Apply deferred frees after a successful commit.
+    fn apply_frees(&mut self) {
+        let heap = Arc::clone(&self.heap);
+        for i in 0..self.tx_frees.len() {
+            let a = self.tx_frees[i];
+            heap.free(&mut self.s, a);
+        }
+        self.tx_frees.clear();
+        self.tx_allocs.clear();
+    }
+
+    fn backoff(&mut self) {
+        let shift = self.attempts.min(8);
+        let ceiling = (100u64 << shift).min(40_000);
+        let delay = self.rng.gen_range(ceiling / 2..=ceiling);
+        self.s.advance(delay);
+        self.s.publish_clock();
+        std::thread::yield_now();
+        if self.attempts > 256 {
+            // Deep backoff: on an oversubscribed host a pure yield loop
+            // can starve the conflicting lock holder of real CPU time.
+            // Virtual time is unaffected (already charged above).
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+}
+
+/// Handle passed to transaction closures.
+pub struct Tx<'a> {
+    th: &'a mut TxThread,
+}
+
+impl Tx<'_> {
+    /// Transactional 64-bit read.
+    #[inline]
+    pub fn read(&mut self, addr: PAddr) -> TxResult<u64> {
+        self.th.tx_read(addr)
+    }
+
+    /// Transactional 64-bit write.
+    #[inline]
+    pub fn write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        self.th.tx_write(addr, val)
+    }
+
+    /// Read `base + off` (field access sugar).
+    #[inline]
+    pub fn read_at(&mut self, base: PAddr, off: u64) -> TxResult<u64> {
+        self.th.tx_read(base.offset(off))
+    }
+
+    /// Write `base + off`.
+    #[inline]
+    pub fn write_at(&mut self, base: PAddr, off: u64, val: u64) -> TxResult<()> {
+        self.th.tx_write(base.offset(off), val)
+    }
+
+    /// Allocate from the persistent heap. Returned blocks are freed
+    /// automatically if the transaction aborts.
+    pub fn alloc(&mut self, words: usize) -> PAddr {
+        let heap = Arc::clone(&self.th.heap);
+        let a = heap.alloc(&mut self.th.s, words);
+        self.th.tx_allocs.push(a);
+        a
+    }
+
+    /// Free a block; deferred until the transaction commits.
+    pub fn free(&mut self, addr: PAddr) {
+        self.th.tx_frees.push(addr);
+    }
+
+    /// Allocate a zeroed block with the alloc-new optimization: the
+    /// zeroes are written directly (not logged — the block is unreachable
+    /// until a logged pointer-write commits) and flushed with the commit.
+    pub fn alloc_zeroed(&mut self, words: usize) -> PAddr {
+        let heap = Arc::clone(&self.th.heap);
+        let a = heap.alloc(&mut self.th.s, words);
+        for w in 0..words as u64 {
+            self.th.s.store(a.offset(w), 0);
+        }
+        self.th.tx_allocs.push(a);
+        self.th.fresh_blocks.push((a.0, words));
+        a
+    }
+
+    /// Read a pointer-valued word.
+    #[inline]
+    pub fn read_ptr(&mut self, addr: PAddr) -> TxResult<PAddr> {
+        Ok(PAddr(self.th.tx_read(addr)?))
+    }
+
+    /// Write a pointer-valued word.
+    #[inline]
+    pub fn write_ptr(&mut self, addr: PAddr, p: PAddr) -> TxResult<()> {
+        self.th.tx_write(addr, p.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{DurabilityDomain, Machine, MachineConfig};
+
+    fn setup(algo: Algo) -> (Arc<Machine>, Arc<Ptm>, Arc<PHeap>) {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
+        let cfg = match algo {
+            Algo::RedoLazy => PtmConfig::redo(),
+            Algo::UndoEager => PtmConfig::undo(),
+        };
+        (m.clone(), Ptm::new(cfg), heap)
+    }
+
+    fn both() -> Vec<Algo> {
+        vec![Algo::RedoLazy, Algo::UndoEager]
+    }
+
+    #[test]
+    fn write_then_read_within_tx() {
+        for algo in both() {
+            let (m, ptm, heap) = setup(algo);
+            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+            let a = heap.alloc(th.session_mut(), 4);
+            let got = th.run(|tx| {
+                tx.write(a, 10)?;
+                tx.write(a.offset(1), 20)?;
+                let x = tx.read(a)?;
+                let y = tx.read(a.offset(1))?;
+                Ok(x + y)
+            });
+            assert_eq!(got, 30, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn committed_writes_visible_to_next_tx() {
+        for algo in both() {
+            let (m, ptm, heap) = setup(algo);
+            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+            let a = heap.alloc(th.session_mut(), 4);
+            th.run(|tx| tx.write(a, 55));
+            let v = th.run(|tx| tx.read(a));
+            assert_eq!(v, 55, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn user_abort_rolls_back() {
+        for algo in both() {
+            let (m, ptm, heap) = setup(algo);
+            let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+            let a = heap.alloc(th.session_mut(), 4);
+            th.run(|tx| tx.write(a, 1));
+            let mut tried = false;
+            th.run(|tx| {
+                if !tried {
+                    tried = true;
+                    tx.write(a, 999)?;
+                    return Err(Abort); // user-requested retry
+                }
+                Ok(())
+            });
+            let v = th.run(|tx| tx.read(a));
+            assert_eq!(v, 1, "{algo:?}: speculative write must be undone");
+            assert!(ptm.stats_snapshot().aborts >= 1);
+        }
+    }
+
+    #[test]
+    fn read_only_tx_commits_without_clock_bump() {
+        for algo in both() {
+            let (m, ptm, heap) = setup(algo);
+            let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+            let a = heap.alloc(th.session_mut(), 4);
+            th.run(|tx| tx.write(a, 5));
+            let before = ptm.clock.sample();
+            let v = th.run(|tx| tx.read(a));
+            assert_eq!(v, 5);
+            assert_eq!(ptm.clock.sample(), before, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn redo_commit_is_durable_under_adr() {
+        let (m, ptm, heap) = setup(Algo::RedoLazy);
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| tx.write(a, 77));
+        // After commit, the value must be durable (in the shadow).
+        assert_eq!(heap.pool().shadow().unwrap().load(a.word()), 77);
+    }
+
+    #[test]
+    fn undo_commit_is_durable_under_adr() {
+        let (m, ptm, heap) = setup(Algo::UndoEager);
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| tx.write(a, 88));
+        assert_eq!(heap.pool().shadow().unwrap().load(a.word()), 88);
+    }
+
+    #[test]
+    fn alloc_in_aborted_tx_is_freed() {
+        for algo in both() {
+            let (m, ptm, heap) = setup(algo);
+            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+            let mut first = true;
+            let mut leaked = PAddr::NULL;
+            th.run(|tx| {
+                if first {
+                    first = false;
+                    leaked = tx.alloc(8);
+                    return Err(Abort);
+                }
+                Ok(())
+            });
+            assert_eq!(heap.free_blocks(), 1, "{algo:?}: aborted alloc returned");
+            // And it is reusable.
+            let again = heap.alloc(th.session_mut(), 8);
+            assert_eq!(again, leaked);
+        }
+    }
+
+    #[test]
+    fn free_in_committed_tx_is_applied() {
+        for algo in both() {
+            let (m, ptm, heap) = setup(algo);
+            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+            let a = heap.alloc(th.session_mut(), 8);
+            th.run(|tx| {
+                tx.free(a);
+                tx.write_at(a, 0, 0)?; // touching freed-this-tx memory is
+                                       // legal until commit
+                Ok(())
+            });
+            assert_eq!(heap.free_blocks(), 1, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn conflicting_writers_serialize_counter() {
+        for algo in both() {
+            let (m, ptm, heap) = setup(algo);
+            let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+            let ctr = heap.alloc(th0.session_mut(), 1);
+            th0.run(|tx| tx.write(ctr, 0));
+            drop(th0);
+            let threads = 4;
+            let per = 500;
+            m.begin_run(threads, u64::MAX);
+            std::thread::scope(|scope| {
+                for tid in 0..threads {
+                    let m = Arc::clone(&m);
+                    let ptm = Arc::clone(&ptm);
+                    let heap = Arc::clone(&heap);
+                    scope.spawn(move || {
+                        let mut th = TxThread::new(ptm, heap, m.session(tid));
+                        for _ in 0..per {
+                            th.run(|tx| {
+                                let v = tx.read(ctr)?;
+                                tx.write(ctr, v + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            let mut th = TxThread::new(ptm.clone(), heap.clone(), {
+                m.begin_run(1, u64::MAX);
+                m.session(0)
+            });
+            let v = th.run(|tx| tx.read(ctr));
+            assert_eq!(v, (threads * per) as u64, "{algo:?}: lost updates");
+        }
+    }
+
+    #[test]
+    fn bank_invariant_under_concurrency() {
+        for algo in both() {
+            let (m, ptm, heap) = setup(algo);
+            let accounts = 16u64;
+            let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+            let table = heap.alloc(th0.session_mut(), accounts as usize);
+            th0.run(|tx| {
+                for i in 0..accounts {
+                    tx.write_at(table, i, 1_000)?;
+                }
+                Ok(())
+            });
+            drop(th0);
+            let threads = 4;
+            m.begin_run(threads, u64::MAX);
+            std::thread::scope(|scope| {
+                for tid in 0..threads {
+                    let m = Arc::clone(&m);
+                    let ptm = Arc::clone(&ptm);
+                    let heap = Arc::clone(&heap);
+                    scope.spawn(move || {
+                        let mut th = TxThread::new(ptm, heap, m.session(tid));
+                        let mut rng = SmallRng::seed_from_u64(tid as u64);
+                        for _ in 0..400 {
+                            let from = rng.gen_range(0..accounts);
+                            let to = rng.gen_range(0..accounts);
+                            th.run(|tx| {
+                                let f = tx.read_at(table, from)?;
+                                let t = tx.read_at(table, to)?;
+                                if from != to && f >= 10 {
+                                    tx.write_at(table, from, f - 10)?;
+                                    tx.write_at(table, to, t + 10)?;
+                                }
+                                Ok(())
+                            });
+                        }
+                    });
+                }
+            });
+            m.begin_run(1, u64::MAX);
+            let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+            let total = th.run(|tx| {
+                let mut sum = 0;
+                for i in 0..accounts {
+                    sum += tx.read_at(table, i)?;
+                }
+                Ok(sum)
+            });
+            assert_eq!(total, accounts * 1_000, "{algo:?}: money not conserved");
+        }
+    }
+
+    #[test]
+    fn undo_pays_more_fences_than_redo() {
+        let writes = 16u64;
+        let fences_for = |algo: Algo| {
+            let (m, ptm, heap) = setup(algo);
+            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+            let a = heap.alloc(th.session_mut(), writes as usize);
+            let before = m.stats.snapshot().sfences;
+            th.run(|tx| {
+                for i in 0..writes {
+                    tx.write_at(a, i, i)?;
+                }
+                Ok(())
+            });
+            m.stats.snapshot().sfences - before
+        };
+        let undo = fences_for(Algo::UndoEager);
+        let redo = fences_for(Algo::RedoLazy);
+        assert!(
+            undo >= writes && redo <= 8,
+            "undo fences {undo} (expect >= {writes}), redo fences {redo} (expect O(1))"
+        );
+    }
+
+    #[test]
+    fn elide_fences_suppresses_sfence() {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        let heap = PHeap::format(&m, "heap", 1 << 14, 8);
+        let cfg = PtmConfig {
+            elide_fences: true,
+            ..PtmConfig::undo()
+        };
+        let ptm = Ptm::new(cfg);
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 8);
+        let before = m.stats.snapshot();
+        th.run(|tx| {
+            for i in 0..8 {
+                tx.write_at(a, i, i)?;
+            }
+            Ok(())
+        });
+        let after = m.stats.snapshot();
+        assert_eq!(after.sfences, before.sfences, "no fences issued");
+        assert!(after.clwbs > before.clwbs, "flushes still issued");
+    }
+
+    #[test]
+    fn ts_extension_salvages_reads() {
+        // A transaction reads a, then another tx commits to b (raising the
+        // clock), then the first reads b: without extension this aborts;
+        // with it, the read set {a} revalidates and the tx commits.
+        let (m, ptm, heap) = setup(Algo::RedoLazy);
+        m.begin_run(2, u64::MAX);
+        let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let mut th1 = TxThread::new(ptm.clone(), heap.clone(), m.session(1));
+        let a = heap.alloc(th0.session_mut(), 1);
+        let b = heap.alloc(th0.session_mut(), 1);
+        th0.run(|tx| {
+            tx.write(a, 1)?;
+            tx.write(b, 2)
+        });
+        let before = ptm.stats_snapshot();
+        let mut stage = 0;
+        let got = th0.run(|tx| {
+            let va = tx.read(a)?;
+            if stage == 0 {
+                stage = 1;
+                th1.run(|tx1| {
+                    let vb = tx1.read(b)?;
+                    tx1.write(b, vb + 10)
+                });
+            }
+            let vb = tx.read(b)?;
+            Ok((va, vb))
+        });
+        assert_eq!(got, (1, 12));
+        let after = ptm.stats_snapshot();
+        assert_eq!(after.aborts, before.aborts, "extension avoided the abort");
+        assert!(after.extensions > before.extensions);
+    }
+
+    #[test]
+    fn snapshot_isolation_is_really_serializable() {
+        // Classic write-skew shape is prevented: two txs each read both
+        // cells and write one; outcome must be serializable.
+        for algo in both() {
+            let (m, ptm, heap) = setup(algo);
+            m.begin_run(2, u64::MAX);
+            let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+            let a = heap.alloc(th0.session_mut(), 1);
+            let b = heap.alloc(th0.session_mut(), 1);
+            th0.run(|tx| {
+                tx.write(a, 100)?;
+                tx.write(b, 100)
+            });
+            drop(th0);
+            std::thread::scope(|scope| {
+                let m0 = Arc::clone(&m);
+                let p0 = Arc::clone(&ptm);
+                let h0 = Arc::clone(&heap);
+                scope.spawn(move || {
+                    let mut th = TxThread::new(p0, h0, m0.session(0));
+                    th.run(|tx| {
+                        let x = tx.read(a)?;
+                        let y = tx.read(b)?;
+                        if x + y >= 100 {
+                            tx.write(a, x.saturating_sub(100))?;
+                        }
+                        Ok(())
+                    });
+                });
+                let m1 = Arc::clone(&m);
+                let p1 = Arc::clone(&ptm);
+                let h1 = Arc::clone(&heap);
+                scope.spawn(move || {
+                    let mut th = TxThread::new(p1, h1, m1.session(1));
+                    th.run(|tx| {
+                        let x = tx.read(a)?;
+                        let y = tx.read(b)?;
+                        if x + y >= 100 {
+                            tx.write(b, y.saturating_sub(100))?;
+                        }
+                        Ok(())
+                    });
+                });
+            });
+            m.begin_run(1, u64::MAX);
+            let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+            let (x, y) = th.run(|tx| Ok((tx.read(a)?, tx.read(b)?)));
+            // Serializable outcomes: one tx sees the other's debit.
+            assert!(
+                (x, y) == (0, 100) || (x, y) == (100, 0) || (x, y) == (0, 0),
+                "{algo:?}: non-serializable outcome ({x},{y})"
+            );
+            // (0,0) happens only if one committed before the other began;
+            // with sum 200 initially both guards pass, so (0,0) is also
+            // serializable. What must NOT happen is a torn guard, e.g.
+            // negative balances — unrepresentable here, so the assert above
+            // is the full check.
+        }
+    }
+}
+
+#[cfg(test)]
+mod htm_tests {
+    use super::*;
+    use pmem_sim::{DurabilityDomain, Machine, MachineConfig};
+
+    fn setup(domain: DurabilityDomain) -> (Arc<Machine>, Arc<Ptm>, Arc<PHeap>) {
+        let m = Machine::new(MachineConfig::functional(domain));
+        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
+        let ptm = Ptm::new(PtmConfig::hybrid(Algo::RedoLazy));
+        (m, ptm, heap)
+    }
+
+    #[test]
+    fn htm_commits_under_eadr() {
+        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| {
+            tx.write(a, 5)?;
+            let v = tx.read(a)?;
+            tx.write(a.offset(1), v * 2)
+        });
+        assert_eq!(th.run(|tx| tx.read(a.offset(1))), 10);
+        let s = ptm.stats_snapshot();
+        assert!(s.htm_commits >= 2, "hardware path used: {s:?}");
+        assert_eq!(s.htm_fallbacks, 0);
+        // No flushes and no log traffic on the hardware path.
+        assert_eq!(m.stats.snapshot().clwbs, 0);
+    }
+
+    #[test]
+    fn htm_is_skipped_under_adr() {
+        let (m, ptm, heap) = setup(DurabilityDomain::Adr);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| tx.write(a, 9));
+        let s = ptm.stats_snapshot();
+        assert_eq!(s.htm_commits, 0, "TSX is incompatible with ADR");
+        assert_eq!(s.commits, 1);
+        assert!(m.stats.snapshot().sfences > 0, "software path flushed");
+    }
+
+    #[test]
+    fn htm_commit_is_durable_under_eadr() {
+        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 2);
+        th.run(|tx| tx.write(a, 1234));
+        assert!(ptm.stats_snapshot().htm_commits >= 1);
+        let img = m.crash(0);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Eadr));
+        crate::recovery::recover(&m2);
+        assert_eq!(m2.pool(a.pool()).raw_load(a.word()), 1234);
+    }
+
+    #[test]
+    fn htm_capacity_overflow_falls_back() {
+        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let cap = ptm.config.htm_capacity;
+        let a = heap.alloc(th.session_mut(), cap + 8);
+        th.run(|tx| {
+            for i in 0..(cap as u64 + 4) {
+                tx.write_at(a, i, i)?;
+            }
+            Ok(())
+        });
+        let s = ptm.stats_snapshot();
+        assert!(s.htm_fallbacks >= 1, "capacity abort must fall back: {s:?}");
+        assert_eq!(s.commits, 1);
+        // Data intact via the software path.
+        assert_eq!(th.run(|tx| tx.read_at(a, cap as u64 + 3)), cap as u64 + 3);
+    }
+
+    #[test]
+    fn hybrid_counter_is_exact_under_concurrency() {
+        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
+        let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let ctr = heap.alloc(th0.session_mut(), 1);
+        th0.run(|tx| tx.write(ctr, 0));
+        drop(th0);
+        let threads = 4;
+        let per = 400;
+        m.begin_run(threads, u64::MAX);
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let m = Arc::clone(&m);
+                let ptm = Arc::clone(&ptm);
+                let heap = Arc::clone(&heap);
+                scope.spawn(move || {
+                    let mut th = TxThread::new(ptm, heap, m.session(tid));
+                    for _ in 0..per {
+                        th.run(|tx| {
+                            let v = tx.read(ctr)?;
+                            tx.write(ctr, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        m.begin_run(1, u64::MAX);
+        let mut th = TxThread::new(ptm.clone(), heap, m.session(0));
+        assert_eq!(th.run(|tx| tx.read(ctr)), (threads * per) as u64);
+        let s = ptm.stats_snapshot();
+        assert!(s.htm_commits > 0, "some hardware commits expected: {s:?}");
+    }
+
+    #[test]
+    fn htm_mixes_safely_with_software_writers() {
+        // One thread runs hybrid, another pure-STM eager, on overlapping
+        // data; the sum invariant must hold.
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
+        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
+        let hybrid = Ptm::new(PtmConfig::hybrid(Algo::RedoLazy));
+        let mut th0 = TxThread::new(hybrid.clone(), heap.clone(), m.session(0));
+        let cells = heap.alloc(th0.session_mut(), 8);
+        th0.run(|tx| {
+            for i in 0..8 {
+                tx.write_at(cells, i, 100)?;
+            }
+            Ok(())
+        });
+        drop(th0);
+        m.begin_run(2, u64::MAX);
+        std::thread::scope(|scope| {
+            // NOTE: both threads must share the same Ptm (same orecs/clock);
+            // the hybrid flag is per-config, so use one Ptm and rely on
+            // run()'s dispatch for both.
+            let m0 = Arc::clone(&m);
+            let p0 = Arc::clone(&hybrid);
+            let h0 = Arc::clone(&heap);
+            scope.spawn(move || {
+                let mut th = TxThread::new(p0, h0, m0.session(0));
+                for i in 0..500u64 {
+                    th.run(|tx| {
+                        let a = i % 8;
+                        let b = (i + 3) % 8;
+                        let va = tx.read_at(cells, a)?;
+                        let vb = tx.read_at(cells, b)?;
+                        if a != b && va > 0 {
+                            tx.write_at(cells, a, va - 1)?;
+                            tx.write_at(cells, b, vb + 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+            let m1 = Arc::clone(&m);
+            let p1 = Arc::clone(&hybrid);
+            let h1 = Arc::clone(&heap);
+            scope.spawn(move || {
+                let mut th = TxThread::new(p1, h1, m1.session(1));
+                for i in 0..500u64 {
+                    th.run(|tx| {
+                        let a = (i + 5) % 8;
+                        let b = i % 8;
+                        let va = tx.read_at(cells, a)?;
+                        let vb = tx.read_at(cells, b)?;
+                        if a != b && va > 0 {
+                            tx.write_at(cells, a, va - 1)?;
+                            tx.write_at(cells, b, vb + 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        });
+        m.begin_run(1, u64::MAX);
+        let mut th = TxThread::new(hybrid, heap, m.session(0));
+        let sum = th.run(|tx| {
+            let mut s = 0;
+            for i in 0..8 {
+                s += tx.read_at(cells, i)?;
+            }
+            Ok(s)
+        });
+        assert_eq!(sum, 800, "transfers must conserve");
+    }
+}

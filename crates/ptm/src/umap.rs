@@ -1,0 +1,188 @@
+//! A generation-stamped open-addressing map for the transaction hot path.
+//!
+//! Transactions need `addr -> redo-entry` and `orec -> ownership` lookups
+//! on every instrumented access, and the structures are logically cleared
+//! at every transaction boundary. A `std::collections::HashMap` would pay
+//! SipHash plus an O(capacity) clear; this map uses a multiplicative hash
+//! and O(1) clear via generation stamps: a slot is live only if its stamp
+//! matches the current generation.
+
+/// Open-addressing `u64 -> u64` map with O(1) clear.
+#[derive(Debug)]
+pub struct U64Map {
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    gens: Vec<u32>,
+    gen: u32,
+    mask: usize,
+    len: usize,
+}
+
+impl U64Map {
+    /// Create with capacity for at least `cap` entries before growth.
+    pub fn new(cap: usize) -> Self {
+        let slots = (cap.max(8) * 2).next_power_of_two();
+        U64Map {
+            keys: vec![0; slots],
+            vals: vec![0; slots],
+            gens: vec![0; slots],
+            gen: 1,
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop all entries in O(1).
+    pub fn clear(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Extremely rare wrap: do the O(capacity) scrub once per 2^32.
+            self.gens.fill(0);
+            self.gen = 1;
+        }
+        self.len = 0;
+    }
+
+    /// Look up `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut i = self.slot_of(key);
+        loop {
+            if self.gens[i] != self.gen {
+                return None;
+            }
+            if self.keys[i] == key {
+                return Some(self.vals[i]);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Insert or overwrite; returns the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, key: u64, val: u64) -> Option<u64> {
+        if self.len * 10 >= (self.mask + 1) * 7 {
+            self.grow();
+        }
+        let mut i = self.slot_of(key);
+        loop {
+            if self.gens[i] != self.gen {
+                self.gens[i] = self.gen;
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return None;
+            }
+            if self.keys[i] == key {
+                let old = self.vals[i];
+                self.vals[i] = val;
+                return Some(old);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let slots = (self.mask + 1) * 2;
+        let mut bigger = U64Map {
+            keys: vec![0; slots],
+            vals: vec![0; slots],
+            gens: vec![0; slots],
+            gen: 1,
+            mask: slots - 1,
+            len: 0,
+        };
+        for i in 0..=self.mask {
+            if self.gens[i] == self.gen {
+                bigger.insert(self.keys[i], self.vals[i]);
+            }
+        }
+        *self = bigger;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = U64Map::new(4);
+        assert_eq!(m.insert(10, 1), None);
+        assert_eq!(m.get(10), Some(1));
+        assert_eq!(m.insert(10, 2), Some(1));
+        assert_eq!(m.get(10), Some(2));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(11), None);
+    }
+
+    #[test]
+    fn clear_is_logical() {
+        let mut m = U64Map::new(4);
+        m.insert(1, 1);
+        m.insert(2, 2);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(1), None);
+        m.insert(1, 9);
+        assert_eq!(m.get(1), Some(9));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut m = U64Map::new(4);
+        for k in 0..1000u64 {
+            m.insert(k * 7 + 1, k);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(k * 7 + 1), Some(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn zero_key_works() {
+        let mut m = U64Map::new(4);
+        m.insert(0, 42);
+        assert_eq!(m.get(0), Some(42));
+    }
+
+    #[test]
+    fn collisions_probe_linearly() {
+        let mut m = U64Map::new(8);
+        // Many keys, small table: forced collisions.
+        for k in 0..64u64 {
+            m.insert(k << 32, k);
+        }
+        for k in 0..64u64 {
+            assert_eq!(m.get(k << 32), Some(k));
+        }
+    }
+
+    #[test]
+    fn reuse_across_many_generations() {
+        let mut m = U64Map::new(8);
+        for round in 0..10_000u64 {
+            m.insert(round, round);
+            assert_eq!(m.get(round), Some(round));
+            m.clear();
+            assert_eq!(m.get(round), None);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of PTM internals and end-to-end transaction
+//! semantics.
+
+use palloc::PHeap;
+use pmem_sim::{DurabilityDomain, Machine, MachineConfig, PAddr};
+use proptest::prelude::*;
+use ptm::umap::U64Map;
+use ptm::{Algo, Ptm, PtmConfig, TxThread};
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// U64Map agrees with HashMap under arbitrary insert/get/clear mixes.
+    #[test]
+    fn umap_matches_hashmap(ops in prop::collection::vec((0u8..3, any::<u64>(), any::<u64>()), 1..300)) {
+        let mut m = U64Map::new(8);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &(op, k, v) in &ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(m.insert(k, v), model.insert(k, v));
+                }
+                1 => {
+                    prop_assert_eq!(m.get(k), model.get(&k).copied());
+                }
+                _ => {
+                    m.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(m.len(), model.len());
+        }
+    }
+
+    /// Sequential transactions over random word programs behave exactly
+    /// like direct memory, under both algorithms and with arbitrary
+    /// transaction boundaries and user aborts.
+    #[test]
+    fn transactions_match_flat_memory(
+        program in prop::collection::vec(
+            // (op, addr, value): op 0..6 = write, 6..8 = read-check,
+            // 8 = commit boundary, 9 = abort the pending transaction
+            (0u8..10, 0u64..64, any::<u64>()),
+            1..120,
+        ),
+        redo in any::<bool>(),
+    ) {
+        let algo = if redo { Algo::RedoLazy } else { Algo::UndoEager };
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
+        let heap = PHeap::format(&m, "h", 1 << 14, 4);
+        let cfg = PtmConfig { algo, ..PtmConfig::default() };
+        let mut th = TxThread::new(Ptm::new(cfg), heap.clone(), m.session(0));
+        let base = {
+            let h = std::sync::Arc::clone(&heap);
+            h.alloc(th.session_mut(), 64)
+        };
+        let mut committed: [u64; 64] = [0; 64];
+
+        // Split the program into transactions at the boundaries.
+        let mut chunk: Vec<(u8, u64, u64)> = Vec::new();
+        let flush = |th: &mut TxThread, chunk: &mut Vec<(u8, u64, u64)>, committed: &mut [u64; 64], abort: bool| {
+            if chunk.is_empty() {
+                return Ok(()) as Result<(), TestCaseError>;
+            }
+            let ops = chunk.clone();
+            let mut aborted_once = false;
+            let speculative: Option<[u64; 64]> = th.run(|tx| {
+                let mut local = *committed;
+                for &(op, a, v) in &ops {
+                    if op < 6 {
+                        tx.write_at(base, a, v)?;
+                        local[a as usize] = v;
+                    } else {
+                        let got = tx.read_at(base, a)?;
+                        if got != local[a as usize] {
+                            // Surface mismatches as a value we can assert on.
+                            return Ok(None);
+                        }
+                    }
+                }
+                if abort && !aborted_once {
+                    aborted_once = true;
+                    return Err(ptm::Abort);
+                }
+                Ok(Some(local))
+            });
+            match speculative {
+                Some(local) => *committed = local,
+                None => prop_assert!(false, "in-transaction read mismatch"),
+            }
+            chunk.clear();
+            Ok(())
+        };
+
+        for &(op, a, v) in &program {
+            match op {
+                8 => flush(&mut th, &mut chunk, &mut committed, false)?,
+                9 => flush(&mut th, &mut chunk, &mut committed, true)?,
+                _ => chunk.push((op, a, v)),
+            }
+        }
+        flush(&mut th, &mut chunk, &mut committed, false)?;
+
+        // Final memory state equals the committed model exactly.
+        for a in 0..64u64 {
+            let got = th.run(|tx| tx.read_at(base, a));
+            prop_assert_eq!(got, committed[a as usize], "addr {}", a);
+        }
+        let _ = PAddr::NULL;
+    }
+
+    /// The hybrid HTM path computes the same results as pure software for
+    /// sequential programs.
+    #[test]
+    fn hybrid_matches_software(
+        writes in prop::collection::vec((0u64..32, any::<u64>()), 1..60),
+    ) {
+        let run_with = |htm_retries: u32| {
+            let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
+            let heap = PHeap::format(&m, "h", 1 << 14, 4);
+            let cfg = PtmConfig { htm_retries, ..PtmConfig::redo() };
+            let mut th = TxThread::new(Ptm::new(cfg), heap.clone(), m.session(0));
+            let base = {
+                let h = std::sync::Arc::clone(&heap);
+                h.alloc(th.session_mut(), 32)
+            };
+            for &(a, v) in &writes {
+                th.run(|tx| {
+                    let old = tx.read_at(base, a)?;
+                    tx.write_at(base, a, v ^ old)
+                });
+            }
+            (0..32u64)
+                .map(|a| th.run(|tx| tx.read_at(base, a)))
+                .collect::<Vec<u64>>()
+        };
+        prop_assert_eq!(run_with(0), run_with(4));
+    }
+}

@@ -1,0 +1,154 @@
+//! A memcached-like key/value store (paper §IV-E, Fig. 8).
+//!
+//! The paper drives memcached with memaslap: one server worker thread, a
+//! 50/50 get/set mix over random keys, 128 B keys and 1 KB values, and a
+//! working-set size swept from L3-resident to far-beyond-DRAM. Random
+//! keys defeat locality, so every request is served by the smallest level
+//! of the hierarchy that holds the whole working set — which is exactly
+//! what the experiment isolates.
+//!
+//! Here the store is in-process: a persistent hash index maps the key's
+//! 64-bit digest to a 1 KB value block. Gets and sets touch one word per
+//! cache line of the value (the memory system works at line granularity,
+//! so this preserves the traffic while trimming instrumentation).
+
+use pmem_sim::PAddr;
+use pstructs::PHashMap;
+use ptm::TxThread;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::driver::Workload;
+
+/// Value size: 1 KB = 128 words = 16 cache lines.
+pub const VALUE_WORDS: u64 = 128;
+const LINE_STRIDE: u64 = 8;
+
+/// The KV workload; `items` scales the working set (`items` KB of
+/// values).
+pub struct KvStore {
+    items: u64,
+    index: Option<PHashMap>,
+}
+
+impl KvStore {
+    pub fn new(items: u64) -> Self {
+        KvStore { items, index: None }
+    }
+
+    /// Working-set size in bytes (values only; the index adds ~6%).
+    pub fn working_set_bytes(&self) -> u64 {
+        self.items * VALUE_WORDS * 8
+    }
+}
+
+impl Workload for KvStore {
+    fn name(&self) -> String {
+        format!("kvstore-{}MB", self.working_set_bytes() >> 20)
+    }
+
+    fn heap_words(&self) -> usize {
+        ((self.items * (VALUE_WORDS + 16)) as usize + (1 << 16)).next_power_of_two()
+    }
+
+    fn setup(&mut self, th: &mut TxThread) {
+        let index = th.run(|tx| PHashMap::create(tx, self.items as usize));
+        for k in 0..self.items {
+            th.run(|tx| {
+                let block = tx.alloc(VALUE_WORDS as usize);
+                let mut w = 0;
+                while w < VALUE_WORDS {
+                    tx.write_at(block, w, k ^ w)?;
+                    w += LINE_STRIDE;
+                }
+                index.insert(tx, k, block.0)?;
+                Ok(())
+            });
+        }
+        self.index = Some(index);
+    }
+
+    fn op(&self, th: &mut TxThread, rng: &mut SmallRng, _tid: usize, _i: u64) {
+        let index = self.index.expect("setup");
+        let key = rng.gen_range(0..self.items);
+        if rng.gen_bool(0.5) {
+            // GET: read the whole value.
+            th.run(|tx| {
+                if let Some(block) = index.get(tx, key)? {
+                    let block = PAddr(block);
+                    let mut sum = 0u64;
+                    let mut w = 0;
+                    while w < VALUE_WORDS {
+                        sum = sum.wrapping_add(tx.read_at(block, w)?);
+                        w += LINE_STRIDE;
+                    }
+                    return Ok(sum);
+                }
+                Ok(0)
+            });
+        } else {
+            // SET: overwrite the whole value.
+            let stamp = rng.gen::<u64>();
+            th.run(|tx| {
+                if let Some(block) = index.get(tx, key)? {
+                    let block = PAddr(block);
+                    let mut w = 0;
+                    while w < VALUE_WORDS {
+                        tx.write_at(block, w, stamp ^ w)?;
+                        w += LINE_STRIDE;
+                    }
+                }
+                Ok(())
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_scenario, RunConfig, Scenario};
+    use pmem_sim::{DurabilityDomain, LatencyModel, MediaKind};
+    use ptm::Algo;
+
+    #[test]
+    fn kvstore_runs() {
+        let mut w = KvStore::new(64);
+        let sc = Scenario::new("kv", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+        let rc = RunConfig {
+            threads: 1,
+            ops_per_thread: 100,
+            ..RunConfig::default()
+        };
+        let r = run_scenario(&mut w, &sc, &rc);
+        assert_eq!(r.ops, 100);
+        assert!(r.ptm.commits >= 100);
+    }
+
+    #[test]
+    fn larger_working_sets_run_slower() {
+        // Fig. 8's first cliff: an L3-resident working set vs one that
+        // spills to media.
+        let model = LatencyModel {
+            l3_bytes: 1 << 20, // 1 MB L3 for a quick test
+            ..LatencyModel::default()
+        };
+        let run = |items: u64| {
+            let mut w = KvStore::new(items);
+            let sc = Scenario::new("kv", MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy);
+            let rc = RunConfig {
+                threads: 1,
+                ops_per_thread: 300,
+                model: model.clone(),
+                ..RunConfig::default()
+            };
+            run_scenario(&mut w, &sc, &rc).throughput_mops()
+        };
+        let small = run(256); // 256 KB: fits the 1 MB L3
+        let large = run(8_192); // 8 MB: far beyond it
+        assert!(
+            small > 1.5 * large,
+            "L3-resident {small} should beat spilled {large} clearly"
+        );
+    }
+}

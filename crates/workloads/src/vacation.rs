@@ -1,0 +1,327 @@
+//! The STAMP Vacation travel-reservation benchmark (paper Fig. 3 bottom
+//! row), at the paper's two contention levels.
+//!
+//! A manager maintains three resource tables (cars, flights, rooms) and a
+//! customer table. Client transactions are reservation queries (the
+//! read-mostly majority), customer deletions, and table updates. Unlike
+//! the other workloads, Vacation performs *non-trivial work between
+//! transactions*, which is why the paper finds eADR's gains muted here —
+//! the inter-transaction think time is modeled explicitly.
+
+use pmem_sim::PAddr;
+use pstructs::{BpTree, PHashMap};
+use ptm::TxThread;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::driver::Workload;
+
+/// Resource record: `[available, price, total, pad]`.
+const R_AVAIL: u64 = 0;
+const R_PRICE: u64 = 1;
+const R_TOTAL: u64 = 2;
+const R_WORDS: usize = 4;
+
+/// Customer record: `[spent, reservations, pad, pad]`.
+const C_SPENT: u64 = 0;
+const C_COUNT: u64 = 1;
+const C_WORDS: usize = 4;
+
+/// Contention configuration, mirroring STAMP's `-n -q -u` knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct VacationCfg {
+    /// Rows per resource table (STAMP `-r`).
+    pub relations: u64,
+    /// Queries per reservation transaction (STAMP `-n`).
+    pub queries_per_tx: u64,
+    /// Percentage of the table the queries span (STAMP `-q`); smaller
+    /// span = hotter rows.
+    pub query_range_pct: u64,
+    /// Percentage of transactions that are reservations (STAMP `-u`).
+    pub user_pct: u64,
+    /// Modeled non-transactional think time between transactions (ns).
+    pub inter_tx_ns: u64,
+}
+
+impl VacationCfg {
+    /// STAMP "low contention" shape: few queries, wide span.
+    pub fn low(relations: u64) -> Self {
+        VacationCfg {
+            relations,
+            queries_per_tx: 2,
+            query_range_pct: 90,
+            user_pct: 98,
+            inter_tx_ns: 3_000,
+        }
+    }
+
+    /// STAMP "high contention" shape: more queries, narrow span.
+    pub fn high(relations: u64) -> Self {
+        VacationCfg {
+            relations,
+            queries_per_tx: 4,
+            query_range_pct: 10,
+            user_pct: 90,
+            inter_tx_ns: 3_000,
+        }
+    }
+}
+
+/// The Vacation workload.
+pub struct Vacation {
+    cfg: VacationCfg,
+    customers: u64,
+    tables: Option<[BpTree; 3]>,
+    cust: Option<PHashMap>,
+}
+
+impl Vacation {
+    pub fn new(cfg: VacationCfg) -> Self {
+        Vacation {
+            customers: cfg.relations / 4,
+            cfg,
+            tables: None,
+            cust: None,
+        }
+    }
+
+    pub fn cfg(&self) -> &VacationCfg {
+        &self.cfg
+    }
+
+    fn query_range(&self) -> u64 {
+        (self.cfg.relations * self.cfg.query_range_pct / 100).max(1)
+    }
+}
+
+impl Workload for Vacation {
+    fn name(&self) -> String {
+        format!(
+            "vacation-{}",
+            if self.cfg.query_range_pct <= 50 { "high" } else { "low" }
+        )
+    }
+
+    fn heap_words(&self) -> usize {
+        let rows = self.cfg.relations as usize;
+        (rows * 3 * (R_WORDS + 16) + self.customers as usize * (C_WORDS + 8) + (1 << 16))
+            .next_power_of_two()
+    }
+
+    fn setup(&mut self, th: &mut TxThread) {
+        let tables = [
+            th.run(BpTree::create),
+            th.run(BpTree::create),
+            th.run(BpTree::create),
+        ];
+        let cust = th.run(|tx| PHashMap::create(tx, self.customers as usize));
+        for (ti, t) in tables.iter().enumerate() {
+            for chunk in 0..self.cfg.relations.div_ceil(32) {
+                th.run(|tx| {
+                    for id in chunk * 32..((chunk + 1) * 32).min(self.cfg.relations) {
+                        let rec = tx.alloc(R_WORDS);
+                        tx.write_at(rec, R_AVAIL, 100)?;
+                        tx.write_at(rec, R_PRICE, 50 + (id * 7 + ti as u64 * 13) % 450)?;
+                        tx.write_at(rec, R_TOTAL, 100)?;
+                        t.insert(tx, id, rec.0)?;
+                    }
+                    Ok(())
+                });
+            }
+        }
+        for chunk in 0..self.customers.div_ceil(32) {
+            th.run(|tx| {
+                for c in chunk * 32..((chunk + 1) * 32).min(self.customers) {
+                    let rec = tx.alloc(C_WORDS);
+                    tx.write_at(rec, C_SPENT, 0)?;
+                    tx.write_at(rec, C_COUNT, 0)?;
+                    cust.insert(tx, c, rec.0)?;
+                }
+                Ok(())
+            });
+        }
+        self.tables = Some(tables);
+        self.cust = Some(cust);
+    }
+
+    fn op(&self, th: &mut TxThread, rng: &mut SmallRng, _tid: usize, _i: u64) {
+        let tables = self.tables.as_ref().expect("setup");
+        let cust = self.cust.expect("setup");
+        let roll = rng.gen_range(0..100);
+        let range = self.query_range();
+        if roll < self.cfg.user_pct {
+            // MAKE-RESERVATION: scan queries, reserve the cheapest
+            // available, bill the customer.
+            let queries: Vec<(usize, u64)> = (0..self.cfg.queries_per_tx)
+                .map(|_| (rng.gen_range(0..3usize), rng.gen_range(0..range)))
+                .collect();
+            let c = rng.gen_range(0..self.customers);
+            th.run(|tx| {
+                let mut best: Option<(PAddr, u64)> = None;
+                for &(t, id) in &queries {
+                    if let Some(rec) = tables[t].get(tx, id)? {
+                        let rec = PAddr(rec);
+                        let avail = tx.read_at(rec, R_AVAIL)?;
+                        let price = tx.read_at(rec, R_PRICE)?;
+                        if avail > 0 && best.is_none_or(|(_, bp)| price < bp) {
+                            best = Some((rec, price));
+                        }
+                    }
+                }
+                if let Some((rec, price)) = best {
+                    let avail = tx.read_at(rec, R_AVAIL)?;
+                    if avail > 0 {
+                        tx.write_at(rec, R_AVAIL, avail - 1)?;
+                        if let Some(crec) = cust.get(tx, c)? {
+                            let crec = PAddr(crec);
+                            let spent = tx.read_at(crec, C_SPENT)?;
+                            let cnt = tx.read_at(crec, C_COUNT)?;
+                            tx.write_at(crec, C_SPENT, spent + price)?;
+                            tx.write_at(crec, C_COUNT, cnt + 1)?;
+                        }
+                    }
+                }
+                Ok(())
+            });
+        } else if roll < self.cfg.user_pct + (100 - self.cfg.user_pct) / 2 {
+            // DELETE-CUSTOMER: zero the account.
+            let c = rng.gen_range(0..self.customers);
+            th.run(|tx| {
+                if let Some(crec) = cust.get(tx, c)? {
+                    let crec = PAddr(crec);
+                    tx.write_at(crec, C_SPENT, 0)?;
+                    tx.write_at(crec, C_COUNT, 0)?;
+                }
+                Ok(())
+            });
+        } else {
+            // UPDATE-TABLES: price/stock maintenance.
+            let updates: Vec<(usize, u64, bool)> = (0..self.cfg.queries_per_tx)
+                .map(|_| (rng.gen_range(0..3usize), rng.gen_range(0..range), rng.gen_bool(0.5)))
+                .collect();
+            th.run(|tx| {
+                for &(t, id, add) in &updates {
+                    if let Some(rec) = tables[t].get(tx, id)? {
+                        let rec = PAddr(rec);
+                        if add {
+                            let avail = tx.read_at(rec, R_AVAIL)?;
+                            tx.write_at(rec, R_AVAIL, avail + 100)?;
+                        } else {
+                            let price = tx.read_at(rec, R_PRICE)?;
+                            tx.write_at(rec, R_PRICE, 50 + (price + 37) % 450)?;
+                        }
+                    }
+                }
+                Ok(())
+            });
+        }
+        // The non-transactional slice of Vacation's loop.
+        th.session_mut().advance(self.cfg.inter_tx_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_scenario, RunConfig, Scenario};
+    use pmem_sim::{DurabilityDomain, MediaKind};
+    use ptm::Algo;
+
+    #[test]
+    fn low_and_high_contention_run() {
+        for cfg in [VacationCfg::low(512), VacationCfg::high(512)] {
+            let mut w = Vacation::new(cfg);
+            let sc = Scenario::new("v", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+            let rc = RunConfig {
+                threads: 2,
+                ops_per_thread: 100,
+                ..RunConfig::default()
+            };
+            let r = run_scenario(&mut w, &sc, &rc);
+            assert_eq!(r.ops, 200);
+            assert!(r.ptm.commits >= 200);
+        }
+    }
+
+    #[test]
+    fn reservations_never_oversell() {
+        // With 100% reservation transactions, the books must balance:
+        // units removed from resource tables == units billed to customers.
+        let mut cfg = VacationCfg::high(128);
+        cfg.user_pct = 100;
+        let mut w = Vacation::new(cfg);
+        let sc = Scenario::new("v", MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy);
+        let rc = RunConfig {
+            threads: 3,
+            ops_per_thread: 120,
+            ..RunConfig::default()
+        };
+        // Drive through the public driver, then inspect state.
+        // (run_scenario owns the machine, so re-derive the invariant via a
+        // dedicated manual run instead.)
+        let machine = pmem_sim::Machine::new(pmem_sim::MachineConfig {
+            domain: sc.domain,
+            model: rc.model.clone(),
+            track_persistence: false,
+            window_ns: rc.window_ns,
+        });
+        let heap = palloc::PHeap::format(&machine, "heap", w.heap_words(), 16);
+        let ptm = ptm::Ptm::new(ptm::PtmConfig {
+            algo: sc.algo,
+            heap_media: sc.heap_media,
+            ..ptm::PtmConfig::default()
+        });
+        machine.begin_run(1, u64::MAX);
+        {
+            let mut th = TxThread::new(ptm.clone(), heap.clone(), machine.session(0));
+            w.setup(&mut th);
+        }
+        machine.begin_run(rc.threads, u64::MAX);
+        std::thread::scope(|scope| {
+            for tid in 0..rc.threads {
+                let machine = std::sync::Arc::clone(&machine);
+                let ptm = std::sync::Arc::clone(&ptm);
+                let heap = std::sync::Arc::clone(&heap);
+                let w = &w;
+                scope.spawn(move || {
+                    use rand::SeedableRng;
+                    let mut th = TxThread::new(ptm, heap, machine.session(tid));
+                    let mut rng = SmallRng::seed_from_u64(tid as u64);
+                    for i in 0..120 {
+                        w.op(&mut th, &mut rng, tid, i);
+                    }
+                });
+            }
+        });
+        machine.begin_run(1, u64::MAX);
+        let mut th = TxThread::new(ptm, heap, machine.session(0));
+        let tables = *w.tables.as_ref().unwrap();
+        let cust = w.cust.unwrap();
+        let reserved: u64 = th.run(|tx| {
+            let mut sum = 0;
+            for t in &tables {
+                for (_, rec) in t.scan_all(tx)? {
+                    let rec = PAddr(rec);
+                    let avail = tx.read_at(rec, R_AVAIL)?;
+                    let total = tx.read_at(rec, R_TOTAL)?;
+                    assert!(avail <= total, "oversold: avail {avail} > total {total}");
+                    sum += total - avail;
+                }
+            }
+            Ok(sum)
+        });
+        let customer_side: u64 = th.run(|tx| {
+            let mut sum = 0;
+            for c in 0..w.customers {
+                if let Some(crec) = cust.get(tx, c)? {
+                    sum += tx.read_at(PAddr(crec), C_COUNT)?;
+                }
+            }
+            Ok(sum)
+        });
+        assert_eq!(
+            customer_side, reserved,
+            "units reserved in tables must equal units billed to customers"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! The paper's headline result in one screen: the same workload under
+//! ADR, eADR, PDRAM and PDRAM-Lite, plus the DRAM baseline.
+//!
+//! ```text
+//! cargo run --release --example durability_domains
+//! ```
+//!
+//! Runs a small TPCC burst under each durability domain and prints
+//! virtual-time throughput plus the flush/fence counts that explain the
+//! differences (ADR pays per-line `clwb` and `sfence`; the others don't).
+
+use optane_ptm::pmem_sim::{DurabilityDomain, MediaKind};
+use optane_ptm::ptm::Algo;
+use optane_ptm::workloads::driver::{run_scenario, RunConfig, Scenario};
+use optane_ptm::workloads::{IndexKind, Tpcc};
+
+fn main() {
+    let scenarios = [
+        Scenario::new("DRAM (volatile)", MediaKind::Dram, DurabilityDomain::Eadr, Algo::RedoLazy),
+        Scenario::new("Optane ADR", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy),
+        Scenario::new("Optane eADR", MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy),
+        Scenario::new("PDRAM", MediaKind::Optane, DurabilityDomain::Pdram, Algo::RedoLazy),
+        Scenario::new("PDRAM-Lite", MediaKind::Optane, DurabilityDomain::PdramLite, Algo::RedoLazy),
+    ];
+    let rc = RunConfig {
+        threads: 4,
+        ops_per_thread: 400,
+        ..RunConfig::default()
+    };
+    println!(
+        "{:<16} {:>12} {:>10} {:>10} {:>14}",
+        "domain", "Mtx/s(virt)", "clwbs", "sfences", "fence_wait_us"
+    );
+    let mut baseline = None;
+    for sc in &scenarios {
+        let mut w = Tpcc::new(IndexKind::Hash, 4, rc.threads as u64 * rc.ops_per_thread);
+        let r = run_scenario(&mut w, sc, &rc);
+        let mops = r.throughput_mops();
+        baseline.get_or_insert(mops);
+        println!(
+            "{:<16} {:>12.3} {:>10} {:>10} {:>14}",
+            sc.label,
+            mops,
+            r.mem.clwbs,
+            r.mem.sfences,
+            r.mem.fence_wait_ns / 1_000
+        );
+    }
+    println!("\n(The paper's finding: ADR pays explicit flushes+fences; eADR elides them;");
+    println!(" PDRAM additionally serves persistent pages at DRAM latency and nearly");
+    println!(" closes the gap to the volatile DRAM baseline.)");
+}

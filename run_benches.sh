@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper into results/.
+set -u
+cd /root/repo
+for bin in fig3 fig4 fig6 fig7 table1 table2 table3 fig8 ablation_log_split ablation_flush_timing ablation_lite_budget ablation_orec ablation_htm ablation_window ablation_index memstats latency; do
+  echo "=== $bin start $(date +%T) ==="
+  cargo run -q --release -p bench --bin $bin > results/$bin.csv 2> results/$bin.log
+  echo "=== $bin done  $(date +%T) (rc=$?) ==="
+done
+echo ALL_BENCHES_DONE

@@ -1,0 +1,22 @@
+//! # optane-ptm
+//!
+//! Umbrella crate for the reproduction of Zardoshti et al., *Understanding
+//! and Improving Persistent Transactions on Optane™ DC Memory* (IPDPS 2020).
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! use one coherent namespace:
+//!
+//! * [`pmem_sim`] — the simulated Optane substrate (latency model, virtual
+//!   time, durability domains, crash simulation);
+//! * [`palloc`] — the Makalu-style persistent allocator;
+//! * [`ptm`] — the persistent transactional memory runtime (orec-lazy redo
+//!   and orec-eager undo);
+//! * [`pstructs`] — persistent data structures built on `ptm`;
+//! * [`workloads`] — the paper's five benchmark applications and the
+//!   virtual-thread measurement driver.
+
+pub use palloc;
+pub use pmem_sim;
+pub use pstructs;
+pub use ptm;
+pub use workloads;

@@ -1,0 +1,202 @@
+//! Durability of committed data across crash + recovery + heap re-attach
+//! for the persistent data structures, under every durability domain and
+//! many adversarial seeds.
+
+use optane_ptm::palloc::PHeap;
+use optane_ptm::pmem_sim::{DurabilityDomain, Machine, MachineConfig};
+use optane_ptm::pstructs::{BpTree, PHashMap, PList, PQueue};
+use optane_ptm::ptm::{recover, Algo, Ptm, PtmConfig, TxThread};
+use std::sync::Arc;
+
+fn cfg_for(algo: Algo) -> PtmConfig {
+    PtmConfig {
+        algo,
+        ..PtmConfig::default()
+    }
+}
+
+fn machine(domain: DurabilityDomain) -> Arc<Machine> {
+    Machine::new(MachineConfig {
+        domain,
+        track_persistence: true,
+        ..MachineConfig::default()
+    })
+}
+
+fn crash_recover(m: &Arc<Machine>, heap: &Arc<PHeap>, seed: u64) -> (Arc<Machine>, Arc<PHeap>) {
+    let domain = m.domain();
+    let image = m.crash(seed);
+    let m2 = Machine::reboot(
+        &image,
+        MachineConfig {
+            domain,
+            track_persistence: true,
+            ..MachineConfig::default()
+        },
+    );
+    recover(&m2);
+    let (heap2, _gc) = PHeap::attach(m2.pool(heap.pool().id())).expect("attach");
+    (m2, heap2)
+}
+
+#[test]
+fn btree_committed_keys_survive_every_domain() {
+    for domain in [
+        DurabilityDomain::Adr,
+        DurabilityDomain::Eadr,
+        DurabilityDomain::Pdram,
+        DurabilityDomain::PdramLite,
+    ] {
+        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+            let m = machine(domain);
+            let heap = PHeap::format(&m, "h", 1 << 16, 4);
+            let ptm = Ptm::new(cfg_for(algo));
+            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+            let tree = th.run(BpTree::create);
+            heap.set_root(th.session_mut(), 0, tree.header());
+            for k in 0..150u64 {
+                th.run(|tx| tree.insert(tx, k * 7, k).map(|_| ()));
+            }
+            // Also remove some (removal must be durable too).
+            for k in 0..30u64 {
+                th.run(|tx| tree.remove(tx, k * 7 * 5).map(|_| ()));
+            }
+            for seed in [0u64, 3, 9] {
+                let (m2, heap2) = crash_recover(&m, &heap, seed);
+                let ptm2 = Ptm::new(cfg_for(algo));
+                let mut th2 = TxThread::new(ptm2, heap2.clone(), m2.session(0));
+                let tree2 = BpTree::from_header(heap2.root_raw(0));
+                for k in 0..150u64 {
+                    let removed = k % 5 == 0 && k / 5 < 30;
+                    let expect = if removed { None } else { Some(k) };
+                    let got = th2.run(|tx| tree2.get(tx, k * 7));
+                    assert_eq!(got, expect, "{domain:?}/{algo:?} seed {seed} key {}", k * 7);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hashmap_and_list_and_queue_survive() {
+    let m = machine(DurabilityDomain::Adr);
+    let heap = PHeap::format(&m, "h", 1 << 16, 4);
+    let ptm = Ptm::new(cfg_for(Algo::RedoLazy));
+    let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+    let map = th.run(|tx| PHashMap::create(tx, 64));
+    let list = th.run(PList::create);
+    let queue = th.run(PQueue::create);
+    heap.set_root(th.session_mut(), 0, map.header());
+    heap.set_root(th.session_mut(), 1, list.header());
+    heap.set_root(th.session_mut(), 2, queue.header());
+    for k in 0..60u64 {
+        th.run(|tx| map.insert(tx, k, k + 1).map(|_| ()));
+        th.run(|tx| list.insert(tx, k * 2).map(|_| ()));
+        th.run(|tx| queue.enqueue(tx, k));
+    }
+    th.run(|tx| queue.dequeue(tx)); // head moves to 1
+    for seed in 0..6u64 {
+        let (m2, heap2) = crash_recover(&m, &heap, seed);
+        let ptm2 = Ptm::new(cfg_for(Algo::RedoLazy));
+        let mut th2 = TxThread::new(ptm2, heap2.clone(), m2.session(0));
+        let map2 = PHashMap::from_header(heap2.root_raw(0));
+        let list2 = PList::from_header(heap2.root_raw(1));
+        let queue2 = PQueue::from_header(heap2.root_raw(2));
+        assert_eq!(th2.run(|tx| map2.len(tx)), 60);
+        assert_eq!(th2.run(|tx| map2.get(tx, 31)), Some(32));
+        assert!(th2.run(|tx| list2.contains(tx, 58)));
+        assert_eq!(th2.run(|tx| list2.len(tx)), 60);
+        assert_eq!(th2.run(|tx| queue2.len(tx)), 59);
+        assert_eq!(th2.run(|tx| queue2.dequeue(tx)), Some(1), "seed {seed}");
+    }
+}
+
+#[test]
+fn double_crash_is_idempotent() {
+    // Crash, recover, crash again immediately, recover again: state stable.
+    let m = machine(DurabilityDomain::Adr);
+    let heap = PHeap::format(&m, "h", 1 << 14, 4);
+    let ptm = Ptm::new(cfg_for(Algo::UndoEager));
+    let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+    let map = th.run(|tx| PHashMap::create(tx, 32));
+    heap.set_root(th.session_mut(), 0, map.header());
+    for k in 0..40u64 {
+        th.run(|tx| map.insert(tx, k, !k).map(|_| ()));
+    }
+    let (m2, heap2) = crash_recover(&m, &heap, 1);
+    let (m3, heap3) = crash_recover(&m2, &heap2, 2);
+    let ptm3 = Ptm::new(cfg_for(Algo::UndoEager));
+    let mut th3 = TxThread::new(ptm3, heap3.clone(), m3.session(0));
+    let map3 = PHashMap::from_header(heap3.root_raw(0));
+    for k in 0..40u64 {
+        assert_eq!(th3.run(|tx| map3.get(tx, k)), Some(!k));
+    }
+}
+
+#[test]
+fn work_continues_after_recovery() {
+    // The recovered heap is fully usable: allocate, mutate, crash again.
+    let m = machine(DurabilityDomain::Adr);
+    let heap = PHeap::format(&m, "h", 1 << 15, 4);
+    let ptm = Ptm::new(cfg_for(Algo::RedoLazy));
+    let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+    let tree = th.run(BpTree::create);
+    heap.set_root(th.session_mut(), 0, tree.header());
+    for k in 0..50u64 {
+        th.run(|tx| tree.insert(tx, k, k).map(|_| ()));
+    }
+    let (m2, heap2) = crash_recover(&m, &heap, 5);
+    let ptm2 = Ptm::new(cfg_for(Algo::RedoLazy));
+    let mut th2 = TxThread::new(ptm2, heap2.clone(), m2.session(0));
+    let tree2 = BpTree::from_header(heap2.root_raw(0));
+    for k in 50..100u64 {
+        th2.run(|tx| tree2.insert(tx, k, k).map(|_| ()));
+    }
+    let (m3, heap3) = crash_recover(&m2, &heap2, 6);
+    let ptm3 = Ptm::new(cfg_for(Algo::RedoLazy));
+    let mut th3 = TxThread::new(ptm3, heap3.clone(), m3.session(0));
+    let tree3 = BpTree::from_header(heap3.root_raw(0));
+    assert_eq!(th3.run(|tx| tree3.len(tx)), 100);
+    for k in 0..100u64 {
+        assert_eq!(th3.run(|tx| tree3.get(tx, k)), Some(k));
+    }
+}
+
+#[test]
+fn skiplist_pvec_blob_survive_crashes() {
+    use optane_ptm::pstructs::{PBlob, PSkipList, PVec};
+    let m = machine(DurabilityDomain::Adr);
+    let heap = PHeap::format(&m, "h", 1 << 16, 6);
+    let ptm = Ptm::new(cfg_for(Algo::RedoLazy));
+    let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+    let sl = th.run(PSkipList::create);
+    let v = th.run(PVec::create);
+    heap.set_root(th.session_mut(), 0, sl.header());
+    heap.set_root(th.session_mut(), 1, v.header());
+    for k in 0..80u64 {
+        th.run(|tx| sl.insert(tx, k * 3, k).map(|_| ()));
+        th.run(|tx| v.push(tx, k * k));
+    }
+    // A blob anchored through the skip list.
+    let payload = b"crash-proof payload \xF0\x9F\x92\xBE".to_vec();
+    let pl = payload.clone();
+    th.run(|tx| {
+        let blob = PBlob::create(tx, &pl)?;
+        sl.insert(tx, 1_000_000, blob.addr().0)?;
+        Ok(())
+    });
+    for seed in [0u64, 4, 17] {
+        let (m2, heap2) = crash_recover(&m, &heap, seed);
+        let ptm2 = Ptm::new(cfg_for(Algo::RedoLazy));
+        let mut th2 = TxThread::new(ptm2, heap2.clone(), m2.session(0));
+        let sl2 = PSkipList::from_header(heap2.root_raw(0));
+        let v2 = PVec::from_header(heap2.root_raw(1));
+        for k in 0..80u64 {
+            assert_eq!(th2.run(|tx| sl2.get(tx, k * 3)), Some(k), "seed {seed}");
+            assert_eq!(th2.run(|tx| v2.get(tx, k)), k * k);
+        }
+        let blob_addr = th2.run(|tx| sl2.get(tx, 1_000_000)).unwrap();
+        let blob = PBlob::from_addr(optane_ptm::pmem_sim::PAddr(blob_addr));
+        assert_eq!(th2.run(|tx| blob.read(tx)), payload);
+    }
+}

@@ -1,0 +1,161 @@
+//! The durability-domain semantics matrix, exercised end to end at the
+//! session level: for each domain, which stores survive a crash, and at
+//! what cost. This is the contract every layer above (allocator, PTM,
+//! containers) is built on.
+
+use optane_ptm::pmem_sim::{
+    DurabilityDomain, LatencyModel, Machine, MachineConfig, MediaKind, PersistenceClass,
+};
+use std::sync::Arc;
+
+fn machine(domain: DurabilityDomain) -> Arc<Machine> {
+    Machine::new(MachineConfig {
+        domain,
+        track_persistence: true,
+        window_ns: u64::MAX,
+        ..MachineConfig::default()
+    })
+}
+
+/// One scripted history: three stores with different persistence effort.
+/// Returns the surviving values of the three words across many seeds as
+/// (always, sometimes, never) classification per word.
+fn survival_profile(domain: DurabilityDomain) -> [&'static str; 3] {
+    let m = machine(domain);
+    let p = m.alloc_pool("o", 64, MediaKind::Optane);
+    let mut s = m.session(0);
+    // word 0: store + clwb + sfence (full ADR discipline)
+    s.store(p.addr(0), 1);
+    s.clwb(p.addr(0));
+    s.sfence();
+    // word 8: store + clwb, NO fence
+    s.store(p.addr(8), 2);
+    s.clwb(p.addr(8));
+    // word 16: bare store
+    s.store(p.addr(16), 3);
+
+    let mut kept = [0u32; 3];
+    let seeds: u32 = 48;
+    for seed in 0..seeds {
+        let img = m.crash(seed.into());
+        for (i, (w, v)) in [(0u64, 1u64), (8, 2), (16, 3)].iter().enumerate() {
+            if img.pools[0].words[*w as usize] == *v {
+                kept[i] += 1;
+            }
+        }
+    }
+    kept.map(|k| {
+        if k == seeds {
+            "always"
+        } else if k == 0 {
+            "never"
+        } else {
+            "sometimes"
+        }
+    })
+}
+
+#[test]
+fn adr_guarantees_exactly_flush_plus_fence() {
+    let [fenced, flushed, bare] = survival_profile(DurabilityDomain::Adr);
+    assert_eq!(fenced, "always", "clwb+sfence is the ADR guarantee");
+    assert_eq!(flushed, "sometimes", "clwb without fence is in flight");
+    assert_eq!(bare, "sometimes", "a bare store may have been evicted");
+}
+
+#[test]
+fn eadr_class_domains_guarantee_cache_visibility() {
+    for domain in [
+        DurabilityDomain::Eadr,
+        DurabilityDomain::Pdram,
+        DurabilityDomain::PdramLite,
+    ] {
+        let profile = survival_profile(domain);
+        assert_eq!(
+            profile,
+            ["always", "always", "always"],
+            "{domain:?}: every cache-visible store survives"
+        );
+    }
+}
+
+#[test]
+fn no_power_reserve_guarantees_nothing() {
+    let [fenced, flushed, bare] = survival_profile(DurabilityDomain::NoPowerReserve);
+    assert_eq!(fenced, "sometimes", "even flush+fence may sit in a lost WPQ");
+    assert_eq!(flushed, "sometimes");
+    assert_eq!(bare, "sometimes");
+}
+
+#[test]
+fn dram_pools_never_survive_any_domain() {
+    for domain in DurabilityDomain::ALL {
+        let m = machine(domain);
+        let p = m.alloc_pool("d", 64, MediaKind::Dram);
+        let mut s = m.session(0);
+        s.store(p.addr(0), 9);
+        s.clwb(p.addr(0));
+        s.sfence();
+        let img = m.crash(1);
+        assert_eq!(img.pools[0].words[0], 0, "{domain:?}");
+    }
+}
+
+#[test]
+fn persistence_costs_rank_as_the_paper_says() {
+    // Same instruction sequence, per-domain cost ordering:
+    // ADR > eADR ≈ PDRAM-normal-pool; PDRAM serves loads at DRAM speed.
+    let cost = |domain: DurabilityDomain, class: PersistenceClass| {
+        let m = machine(domain);
+        let p = m.alloc_pool_with_class("o", 1 << 12, MediaKind::Optane, class);
+        let mut s = m.session(0);
+        // Hot lines (L3-resident), so persistence instructions — not
+        // miss latency — dominate the difference, as in a warmed-up PTM
+        // log region.
+        for i in 0..64u64 {
+            let a = p.addr((i % 4) * 8);
+            s.store(a, i);
+            s.clwb(a);
+            s.sfence();
+            let _ = s.load(a);
+        }
+        s.now()
+    };
+    let adr = cost(DurabilityDomain::Adr, PersistenceClass::Normal);
+    let eadr = cost(DurabilityDomain::Eadr, PersistenceClass::Normal);
+    let pdram = cost(DurabilityDomain::Pdram, PersistenceClass::Normal);
+    assert!(adr > 2 * eadr, "flushes+fences dominate: adr={adr} eadr={eadr}");
+    assert!(pdram <= eadr, "pdram={pdram} must not exceed eadr={eadr}");
+}
+
+#[test]
+fn pdram_lite_class_is_the_only_accelerated_pool_under_lite() {
+    let m = machine(DurabilityDomain::PdramLite);
+    let lite = m.alloc_pool_with_class("lite", 1 << 12, MediaKind::Optane, PersistenceClass::PdramLite);
+    let normal = m.alloc_pool("normal", 1 << 12, MediaKind::Optane);
+    let mut s = m.session(0);
+    // Cold loads, distinct lines: lite pays DRAM, normal pays Optane.
+    let t0 = s.now();
+    for i in 0..32u64 {
+        s.load(lite.addr(i * 8));
+    }
+    let lite_cost = s.now() - t0;
+    let t1 = s.now();
+    for i in 0..32u64 {
+        s.load(normal.addr(i * 8));
+    }
+    let normal_cost = s.now() - t1;
+    // Lite cold misses also fill the DRAM cache (Optane fetch), so probe
+    // again warm:
+    let t2 = s.now();
+    m.clear_l3();
+    for i in 0..32u64 {
+        s.load(lite.addr(i * 8));
+    }
+    let lite_warm = s.now() - t2;
+    assert!(lite_warm < normal_cost / 2, "warm lite {lite_warm} vs optane {normal_cost}");
+    let _ = lite_cost;
+    // And a model-consistency check: the latency model itself says so.
+    let model = LatencyModel::default();
+    assert!(model.dram_load_ns * 2 < model.optane_load_ns);
+}

@@ -1,0 +1,112 @@
+//! Cross-crate Makalu-style leak recovery: blocks allocated by
+//! transactions that never committed (or that leaked because the crash
+//! hit between allocation and linking) are reclaimed by the attach-time
+//! GC, while everything reachable stays allocated.
+
+use optane_ptm::palloc::PHeap;
+use optane_ptm::pmem_sim::{DurabilityDomain, Machine, MachineConfig};
+use optane_ptm::pstructs::BpTree;
+use optane_ptm::ptm::{recover, Ptm, PtmConfig, TxThread};
+use std::sync::Arc;
+
+fn machine() -> Arc<Machine> {
+    Machine::new(MachineConfig {
+        domain: DurabilityDomain::Eadr,
+        track_persistence: true,
+        ..MachineConfig::default()
+    })
+}
+
+#[test]
+fn tree_nodes_stay_live_and_raw_leaks_are_reclaimed() {
+    let m = machine();
+    let heap = PHeap::format(&m, "h", 1 << 16, 4);
+    let ptm = Ptm::new(PtmConfig::redo());
+    let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+    let tree = th.run(BpTree::create);
+    heap.set_root(th.session_mut(), 0, tree.header());
+    for k in 0..200u64 {
+        th.run(|tx| tree.insert(tx, k, k).map(|_| ()));
+    }
+    // Deliberately leak blocks: allocated non-transactionally, never
+    // linked anywhere (models a crash between alloc and link).
+    let h = Arc::clone(&heap);
+    for _ in 0..10 {
+        let _leak = h.alloc(th.session_mut(), 16);
+    }
+    let image = m.crash(0);
+    let m2 = Machine::reboot(
+        &image,
+        MachineConfig {
+            domain: DurabilityDomain::Eadr,
+            track_persistence: true,
+            ..MachineConfig::default()
+        },
+    );
+    recover(&m2);
+    let (heap2, gc) = PHeap::attach(m2.pool(heap.pool().id())).expect("attach");
+    assert_eq!(gc.leaked_blocks, 10, "exactly the raw leaks are reclaimed");
+    assert!(gc.live_blocks > 10, "tree nodes stay live");
+    // The tree is intact and the reclaimed space is reusable.
+    let ptm2 = Ptm::new(PtmConfig::redo());
+    let mut th2 = TxThread::new(ptm2, heap2.clone(), m2.session(0));
+    let tree2 = BpTree::from_header(heap2.root_raw(0));
+    assert_eq!(th2.run(|tx| tree2.len(tx)), 200);
+    assert!(heap2.free_blocks() >= 10);
+}
+
+#[test]
+fn unreferenced_subtree_is_collected_after_root_clear() {
+    // Clearing a root makes an entire structure garbage; attach reclaims
+    // every node of it.
+    let m = machine();
+    let heap = PHeap::format(&m, "h", 1 << 16, 4);
+    let ptm = Ptm::new(PtmConfig::redo());
+    let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+    let tree = th.run(BpTree::create);
+    heap.set_root(th.session_mut(), 0, tree.header());
+    for k in 0..100u64 {
+        th.run(|tx| tree.insert(tx, k, k).map(|_| ()));
+    }
+    heap.set_root(th.session_mut(), 0, optane_ptm::pmem_sim::PAddr::NULL);
+    let image = m.crash(1);
+    let m2 = Machine::reboot(
+        &image,
+        MachineConfig {
+            domain: DurabilityDomain::Eadr,
+            track_persistence: true,
+            ..MachineConfig::default()
+        },
+    );
+    recover(&m2);
+    let (_heap2, gc) = PHeap::attach(m2.pool(heap.pool().id())).expect("attach");
+    assert_eq!(gc.live_blocks, 0);
+    assert!(gc.reclaimed_blocks > 8, "all tree nodes collected");
+}
+
+#[test]
+fn log_pools_do_not_confuse_heap_gc() {
+    // The PTM's log pools live beside the heap pool; attach must only
+    // scan the heap pool and succeed regardless.
+    let m = machine();
+    let heap = PHeap::format(&m, "h", 1 << 14, 4);
+    let ptm = Ptm::new(PtmConfig::undo());
+    let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+    let h = Arc::clone(&heap);
+    let a = h.alloc(th.session_mut(), 8);
+    th.run(|tx| tx.write(a, 9));
+    heap.set_root(th.session_mut(), 0, a);
+    let image = m.crash(2);
+    let m2 = Machine::reboot(
+        &image,
+        MachineConfig {
+            domain: DurabilityDomain::Eadr,
+            track_persistence: true,
+            ..MachineConfig::default()
+        },
+    );
+    recover(&m2);
+    let (heap2, gc) = PHeap::attach(m2.pool(heap.pool().id())).expect("attach");
+    assert_eq!(gc.live_blocks, 1);
+    assert_eq!(heap2.pool().raw_load(a.word()), 9);
+}

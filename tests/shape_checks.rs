@@ -1,0 +1,264 @@
+//! Cheap, qualitative versions of the paper's findings, asserted as
+//! tests: who wins, in which direction, under which domain. These are the
+//! claims the full benchmark binaries regenerate at scale (see
+//! EXPERIMENTS.md); here they run in seconds at reduced op counts.
+
+use optane_ptm::pmem_sim::{DurabilityDomain, MediaKind};
+use optane_ptm::ptm::Algo;
+use optane_ptm::workloads::driver::{run_scenario, RunConfig, Scenario};
+use optane_ptm::workloads::{IndexKind, KvStore, Tatp, Tpcc, Workload};
+
+fn rc(threads: usize, ops: u64) -> RunConfig {
+    RunConfig {
+        threads,
+        ops_per_thread: ops,
+        seed: 1234,
+        ..RunConfig::default()
+    }
+}
+
+fn tpcc() -> Tpcc {
+    Tpcc::new(IndexKind::Hash, 4, 4_000)
+}
+
+fn mops(w: &mut dyn Workload, sc: &Scenario, c: &RunConfig) -> f64 {
+    struct Dyn<'a>(&'a mut dyn Workload);
+    impl Workload for Dyn<'_> {
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn heap_words(&self) -> usize {
+            self.0.heap_words()
+        }
+        fn setup(&mut self, th: &mut optane_ptm::ptm::TxThread) {
+            self.0.setup(th)
+        }
+        fn op(
+            &self,
+            th: &mut optane_ptm::ptm::TxThread,
+            rng: &mut rand::rngs::SmallRng,
+            tid: usize,
+            i: u64,
+        ) {
+            self.0.op(th, rng, tid, i)
+        }
+    }
+    run_scenario(&mut Dyn(w), sc, c).throughput_mops()
+}
+
+fn sc(media: MediaKind, domain: DurabilityDomain, algo: Algo) -> Scenario {
+    Scenario::new("s", media, domain, algo)
+}
+
+#[test]
+fn eadr_beats_adr_on_optane() {
+    // §III-C: "eADR provides substantial performance gains".
+    let c = rc(2, 400);
+    let adr = mops(&mut tpcc(), &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy), &c);
+    let eadr = mops(&mut tpcc(), &sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy), &c);
+    assert!(eadr > 1.5 * adr, "eADR {eadr} should clearly beat ADR {adr}");
+}
+
+#[test]
+fn dram_beats_optane_same_domain() {
+    // §III-B: Optane performance is below DRAM.
+    let c = rc(2, 400);
+    for domain in [DurabilityDomain::Adr, DurabilityDomain::Eadr] {
+        let d = mops(&mut tpcc(), &sc(MediaKind::Dram, domain, Algo::RedoLazy), &c);
+        let o = mops(&mut tpcc(), &sc(MediaKind::Optane, domain, Algo::RedoLazy), &c);
+        assert!(d > o, "{domain:?}: DRAM {d} must beat Optane {o}");
+    }
+}
+
+#[test]
+fn redo_beats_undo_on_tpcc_under_adr() {
+    // §III-B: "in almost every case, redo logging outperforms undo".
+    let c = rc(2, 400);
+    let r = mops(&mut tpcc(), &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy), &c);
+    let u = mops(&mut tpcc(), &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::UndoEager), &c);
+    assert!(r > u, "redo {r} must beat undo {u} on a write-heavy workload");
+}
+
+#[test]
+fn tatp_is_the_undo_outlier() {
+    // §III-B: TATP's tiny write sets make undo competitive (the paper's
+    // only outlier). Competitive = within 25% or better.
+    let c = rc(2, 500);
+    let mut w1 = Tatp::new(600);
+    let r = mops(&mut w1, &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy), &c);
+    let mut w2 = Tatp::new(600);
+    let u = mops(&mut w2, &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::UndoEager), &c);
+    assert!(u > 0.75 * r, "undo {u} must be competitive with redo {r} on TATP");
+}
+
+#[test]
+fn pdram_closes_most_of_the_gap_to_dram() {
+    // §IV-D: "PDRAM matches DRAM performance up until Optane scalability
+    // bottlenecks occur"; at low thread counts it should be close. Use a
+    // miss-heavy workload (KV store beyond the L3) so the media latency
+    // actually shows; the TPCC working set at test scale is L3-resident,
+    // where the domains are indistinguishable by design.
+    let mk = || KvStore::new(16 << 10); // 16 MB values, 4 MB L3, 64 MB DRAM cache
+    let c = rc(2, 300);
+    let dram = mops(&mut mk(), &sc(MediaKind::Dram, DurabilityDomain::Eadr, Algo::RedoLazy), &c);
+    let eadr = mops(&mut mk(), &sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy), &c);
+    let pdram = mops(&mut mk(), &sc(MediaKind::Optane, DurabilityDomain::Pdram, Algo::RedoLazy), &c);
+    assert!(
+        pdram > 1.2 * eadr,
+        "PDRAM {pdram} must clearly beat eADR {eadr} on a miss-heavy workload"
+    );
+    assert!(
+        pdram > 0.6 * dram,
+        "PDRAM {pdram} should close most of the gap to DRAM {dram}"
+    );
+}
+
+#[test]
+fn pdram_lite_at_least_matches_eadr_redo() {
+    // §IV-D: "PDRAM-Lite outperforms eADR in every case, but the gains
+    // are marginal for all but TATP and TPCC".
+    let c = rc(2, 500);
+    let mut w1 = Tatp::new(600);
+    let eadr = mops(&mut w1, &sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy), &c);
+    let mut w2 = Tatp::new(600);
+    let lite = mops(
+        &mut w2,
+        &sc(MediaKind::Optane, DurabilityDomain::PdramLite, Algo::RedoLazy),
+        &c,
+    );
+    assert!(
+        lite > 0.95 * eadr,
+        "PDRAM-Lite {lite} must be at least eADR {eadr} (minus noise)"
+    );
+}
+
+#[test]
+fn fence_elision_speeds_up_adr() {
+    // Table III: removing fences (incorrectly) buys measurable speedup.
+    let c = rc(2, 400);
+    let (correct, elided) = Scenario::fence_elision_pair(Algo::UndoEager);
+    let base = mops(&mut tpcc(), &correct, &c);
+    let fast = mops(&mut tpcc(), &elided, &c);
+    assert!(
+        fast > 1.03 * base,
+        "fence elision ({fast}) must beat correct ADR ({base})"
+    );
+}
+
+#[test]
+fn commit_abort_ratio_declines_with_threads() {
+    // Tables I/II trend: more threads => lower commits-per-abort.
+    let mut w = tpcc();
+    let s = sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+    struct D<'a>(&'a mut Tpcc);
+    impl Workload for D<'_> {
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn heap_words(&self) -> usize {
+            self.0.heap_words()
+        }
+        fn setup(&mut self, th: &mut optane_ptm::ptm::TxThread) {
+            self.0.setup(th)
+        }
+        fn op(
+            &self,
+            th: &mut optane_ptm::ptm::TxThread,
+            rng: &mut rand::rngs::SmallRng,
+            tid: usize,
+            i: u64,
+        ) {
+            self.0.op(th, rng, tid, i)
+        }
+    }
+    let low = run_scenario(&mut D(&mut w), &s, &rc(2, 600));
+    let mut w2 = tpcc();
+    let high = run_scenario(&mut D(&mut w2), &s, &rc(8, 600));
+    let (rl, rh) = (low.commit_abort_ratio(), high.commit_abort_ratio());
+    assert!(
+        rh < rl || rl.is_infinite(),
+        "ratio must decline with threads: 2t={rl} 8t={rh}"
+    );
+    assert!(high.ptm.aborts > 0, "8 threads on 4 warehouses must conflict");
+}
+
+#[test]
+fn kvstore_working_set_regimes() {
+    // Fig. 8: L3-resident beats media-resident; and for PDRAM, a working
+    // set beyond the DRAM cache falls back toward Optane speed.
+    let model = optane_ptm::pmem_sim::LatencyModel {
+        l3_bytes: 1 << 20,            // 1 MB
+        dram_cache_bytes: 8 << 20,    // 8 MB
+        ..optane_ptm::pmem_sim::LatencyModel::default()
+    };
+    let c = RunConfig {
+        threads: 1,
+        ops_per_thread: 250,
+        model: model.clone(),
+        ..RunConfig::default()
+    };
+    let run = |items: u64, domain| {
+        let mut w = KvStore::new(items);
+        mops(&mut w, &sc(MediaKind::Optane, domain, Algo::RedoLazy), &c)
+    };
+    let small_eadr = run(256, DurabilityDomain::Eadr); // 256 KB, fits L3
+    let big_eadr = run(16 << 10, DurabilityDomain::Eadr); // 16 MB
+    assert!(small_eadr > 1.5 * big_eadr, "L3 cliff: {small_eadr} vs {big_eadr}");
+    let mid_pdram = run(4 << 10, DurabilityDomain::Pdram); // 4 MB: fits DRAM cache
+    let big_pdram = run(16 << 10, DurabilityDomain::Pdram); // 16 MB: exceeds it
+    assert!(
+        mid_pdram > 1.2 * big_pdram,
+        "DRAM-cache cliff for PDRAM: {mid_pdram} vs {big_pdram}"
+    );
+}
+
+#[test]
+fn write_sets_are_small_enough_for_pdram_lite() {
+    // §IV-B sizing argument: "the Vacation benchmark never requires more
+    // than 37 contiguous cache lines for its redo log. TPCC (Hash Table)
+    // requires at most 36." Our log entries are 4 words (2 per line);
+    // verify the same order of magnitude, which is what justifies a
+    // handful-of-pages PDRAM-Lite budget.
+    use optane_ptm::workloads::{Vacation, VacationCfg};
+    let c = rc(2, 400);
+    let s = sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy);
+
+    struct D<'a>(&'a mut dyn Workload);
+    impl Workload for D<'_> {
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn heap_words(&self) -> usize {
+            self.0.heap_words()
+        }
+        fn setup(&mut self, th: &mut optane_ptm::ptm::TxThread) {
+            self.0.setup(th)
+        }
+        fn op(
+            &self,
+            th: &mut optane_ptm::ptm::TxThread,
+            rng: &mut rand::rngs::SmallRng,
+            tid: usize,
+            i: u64,
+        ) {
+            self.0.op(th, rng, tid, i)
+        }
+    }
+
+    let mut vac = Vacation::new(VacationCfg::high(512));
+    let r = run_scenario(&mut D(&mut vac), &s, &c);
+    let vac_lines = r.ptm.max_write_entries.div_ceil(2);
+    assert!(
+        vac_lines <= 40,
+        "Vacation redo log must stay within tens of lines, got {vac_lines}"
+    );
+
+    let mut t = tpcc();
+    let r = run_scenario(&mut D(&mut t), &s, &c);
+    let tpcc_lines = r.ptm.max_write_entries.div_ceil(2);
+    assert!(
+        tpcc_lines <= 60,
+        "TPCC redo log must stay within tens of lines, got {tpcc_lines}"
+    );
+    assert!(tpcc_lines >= 10, "TPCC transactions do write substantially");
+}
