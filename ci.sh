@@ -1,0 +1,19 @@
+#!/bin/bash
+# CI gate: formatting, lints, the full test suite, and a smoke run of the
+# phase profiler. Everything must pass for a change to land.
+set -eu
+cd "$(dirname "$0")"
+
+echo "=== fmt ==="
+cargo fmt --check
+
+echo "=== clippy ==="
+cargo clippy --workspace -- -D warnings
+
+echo "=== test ==="
+cargo test -q
+
+echo "=== phase_profile smoke ==="
+cargo run -q --release -p bench --bin phase_profile -- --threads 1 --ops 200 > /dev/null
+
+echo CI_OK

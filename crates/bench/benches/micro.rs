@@ -1,9 +1,14 @@
-//! Criterion microbenchmarks of the runtime's hot paths (real wall time,
+//! Wall-time microbenchmarks of the runtime's hot paths (real wall time,
 //! not virtual time): orec operations, the transaction-local map, session
 //! access costs, single transactions end to end, and B+Tree operations.
+//!
+//! Self-contained harness (`harness = false`): criterion is unavailable
+//! offline. Each benchmark runs a short warmup, then timed batches, and
+//! reports the median per-iteration time. Run with
+//! `cargo bench -p bench` or `cargo bench -p bench -- <filter>`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use palloc::PHeap;
 use pmem_sim::{DurabilityDomain, Machine, MachineConfig, MediaKind, PAddr, PoolId};
@@ -11,34 +16,35 @@ use ptm::orec::OrecTable;
 use ptm::umap::U64Map;
 use ptm::{Algo, Ptm, PtmConfig, TxThread};
 
-fn bench_orecs(c: &mut Criterion) {
-    let table = OrecTable::new(1 << 18);
-    let addr = PAddr::new(PoolId(1), 12345);
-    c.bench_function("orec/index_of", |b| {
-        b.iter(|| std::hint::black_box(table.index_of(std::hint::black_box(addr))))
-    });
-    c.bench_function("orec/lock_release", |b| {
-        let idx = table.index_of(addr);
-        b.iter(|| {
-            table.try_lock(idx, 0, 1).unwrap();
-            table.release(idx, 0);
-        })
-    });
-}
-
-fn bench_umap(c: &mut Criterion) {
-    c.bench_function("umap/insert_get_clear_x64", |b| {
-        let mut m = U64Map::new(128);
-        b.iter(|| {
-            for k in 0..64u64 {
-                m.insert(k * 31 + 1, k);
-            }
-            for k in 0..64u64 {
-                std::hint::black_box(m.get(k * 31 + 1));
-            }
-            m.clear();
-        })
-    });
+/// Median ns/iter over several timed batches, after a warmup.
+fn bench(name: &str, filter: &Option<String>, mut f: impl FnMut()) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    // Warmup, and calibrate a batch size targeting ~2 ms per batch.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < Duration::from_millis(100) {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+    let batch = (2_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+    let mut samples: Vec<u64> = Vec::with_capacity(15);
+    for _ in 0..15 {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t0.elapsed().as_nanos() as u64 / batch);
+    }
+    samples.sort_unstable();
+    println!(
+        "{name:<28} {:>10} ns/iter (batch {batch})",
+        samples[samples.len() / 2]
+    );
 }
 
 fn machine(domain: DurabilityDomain) -> Arc<Machine> {
@@ -50,30 +56,52 @@ fn machine(domain: DurabilityDomain) -> Arc<Machine> {
     })
 }
 
-fn bench_session(c: &mut Criterion) {
+fn bench_orecs(filter: &Option<String>) {
+    let table = OrecTable::new(1 << 18);
+    let addr = PAddr::new(PoolId(1), 12345);
+    bench("orec/index_of", filter, || {
+        std::hint::black_box(table.index_of(std::hint::black_box(addr)));
+    });
+    let idx = table.index_of(addr);
+    bench("orec/lock_release", filter, || {
+        table.try_lock(idx, 0, 1).unwrap();
+        table.release(idx, 0);
+    });
+}
+
+fn bench_umap(filter: &Option<String>) {
+    let mut m = U64Map::new(128);
+    bench("umap/insert_get_clear_x64", filter, || {
+        for k in 0..64u64 {
+            m.insert(k * 31 + 1, k);
+        }
+        for k in 0..64u64 {
+            std::hint::black_box(m.get(k * 31 + 1));
+        }
+        m.clear();
+    });
+}
+
+fn bench_session(filter: &Option<String>) {
     let m = machine(DurabilityDomain::Adr);
     let p = m.alloc_pool("b", 1 << 16, MediaKind::Optane);
     let mut s = m.session(0);
     let mut i = 0u64;
-    c.bench_function("session/store_clwb_sfence", |b| {
-        b.iter(|| {
-            let a = p.addr((i * 8) % (1 << 15));
-            s.store(a, i);
-            s.clwb(a);
-            s.sfence();
-            i += 1;
-        })
+    bench("session/store_clwb_sfence", filter, || {
+        let a = p.addr((i * 8) % (1 << 15));
+        s.store(a, i);
+        s.clwb(a);
+        s.sfence();
+        i += 1;
     });
     let mut j = 0u64;
-    c.bench_function("session/load_hit", |b| {
-        b.iter(|| {
-            std::hint::black_box(s.load(p.addr(j % 64)));
-            j += 1;
-        })
+    bench("session/load_hit", filter, || {
+        std::hint::black_box(s.load(p.addr(j % 64)));
+        j += 1;
     });
 }
 
-fn bench_txn(c: &mut Criterion) {
+fn bench_txn(filter: &Option<String>) {
     for (name, algo) in [("redo", Algo::RedoLazy), ("undo", Algo::UndoEager)] {
         let m = machine(DurabilityDomain::Adr);
         let heap = PHeap::format(&m, "heap", 1 << 18, 8);
@@ -85,22 +113,20 @@ fn bench_txn(c: &mut Criterion) {
         let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
         let block = heap.alloc(th.session_mut(), 64);
         let mut k = 0u64;
-        c.bench_function(&format!("txn/{name}_8w_tx"), |b| {
-            b.iter(|| {
-                th.run(|tx| {
-                    for w in 0..8u64 {
-                        let v = tx.read_at(block, (k + w) % 64)?;
-                        tx.write_at(block, (k + w) % 64, v + 1)?;
-                    }
-                    Ok(())
-                });
-                k += 1;
-            })
+        bench(&format!("txn/{name}_8w_tx"), filter, || {
+            th.run(|tx| {
+                for w in 0..8u64 {
+                    let v = tx.read_at(block, (k + w) % 64)?;
+                    tx.write_at(block, (k + w) % 64, v + 1)?;
+                }
+                Ok(())
+            });
+            k += 1;
         });
     }
 }
 
-fn bench_structs(c: &mut Criterion) {
+fn bench_structs(filter: &Option<String>) {
     let m = machine(DurabilityDomain::Eadr);
     let heap = PHeap::format(&m, "heap", 1 << 22, 8);
     let ptm = Ptm::new(PtmConfig::redo());
@@ -112,31 +138,25 @@ fn bench_structs(c: &mut Criterion) {
         th.run(|tx| sl.insert(tx, k, k).map(|_| ()));
     }
     let mut q = 0u64;
-    c.bench_function("hashmap/get", |b| {
-        b.iter(|| {
-            q += 1;
-            th.run(|tx| map.get(tx, q % 8_192))
-        })
+    bench("hashmap/get", filter, || {
+        q += 1;
+        th.run(|tx| map.get(tx, q % 8_192));
     });
     let mut r = 0u64;
-    c.bench_function("skiplist/get", |b| {
-        b.iter(|| {
-            r += 1;
-            th.run(|tx| sl.get(tx, r % 8_192))
-        })
+    bench("skiplist/get", filter, || {
+        r += 1;
+        th.run(|tx| sl.get(tx, r % 8_192));
     });
     let mut w = 0u64;
-    c.bench_function("skiplist/insert", |b| {
-        b.iter(|| {
-            // Overwrite within the existing key set so iterations do not
-            // grow the heap unboundedly.
-            w = (w + 7) % 8_192;
-            th.run(|tx| sl.insert(tx, w, w).map(|_| ()))
-        })
+    bench("skiplist/insert", filter, || {
+        // Overwrite within the existing key set so iterations do not
+        // grow the heap unboundedly.
+        w = (w + 7) % 8_192;
+        th.run(|tx| sl.insert(tx, w, w).map(|_| ()));
     });
 }
 
-fn bench_bptree(c: &mut Criterion) {
+fn bench_bptree(filter: &Option<String>) {
     let m = machine(DurabilityDomain::Eadr);
     let heap = PHeap::format(&m, "heap", 1 << 22, 8);
     let ptm = Ptm::new(PtmConfig::redo());
@@ -146,28 +166,26 @@ fn bench_bptree(c: &mut Criterion) {
         th.run(|tx| tree.insert(tx, kk * 7 % 65_536, kk).map(|_| ()));
     }
     let mut k = 0u64;
-    c.bench_function("bptree/insert", |b| {
-        b.iter_batched(
-            || {
-                k += 1;
-                k * 7 % 65_536
-            },
-            |key| th.run(|tx| tree.insert(tx, key, key).map(|_| ())),
-            BatchSize::SmallInput,
-        )
+    bench("bptree/insert", filter, || {
+        k += 1;
+        let key = k * 7 % 65_536;
+        th.run(|tx| tree.insert(tx, key, key).map(|_| ()));
     });
     let mut q = 0u64;
-    c.bench_function("bptree/get", |b| {
-        b.iter(|| {
-            q += 1;
-            th.run(|tx| tree.get(tx, q * 7 % 65_536))
-        })
+    bench("bptree/get", filter, || {
+        q += 1;
+        th.run(|tx| tree.get(tx, q * 7 % 65_536));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_orecs, bench_umap, bench_session, bench_txn, bench_bptree, bench_structs
+fn main() {
+    // `cargo bench -- <filter>` narrows to benchmarks whose name contains
+    // the filter; `--bench` is passed through by cargo and ignored.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+    bench_orecs(&filter);
+    bench_umap(&filter);
+    bench_session(&filter);
+    bench_txn(&filter);
+    bench_bptree(&filter);
+    bench_structs(&filter);
 }
-criterion_main!(benches);

@@ -5,14 +5,16 @@
 //! the hybrid (HTM-first, software fallback) against pure software under
 //! each compatible domain, and confirms the no-op under ADR.
 
-use bench::{run_point_with, HarnessOpts};
+use bench::{emit_point, run_point_with, HarnessOpts};
 use pmem_sim::{DurabilityDomain, MediaKind};
 use ptm::Algo;
 use workloads::driver::Scenario;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    println!("workload,domain,threads,stm_mops,hybrid_mops,htm_commit_pct,speedup_pct");
+    if !opts.json {
+        println!("workload,domain,threads,stm_mops,hybrid_mops,htm_commit_pct,speedup_pct");
+    }
     for name in ["tatp", "tpcc-hash", "btree-mixed"] {
         for (domain, dname) in [
             (DurabilityDomain::Eadr, "eADR"),
@@ -26,8 +28,13 @@ fn main() {
                 let stm = run_point_with(name, &sc, &rc, opts.quick);
                 rc.ptm.htm_retries = 4;
                 let hybrid = run_point_with(name, &sc, &rc, opts.quick);
-                let htm_pct = 100.0 * hybrid.ptm.htm_commits as f64
-                    / hybrid.ptm.commits.max(1) as f64;
+                if opts.json {
+                    emit_point(&opts, &format!("{name}-stm"), &stm);
+                    emit_point(&opts, &format!("{name}-hybrid"), &hybrid);
+                    continue;
+                }
+                let htm_pct =
+                    100.0 * hybrid.ptm.htm_commits as f64 / hybrid.ptm.commits.max(1) as f64;
                 println!(
                     "{},{},{},{:.4},{:.4},{:.1},{:.1}",
                     name,

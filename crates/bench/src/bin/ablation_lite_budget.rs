@@ -2,7 +2,7 @@
 //! argues a handful of pages per thread suffices (Vacation <= 37 lines,
 //! TPCC <= 36); sweep the budget and watch for the knee.
 
-use bench::{run_point_with, HarnessOpts};
+use bench::{emit_point, run_point_with, HarnessOpts};
 use pmem_sim::{DurabilityDomain, MediaKind};
 use ptm::Algo;
 use workloads::driver::Scenario;
@@ -10,7 +10,9 @@ use workloads::driver::Scenario;
 fn main() {
     let opts = HarnessOpts::from_args();
     let threads = *opts.threads.iter().max().unwrap_or(&4);
-    println!("workload,lite_entries,throughput_mops");
+    if !opts.json {
+        println!("workload,lite_entries,throughput_mops");
+    }
     for name in ["tpcc-hash", "tatp", "vacation-low"] {
         for lite_entries in [8usize, 16, 32, 64, 128, 512] {
             let sc = Scenario::new(
@@ -22,6 +24,10 @@ fn main() {
             let mut rc = opts.run_config(threads);
             rc.ptm.lite_log_entries = lite_entries;
             let r = run_point_with(name, &sc, &rc, opts.quick);
+            if opts.json {
+                emit_point(&opts, name, &r);
+                continue;
+            }
             println!("{},{},{:.4}", name, lite_entries, r.throughput_mops());
         }
     }

@@ -1,14 +1,16 @@
 //! Ablation 1 (DESIGN.md §5): the paper's split-log optimization — log
 //! index in DRAM vs the whole log in Optane.
 
-use bench::{run_point_with, HarnessOpts};
+use bench::{emit_point, run_point_with, HarnessOpts};
 use pmem_sim::{DurabilityDomain, MediaKind};
 use ptm::Algo;
 use workloads::driver::Scenario;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    println!("workload,algo,threads,split_mops,unsplit_mops,split_speedup_pct");
+    if !opts.json {
+        println!("workload,algo,threads,split_mops,unsplit_mops,split_speedup_pct");
+    }
     for name in ["tpcc-hash", "tatp", "btree-insert"] {
         for algo in [Algo::RedoLazy, Algo::UndoEager] {
             for &threads in &opts.threads {
@@ -18,6 +20,11 @@ fn main() {
                 let split = run_point_with(name, &sc, &rc, opts.quick);
                 rc.ptm.split_log_index = false;
                 let unsplit = run_point_with(name, &sc, &rc, opts.quick);
+                if opts.json {
+                    emit_point(&opts, &format!("{name}-split"), &split);
+                    emit_point(&opts, &format!("{name}-unsplit"), &unsplit);
+                    continue;
+                }
                 println!(
                     "{},{},{},{:.4},{:.4},{:.1}",
                     name,

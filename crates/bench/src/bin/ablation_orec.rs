@@ -2,7 +2,7 @@
 //! more false conflicts; sweep the table size and report throughput and
 //! abort rates.
 
-use bench::{run_point_with, HarnessOpts};
+use bench::{emit_point, run_point_with, HarnessOpts};
 use pmem_sim::{DurabilityDomain, MediaKind};
 use ptm::Algo;
 use workloads::driver::Scenario;
@@ -10,7 +10,9 @@ use workloads::driver::Scenario;
 fn main() {
     let opts = HarnessOpts::from_args();
     let threads = *opts.threads.iter().max().unwrap_or(&4);
-    println!("workload,orecs,throughput_mops,commit_abort_ratio");
+    if !opts.json {
+        println!("workload,orecs,throughput_mops,commit_abort_ratio");
+    }
     for name in ["tpcc-hash", "btree-mixed"] {
         for shift in [8usize, 12, 16, 20] {
             let sc = Scenario::new(
@@ -22,13 +24,21 @@ fn main() {
             let mut rc = opts.run_config(threads);
             rc.ptm.orec_count = 1 << shift;
             let r = run_point_with(name, &sc, &rc, opts.quick);
+            if opts.json {
+                emit_point(&opts, name, &r);
+                continue;
+            }
             let ratio = r.commit_abort_ratio();
             println!(
                 "{},{},{:.4},{}",
                 name,
                 1 << shift,
                 r.throughput_mops(),
-                if ratio.is_finite() { format!("{ratio:.2}") } else { "inf".into() }
+                if ratio.is_finite() {
+                    format!("{ratio:.2}")
+                } else {
+                    "inf".into()
+                }
             );
         }
     }

@@ -6,6 +6,10 @@ use workloads::Scenario;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    eprintln!("# fig3: {} workloads x 8 scenarios x {:?} threads", panel_workloads().len(), opts.threads);
+    eprintln!(
+        "# fig3: {} workloads x 8 scenarios x {:?} threads",
+        panel_workloads().len(),
+        opts.threads
+    );
     run_figure(&panel_workloads(), &Scenario::fig3_grid(), &opts);
 }

@@ -6,6 +6,10 @@ use workloads::Scenario;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    eprintln!("# fig6: {} workloads x 7 scenarios x {:?} threads", panel_workloads().len(), opts.threads);
+    eprintln!(
+        "# fig6: {} workloads x 7 scenarios x {:?} threads",
+        panel_workloads().len(),
+        opts.threads
+    );
     run_figure(&panel_workloads(), &Scenario::fig6_grid(), &opts);
 }

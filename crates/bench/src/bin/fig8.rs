@@ -4,7 +4,7 @@
 //! preserve the paper's four regimes: fits-in-L3, fits-in-DRAM,
 //! exceeds-DRAM, index-uncacheable.
 
-use bench::{run_boxed, HarnessOpts};
+use bench::{emit_point, run_boxed, HarnessOpts};
 use pmem_sim::{DurabilityDomain, MediaKind};
 use ptm::Algo;
 use workloads::driver::{RunConfig, Scenario};
@@ -19,14 +19,54 @@ fn main() {
         vec![2 << 10, 16 << 10, 48 << 10, 96 << 10, 160 << 10, 256 << 10]
     };
     let scenarios = vec![
-        Scenario::new("DRAM_R", MediaKind::Dram, DurabilityDomain::Eadr, Algo::RedoLazy),
-        Scenario::new("ADR_R", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy),
-        Scenario::new("ADR_U", MediaKind::Optane, DurabilityDomain::Adr, Algo::UndoEager),
-        Scenario::new("eADR_R", MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy),
-        Scenario::new("eADR_U", MediaKind::Optane, DurabilityDomain::Eadr, Algo::UndoEager),
-        Scenario::new("PDRAM_R", MediaKind::Optane, DurabilityDomain::Pdram, Algo::RedoLazy),
-        Scenario::new("PDRAM_U", MediaKind::Optane, DurabilityDomain::Pdram, Algo::UndoEager),
-        Scenario::new("PDRAM-Lite", MediaKind::Optane, DurabilityDomain::PdramLite, Algo::RedoLazy),
+        Scenario::new(
+            "DRAM_R",
+            MediaKind::Dram,
+            DurabilityDomain::Eadr,
+            Algo::RedoLazy,
+        ),
+        Scenario::new(
+            "ADR_R",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            Algo::RedoLazy,
+        ),
+        Scenario::new(
+            "ADR_U",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            Algo::UndoEager,
+        ),
+        Scenario::new(
+            "eADR_R",
+            MediaKind::Optane,
+            DurabilityDomain::Eadr,
+            Algo::RedoLazy,
+        ),
+        Scenario::new(
+            "eADR_U",
+            MediaKind::Optane,
+            DurabilityDomain::Eadr,
+            Algo::UndoEager,
+        ),
+        Scenario::new(
+            "PDRAM_R",
+            MediaKind::Optane,
+            DurabilityDomain::Pdram,
+            Algo::RedoLazy,
+        ),
+        Scenario::new(
+            "PDRAM_U",
+            MediaKind::Optane,
+            DurabilityDomain::Pdram,
+            Algo::UndoEager,
+        ),
+        Scenario::new(
+            "PDRAM-Lite",
+            MediaKind::Optane,
+            DurabilityDomain::PdramLite,
+            Algo::RedoLazy,
+        ),
     ];
     let rc = RunConfig {
         threads: 1,
@@ -34,7 +74,9 @@ fn main() {
         ..RunConfig::default()
     };
     let dram_capacity_kb = (rc.model.dram_cache_bytes >> 10) as u64;
-    println!("scenario,working_set_mb,requests_per_vsec");
+    if !opts.json {
+        println!("scenario,working_set_mb,requests_per_vsec");
+    }
     for sc in &scenarios {
         for &ws_kb in &working_sets_kb {
             // The paper: "for the DRAM curves, operation beyond [DRAM
@@ -44,6 +86,10 @@ fn main() {
             }
             let mut w = KvStore::new(ws_kb);
             let r = run_boxed(&mut w, sc, &rc);
+            if opts.json {
+                emit_point(&opts, &format!("kvstore-{ws_kb}kb"), &r);
+                continue;
+            }
             println!(
                 "{},{:.1},{:.0}",
                 sc.label,

@@ -2,19 +2,36 @@
 //! the paper's discussion of single-thread latency (§V: "higher
 //! single-thread latency" on Optane), made explicit.
 
-use bench::{run_point, HarnessOpts};
+use bench::{emit_point, run_point, HarnessOpts};
 use workloads::Scenario;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    println!("workload,scenario,p50_ns,p95_ns,p99_ns,mops");
+    if !opts.json {
+        println!("workload,scenario,p50_ns,p90_ns,p95_ns,p99_ns,p999_ns,max_ns,mops");
+    }
     for name in ["tatp", "tpcc-hash"] {
-        for sc in Scenario::fig3_grid().iter().chain(Scenario::fig6_grid().iter()) {
+        for sc in Scenario::fig3_grid()
+            .iter()
+            .chain(Scenario::fig6_grid().iter())
+        {
             let r = run_point(name, sc, &opts, 1);
-            let (p50, p95, p99) = r.latency_ns;
+            if opts.json {
+                emit_point(&opts, name, &r);
+                continue;
+            }
+            let s = r.latency.summary();
             println!(
-                "{},{},{},{},{},{:.4}",
-                name, r.label, p50, p95, p99, r.throughput_mops()
+                "{},{},{},{},{},{},{},{},{:.4}",
+                name,
+                r.label,
+                s.p50,
+                s.p90,
+                s.p95,
+                s.p99,
+                s.p999,
+                s.max,
+                r.throughput_mops()
             );
         }
     }

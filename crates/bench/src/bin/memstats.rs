@@ -2,19 +2,25 @@
 //! hits/misses, lines written to DRAM vs Optane, WPQ stalls, fence waits)
 //! per scenario, for one workload at one thread count.
 
-use bench::{run_point, HarnessOpts};
+use bench::{emit_point, run_point, HarnessOpts};
 use workloads::Scenario;
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let threads = *opts.threads.iter().max().unwrap_or(&8);
-    println!(
-        "workload,scenario,threads,mops,l3_hit_pct,optane_lines_written,dram_lines_written,\
-         clwbs,sfences,fence_wait_us,wpq_stall_us,evictions"
-    );
+    if !opts.json {
+        println!(
+            "workload,scenario,threads,mops,l3_hit_pct,optane_lines_written,dram_lines_written,\
+             clwbs,sfences,fence_wait_us,wpq_stall_us,evictions"
+        );
+    }
     for name in ["tpcc-hash", "tatp"] {
         for sc in Scenario::fig3_grid() {
             let r = run_point(name, &sc, &opts, threads);
+            if opts.json {
+                emit_point(&opts, name, &r);
+                continue;
+            }
             let total = (r.mem.l3_hits + r.mem.l3_misses).max(1);
             println!(
                 "{},{},{},{:.4},{:.1},{},{},{},{},{},{},{}",

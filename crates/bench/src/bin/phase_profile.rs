@@ -1,0 +1,55 @@
+//! Where does transaction time go? The paper's §III-B argument as a
+//! table: per (workload × durability domain × algorithm), the share of
+//! virtual transaction time spent in each phase.
+//!
+//! The headline shape: under ADR on Optane the flush + fence-wait share
+//! is substantial (the persistence choreography *is* the overhead);
+//! under eADR both collapse to ~0 because the `clwb`/`sfence` calls are
+//! elided — the surviving costs are speculation, logging stores and
+//! validation.
+
+use bench::{emit_point, run_point, HarnessOpts};
+use pmem_sim::{DurabilityDomain, MediaKind};
+use ptm::{Algo, Phase};
+use workloads::Scenario;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let threads = *opts.threads.first().unwrap_or(&1);
+    if !opts.json {
+        print!("workload,scenario,threads");
+        for p in Phase::ALL {
+            print!(",{}_pct", p.label());
+        }
+        println!(",persistence_pct,total_phase_ns");
+    }
+    for name in ["btree-insert", "tpcc-hash", "vacation-low"] {
+        for (domain, dname) in [
+            (DurabilityDomain::Adr, "ADR"),
+            (DurabilityDomain::Eadr, "eADR"),
+        ] {
+            for algo in [Algo::UndoEager, Algo::RedoLazy] {
+                let sc = Scenario::new(
+                    format!("Optane_{dname}_{}", algo.label()),
+                    MediaKind::Optane,
+                    domain,
+                    algo,
+                );
+                let r = run_point(name, &sc, &opts, threads);
+                if opts.json {
+                    emit_point(&opts, name, &r);
+                    continue;
+                }
+                print!("{},{},{}", name, r.label, r.threads);
+                for p in Phase::ALL {
+                    print!(",{:.1}", r.phases.share(p) * 100.0);
+                }
+                println!(
+                    ",{:.1},{}",
+                    r.phases.persistence_share() * 100.0,
+                    r.phases.total_ns()
+                );
+            }
+        }
+    }
+}

@@ -14,6 +14,8 @@
 //! values are not comparable to the paper's testbed, but curve shapes,
 //! orderings and crossover points are.
 
+pub mod report;
+
 use workloads::driver::{run_scenario, RunConfig, RunResult, Scenario, Workload};
 use workloads::{BTreeInsertOnly, BTreeMixed, IndexKind, Tatp, Tpcc, Vacation, VacationCfg};
 
@@ -23,6 +25,8 @@ pub struct HarnessOpts {
     pub quick: bool,
     pub threads: Vec<usize>,
     pub ops_per_thread: u64,
+    /// Emit one JSON object per point (JSON Lines) instead of CSV.
+    pub json: bool,
 }
 
 impl HarnessOpts {
@@ -32,10 +36,12 @@ impl HarnessOpts {
         let mut quick = false;
         let mut threads: Option<Vec<usize>> = None;
         let mut ops: Option<u64> = None;
+        let mut json = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => quick = true,
+                "--json" => json = true,
                 "--threads" => {
                     let v = args.next().expect("--threads needs a list like 1,2,4");
                     threads = Some(
@@ -52,7 +58,7 @@ impl HarnessOpts {
                             .expect("bad op count"),
                     );
                 }
-                other => panic!("unknown flag `{other}` (known: --quick --threads --ops)"),
+                other => panic!("unknown flag `{other}` (known: --quick --threads --ops --json)"),
             }
         }
         let default_threads = if quick {
@@ -65,6 +71,7 @@ impl HarnessOpts {
             quick,
             threads: threads.unwrap_or(default_threads),
             ops_per_thread: ops.unwrap_or(default_ops),
+            json,
         }
     }
 
@@ -119,12 +126,7 @@ pub fn run_point(name: &str, sc: &Scenario, opts: &HarnessOpts, threads: usize) 
 }
 
 /// Like [`run_point`] but with a custom [`RunConfig`] (ablations).
-pub fn run_point_with(
-    name: &str,
-    sc: &Scenario,
-    rc: &RunConfig,
-    quick: bool,
-) -> RunResult {
+pub fn run_point_with(name: &str, sc: &Scenario, rc: &RunConfig, quick: bool) -> RunResult {
     let total = rc.threads as u64 * rc.ops_per_thread;
     let mut w = make_workload(name, total, quick);
     run_boxed(w.as_mut(), sc, rc)
@@ -171,14 +173,26 @@ pub fn print_throughput_row(workload: &str, r: &RunResult) {
     );
 }
 
+/// Emit one point in the format the harness was asked for: a JSON line
+/// under `--json`, a CSV row otherwise.
+pub fn emit_point(opts: &HarnessOpts, workload: &str, r: &RunResult) {
+    if opts.json {
+        println!("{}", report::point_json(workload, r));
+    } else {
+        print_throughput_row(workload, r);
+    }
+}
+
 /// Run a full figure: every scenario x thread count for each workload.
 pub fn run_figure(workload_names: &[&str], scenarios: &[Scenario], opts: &HarnessOpts) {
-    print_throughput_header();
+    if !opts.json {
+        print_throughput_header();
+    }
     for name in workload_names {
         for sc in scenarios {
             for &threads in &opts.threads {
                 let r = run_point(name, sc, opts, threads);
-                print_throughput_row(name, &r);
+                emit_point(opts, name, &r);
             }
         }
     }
@@ -189,17 +203,26 @@ pub fn run_figure(workload_names: &[&str], scenarios: &[Scenario], opts: &Harnes
 pub fn commit_abort_table(algo: ptm::Algo) {
     use pmem_sim::{DurabilityDomain, MediaKind};
     let opts = HarnessOpts::from_args();
-    print!("scenario");
-    for t in &opts.threads {
-        print!(",{t}");
+    if !opts.json {
+        print!("scenario");
+        for t in &opts.threads {
+            print!(",{t}");
+        }
+        println!();
     }
-    println!();
     for (media, mname) in [(MediaKind::Dram, "DRAM"), (MediaKind::Optane, "Optane")] {
         for (domain, dname) in [
             (DurabilityDomain::Adr, "ADR"),
             (DurabilityDomain::Eadr, "eADR"),
         ] {
             let sc = Scenario::new(format!("{mname}_{dname}"), media, domain, algo);
+            if opts.json {
+                for &threads in &opts.threads {
+                    let r = run_point("tpcc-hash", &sc, &opts, threads);
+                    println!("{}", report::point_json("tpcc-hash", &r));
+                }
+                continue;
+            }
             print!("{}", sc.label);
             for &threads in &opts.threads {
                 let r = run_point("tpcc-hash", &sc, &opts, threads);
@@ -234,6 +257,7 @@ mod tests {
             quick: true,
             threads: vec![1],
             ops_per_thread: 50,
+            json: false,
         };
         let sc = Scenario::new(
             "t",

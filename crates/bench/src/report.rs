@@ -1,0 +1,302 @@
+//! Structured JSON reports for experiment points.
+//!
+//! Every figure/table binary can emit one JSON object per measurement
+//! point (JSON Lines) instead of CSV, via `--json`. The writer is
+//! hand-rolled: the build environment has no crates-io access, and the
+//! schema is small and flat. See README.md for the schema.
+
+use ptm::Phase;
+use workloads::driver::RunResult;
+
+/// Append a JSON-escaped string literal (with quotes).
+fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_kv_u64(out: &mut String, key: &str, v: u64, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_str_lit(out, key);
+    out.push(':');
+    out.push_str(&v.to_string());
+}
+
+fn push_kv_f64(out: &mut String, key: &str, v: f64, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    push_str_lit(out, key);
+    out.push(':');
+    if v.is_finite() {
+        out.push_str(&format!("{v:.6}"));
+    } else {
+        out.push_str("null"); // JSON has no Infinity/NaN
+    }
+}
+
+/// One measurement point as a single-line JSON object.
+///
+/// Schema (all times in virtual ns):
+/// `{workload, scenario, threads, ops, elapsed_virtual_ns,
+///   throughput_mops, phase_ns: {<phase label>: ns, ...},
+///   persistence_share,
+///   latency: {count, mean_ns, p50, p90, p95, p99, p999, max,
+///             buckets: [[lower_bound_ns, count], ...]},
+///   ptm: {commits, aborts, ...}, mem: {loads, stores, ...}}`
+pub fn point_json(workload: &str, r: &RunResult) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut first = true;
+    out.push('{');
+
+    if !first {
+        out.push(',');
+    }
+    first = false;
+    push_str_lit(&mut out, "workload");
+    out.push(':');
+    push_str_lit(&mut out, workload);
+    out.push(',');
+    push_str_lit(&mut out, "scenario");
+    out.push(':');
+    push_str_lit(&mut out, &r.label);
+
+    push_kv_u64(&mut out, "threads", r.threads as u64, &mut first);
+    push_kv_u64(&mut out, "ops", r.ops, &mut first);
+    push_kv_u64(
+        &mut out,
+        "elapsed_virtual_ns",
+        r.elapsed_virtual_ns,
+        &mut first,
+    );
+    push_kv_f64(&mut out, "throughput_mops", r.throughput_mops(), &mut first);
+
+    // Phase breakdown.
+    out.push(',');
+    push_str_lit(&mut out, "phase_ns");
+    out.push_str(":{");
+    let mut pf = true;
+    for p in Phase::ALL {
+        push_kv_u64(&mut out, p.label(), r.phases.get(p), &mut pf);
+    }
+    out.push('}');
+    push_kv_f64(
+        &mut out,
+        "persistence_share",
+        r.phases.persistence_share(),
+        &mut first,
+    );
+
+    // Latency digest + sparse histogram.
+    let s = r.latency.summary();
+    out.push(',');
+    push_str_lit(&mut out, "latency");
+    out.push_str(":{");
+    let mut lf = true;
+    push_kv_u64(&mut out, "count", s.count, &mut lf);
+    push_kv_f64(&mut out, "mean_ns", s.mean_ns, &mut lf);
+    push_kv_u64(&mut out, "p50", s.p50, &mut lf);
+    push_kv_u64(&mut out, "p90", s.p90, &mut lf);
+    push_kv_u64(&mut out, "p95", s.p95, &mut lf);
+    push_kv_u64(&mut out, "p99", s.p99, &mut lf);
+    push_kv_u64(&mut out, "p999", s.p999, &mut lf);
+    push_kv_u64(&mut out, "max", s.max, &mut lf);
+    out.push(',');
+    push_str_lit(&mut out, "buckets");
+    out.push_str(":[");
+    for (i, (lb, c)) in r.latency.nonzero_buckets().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{lb},{c}]"));
+    }
+    out.push_str("]}");
+
+    // Transaction counters.
+    out.push(',');
+    push_str_lit(&mut out, "ptm");
+    out.push_str(":{");
+    let mut tf = true;
+    push_kv_u64(&mut out, "commits", r.ptm.commits, &mut tf);
+    push_kv_u64(&mut out, "aborts", r.ptm.aborts, &mut tf);
+    push_kv_u64(
+        &mut out,
+        "aborts_read_locked",
+        r.ptm.aborts_read_locked,
+        &mut tf,
+    );
+    push_kv_u64(
+        &mut out,
+        "aborts_read_version",
+        r.ptm.aborts_read_version,
+        &mut tf,
+    );
+    push_kv_u64(&mut out, "aborts_acquire", r.ptm.aborts_acquire, &mut tf);
+    push_kv_u64(
+        &mut out,
+        "aborts_validation",
+        r.ptm.aborts_validation,
+        &mut tf,
+    );
+    push_kv_u64(&mut out, "extensions", r.ptm.extensions, &mut tf);
+    push_kv_u64(&mut out, "htm_commits", r.ptm.htm_commits, &mut tf);
+    push_kv_u64(&mut out, "htm_aborts", r.ptm.htm_aborts, &mut tf);
+    push_kv_u64(&mut out, "htm_fallbacks", r.ptm.htm_fallbacks, &mut tf);
+    push_kv_u64(
+        &mut out,
+        "max_write_entries",
+        r.ptm.max_write_entries,
+        &mut tf,
+    );
+    out.push('}');
+
+    // Memory-system counters.
+    out.push(',');
+    push_str_lit(&mut out, "mem");
+    out.push_str(":{");
+    let mut mf = true;
+    push_kv_u64(&mut out, "loads", r.mem.loads, &mut mf);
+    push_kv_u64(&mut out, "stores", r.mem.stores, &mut mf);
+    push_kv_u64(&mut out, "l3_hits", r.mem.l3_hits, &mut mf);
+    push_kv_u64(&mut out, "l3_misses", r.mem.l3_misses, &mut mf);
+    push_kv_u64(&mut out, "clwbs", r.mem.clwbs, &mut mf);
+    push_kv_u64(&mut out, "clwb_writebacks", r.mem.clwb_writebacks, &mut mf);
+    push_kv_u64(&mut out, "sfences", r.mem.sfences, &mut mf);
+    push_kv_u64(&mut out, "evictions", r.mem.evictions, &mut mf);
+    push_kv_u64(
+        &mut out,
+        "optane_lines_written",
+        r.mem.optane_lines_written,
+        &mut mf,
+    );
+    push_kv_u64(
+        &mut out,
+        "dram_lines_written",
+        r.mem.dram_lines_written,
+        &mut mf,
+    );
+    push_kv_u64(&mut out, "wpq_stall_ns", r.mem.wpq_stall_ns, &mut mf);
+    push_kv_u64(&mut out, "fence_wait_ns", r.mem.fence_wait_ns, &mut mf);
+    out.push('}');
+
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> RunResult {
+        use pmem_sim::{DurabilityDomain, MediaKind};
+        use workloads::driver::{run_scenario, RunConfig, Scenario, Workload};
+
+        struct Noop(std::sync::Mutex<Option<pmem_sim::PAddr>>);
+        impl Workload for Noop {
+            fn name(&self) -> String {
+                "noop".into()
+            }
+            fn heap_words(&self) -> usize {
+                1 << 10
+            }
+            fn setup(&mut self, th: &mut ptm::TxThread) {
+                let heap = std::sync::Arc::clone(th.heap());
+                let a = heap.alloc(th.session_mut(), 1);
+                th.run(|tx| tx.write(a, 0));
+                *self.0.lock().unwrap() = Some(a);
+            }
+            fn op(
+                &self,
+                th: &mut ptm::TxThread,
+                _rng: &mut rand::rngs::SmallRng,
+                _tid: usize,
+                _i: u64,
+            ) {
+                let a = self.0.lock().unwrap().unwrap();
+                th.run(|tx| {
+                    let v = tx.read(a)?;
+                    tx.write(a, v + 1)
+                });
+            }
+        }
+        let mut w = Noop(std::sync::Mutex::new(None));
+        let sc = Scenario::new(
+            "json \"test\"",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            ptm::Algo::RedoLazy,
+        );
+        let rc = RunConfig {
+            threads: 1,
+            ops_per_thread: 30,
+            ..RunConfig::default()
+        };
+        run_scenario(&mut w, &sc, &rc)
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let r = sample_result();
+        let j = point_json("noop", &r);
+        // Structural sanity without a JSON parser: balanced delimiters,
+        // escaped quotes in the scenario label, the expected keys.
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        let depth_ok = {
+            let mut depth = 0i64;
+            let mut in_str = false;
+            let mut escape = false;
+            for c in j.chars() {
+                if escape {
+                    escape = false;
+                    continue;
+                }
+                match c {
+                    '\\' if in_str => escape = true,
+                    '"' => in_str = !in_str,
+                    '{' | '[' if !in_str => depth += 1,
+                    '}' | ']' if !in_str => depth -= 1,
+                    _ => {}
+                }
+            }
+            depth == 0 && !in_str
+        };
+        assert!(depth_ok, "unbalanced JSON: {j}");
+        assert!(j.contains("\"scenario\":\"json \\\"test\\\"\""));
+        for key in [
+            "\"phase_ns\"",
+            "\"speculation\"",
+            "\"fence_wait\"",
+            "\"latency\"",
+            "\"buckets\"",
+            "\"persistence_share\"",
+            "\"ptm\"",
+            "\"mem\"",
+            "\"throughput_mops\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // One line (JSONL-safe).
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn phase_ns_sums_to_positive_total_under_adr() {
+        let r = sample_result();
+        assert!(r.phases.total_ns() > 0);
+        assert!(r.phases.get(Phase::FenceWait) > 0);
+    }
+}

@@ -166,7 +166,11 @@ mod tests {
         let root = h2.root_raw(0);
         assert_eq!(root, a);
         assert_eq!(h2.pool().raw_load(root.word()), b.0);
-        assert_eq!(h2.pool().raw_load(PAddr(h2.pool().raw_load(root.word())).word()), 1234);
+        assert_eq!(
+            h2.pool()
+                .raw_load(PAddr(h2.pool().raw_load(root.word())).word()),
+            1234
+        );
         // The leak is reusable.
         let mut s2 = _m2.session(0);
         let d = h2.alloc(&mut s2, 8);

@@ -35,7 +35,10 @@ impl std::fmt::Display for AttachError {
         match self {
             AttachError::BadMagic(m) => write!(f, "bad heap magic {m:#x}"),
             AttachError::LengthMismatch { recorded, actual } => {
-                write!(f, "heap length mismatch: header says {recorded}, pool has {actual}")
+                write!(
+                    f,
+                    "heap length mismatch: header says {recorded}, pool has {actual}"
+                )
             }
         }
     }
@@ -81,7 +84,12 @@ pub struct PHeap {
 impl PHeap {
     /// Create and format a fresh heap of `len_words` with `roots` root
     /// slots. Formatting is a setup-time operation and is untimed.
-    pub fn format(machine: &Arc<Machine>, name: &str, len_words: usize, roots: usize) -> Arc<PHeap> {
+    pub fn format(
+        machine: &Arc<Machine>,
+        name: &str,
+        len_words: usize,
+        roots: usize,
+    ) -> Arc<PHeap> {
         Self::format_with_media(machine, name, len_words, roots, pmem_sim::MediaKind::Optane)
     }
 

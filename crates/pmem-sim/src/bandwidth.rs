@@ -109,7 +109,9 @@ pub struct Servers {
 impl Servers {
     pub fn new(optane_write_banks: usize) -> Self {
         Servers {
-            optane_write: (0..optane_write_banks.max(1)).map(|_| BwServer::new()).collect(),
+            optane_write: (0..optane_write_banks.max(1))
+                .map(|_| BwServer::new())
+                .collect(),
             optane_read: BwServer::new(),
             dram_write: BwServer::new(),
             dram_read: BwServer::new(),

@@ -47,7 +47,9 @@ pub struct CacheSim {
 impl CacheSim {
     /// A cache of `capacity_bytes / 64` lines, rounded up to a power of two.
     pub fn new(capacity_bytes: usize) -> Self {
-        let lines = (capacity_bytes / crate::LINE_BYTES).max(64).next_power_of_two();
+        let lines = (capacity_bytes / crate::LINE_BYTES)
+            .max(64)
+            .next_power_of_two();
         let slots = (0..lines).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
         CacheSim {
             slots: slots.into_boxed_slice(),
@@ -165,7 +167,7 @@ mod tests {
     #[test]
     fn conflicting_lines_evict_dirty_victim() {
         let c = CacheSim::new(64 * 64); // 64 lines
-        // Find two keys mapping to the same slot.
+                                        // Find two keys mapping to the same slot.
         let base = line_key(0, 0);
         c.access(base, true);
         let mut other = None;

@@ -76,9 +76,10 @@ impl ClockDomain {
         use std::sync::atomic::Ordering as O;
         self.freeze.store(true, O::SeqCst);
         loop {
-            let all_stopped = self.slots.iter().all(|s| {
-                s.parked.load(O::SeqCst) || s.vt.load(O::SeqCst) == DONE
-            });
+            let all_stopped = self
+                .slots
+                .iter()
+                .all(|s| s.parked.load(O::SeqCst) || s.vt.load(O::SeqCst) == DONE);
             if all_stopped {
                 return;
             }
@@ -88,7 +89,8 @@ impl ClockDomain {
 
     /// Resume after a [`ClockDomain::freeze`].
     pub fn thaw(&self) {
-        self.freeze.store(false, std::sync::atomic::Ordering::SeqCst);
+        self.freeze
+            .store(false, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Number of registered virtual threads.
@@ -259,7 +261,9 @@ impl ClockHandle {
 
     /// Mark this virtual thread finished: it no longer constrains others.
     pub fn finish(&mut self) {
-        self.slot.final_vt.fetch_max(self.local_vt, Ordering::AcqRel);
+        self.slot
+            .final_vt
+            .fetch_max(self.local_vt, Ordering::AcqRel);
         self.slot.vt.store(DONE, Ordering::Release);
         self.domain.refresh_min();
     }
@@ -281,7 +285,9 @@ impl Drop for ClockHandle {
     fn drop(&mut self) {
         // A dropped handle must not stall the rest of the simulation, but
         // its elapsed time still counts toward the makespan.
-        self.slot.final_vt.fetch_max(self.local_vt, Ordering::AcqRel);
+        self.slot
+            .final_vt
+            .fetch_max(self.local_vt, Ordering::AcqRel);
         self.slot.vt.store(DONE, Ordering::Release);
     }
 }
@@ -412,7 +418,11 @@ mod freeze_tests {
             let at_freeze = progressed.load(std::sync::atomic::Ordering::SeqCst);
             std::thread::sleep(std::time::Duration::from_millis(20));
             let later = progressed.load(std::sync::atomic::Ordering::SeqCst);
-            assert!(later - at_freeze <= 64, "worker ran while frozen: {}", later - at_freeze);
+            assert!(
+                later - at_freeze <= 64,
+                "worker ran while frozen: {}",
+                later - at_freeze
+            );
             d.thaw();
             stop.store(true, std::sync::atomic::Ordering::Relaxed);
         });

@@ -194,7 +194,8 @@ mod tests {
     #[test]
     fn pdram_lite_preserves_lite_pool_and_normal_pool() {
         let m = tracked(DD::PdramLite);
-        let log = m.alloc_pool_with_class("log", 64, MediaKind::Optane, PersistenceClass::PdramLite);
+        let log =
+            m.alloc_pool_with_class("log", 64, MediaKind::Optane, PersistenceClass::PdramLite);
         let heap = m.alloc_pool("heap", 64, MediaKind::Optane);
         let mut s = m.session(0);
         s.store(log.addr(0), 10);

@@ -178,8 +178,7 @@ impl LatencyModel {
     /// Virtual-ns of *per-bank* write backlog at which flushers stall
     /// (the machine-wide WPQ capacity split across banks).
     pub fn wpq_backlog_ns(&self) -> u64 {
-        self.wpq_lines
-            .saturating_mul(self.optane_write_line_ns)
+        self.wpq_lines.saturating_mul(self.optane_write_line_ns)
             / self.optane_write_banks.max(1) as u64
     }
 

@@ -231,12 +231,7 @@ impl PmemPool {
     /// timing separately).
     #[inline]
     pub fn raw_cas(&self, word: u64, expect: u64, new: u64) -> Result<u64, u64> {
-        self.words[word as usize].compare_exchange(
-            expect,
-            new,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        )
+        self.words[word as usize].compare_exchange(expect, new, Ordering::AcqRel, Ordering::Acquire)
     }
 
     /// The durable shadow, if tracking is enabled.
@@ -298,7 +293,9 @@ impl PmemPool {
     /// Copy the full current contents out (crash simulation under domains
     /// that preserve cache-visible state).
     pub(crate) fn dump_current(&self) -> Vec<u64> {
-        (0..self.words.len() as u64).map(|w| self.raw_load(w)).collect()
+        (0..self.words.len() as u64)
+            .map(|w| self.raw_load(w))
+            .collect()
     }
 
     /// Copy the durable shadow out.
@@ -337,14 +334,28 @@ mod tests {
 
     #[test]
     fn pool_rounds_to_lines() {
-        let p = PmemPool::new(PoolId(0), "t", 9, MediaKind::Dram, PersistenceClass::Normal, false);
+        let p = PmemPool::new(
+            PoolId(0),
+            "t",
+            9,
+            MediaKind::Dram,
+            PersistenceClass::Normal,
+            false,
+        );
         assert_eq!(p.len_words(), 16);
         assert_eq!(p.len_lines(), 2);
     }
 
     #[test]
     fn raw_store_load() {
-        let p = PmemPool::new(PoolId(0), "t", 64, MediaKind::Optane, PersistenceClass::Normal, false);
+        let p = PmemPool::new(
+            PoolId(0),
+            "t",
+            64,
+            MediaKind::Optane,
+            PersistenceClass::Normal,
+            false,
+        );
         p.raw_store(5, 99);
         assert_eq!(p.raw_load(5), 99);
         assert_eq!(p.raw_load(6), 0);
@@ -352,7 +363,14 @@ mod tests {
 
     #[test]
     fn raw_cas_success_and_failure() {
-        let p = PmemPool::new(PoolId(0), "t", 8, MediaKind::Optane, PersistenceClass::Normal, false);
+        let p = PmemPool::new(
+            PoolId(0),
+            "t",
+            8,
+            MediaKind::Optane,
+            PersistenceClass::Normal,
+            false,
+        );
         assert_eq!(p.raw_cas(0, 0, 5), Ok(0));
         assert_eq!(p.raw_cas(0, 0, 7), Err(5));
         assert_eq!(p.raw_load(0), 5);
@@ -360,7 +378,14 @@ mod tests {
 
     #[test]
     fn shadow_tracks_persisted_lines_only() {
-        let p = PmemPool::new(PoolId(0), "t", 16, MediaKind::Optane, PersistenceClass::Normal, true);
+        let p = PmemPool::new(
+            PoolId(0),
+            "t",
+            16,
+            MediaKind::Optane,
+            PersistenceClass::Normal,
+            true,
+        );
         p.raw_store(0, 11);
         p.raw_store(8, 22);
         let s = p.shadow().unwrap();
@@ -372,7 +397,14 @@ mod tests {
 
     #[test]
     fn snapshot_persistence_uses_captured_values() {
-        let p = PmemPool::new(PoolId(0), "t", 8, MediaKind::Optane, PersistenceClass::Normal, true);
+        let p = PmemPool::new(
+            PoolId(0),
+            "t",
+            8,
+            MediaKind::Optane,
+            PersistenceClass::Normal,
+            true,
+        );
         p.raw_store(0, 1);
         let (snap, epoch) = p.snapshot_line(0);
         p.raw_store(0, 2); // modified after the (simulated) clwb
@@ -383,7 +415,14 @@ mod tests {
 
     #[test]
     fn load_image_restores_contents_and_shadow() {
-        let p = PmemPool::new(PoolId(0), "t", 8, MediaKind::Optane, PersistenceClass::Normal, true);
+        let p = PmemPool::new(
+            PoolId(0),
+            "t",
+            8,
+            MediaKind::Optane,
+            PersistenceClass::Normal,
+            true,
+        );
         let image = vec![7u64; 8];
         p.load_image(&image);
         assert_eq!(p.raw_load(3), 7);
@@ -393,7 +432,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "image length mismatch")]
     fn load_image_checks_length() {
-        let p = PmemPool::new(PoolId(0), "t", 8, MediaKind::Optane, PersistenceClass::Normal, false);
+        let p = PmemPool::new(
+            PoolId(0),
+            "t",
+            8,
+            MediaKind::Optane,
+            PersistenceClass::Normal,
+            false,
+        );
         p.load_image(&[1, 2, 3]);
     }
 }

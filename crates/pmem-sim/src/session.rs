@@ -341,7 +341,10 @@ impl MemSession {
             .request(self.now(), m.write_line_ns(optane));
         // The flush is durable once the WPQ accepts it — when its bank
         // starts serving it — not when the media write completes.
-        let accept = g.finish.saturating_sub(m.write_line_ns(optane)).max(self.now());
+        let accept = g
+            .finish
+            .saturating_sub(m.write_line_ns(optane))
+            .max(self.now());
         self.last_flush_accept = self.last_flush_accept.max(accept);
         // WPQ bound: a full queue back-pressures the flusher synchronously.
         let bound = m.wpq_backlog_ns();

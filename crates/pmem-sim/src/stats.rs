@@ -97,20 +97,26 @@ impl MachineStats {
 
 impl StatsSnapshot {
     /// Difference against an earlier snapshot (per-phase deltas).
+    /// Saturating: a `reset` racing between the two snapshots must not
+    /// panic the reporter.
     pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
-            loads: self.loads - earlier.loads,
-            stores: self.stores - earlier.stores,
-            l3_hits: self.l3_hits - earlier.l3_hits,
-            l3_misses: self.l3_misses - earlier.l3_misses,
-            clwbs: self.clwbs - earlier.clwbs,
-            clwb_writebacks: self.clwb_writebacks - earlier.clwb_writebacks,
-            sfences: self.sfences - earlier.sfences,
-            evictions: self.evictions - earlier.evictions,
-            optane_lines_written: self.optane_lines_written - earlier.optane_lines_written,
-            dram_lines_written: self.dram_lines_written - earlier.dram_lines_written,
-            wpq_stall_ns: self.wpq_stall_ns - earlier.wpq_stall_ns,
-            fence_wait_ns: self.fence_wait_ns - earlier.fence_wait_ns,
+            loads: self.loads.saturating_sub(earlier.loads),
+            stores: self.stores.saturating_sub(earlier.stores),
+            l3_hits: self.l3_hits.saturating_sub(earlier.l3_hits),
+            l3_misses: self.l3_misses.saturating_sub(earlier.l3_misses),
+            clwbs: self.clwbs.saturating_sub(earlier.clwbs),
+            clwb_writebacks: self.clwb_writebacks.saturating_sub(earlier.clwb_writebacks),
+            sfences: self.sfences.saturating_sub(earlier.sfences),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            optane_lines_written: self
+                .optane_lines_written
+                .saturating_sub(earlier.optane_lines_written),
+            dram_lines_written: self
+                .dram_lines_written
+                .saturating_sub(earlier.dram_lines_written),
+            wpq_stall_ns: self.wpq_stall_ns.saturating_sub(earlier.wpq_stall_ns),
+            fence_wait_ns: self.fence_wait_ns.saturating_sub(earlier.fence_wait_ns),
         }
     }
 }
@@ -129,6 +135,18 @@ mod tests {
         assert_eq!(snap.sfences, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    /// A reset between snapshots used to underflow-panic `delta_since`.
+    #[test]
+    fn delta_saturates_across_reset() {
+        let s = MachineStats::new();
+        MachineStats::bump(&s.stores, 10);
+        let a = s.snapshot();
+        s.reset();
+        let d = s.snapshot().delta_since(&a);
+        assert_eq!(d.stores, 0);
+        assert_eq!(d, StatsSnapshot::default());
     }
 
     #[test]

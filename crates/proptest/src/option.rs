@@ -1,0 +1,26 @@
+//! Option strategies (`prop::option::of`).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// `None` half the time, `Some(inner sample)` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+        if rng.gen_bool(0.5) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -130,12 +130,7 @@ impl PHashMap {
     }
 
     /// Update an existing key with `f(old)`; returns `false` if absent.
-    pub fn update(
-        &self,
-        tx: &mut Tx<'_>,
-        key: u64,
-        f: impl FnOnce(u64) -> u64,
-    ) -> TxResult<bool> {
+    pub fn update(&self, tx: &mut Tx<'_>, key: u64, f: impl FnOnce(u64) -> u64) -> TxResult<bool> {
         let bucket = self.bucket_addr(tx, key)?;
         let mut cur = tx.read_ptr(bucket)?;
         while !cur.is_null() {

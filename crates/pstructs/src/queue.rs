@@ -180,6 +180,10 @@ mod tests {
         let mut all: Vec<u64> = consumed.into_iter().flatten().collect();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len() as u64, producers as u64 * per, "items lost or duplicated");
+        assert_eq!(
+            all.len() as u64,
+            producers as u64 * per,
+            "items lost or duplicated"
+        );
     }
 }

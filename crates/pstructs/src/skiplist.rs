@@ -93,11 +93,7 @@ impl PSkipList {
     /// Find the predecessor tower of `key`: `preds[l]` is the node (or
     /// NULL for the header) whose level-`l` pointer must be followed or
     /// spliced.
-    fn find_preds(
-        &self,
-        tx: &mut Tx<'_>,
-        key: u64,
-    ) -> TxResult<([PAddr; MAX_HEIGHT], PAddr)> {
+    fn find_preds(&self, tx: &mut Tx<'_>, key: u64) -> TxResult<([PAddr; MAX_HEIGHT], PAddr)> {
         let mut preds = [PAddr::NULL; MAX_HEIGHT];
         let mut pred = PAddr::NULL;
         let mut found = PAddr::NULL;

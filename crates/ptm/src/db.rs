@@ -65,8 +65,13 @@ impl PtmDb {
         roots: usize,
     ) -> PtmDb {
         let machine = Machine::new(machine_cfg);
-        let heap =
-            PHeap::format_with_media(&machine, DB_HEAP_NAME, heap_words, roots, ptm_cfg.heap_media);
+        let heap = PHeap::format_with_media(
+            &machine,
+            DB_HEAP_NAME,
+            heap_words,
+            roots,
+            ptm_cfg.heap_media,
+        );
         let ptm = Ptm::new(ptm_cfg);
         PtmDb { machine, heap, ptm }
     }
@@ -92,10 +97,7 @@ impl PtmDb {
             .expect("crash image contains no PtmDb heap");
         let (heap, gc) = PHeap::attach(pool).expect("heap attach");
         let ptm = Ptm::new(ptm_cfg);
-        (
-            PtmDb { machine, heap, ptm },
-            ReopenReports { recovery, gc },
-        )
+        (PtmDb { machine, heap, ptm }, ReopenReports { recovery, gc })
     }
 
     /// Begin a timed run with `threads` virtual threads (see

@@ -45,6 +45,7 @@ pub mod config;
 pub mod db;
 pub mod log;
 pub mod orec;
+pub mod phases;
 pub mod recovery;
 pub mod stats;
 pub mod txn;
@@ -52,6 +53,7 @@ pub mod umap;
 
 pub use config::{Algo, FlushTiming, PtmConfig};
 pub use db::PtmDb;
+pub use phases::{Phase, PhaseSnapshot, PhaseStats, PhaseTimer, PHASE_COUNT};
 pub use recovery::{recover, RecoveryReport};
 pub use stats::{PtmStats, PtmStatsSnapshot};
 pub use txn::{Abort, Ptm, Tx, TxResult, TxThread};

@@ -32,9 +32,7 @@
 
 use std::sync::Arc;
 
-use pmem_sim::{
-    DurabilityDomain, Machine, MediaKind, PAddr, PersistenceClass, PmemPool,
-};
+use pmem_sim::{DurabilityDomain, Machine, MediaKind, PAddr, PersistenceClass, PmemPool};
 
 use crate::config::{Algo, PtmConfig};
 
@@ -93,7 +91,10 @@ impl TxLog {
         let lite = machine.domain() == DurabilityDomain::PdramLite;
         let media = cfg.heap_media;
         let (primary_cap, class) = if lite && media == MediaKind::Optane {
-            (cfg.lite_log_entries.min(cfg.log_capacity), PersistenceClass::PdramLite)
+            (
+                cfg.lite_log_entries.min(cfg.log_capacity),
+                PersistenceClass::PdramLite,
+            )
         } else {
             (cfg.log_capacity, PersistenceClass::Normal)
         };
@@ -137,7 +138,10 @@ impl TxLog {
         if i < self.primary_cap {
             self.primary.addr(ENTRY0 + i as u64 * ENTRY_WORDS)
         } else {
-            let ovf = self.overflow.as_ref().expect("entry index beyond primary with no overflow");
+            let ovf = self
+                .overflow
+                .as_ref()
+                .expect("entry index beyond primary with no overflow");
             ovf.addr((i - self.primary_cap) as u64 * ENTRY_WORDS)
         }
     }
@@ -161,7 +165,12 @@ impl TxLog {
     }
 
     /// Untimed read of an entry (recovery).
-    pub fn raw_entry(primary: &PmemPool, overflow: Option<&PmemPool>, primary_cap: usize, i: usize) -> (u64, u64, u64) {
+    pub fn raw_entry(
+        primary: &PmemPool,
+        overflow: Option<&PmemPool>,
+        primary_cap: usize,
+        i: usize,
+    ) -> (u64, u64, u64) {
         let (pool, base) = if i < primary_cap {
             (primary, ENTRY0 + i as u64 * ENTRY_WORDS)
         } else {

@@ -122,7 +122,12 @@ impl OrecTable {
     pub fn try_lock(&self, idx: u32, expected: u64, tid: u64) -> Result<(), u64> {
         debug_assert!(!is_locked(expected));
         self.orecs[idx as usize]
-            .compare_exchange(expected, lock_word(tid), Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                expected,
+                lock_word(tid),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .map(|_| ())
     }
 
@@ -200,7 +205,11 @@ mod tests {
         let base = PAddr::new(PoolId(1), 0);
         let distinct: std::collections::HashSet<u32> =
             (0..64).map(|i| t.index_of(base.offset(i))).collect();
-        assert!(distinct.len() > 48, "only {} distinct stripes", distinct.len());
+        assert!(
+            distinct.len() > 48,
+            "only {} distinct stripes",
+            distinct.len()
+        );
     }
 
     #[test]

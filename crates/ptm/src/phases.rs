@@ -1,0 +1,311 @@
+//! Per-transaction phase accounting over virtual time.
+//!
+//! The paper's argument (§III-B) is an accounting one: Optane transactions
+//! lose to DRAM because of the fences and flushes *inside* the critical
+//! section, not the raw media latency. This module makes that breakdown
+//! directly measurable: every [`crate::TxThread`] charges the virtual
+//! nanoseconds between phase boundaries to one of eight [`Phase`]s, and
+//! drains the per-thread totals into the shared [`PhaseStats`] on its
+//! [`crate::Ptm`] at the end of each top-level `run` call.
+//!
+//! Attribution rules (uniform across algorithms):
+//!
+//! * every `clwb` issued by the PTM is charged to [`Phase::Flush`];
+//! * every `sfence` is charged to [`Phase::FenceWait`] (this includes the
+//!   WPQ-acceptance wait the paper measures — under eADR both collapse to
+//!   zero because the session elides the instructions);
+//! * log-entry construction (redo append, undo pre-image persist, commit
+//!   markers, log truncation) is [`Phase::LogAppend`];
+//! * commit-time orec acquisition, read-set validation and orec release
+//!   are [`Phase::Validation`];
+//! * copying redo values in place at commit is [`Phase::Writeback`];
+//! * undoing speculative state after an abort is [`Phase::Rollback`];
+//! * contention backoff is [`Phase::Backoff`];
+//! * everything else — transactional reads, orec probes during execution,
+//!   in-place speculative stores, allocator work — is
+//!   [`Phase::Speculation`].
+//!
+//! The accounting is *complete*: between `run`'s entry and exit every
+//! elapsed virtual nanosecond is charged to exactly one phase (asserted
+//! by a driver test: single-threaded, the phase sum equals elapsed
+//! virtual time).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a transaction's virtual time goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Speculative execution: reads, orec probes, in-place stores.
+    Speculation = 0,
+    /// Building/persisting log entries and commit markers.
+    LogAppend = 1,
+    /// `clwb` instructions (incl. WPQ back-pressure stalls at flush time).
+    Flush = 2,
+    /// `sfence` instructions: waiting for flush acceptance.
+    FenceWait = 3,
+    /// Commit-time orec acquisition, read validation, orec release.
+    Validation = 4,
+    /// Copying committed redo values into place.
+    Writeback = 5,
+    /// Undoing speculative state after an abort.
+    Rollback = 6,
+    /// Contention backoff between retries.
+    Backoff = 7,
+}
+
+/// Number of phases (array dimension).
+pub const PHASE_COUNT: usize = 8;
+
+impl Phase {
+    /// All phases, in display order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Speculation,
+        Phase::LogAppend,
+        Phase::Flush,
+        Phase::FenceWait,
+        Phase::Validation,
+        Phase::Writeback,
+        Phase::Rollback,
+        Phase::Backoff,
+    ];
+
+    /// Short stable label (column header / JSON key).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Speculation => "speculation",
+            Phase::LogAppend => "log_append",
+            Phase::Flush => "flush",
+            Phase::FenceWait => "fence_wait",
+            Phase::Validation => "validation",
+            Phase::Writeback => "writeback",
+            Phase::Rollback => "rollback",
+            Phase::Backoff => "backoff",
+        }
+    }
+}
+
+/// Shared per-[`crate::Ptm`] phase totals (relaxed atomics, like
+/// [`crate::PtmStats`]).
+#[derive(Debug, Default)]
+pub struct PhaseStats {
+    ns: [AtomicU64; PHASE_COUNT],
+}
+
+impl PhaseStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a thread-local accumulation in (one atomic add per non-zero
+    /// phase).
+    pub fn merge_local(&self, local: &[u64; PHASE_COUNT]) {
+        for (slot, &v) in self.ns.iter().zip(local) {
+            if v != 0 {
+                slot.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub fn snapshot(&self) -> PhaseSnapshot {
+        let mut ns = [0u64; PHASE_COUNT];
+        for (out, slot) in ns.iter_mut().zip(&self.ns) {
+            *out = slot.load(Ordering::Relaxed);
+        }
+        PhaseSnapshot { ns }
+    }
+
+    /// Zero all phase totals (between benchmark phases).
+    pub fn reset(&self) {
+        for slot in &self.ns {
+            slot.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Plain-value snapshot of [`PhaseStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    pub ns: [u64; PHASE_COUNT],
+}
+
+impl PhaseSnapshot {
+    #[inline]
+    pub fn get(&self, p: Phase) -> u64 {
+        self.ns[p as usize]
+    }
+
+    /// Sum over all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Fraction of total time spent in `p` (0.0 when nothing recorded).
+    pub fn share(&self, p: Phase) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(p) as f64 / total as f64
+        }
+    }
+
+    /// The paper's §III-B headline number: fraction of transaction time
+    /// spent persisting (flushes + fence waits).
+    pub fn persistence_share(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            (self.get(Phase::Flush) + self.get(Phase::FenceWait)) as f64 / total as f64
+        }
+    }
+
+    /// Saturating per-phase difference (robust to a concurrent `reset`).
+    pub fn delta_since(&self, earlier: &PhaseSnapshot) -> PhaseSnapshot {
+        let mut ns = [0u64; PHASE_COUNT];
+        for (i, slot) in ns.iter_mut().enumerate() {
+            *slot = self.ns[i].saturating_sub(earlier.ns[i]);
+        }
+        PhaseSnapshot { ns }
+    }
+}
+
+/// Zero-allocation phase stopwatch owned by a [`crate::TxThread`].
+///
+/// Reads the session clock only at phase boundaries; all state is a fixed
+/// array plus two words. `start` opens an accounting interval, `switch`
+/// moves between phases (returning the previous phase so nested scopes can
+/// restore it), and `drain` closes the interval and publishes into the
+/// shared [`PhaseStats`].
+#[derive(Debug)]
+pub struct PhaseTimer {
+    acc: [u64; PHASE_COUNT],
+    mark: u64,
+    current: Phase,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimer {
+    pub fn new() -> Self {
+        PhaseTimer {
+            acc: [0; PHASE_COUNT],
+            mark: 0,
+            current: Phase::Speculation,
+        }
+    }
+
+    /// Open an accounting interval at virtual time `now` (charges
+    /// nothing).
+    #[inline]
+    pub fn start(&mut self, now: u64) {
+        self.mark = now;
+        self.current = Phase::Speculation;
+    }
+
+    /// Charge `now - mark` to the current phase and enter `next`.
+    /// Returns the previous phase for later restoration.
+    #[inline]
+    pub fn switch(&mut self, now: u64, next: Phase) -> Phase {
+        let prev = self.current;
+        self.acc[prev as usize] += now.saturating_sub(self.mark);
+        self.mark = now;
+        self.current = next;
+        prev
+    }
+
+    /// Close the interval at `now` and publish the accumulated totals.
+    #[inline]
+    pub fn drain(&mut self, now: u64, shared: &PhaseStats) {
+        self.acc[self.current as usize] += now.saturating_sub(self.mark);
+        self.mark = now;
+        shared.merge_local(&self.acc);
+        self.acc = [0; PHASE_COUNT];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_charges_boundaries_exactly() {
+        let shared = PhaseStats::new();
+        let mut t = PhaseTimer::new();
+        t.start(100);
+        t.switch(130, Phase::Flush); // 30 ns of speculation
+        t.switch(150, Phase::FenceWait); // 20 ns of flush
+        t.switch(180, Phase::Speculation); // 30 ns of fence wait
+        t.drain(200, &shared); // 20 ns of speculation
+        let s = shared.snapshot();
+        assert_eq!(s.get(Phase::Speculation), 50);
+        assert_eq!(s.get(Phase::Flush), 20);
+        assert_eq!(s.get(Phase::FenceWait), 30);
+        assert_eq!(s.total_ns(), 100);
+    }
+
+    #[test]
+    fn drain_resets_local_and_accumulates_shared() {
+        let shared = PhaseStats::new();
+        let mut t = PhaseTimer::new();
+        t.start(0);
+        t.drain(10, &shared);
+        t.start(10);
+        t.drain(15, &shared);
+        assert_eq!(shared.snapshot().get(Phase::Speculation), 15);
+    }
+
+    #[test]
+    fn nested_switch_restore_pattern() {
+        let shared = PhaseStats::new();
+        let mut t = PhaseTimer::new();
+        t.start(0);
+        let prev = t.switch(10, Phase::LogAppend);
+        let prev2 = t.switch(14, Phase::Flush);
+        t.switch(20, prev2); // back to LogAppend
+        t.switch(25, prev); // back to Speculation
+        t.drain(30, &shared);
+        let s = shared.snapshot();
+        assert_eq!(s.get(Phase::Speculation), 15);
+        assert_eq!(s.get(Phase::LogAppend), 9);
+        assert_eq!(s.get(Phase::Flush), 6);
+    }
+
+    #[test]
+    fn share_and_persistence_share() {
+        let shared = PhaseStats::new();
+        let mut t = PhaseTimer::new();
+        t.start(0);
+        t.switch(50, Phase::Flush);
+        t.switch(75, Phase::FenceWait);
+        t.drain(100, &shared);
+        let s = shared.snapshot();
+        assert!((s.share(Phase::Speculation) - 0.5).abs() < 1e-9);
+        assert!((s.persistence_share() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_delta_saturates() {
+        let a = PhaseSnapshot {
+            ns: [10; PHASE_COUNT],
+        };
+        let b = PhaseSnapshot {
+            ns: [4; PHASE_COUNT],
+        };
+        assert_eq!(b.delta_since(&a).total_ns(), 0);
+        assert_eq!(a.delta_since(&b).get(Phase::Flush), 6);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Phase::ALL {
+            assert!(seen.insert(p.label()));
+        }
+    }
+}

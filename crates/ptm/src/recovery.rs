@@ -231,7 +231,8 @@ mod tests {
         let fake_addr = PAddr::new(log.primary.id(), 9_999).0;
         log.primary.raw_store(e.word(), fake_addr);
         log.primary.raw_store(e.word() + 1, 0);
-        log.primary.raw_store(e.word() + 2, seal(fake_addr, 31337, 0));
+        log.primary
+            .raw_store(e.word() + 2, seal(fake_addr, 31337, 0));
         log.primary.persist_line_now(e.line());
         let img = m.crash(3);
         let m2 = pmem_sim::Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));

@@ -105,18 +105,28 @@ impl PtmStatsSnapshot {
         }
     }
 
+    /// Difference against an earlier snapshot. Saturating: a `reset`
+    /// racing between the two snapshots must not panic the reporter.
+    /// `max_write_entries` is a high-water mark, not a counter — the
+    /// delta keeps the larger of the two values.
     pub fn delta_since(&self, earlier: &PtmStatsSnapshot) -> PtmStatsSnapshot {
         PtmStatsSnapshot {
-            commits: self.commits - earlier.commits,
-            aborts: self.aborts - earlier.aborts,
-            aborts_read_locked: self.aborts_read_locked - earlier.aborts_read_locked,
-            aborts_read_version: self.aborts_read_version - earlier.aborts_read_version,
-            aborts_acquire: self.aborts_acquire - earlier.aborts_acquire,
-            aborts_validation: self.aborts_validation - earlier.aborts_validation,
-            extensions: self.extensions - earlier.extensions,
-            htm_commits: self.htm_commits - earlier.htm_commits,
-            htm_aborts: self.htm_aborts - earlier.htm_aborts,
-            htm_fallbacks: self.htm_fallbacks - earlier.htm_fallbacks,
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            aborts_read_locked: self
+                .aborts_read_locked
+                .saturating_sub(earlier.aborts_read_locked),
+            aborts_read_version: self
+                .aborts_read_version
+                .saturating_sub(earlier.aborts_read_version),
+            aborts_acquire: self.aborts_acquire.saturating_sub(earlier.aborts_acquire),
+            aborts_validation: self
+                .aborts_validation
+                .saturating_sub(earlier.aborts_validation),
+            extensions: self.extensions.saturating_sub(earlier.extensions),
+            htm_commits: self.htm_commits.saturating_sub(earlier.htm_commits),
+            htm_aborts: self.htm_aborts.saturating_sub(earlier.htm_aborts),
+            htm_fallbacks: self.htm_fallbacks.saturating_sub(earlier.htm_fallbacks),
             max_write_entries: self.max_write_entries.max(earlier.max_write_entries),
         }
     }
@@ -134,6 +144,22 @@ mod tests {
         PtmStats::bump(&s.aborts);
         PtmStats::bump(&s.commits);
         assert_eq!(s.snapshot().commit_abort_ratio(), 2.0);
+    }
+
+    /// A reset between snapshots used to underflow-panic `delta_since`.
+    #[test]
+    fn delta_saturates_across_reset() {
+        let s = PtmStats::new();
+        PtmStats::bump(&s.commits);
+        PtmStats::bump(&s.aborts);
+        s.note_write_set(9);
+        let a = s.snapshot();
+        s.reset();
+        let d = s.snapshot().delta_since(&a);
+        assert_eq!(d.commits, 0);
+        assert_eq!(d.aborts, 0);
+        // High-water mark semantics: the larger value survives.
+        assert_eq!(d.max_write_entries, 9);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use rand::{Rng, SeedableRng};
 use crate::config::{Algo, FlushTiming, PtmConfig};
 use crate::log::{TxLog, STATE_COMMITTED, STATE_IDLE};
 use crate::orec::{is_locked, owner_of, GlobalClock, OrecTable};
+use crate::phases::{Phase, PhaseSnapshot, PhaseStats, PhaseTimer};
 use crate::stats::{PtmStats, PtmStatsSnapshot};
 use crate::umap::U64Map;
 
@@ -49,6 +50,8 @@ pub struct Ptm {
     pub orecs: OrecTable,
     pub clock: GlobalClock,
     pub stats: PtmStats,
+    /// Where transaction time goes, by [`Phase`] (see [`crate::phases`]).
+    pub phases: PhaseStats,
 }
 
 impl Ptm {
@@ -59,12 +62,18 @@ impl Ptm {
             orecs,
             clock: GlobalClock::new(),
             stats: PtmStats::new(),
+            phases: PhaseStats::new(),
         })
     }
 
     /// Snapshot of commit/abort counters.
     pub fn stats_snapshot(&self) -> PtmStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Snapshot of the per-phase time breakdown.
+    pub fn phases_snapshot(&self) -> PhaseSnapshot {
+        self.phases.snapshot()
     }
 }
 
@@ -112,6 +121,9 @@ pub struct TxThread {
     in_htm: bool,
     rng: SmallRng,
     attempts: u32,
+    /// Charges elapsed virtual time to [`Phase`]s; drained into
+    /// `ptm.phases` at the end of every [`TxThread::run`].
+    timer: PhaseTimer,
 }
 
 impl TxThread {
@@ -142,6 +154,7 @@ impl TxThread {
             in_htm: false,
             rng: SmallRng::seed_from_u64(0x9E37 ^ tid),
             attempts: 0,
+            timer: PhaseTimer::new(),
         }
     }
 
@@ -154,7 +167,19 @@ impl TxThread {
     /// algorithm. Under ADR the hardware path is skipped entirely: a
     /// `clwb` inside a hardware transaction aborts it (the paper's §V
     /// observation about TSX).
-    pub fn run<T>(&mut self, mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
+    pub fn run<T>(&mut self, f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
+        // Phase accounting brackets the whole call: every virtual
+        // nanosecond between here and the drain is charged to exactly one
+        // phase.
+        let now = self.s.now();
+        self.timer.start(now);
+        let v = self.run_inner(f);
+        let now = self.s.now();
+        self.timer.drain(now, &self.ptm.phases);
+        v
+    }
+
+    fn run_inner<T>(&mut self, mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
         let htm_retries = self.ptm.config.htm_retries;
         if htm_retries > 0 && !self.s.machine().domain().requires_flushes() {
             for attempt in 0..htm_retries {
@@ -178,6 +203,8 @@ impl TxThread {
                 self.in_htm = false;
                 PtmStats::bump(&self.ptm.stats.htm_aborts);
                 self.abort_cleanup();
+                let now = self.s.now();
+                self.timer.switch(now, Phase::Backoff);
                 self.s.advance(60u64 << attempt.min(6));
             }
             PtmStats::bump(&self.ptm.stats.htm_fallbacks);
@@ -235,11 +262,28 @@ impl TxThread {
 
     // ---- internals ------------------------------------------------------
 
+    /// `sfence`, charged to [`Phase::FenceWait`]. Under eADR-class
+    /// domains the session elides the fence, so ~0 ns is charged — this
+    /// is how the profiler shows the ADR→eADR fence-wait collapse.
     #[inline]
     fn fence(&mut self) {
         if !self.ptm.config.elide_fences {
+            let now = self.s.now();
+            let prev = self.timer.switch(now, Phase::FenceWait);
             self.s.sfence();
+            let now = self.s.now();
+            self.timer.switch(now, prev);
         }
+    }
+
+    /// `clwb`, charged to [`Phase::Flush`] (elided → ~0 under eADR).
+    #[inline]
+    fn flush_line(&mut self, addr: PAddr) {
+        let now = self.s.now();
+        let prev = self.timer.switch(now, Phase::Flush);
+        self.s.clwb(addr);
+        let now = self.s.now();
+        self.timer.switch(now, prev);
     }
 
     #[inline]
@@ -256,6 +300,10 @@ impl TxThread {
     }
 
     fn begin(&mut self) {
+        // A new attempt starts in speculation (also closes out the
+        // previous attempt's backoff/rollback interval).
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Speculation);
         self.read_set.clear();
         self.entries.clear();
         self.redo_index.clear();
@@ -365,11 +413,15 @@ impl TxThread {
 
     fn redo_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
         self.index_cost();
+        let now = self.s.now();
+        let outer = self.timer.switch(now, Phase::LogAppend);
         if let Some(i) = self.redo_index.get(addr.0) {
             let i = i as usize;
             self.entries[i].1 = val;
             let e = self.log.entry_addr(i);
             self.s.store(e.offset(1), val);
+            let now = self.s.now();
+            self.timer.switch(now, outer);
             return Ok(());
         }
         let i = self.entries.len();
@@ -387,9 +439,11 @@ impl TxThread {
         if self.ptm.config.flush_timing == FlushTiming::Incremental && i > 0 {
             let prev = self.log.entry_addr(i - 1);
             if prev.line() != e.line() || prev.pool() != e.pool() {
-                self.s.clwb(prev);
+                self.flush_line(prev);
             }
         }
+        let now = self.s.now();
+        self.timer.switch(now, outer);
         Ok(())
     }
 
@@ -439,6 +493,8 @@ impl TxThread {
         // before the in-place store (the undo fence the paper measures).
         self.index_cost();
         if self.undo_logged.get(addr.0).is_none() {
+            let now = self.s.now();
+            let outer = self.timer.switch(now, Phase::LogAppend);
             self.undo_logged.insert(addr.0, 1);
             let i = self.entries.len();
             assert!(i < self.log.capacity, "undo log overflow ({i} entries)");
@@ -450,7 +506,7 @@ impl TxThread {
                 self.undo_seq += 1;
                 let seq_addr = self.log.seq_addr();
                 self.s.store(seq_addr, self.undo_seq);
-                self.s.clwb(seq_addr);
+                self.flush_line(seq_addr);
                 self.fence();
             }
             let old = self.s.load(addr);
@@ -458,9 +514,12 @@ impl TxThread {
             let e = self.log.entry_addr(i);
             self.s.store(e, addr.0);
             self.s.store(e.offset(1), old);
-            self.s.store(e.offset(2), crate::log::seal(addr.0, old, self.undo_seq));
-            self.s.clwb(e);
+            self.s
+                .store(e.offset(2), crate::log::seal(addr.0, old, self.undo_seq));
+            self.flush_line(e);
             self.fence();
+            let now = self.s.now();
+            self.timer.switch(now, outer);
         }
         self.s.store(addr, val);
         self.eager_writes.push(addr.0);
@@ -496,7 +555,8 @@ impl TxThread {
             return Err(Abort); // capacity abort
         }
         self.entries.push((addr.0, val));
-        self.redo_index.insert(addr.0, self.entries.len() as u64 - 1);
+        self.redo_index
+            .insert(addr.0, self.entries.len() as u64 - 1);
         Ok(())
     }
 
@@ -508,6 +568,8 @@ impl TxThread {
     /// durable the moment they are cache-visible, which is exactly why
     /// the paper expects TSX to compose with eADR but not ADR.
     fn commit_htm(&mut self) -> bool {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Validation);
         self.s.advance(self.ptm.config.htm_commit_ns);
         if self.entries.is_empty() {
             // Read-only: all reads saw orec versions <= start_time and
@@ -542,10 +604,14 @@ impl TxThread {
         // must not split the application of the write set — there is no
         // log to repair a torn hardware commit.
         self.s.enter_atomic();
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Writeback);
         for i in 0..self.entries.len() {
             let (a, v) = self.entries[i];
             self.s.store(PAddr(a), v);
         }
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Validation);
         for i in 0..self.owned.len() {
             let (o, _) = self.owned[i];
             self.ptm.orecs.release(o, wv);
@@ -593,7 +659,7 @@ impl TxThread {
             let base = PAddr(addr_bits);
             let mut w = 0u64;
             while w < words as u64 {
-                self.s.clwb(base.offset(w));
+                self.flush_line(base.offset(w));
                 w += pmem_sim::WORDS_PER_LINE as u64;
             }
         }
@@ -607,6 +673,8 @@ impl TxThread {
             return true;
         }
         // Acquire all write-set orecs (commit-time locking).
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Validation);
         let spin_limit = self.ptm.config.lock_spin;
         let orec_ns = self.ptm.config.orec_ns;
         for i in 0..self.entries.len() {
@@ -660,31 +728,39 @@ impl TxThread {
             let e = self.log.entry_addr(i);
             let line = (e.pool(), e.line());
             if line != last_line {
-                self.s.clwb(e);
+                self.flush_line(e);
                 last_line = line;
             }
         }
         self.fence();
         // Linearization + durability point: the COMMITTED marker.
+        let now = self.s.now();
+        self.timer.switch(now, Phase::LogAppend);
         let state = self.log.state_addr();
         let count = self.log.count_addr();
         self.s.store(count, self.entries.len() as u64);
         self.s.store(state, STATE_COMMITTED);
-        self.s.clwb(state); // state & count share the header line
+        self.flush_line(state); // state & count share the header line
         self.fence();
         // Write back and persist program data.
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Writeback);
         for i in 0..self.entries.len() {
             let (a, v) = self.entries[i];
             let addr = PAddr(a);
             self.s.store(addr, v);
-            self.s.clwb(addr);
+            self.flush_line(addr);
         }
         self.fence();
         // Retire the log.
+        let now = self.s.now();
+        self.timer.switch(now, Phase::LogAppend);
         self.s.store(state, STATE_IDLE);
-        self.s.clwb(state);
+        self.flush_line(state);
         self.fence();
         // Make the writes visible at the commit timestamp.
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Validation);
         self.s.advance(orec_ns * self.owned.len() as u64);
         for i in 0..self.owned.len() {
             let (o, _) = self.owned[i];
@@ -701,6 +777,8 @@ impl TxThread {
             return true; // read-only
         }
         let orec_ns = self.ptm.config.orec_ns;
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Validation);
         let wv = self.ptm.clock.bump();
         self.s.advance(orec_ns);
         if wv != self.start_time + 2 && !self.validate_reads() {
@@ -712,14 +790,18 @@ impl TxThread {
         self.flush_fresh_blocks();
         for i in 0..self.eager_writes.len() {
             let addr = PAddr(self.eager_writes[i]);
-            self.s.clwb(addr);
+            self.flush_line(addr);
         }
         self.fence();
         // Truncate the undo log: entry 0's addr word zeroed, durable.
+        let now = self.s.now();
+        self.timer.switch(now, Phase::LogAppend);
         let e0 = self.log.entry_addr(0);
         self.s.store(e0, 0);
-        self.s.clwb(e0);
+        self.flush_line(e0);
         self.fence();
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Validation);
         self.s.advance(orec_ns * self.owned.len() as u64);
         for i in 0..self.owned.len() {
             let (o, _) = self.owned[i];
@@ -732,6 +814,8 @@ impl TxThread {
 
     /// Redo abort: nothing was written in place; restore pre-lock versions.
     fn release_owned_restore(&mut self) {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Rollback);
         self.s
             .advance(self.ptm.config.orec_ns * self.owned.len() as u64);
         for i in 0..self.owned.len() {
@@ -746,17 +830,19 @@ impl TxThread {
     /// fresh timestamp so concurrent readers of speculative values fail
     /// validation.
     fn rollback_undo(&mut self, wv: u64) {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Rollback);
         for i in (0..self.entries.len()).rev() {
             let (a, old) = self.entries[i];
             let addr = PAddr(a);
             self.s.store(addr, old);
-            self.s.clwb(addr);
+            self.flush_line(addr);
         }
         self.fence();
         if !self.entries.is_empty() {
             let e0 = self.log.entry_addr(0);
             self.s.store(e0, 0);
-            self.s.clwb(e0);
+            self.flush_line(e0);
             self.fence();
         }
         self.s
@@ -771,6 +857,8 @@ impl TxThread {
 
     /// Abort initiated by user code (`Err(Abort)` escaped the closure).
     fn user_abort(&mut self) {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Rollback);
         match self.ptm.config.algo {
             Algo::RedoLazy => self.release_owned_restore(),
             Algo::UndoEager => {
@@ -784,6 +872,8 @@ impl TxThread {
 
     /// Return transactionally-allocated blocks after an abort.
     fn abort_cleanup(&mut self) {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Rollback);
         let heap = Arc::clone(&self.heap);
         for i in 0..self.tx_allocs.len() {
             let a = self.tx_allocs[i];
@@ -793,8 +883,11 @@ impl TxThread {
         self.tx_frees.clear();
     }
 
-    /// Apply deferred frees after a successful commit.
+    /// Apply deferred frees after a successful commit (allocator work:
+    /// charged to [`Phase::Speculation`] like `Tx::alloc`).
     fn apply_frees(&mut self) {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Speculation);
         let heap = Arc::clone(&self.heap);
         for i in 0..self.tx_frees.len() {
             let a = self.tx_frees[i];
@@ -805,6 +898,8 @@ impl TxThread {
     }
 
     fn backoff(&mut self) {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Backoff);
         let shift = self.attempts.min(8);
         let ceiling = (100u64 << shift).min(40_000);
         let delay = self.rng.gen_range(ceiling / 2..=ceiling);

@@ -1,0 +1,99 @@
+//! Concrete generators. Only [`SmallRng`] is provided — the single
+//! generator every call site in this workspace uses.
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64 step: expands a 64-bit seed into stream of well-mixed words
+/// (the canonical xoshiro seeding procedure).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, non-cryptographic PRNG: xoshiro256++.
+///
+/// Matches the role (not the exact stream) of upstream `rand`'s
+/// `SmallRng` on 64-bit targets.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // An all-zero state is the one fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            let mut sm = 0xDEAD_BEEFu64;
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+        }
+        SmallRng { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        SmallRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_not_a_fixed_point() {
+        let mut r = SmallRng::from_seed([0; 32]);
+        assert_ne!(r.next_u64(), 0);
+        let mut z = SmallRng::seed_from_u64(0);
+        let a = z.next_u64();
+        let b = z.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_seed_uses_all_bytes() {
+        let mut s1 = [0u8; 32];
+        let mut s2 = [0u8; 32];
+        s1[0] = 1;
+        s2[31] = 1;
+        let mut a = SmallRng::from_seed(s1);
+        let mut b = SmallRng::from_seed(s2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -132,7 +132,12 @@ mod tests {
     #[test]
     fn insert_only_runs_and_counts() {
         let mut w = BTreeInsertOnly::new(400);
-        let sc = Scenario::new("x", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+        let sc = Scenario::new(
+            "x",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            Algo::RedoLazy,
+        );
         let r = run_scenario(&mut w, &sc, &quick_rc(2, 200));
         assert_eq!(r.ops, 400);
         assert!(r.ptm.commits >= 400);
@@ -142,7 +147,12 @@ mod tests {
     #[test]
     fn mixed_runs_under_undo_too() {
         let mut w = BTreeMixed::new(1 << 12);
-        let sc = Scenario::new("x", MediaKind::Optane, DurabilityDomain::Eadr, Algo::UndoEager);
+        let sc = Scenario::new(
+            "x",
+            MediaKind::Optane,
+            DurabilityDomain::Eadr,
+            Algo::UndoEager,
+        );
         let r = run_scenario(&mut w, &sc, &quick_rc(2, 150));
         assert_eq!(r.ops, 300);
         assert!(r.ptm.commits >= 300);
@@ -155,13 +165,23 @@ mod tests {
         let mut w1 = BTreeInsertOnly::new(400);
         let redo = run_scenario(
             &mut w1,
-            &Scenario::new("r", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy),
+            &Scenario::new(
+                "r",
+                MediaKind::Optane,
+                DurabilityDomain::Adr,
+                Algo::RedoLazy,
+            ),
             &rc,
         );
         let mut w2 = BTreeInsertOnly::new(400);
         let undo = run_scenario(
             &mut w2,
-            &Scenario::new("u", MediaKind::Optane, DurabilityDomain::Adr, Algo::UndoEager),
+            &Scenario::new(
+                "u",
+                MediaKind::Optane,
+                DurabilityDomain::Adr,
+                Algo::UndoEager,
+            ),
             &rc,
         );
         assert!(

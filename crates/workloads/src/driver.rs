@@ -8,12 +8,12 @@
 use std::sync::Arc;
 
 use palloc::PHeap;
-use pmem_sim::{
-    DurabilityDomain, LatencyModel, Machine, MachineConfig, MediaKind, StatsSnapshot,
-};
-use ptm::{Algo, Ptm, PtmConfig, PtmStatsSnapshot, TxThread};
+use pmem_sim::{DurabilityDomain, LatencyModel, Machine, MachineConfig, MediaKind, StatsSnapshot};
+use ptm::{Algo, PhaseSnapshot, Ptm, PtmConfig, PtmStatsSnapshot, TxThread};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+use crate::hist::LatencyHistogram;
 
 /// One curve of the paper: where the heap lives, which durability domain
 /// is active, which algorithm runs, and whether fences are (incorrectly)
@@ -70,12 +70,42 @@ impl Scenario {
     /// point is the redo log's placement).
     pub fn fig6_grid() -> Vec<Scenario> {
         vec![
-            Scenario::new("DRAM_R", MediaKind::Dram, DurabilityDomain::Eadr, Algo::RedoLazy),
-            Scenario::new("DRAM_U", MediaKind::Dram, DurabilityDomain::Eadr, Algo::UndoEager),
-            Scenario::new("eADR_R", MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy),
-            Scenario::new("eADR_U", MediaKind::Optane, DurabilityDomain::Eadr, Algo::UndoEager),
-            Scenario::new("PDRAM_R", MediaKind::Optane, DurabilityDomain::Pdram, Algo::RedoLazy),
-            Scenario::new("PDRAM_U", MediaKind::Optane, DurabilityDomain::Pdram, Algo::UndoEager),
+            Scenario::new(
+                "DRAM_R",
+                MediaKind::Dram,
+                DurabilityDomain::Eadr,
+                Algo::RedoLazy,
+            ),
+            Scenario::new(
+                "DRAM_U",
+                MediaKind::Dram,
+                DurabilityDomain::Eadr,
+                Algo::UndoEager,
+            ),
+            Scenario::new(
+                "eADR_R",
+                MediaKind::Optane,
+                DurabilityDomain::Eadr,
+                Algo::RedoLazy,
+            ),
+            Scenario::new(
+                "eADR_U",
+                MediaKind::Optane,
+                DurabilityDomain::Eadr,
+                Algo::UndoEager,
+            ),
+            Scenario::new(
+                "PDRAM_R",
+                MediaKind::Optane,
+                DurabilityDomain::Pdram,
+                Algo::RedoLazy,
+            ),
+            Scenario::new(
+                "PDRAM_U",
+                MediaKind::Optane,
+                DurabilityDomain::Pdram,
+                Algo::UndoEager,
+            ),
             Scenario::new(
                 "PDRAM-Lite",
                 MediaKind::Optane,
@@ -139,8 +169,11 @@ pub struct RunResult {
     pub elapsed_virtual_ns: u64,
     pub ptm: PtmStatsSnapshot,
     pub mem: StatsSnapshot,
-    /// Per-operation virtual latencies: (p50, p95, p99), in ns.
-    pub latency_ns: (u64, u64, u64),
+    /// Per-operation virtual latency distribution (O(buckets) memory; see
+    /// [`crate::hist`]).
+    pub latency: LatencyHistogram,
+    /// Where the transactions' virtual time went, by phase.
+    pub phases: PhaseSnapshot,
 }
 
 impl RunResult {
@@ -156,16 +189,6 @@ impl RunResult {
     pub fn commit_abort_ratio(&self) -> f64 {
         self.ptm.commit_abort_ratio()
     }
-}
-
-/// Percentiles of a latency sample (destructive: sorts in place).
-fn percentiles(samples: &mut [u64]) -> (u64, u64, u64) {
-    if samples.is_empty() {
-        return (0, 0, 0);
-    }
-    samples.sort_unstable();
-    let pick = |p: f64| samples[((samples.len() - 1) as f64 * p) as usize];
-    (pick(0.50), pick(0.95), pick(0.99))
 }
 
 /// A benchmark application: sized at construction, populated once in
@@ -202,12 +225,12 @@ pub fn run_scenario<W: Workload>(w: &mut W, sc: &Scenario, rc: &RunConfig) -> Ru
         w.setup(&mut th);
     }
     ptm.stats.reset();
+    ptm.phases.reset();
     machine.stats.reset();
-    // Measured phase.
+    // Measured phase. Latencies go into per-thread log₂ histograms merged
+    // at thread exit: memory stays O(buckets), not O(ops).
     machine.begin_run(rc.threads, rc.window_ns);
-    let all_latencies = std::sync::Mutex::new(Vec::with_capacity(
-        (rc.threads as u64 * rc.ops_per_thread) as usize,
-    ));
+    let latency = std::sync::Mutex::new(LatencyHistogram::new());
     std::thread::scope(|scope| {
         for tid in 0..rc.threads {
             let machine = Arc::clone(&machine);
@@ -215,24 +238,23 @@ pub fn run_scenario<W: Workload>(w: &mut W, sc: &Scenario, rc: &RunConfig) -> Ru
             let heap = Arc::clone(&heap);
             let w = &*w;
             let rc = rc.clone();
-            let all_latencies = &all_latencies;
+            let latency = &latency;
             scope.spawn(move || {
                 let mut th = TxThread::new(ptm, heap, machine.session(tid));
                 let mut rng =
                     SmallRng::seed_from_u64(rc.seed ^ (tid as u64).wrapping_mul(0x9E37_79B9));
-                let mut lat = Vec::with_capacity(rc.ops_per_thread as usize);
+                let mut local = LatencyHistogram::new();
                 for i in 0..rc.ops_per_thread {
                     let t0 = th.session_mut().now();
                     w.op(&mut th, &mut rng, tid, i);
-                    lat.push(th.session_mut().now() - t0);
+                    local.record(th.session_mut().now() - t0);
                 }
                 th.session_mut().finish();
-                all_latencies.lock().unwrap().extend_from_slice(&lat);
+                latency.lock().unwrap().merge(&local);
             });
         }
     });
     let elapsed = machine.run_time_ns();
-    let latency_ns = percentiles(&mut all_latencies.into_inner().unwrap());
     RunResult {
         label: sc.label.clone(),
         threads: rc.threads,
@@ -240,7 +262,8 @@ pub fn run_scenario<W: Workload>(w: &mut W, sc: &Scenario, rc: &RunConfig) -> Ru
         elapsed_virtual_ns: elapsed,
         ptm: ptm.stats_snapshot(),
         mem: machine.stats.snapshot(),
-        latency_ns,
+        latency: latency.into_inner().unwrap(),
+        phases: ptm.phases_snapshot(),
     }
 }
 
@@ -289,7 +312,12 @@ mod tests {
     #[test]
     fn driver_counts_ops_and_time() {
         let mut w = CounterWorkload::new();
-        let sc = Scenario::new("t", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+        let sc = Scenario::new(
+            "t",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            Algo::RedoLazy,
+        );
         let rc = RunConfig {
             threads: 2,
             ops_per_thread: 100,
@@ -317,6 +345,75 @@ mod tests {
         assert!(g.iter().any(|s| s.domain == DurabilityDomain::PdramLite));
     }
 
+    /// Same seed and config ⇒ bit-identical virtual time, phase totals
+    /// and latency distribution.
+    #[test]
+    fn runs_are_deterministic_for_fixed_seed() {
+        let sc = Scenario::new(
+            "det",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            Algo::RedoLazy,
+        );
+        let rc = RunConfig {
+            threads: 1,
+            ops_per_thread: 300,
+            seed: 7,
+            ..RunConfig::default()
+        };
+        let r1 = run_scenario(&mut CounterWorkload::new(), &sc, &rc);
+        let r2 = run_scenario(&mut CounterWorkload::new(), &sc, &rc);
+        assert_eq!(r1.elapsed_virtual_ns, r2.elapsed_virtual_ns);
+        assert_eq!(r1.phases.ns, r2.phases.ns);
+        assert_eq!(r1.latency.summary(), r2.latency.summary());
+        assert_eq!(r1.ptm.commits, r2.ptm.commits);
+    }
+
+    /// Phase accounting is complete: on a single thread, every virtual
+    /// nanosecond spent inside `run` is charged to some phase, so the
+    /// phase sum equals the session's elapsed time within 1%.
+    #[test]
+    fn single_thread_phase_sum_matches_elapsed() {
+        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+            let mut w = CounterWorkload::new();
+            let machine = Machine::new(MachineConfig {
+                domain: DurabilityDomain::Adr,
+                model: LatencyModel::default(),
+                track_persistence: false,
+                window_ns: u64::MAX,
+            });
+            let heap =
+                PHeap::format_with_media(&machine, "heap", w.heap_words(), 16, MediaKind::Optane);
+            let ptm = Ptm::new(PtmConfig {
+                algo,
+                heap_media: MediaKind::Optane,
+                ..PtmConfig::default()
+            });
+            machine.begin_run(1, u64::MAX);
+            let mut th = TxThread::new(Arc::clone(&ptm), Arc::clone(&heap), machine.session(0));
+            w.setup(&mut th);
+            ptm.phases.reset();
+            let t0 = th.session_mut().now();
+            let mut rng = SmallRng::seed_from_u64(1);
+            for i in 0..500 {
+                w.op(&mut th, &mut rng, 0, i);
+            }
+            let elapsed = th.session_mut().now() - t0;
+            let phases = ptm.phases_snapshot();
+            let total = phases.total_ns();
+            assert!(
+                elapsed.abs_diff(total) as f64 <= elapsed as f64 * 0.01,
+                "{algo:?}: phase sum {total} vs elapsed {elapsed}"
+            );
+            // ADR on Optane must spend observable time persisting.
+            assert!(phases.get(ptm::Phase::Flush) > 0, "{algo:?}: no flush time");
+            assert!(
+                phases.get(ptm::Phase::FenceWait) > 0,
+                "{algo:?}: no fence-wait time"
+            );
+        }
+    }
+
     #[test]
     fn adr_is_slower_than_eadr_on_counter() {
         let rc = RunConfig {
@@ -327,13 +424,23 @@ mod tests {
         let mut w1 = CounterWorkload::new();
         let adr = run_scenario(
             &mut w1,
-            &Scenario::new("adr", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy),
+            &Scenario::new(
+                "adr",
+                MediaKind::Optane,
+                DurabilityDomain::Adr,
+                Algo::RedoLazy,
+            ),
             &rc,
         );
         let mut w2 = CounterWorkload::new();
         let eadr = run_scenario(
             &mut w2,
-            &Scenario::new("eadr", MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy),
+            &Scenario::new(
+                "eadr",
+                MediaKind::Optane,
+                DurabilityDomain::Eadr,
+                Algo::RedoLazy,
+            ),
             &rc,
         );
         assert!(

@@ -1,0 +1,283 @@
+//! Fixed-bucket log₂ latency histogram.
+//!
+//! Replaces the driver's per-operation latency vector: memory is
+//! O(buckets) regardless of operation count, per-thread histograms merge
+//! by bucket-wise addition, and percentiles come from the cumulative
+//! bucket counts.
+//!
+//! Layout: two sub-buckets per power-of-two octave over the full `u64`
+//! range (HDR-histogram style with one bit of sub-bucket precision), so a
+//! reported percentile is at worst ~25% below the true value. Values 0
+//! and 1 get exact buckets; the overall maximum is tracked exactly and
+//! reported for the top of the distribution.
+
+/// Number of buckets: 2 per octave × 64 octaves (buckets 0 and 1 are the
+/// exact values 0 and 1).
+pub const BUCKETS: usize = 128;
+
+/// Bucket index for a value: `v < 2` maps to bucket `v`; otherwise
+/// `2·msb + second-most-significant bit`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 2 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        2 * msb + ((v >> (msb - 1)) & 1) as usize
+    }
+}
+
+/// Smallest value that maps to bucket `b` (the value a percentile in this
+/// bucket reports).
+#[inline]
+pub fn bucket_lower_bound(b: usize) -> u64 {
+    if b < 2 {
+        b as u64
+    } else {
+        let msb = b / 2;
+        let sub = (b % 2) as u64;
+        (1u64 << msb) + sub * (1u64 << (msb - 1))
+    }
+}
+
+/// A mergeable latency histogram with log₂ buckets.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Bucket-wise addition (thread-local → shared).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `p` ∈ [0, 1].
+    ///
+    /// Rank selection is round-half-up: the 0-based rank is
+    /// `min(count − 1, ⌊p·count + 0.5⌋)`. The seed driver truncated the
+    /// rank (`(len−1)·p as usize`), which under-reports tail percentiles —
+    /// with 200 samples its p99 landed on the 198th smallest sample
+    /// instead of the 199th. Reports the bucket's lower bound, or the
+    /// exact maximum when the rank falls in the top bucket.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank0 = ((p * self.count as f64 + 0.5).floor() as u64).min(self.count - 1);
+        // 1-based rank: walk cumulative counts until covered. The very
+        // last rank reports the exact maximum instead of a bucket bound.
+        let target = rank0 + 1;
+        if target >= self.count {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_lower_bound(b);
+            }
+        }
+        self.max
+    }
+
+    /// The standard reporting tuple.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_ns: self.mean(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+            max: self.max,
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)`, for serialization.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(b, &c)| (bucket_lower_bound(b), c))
+    }
+}
+
+/// Percentile digest of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    pub count: u64,
+    pub mean_ns: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub p999: u64,
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_are_consistent() {
+        for b in 0..BUCKETS {
+            let lb = bucket_lower_bound(b);
+            assert_eq!(bucket_index(lb), b, "lower bound of bucket {b}");
+        }
+        // Values inside a bucket map to it.
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 3);
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(5), 4);
+        assert_eq!(bucket_index(6), 5);
+        assert_eq!(bucket_index(7), 5);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn zero_samples_report_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_exact_at_bucket_boundaries() {
+        // All samples are exact bucket lower bounds, so every percentile
+        // is exact.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..50 {
+            h.record(16);
+        }
+        for _ in 0..30 {
+            h.record(64);
+        }
+        for _ in 0..20 {
+            h.record(256);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.25), 16);
+        assert_eq!(h.percentile(0.50), 64); // rank 51 falls in the 64s
+        assert_eq!(h.percentile(0.79), 64);
+        assert_eq!(h.percentile(0.85), 256);
+        assert_eq!(h.percentile(1.0), 256);
+        assert_eq!(h.max(), 256);
+        assert_eq!(h.sum(), 50 * 16 + 30 * 64 + 20 * 256);
+    }
+
+    /// The seed's `percentiles()` truncated the rank index
+    /// (`(len-1) as f64 * p) as usize`), which under-reported p99 of this
+    /// exact distribution as 16. Round-half-up rank selection must report
+    /// the 199th smallest sample (1024) instead.
+    #[test]
+    fn p99_rank_regression_200_samples() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..198 {
+            h.record(16);
+        }
+        h.record(1024);
+        h.record(4096);
+        assert_eq!(h.count(), 200);
+        // Old convention: idx = (199 * 0.99) as usize = 197 -> 16. New:
+        // rank0 = round_half_up(0.99 * 200) = 198 -> the 199th smallest.
+        assert_eq!(h.percentile(0.99), 1024);
+        // The very top reports the exact maximum.
+        assert_eq!(h.percentile(0.999), 4096);
+        assert_eq!(h.percentile(0.50), 16);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in [3u64, 16, 16, 900] {
+            a.record(v);
+        }
+        for v in [5u64, 16, 4096] {
+            b.record(v);
+        }
+        let mut whole = LatencyHistogram::new();
+        for v in [3u64, 16, 16, 900, 5, 16, 4096] {
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.max(), whole.max());
+        for p in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_roundtrip() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 1, 300, 300, 300] {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[1], (1, 2));
+        assert_eq!(buckets[2], (bucket_lower_bound(bucket_index(300)), 3));
+    }
+}

@@ -114,7 +114,12 @@ mod tests {
     #[test]
     fn kvstore_runs() {
         let mut w = KvStore::new(64);
-        let sc = Scenario::new("kv", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+        let sc = Scenario::new(
+            "kv",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            Algo::RedoLazy,
+        );
         let rc = RunConfig {
             threads: 1,
             ops_per_thread: 100,
@@ -135,7 +140,12 @@ mod tests {
         };
         let run = |items: u64| {
             let mut w = KvStore::new(items);
-            let sc = Scenario::new("kv", MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy);
+            let sc = Scenario::new(
+                "kv",
+                MediaKind::Optane,
+                DurabilityDomain::Eadr,
+                Algo::RedoLazy,
+            );
             let rc = RunConfig {
                 threads: 1,
                 ops_per_thread: 300,

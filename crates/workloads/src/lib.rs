@@ -18,6 +18,7 @@
 
 pub mod btree_bench;
 pub mod driver;
+pub mod hist;
 pub mod kvstore;
 pub mod tatp;
 pub mod tpcc;
@@ -25,6 +26,7 @@ pub mod vacation;
 
 pub use btree_bench::{BTreeInsertOnly, BTreeMixed};
 pub use driver::{run_scenario, RunConfig, RunResult, Scenario, Workload, PAPER_THREADS};
+pub use hist::{LatencyHistogram, LatencySummary};
 pub use kvstore::KvStore;
 pub use tatp::Tatp;
 pub use tpcc::{IndexKind, Tpcc};

@@ -169,7 +169,12 @@ mod tests {
     #[test]
     fn tatp_runs_and_mutates_state() {
         let mut w = Tatp::new(200);
-        let sc = Scenario::new("t", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+        let sc = Scenario::new(
+            "t",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            Algo::RedoLazy,
+        );
         let rc = RunConfig {
             threads: 2,
             ops_per_thread: 150,
@@ -188,7 +193,12 @@ mod tests {
         // as fewer fences per commit than the write-only configuration.
         let fences_per_commit = |read_pct| {
             let mut w = Tatp::with_reads(200, read_pct);
-            let sc = Scenario::new("t", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+            let sc = Scenario::new(
+                "t",
+                MediaKind::Optane,
+                DurabilityDomain::Adr,
+                Algo::RedoLazy,
+            );
             let rc = RunConfig {
                 threads: 1,
                 ops_per_thread: 300,
@@ -211,7 +221,12 @@ mod tests {
         // transaction performs only a handful of writes, so the undo
         // fencing penalty is small. Check fences/tx for undo is bounded.
         let mut w = Tatp::new(200);
-        let sc = Scenario::new("t", MediaKind::Optane, DurabilityDomain::Adr, Algo::UndoEager);
+        let sc = Scenario::new(
+            "t",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            Algo::UndoEager,
+        );
         let rc = RunConfig {
             threads: 1,
             ops_per_thread: 200,

@@ -112,7 +112,12 @@ impl Tpcc {
     }
 
     /// Enable the standard mix's read transactions (the paper runs 0%).
-    pub fn with_reads(kind: IndexKind, warehouses: u64, expected_orders: u64, read_pct: u64) -> Self {
+    pub fn with_reads(
+        kind: IndexKind,
+        warehouses: u64,
+        expected_orders: u64,
+        read_pct: u64,
+    ) -> Self {
         assert!(read_pct <= 100);
         Tpcc {
             read_pct,
@@ -198,9 +203,9 @@ impl Workload for Tpcc {
         }
         let index = match self.kind {
             IndexKind::BTree => OrderIndex::BTree(th.run(BpTree::create)),
-            IndexKind::Hash => OrderIndex::Hash(th.run(|tx| {
-                PHashMap::create(tx, (self.expected_orders / 2).max(1024) as usize)
-            })),
+            IndexKind::Hash => OrderIndex::Hash(
+                th.run(|tx| PHashMap::create(tx, (self.expected_orders / 2).max(1024) as usize)),
+            ),
             IndexKind::SkipList => OrderIndex::SkipList(th.run(PSkipList::create)),
         };
         self.wh = Some(wh);
@@ -341,7 +346,12 @@ mod tests {
     fn both_index_kinds_run() {
         for kind in [IndexKind::BTree, IndexKind::Hash, IndexKind::SkipList] {
             let mut w = Tpcc::new(kind, 2, 300);
-            let sc = Scenario::new("t", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+            let sc = Scenario::new(
+                "t",
+                MediaKind::Optane,
+                DurabilityDomain::Adr,
+                Algo::RedoLazy,
+            );
             let r = run_scenario(&mut w, &sc, &rc(2, 150));
             assert_eq!(r.ops, 300);
             assert!(r.ptm.commits >= 300, "{kind:?}");
@@ -352,7 +362,12 @@ mod tests {
     fn contention_generates_aborts_at_scale() {
         // Single warehouse + several threads: district counters collide.
         let mut w = Tpcc::new(IndexKind::Hash, 1, 1200);
-        let sc = Scenario::new("t", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+        let sc = Scenario::new(
+            "t",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            Algo::RedoLazy,
+        );
         let r = run_scenario(&mut w, &sc, &rc(4, 300));
         assert!(
             r.ptm.aborts > 0,
@@ -366,7 +381,12 @@ mod tests {
     fn read_mix_runs_and_lightens_fencing() {
         let fences = |read_pct| {
             let mut w = Tpcc::with_reads(IndexKind::Hash, 2, 400, read_pct);
-            let sc = Scenario::new("t", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+            let sc = Scenario::new(
+                "t",
+                MediaKind::Optane,
+                DurabilityDomain::Adr,
+                Algo::RedoLazy,
+            );
             let r = run_scenario(&mut w, &sc, &rc(2, 200));
             r.mem.sfences as f64 / r.ptm.commits.max(1) as f64
         };
@@ -381,7 +401,12 @@ mod tests {
     #[test]
     fn undo_variant_is_correct_too() {
         let mut w = Tpcc::new(IndexKind::BTree, 2, 200);
-        let sc = Scenario::new("t", MediaKind::Optane, DurabilityDomain::Eadr, Algo::UndoEager);
+        let sc = Scenario::new(
+            "t",
+            MediaKind::Optane,
+            DurabilityDomain::Eadr,
+            Algo::UndoEager,
+        );
         let r = run_scenario(&mut w, &sc, &rc(2, 100));
         assert!(r.ptm.commits >= 200);
     }

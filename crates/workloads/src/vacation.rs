@@ -98,7 +98,11 @@ impl Workload for Vacation {
     fn name(&self) -> String {
         format!(
             "vacation-{}",
-            if self.cfg.query_range_pct <= 50 { "high" } else { "low" }
+            if self.cfg.query_range_pct <= 50 {
+                "high"
+            } else {
+                "low"
+            }
         )
     }
 
@@ -197,7 +201,13 @@ impl Workload for Vacation {
         } else {
             // UPDATE-TABLES: price/stock maintenance.
             let updates: Vec<(usize, u64, bool)> = (0..self.cfg.queries_per_tx)
-                .map(|_| (rng.gen_range(0..3usize), rng.gen_range(0..range), rng.gen_bool(0.5)))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..3usize),
+                        rng.gen_range(0..range),
+                        rng.gen_bool(0.5),
+                    )
+                })
                 .collect();
             th.run(|tx| {
                 for &(t, id, add) in &updates {
@@ -231,7 +241,12 @@ mod tests {
     fn low_and_high_contention_run() {
         for cfg in [VacationCfg::low(512), VacationCfg::high(512)] {
             let mut w = Vacation::new(cfg);
-            let sc = Scenario::new("v", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy);
+            let sc = Scenario::new(
+                "v",
+                MediaKind::Optane,
+                DurabilityDomain::Adr,
+                Algo::RedoLazy,
+            );
             let rc = RunConfig {
                 threads: 2,
                 ops_per_thread: 100,
@@ -250,7 +265,12 @@ mod tests {
         let mut cfg = VacationCfg::high(128);
         cfg.user_pct = 100;
         let mut w = Vacation::new(cfg);
-        let sc = Scenario::new("v", MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy);
+        let sc = Scenario::new(
+            "v",
+            MediaKind::Optane,
+            DurabilityDomain::Eadr,
+            Algo::RedoLazy,
+        );
         let rc = RunConfig {
             threads: 3,
             ops_per_thread: 120,

@@ -110,7 +110,9 @@ fn run(algo: Algo) {
     let report = recover(&machine2);
     let pool = machine2.pool(heap.pool().id());
     let table2 = PAddr(pool.raw_load(optane_ptm::palloc::layout::OFF_ROOTS));
-    let total: u64 = (0..ACCOUNTS).map(|i| pool.raw_load(table2.word() + i)).sum();
+    let total: u64 = (0..ACCOUNTS)
+        .map(|i| pool.raw_load(table2.word() + i))
+        .sum();
     println!(
         "{algo:?}: after crash+recovery total = {total} (expected {}), \
          {} redo replayed / {} undo rolled back",

@@ -16,11 +16,36 @@ use optane_ptm::workloads::{IndexKind, Tpcc};
 
 fn main() {
     let scenarios = [
-        Scenario::new("DRAM (volatile)", MediaKind::Dram, DurabilityDomain::Eadr, Algo::RedoLazy),
-        Scenario::new("Optane ADR", MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy),
-        Scenario::new("Optane eADR", MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy),
-        Scenario::new("PDRAM", MediaKind::Optane, DurabilityDomain::Pdram, Algo::RedoLazy),
-        Scenario::new("PDRAM-Lite", MediaKind::Optane, DurabilityDomain::PdramLite, Algo::RedoLazy),
+        Scenario::new(
+            "DRAM (volatile)",
+            MediaKind::Dram,
+            DurabilityDomain::Eadr,
+            Algo::RedoLazy,
+        ),
+        Scenario::new(
+            "Optane ADR",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            Algo::RedoLazy,
+        ),
+        Scenario::new(
+            "Optane eADR",
+            MediaKind::Optane,
+            DurabilityDomain::Eadr,
+            Algo::RedoLazy,
+        ),
+        Scenario::new(
+            "PDRAM",
+            MediaKind::Optane,
+            DurabilityDomain::Pdram,
+            Algo::RedoLazy,
+        ),
+        Scenario::new(
+            "PDRAM-Lite",
+            MediaKind::Optane,
+            DurabilityDomain::PdramLite,
+            Algo::RedoLazy,
+        ),
     ];
     let rc = RunConfig {
         threads: 4,

@@ -82,7 +82,10 @@ fn eadr_class_domains_guarantee_cache_visibility() {
 #[test]
 fn no_power_reserve_guarantees_nothing() {
     let [fenced, flushed, bare] = survival_profile(DurabilityDomain::NoPowerReserve);
-    assert_eq!(fenced, "sometimes", "even flush+fence may sit in a lost WPQ");
+    assert_eq!(
+        fenced, "sometimes",
+        "even flush+fence may sit in a lost WPQ"
+    );
     assert_eq!(flushed, "sometimes");
     assert_eq!(bare, "sometimes");
 }
@@ -124,14 +127,22 @@ fn persistence_costs_rank_as_the_paper_says() {
     let adr = cost(DurabilityDomain::Adr, PersistenceClass::Normal);
     let eadr = cost(DurabilityDomain::Eadr, PersistenceClass::Normal);
     let pdram = cost(DurabilityDomain::Pdram, PersistenceClass::Normal);
-    assert!(adr > 2 * eadr, "flushes+fences dominate: adr={adr} eadr={eadr}");
+    assert!(
+        adr > 2 * eadr,
+        "flushes+fences dominate: adr={adr} eadr={eadr}"
+    );
     assert!(pdram <= eadr, "pdram={pdram} must not exceed eadr={eadr}");
 }
 
 #[test]
 fn pdram_lite_class_is_the_only_accelerated_pool_under_lite() {
     let m = machine(DurabilityDomain::PdramLite);
-    let lite = m.alloc_pool_with_class("lite", 1 << 12, MediaKind::Optane, PersistenceClass::PdramLite);
+    let lite = m.alloc_pool_with_class(
+        "lite",
+        1 << 12,
+        MediaKind::Optane,
+        PersistenceClass::PdramLite,
+    );
     let normal = m.alloc_pool("normal", 1 << 12, MediaKind::Optane);
     let mut s = m.session(0);
     // Cold loads, distinct lines: lite pays DRAM, normal pays Optane.
@@ -153,7 +164,10 @@ fn pdram_lite_class_is_the_only_accelerated_pool_under_lite() {
         s.load(lite.addr(i * 8));
     }
     let lite_warm = s.now() - t2;
-    assert!(lite_warm < normal_cost / 2, "warm lite {lite_warm} vs optane {normal_cost}");
+    assert!(
+        lite_warm < normal_cost / 2,
+        "warm lite {lite_warm} vs optane {normal_cost}"
+    );
     let _ = lite_cost;
     // And a model-consistency check: the latency model itself says so.
     let model = LatencyModel::default();

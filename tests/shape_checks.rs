@@ -54,9 +54,20 @@ fn sc(media: MediaKind, domain: DurabilityDomain, algo: Algo) -> Scenario {
 fn eadr_beats_adr_on_optane() {
     // §III-C: "eADR provides substantial performance gains".
     let c = rc(2, 400);
-    let adr = mops(&mut tpcc(), &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy), &c);
-    let eadr = mops(&mut tpcc(), &sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy), &c);
-    assert!(eadr > 1.5 * adr, "eADR {eadr} should clearly beat ADR {adr}");
+    let adr = mops(
+        &mut tpcc(),
+        &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy),
+        &c,
+    );
+    let eadr = mops(
+        &mut tpcc(),
+        &sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy),
+        &c,
+    );
+    assert!(
+        eadr > 1.5 * adr,
+        "eADR {eadr} should clearly beat ADR {adr}"
+    );
 }
 
 #[test]
@@ -64,8 +75,16 @@ fn dram_beats_optane_same_domain() {
     // §III-B: Optane performance is below DRAM.
     let c = rc(2, 400);
     for domain in [DurabilityDomain::Adr, DurabilityDomain::Eadr] {
-        let d = mops(&mut tpcc(), &sc(MediaKind::Dram, domain, Algo::RedoLazy), &c);
-        let o = mops(&mut tpcc(), &sc(MediaKind::Optane, domain, Algo::RedoLazy), &c);
+        let d = mops(
+            &mut tpcc(),
+            &sc(MediaKind::Dram, domain, Algo::RedoLazy),
+            &c,
+        );
+        let o = mops(
+            &mut tpcc(),
+            &sc(MediaKind::Optane, domain, Algo::RedoLazy),
+            &c,
+        );
         assert!(d > o, "{domain:?}: DRAM {d} must beat Optane {o}");
     }
 }
@@ -74,9 +93,20 @@ fn dram_beats_optane_same_domain() {
 fn redo_beats_undo_on_tpcc_under_adr() {
     // §III-B: "in almost every case, redo logging outperforms undo".
     let c = rc(2, 400);
-    let r = mops(&mut tpcc(), &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy), &c);
-    let u = mops(&mut tpcc(), &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::UndoEager), &c);
-    assert!(r > u, "redo {r} must beat undo {u} on a write-heavy workload");
+    let r = mops(
+        &mut tpcc(),
+        &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy),
+        &c,
+    );
+    let u = mops(
+        &mut tpcc(),
+        &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::UndoEager),
+        &c,
+    );
+    assert!(
+        r > u,
+        "redo {r} must beat undo {u} on a write-heavy workload"
+    );
 }
 
 #[test]
@@ -85,10 +115,21 @@ fn tatp_is_the_undo_outlier() {
     // only outlier). Competitive = within 25% or better.
     let c = rc(2, 500);
     let mut w1 = Tatp::new(600);
-    let r = mops(&mut w1, &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy), &c);
+    let r = mops(
+        &mut w1,
+        &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy),
+        &c,
+    );
     let mut w2 = Tatp::new(600);
-    let u = mops(&mut w2, &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::UndoEager), &c);
-    assert!(u > 0.75 * r, "undo {u} must be competitive with redo {r} on TATP");
+    let u = mops(
+        &mut w2,
+        &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::UndoEager),
+        &c,
+    );
+    assert!(
+        u > 0.75 * r,
+        "undo {u} must be competitive with redo {r} on TATP"
+    );
 }
 
 #[test]
@@ -100,9 +141,21 @@ fn pdram_closes_most_of_the_gap_to_dram() {
     // where the domains are indistinguishable by design.
     let mk = || KvStore::new(16 << 10); // 16 MB values, 4 MB L3, 64 MB DRAM cache
     let c = rc(2, 300);
-    let dram = mops(&mut mk(), &sc(MediaKind::Dram, DurabilityDomain::Eadr, Algo::RedoLazy), &c);
-    let eadr = mops(&mut mk(), &sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy), &c);
-    let pdram = mops(&mut mk(), &sc(MediaKind::Optane, DurabilityDomain::Pdram, Algo::RedoLazy), &c);
+    let dram = mops(
+        &mut mk(),
+        &sc(MediaKind::Dram, DurabilityDomain::Eadr, Algo::RedoLazy),
+        &c,
+    );
+    let eadr = mops(
+        &mut mk(),
+        &sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy),
+        &c,
+    );
+    let pdram = mops(
+        &mut mk(),
+        &sc(MediaKind::Optane, DurabilityDomain::Pdram, Algo::RedoLazy),
+        &c,
+    );
     assert!(
         pdram > 1.2 * eadr,
         "PDRAM {pdram} must clearly beat eADR {eadr} on a miss-heavy workload"
@@ -119,11 +172,19 @@ fn pdram_lite_at_least_matches_eadr_redo() {
     // are marginal for all but TATP and TPCC".
     let c = rc(2, 500);
     let mut w1 = Tatp::new(600);
-    let eadr = mops(&mut w1, &sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy), &c);
+    let eadr = mops(
+        &mut w1,
+        &sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy),
+        &c,
+    );
     let mut w2 = Tatp::new(600);
     let lite = mops(
         &mut w2,
-        &sc(MediaKind::Optane, DurabilityDomain::PdramLite, Algo::RedoLazy),
+        &sc(
+            MediaKind::Optane,
+            DurabilityDomain::PdramLite,
+            Algo::RedoLazy,
+        ),
         &c,
     );
     assert!(
@@ -143,6 +204,46 @@ fn fence_elision_speeds_up_adr() {
         fast > 1.03 * base,
         "fence elision ({fast}) must beat correct ADR ({base})"
     );
+}
+
+#[test]
+fn fence_share_collapses_from_adr_to_eadr() {
+    // §III-B, as surfaced by the phase profiler: under ADR the persistence
+    // phases (flush + fence-wait) consume a large share of transaction
+    // time; under eADR clwb/sfence are elided by the domain, so the same
+    // workload's persistence share collapses to zero.
+    use optane_ptm::ptm::Phase;
+    let c = rc(1, 400);
+    for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        let adr = run_scenario(
+            &mut tpcc(),
+            &sc(MediaKind::Optane, DurabilityDomain::Adr, algo),
+            &c,
+        );
+        let eadr = run_scenario(
+            &mut tpcc(),
+            &sc(MediaKind::Optane, DurabilityDomain::Eadr, algo),
+            &c,
+        );
+        let adr_share = adr.phases.persistence_share();
+        let eadr_share = eadr.phases.persistence_share();
+        assert!(
+            adr_share > 0.25,
+            "{algo:?}: ADR persistence share must be substantial, got {adr_share}"
+        );
+        assert!(
+            eadr_share < 0.01,
+            "{algo:?}: eADR persistence share must collapse, got {eadr_share}"
+        );
+        assert!(
+            adr.phases.get(Phase::Flush) > 0,
+            "{algo:?}: ADR must charge flush time"
+        );
+        assert!(
+            adr.phases.get(Phase::FenceWait) > 0,
+            "{algo:?}: ADR must charge fence-wait time"
+        );
+    }
 }
 
 #[test]
@@ -179,7 +280,10 @@ fn commit_abort_ratio_declines_with_threads() {
         rh < rl || rl.is_infinite(),
         "ratio must decline with threads: 2t={rl} 8t={rh}"
     );
-    assert!(high.ptm.aborts > 0, "8 threads on 4 warehouses must conflict");
+    assert!(
+        high.ptm.aborts > 0,
+        "8 threads on 4 warehouses must conflict"
+    );
 }
 
 #[test]
@@ -187,8 +291,8 @@ fn kvstore_working_set_regimes() {
     // Fig. 8: L3-resident beats media-resident; and for PDRAM, a working
     // set beyond the DRAM cache falls back toward Optane speed.
     let model = optane_ptm::pmem_sim::LatencyModel {
-        l3_bytes: 1 << 20,            // 1 MB
-        dram_cache_bytes: 8 << 20,    // 8 MB
+        l3_bytes: 1 << 20,         // 1 MB
+        dram_cache_bytes: 8 << 20, // 8 MB
         ..optane_ptm::pmem_sim::LatencyModel::default()
     };
     let c = RunConfig {
@@ -203,7 +307,10 @@ fn kvstore_working_set_regimes() {
     };
     let small_eadr = run(256, DurabilityDomain::Eadr); // 256 KB, fits L3
     let big_eadr = run(16 << 10, DurabilityDomain::Eadr); // 16 MB
-    assert!(small_eadr > 1.5 * big_eadr, "L3 cliff: {small_eadr} vs {big_eadr}");
+    assert!(
+        small_eadr > 1.5 * big_eadr,
+        "L3 cliff: {small_eadr} vs {big_eadr}"
+    );
     let mid_pdram = run(4 << 10, DurabilityDomain::Pdram); // 4 MB: fits DRAM cache
     let big_pdram = run(16 << 10, DurabilityDomain::Pdram); // 16 MB: exceeds it
     assert!(
