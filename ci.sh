@@ -16,4 +16,10 @@ cargo test -q
 echo "=== phase_profile smoke ==="
 cargo run -q --release -p bench --bin phase_profile -- --threads 1 --ops 200 > /dev/null
 
+echo "=== crash_sites smoke sweep ==="
+# Bounded deterministic crash-site sweep: every {algo x domain x policy}
+# case, 12 strided sites each. Exits nonzero on any invariant violation,
+# printing CRASH-REPRO reproducer lines to stderr.
+cargo run -q --release -p bench --bin crash_sites -- --quick > /dev/null
+
 echo CI_OK

@@ -1,14 +1,16 @@
 //! Long-running crash-consistency fuzzer: rounds of concurrent bank
 //! transfers frozen mid-flight by a power failure, rebooted, recovered,
 //! and checked for exact conservation — across algorithms, durability
-//! domains and adversarial seeds. A CI-style soak for the recovery
-//! protocols; `--ops N` sets the number of rounds (default 40).
+//! domains, adversary policies and adversarial seeds. A CI-style soak
+//! for the recovery protocols; `--ops N` sets the number of rounds
+//! (default 40). For *exhaustive* (rather than sampled) crash coverage
+//! of a deterministic workload, see the `crash_sites` binary.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use palloc::{layout, PHeap};
-use pmem_sim::{DurabilityDomain, Machine, MachineConfig, PAddr};
+use pmem_sim::{AdversaryPolicy, DurabilityDomain, Machine, MachineConfig, PAddr};
 use ptm::{recover, Algo, Ptm, PtmConfig, TxThread};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -27,18 +29,21 @@ fn main() {
     let mut total_redo = 0u64;
     let mut total_undo = 0u64;
     for round in 0..rounds {
+        // Rotate through the crash adversary policies: extreme images
+        // (all-old / all-new) catch recovery bugs fair coin flips miss.
+        let policy = AdversaryPolicy::SWEEP[round as usize % AdversaryPolicy::SWEEP.len()];
         for (algo, domain) in [
             (Algo::RedoLazy, DurabilityDomain::Adr),
             (Algo::UndoEager, DurabilityDomain::Adr),
             (Algo::RedoLazy, DurabilityDomain::Eadr),
             (Algo::RedoLazy, DurabilityDomain::PdramLite),
         ] {
-            let (total, redo, undo) = run_round(algo, domain, round);
+            let (total, redo, undo) = run_round(algo, domain, policy, round);
             total_redo += redo;
             total_undo += undo;
             if total != ACCOUNTS * INITIAL {
                 eprintln!(
-                    "FAIL round {round} {algo:?}/{domain:?}: total {total} != {}",
+                    "FAIL round {round} {algo:?}/{domain:?}/{policy}: total {total} != {}",
                     ACCOUNTS * INITIAL
                 );
                 failures += 1;
@@ -57,7 +62,12 @@ fn main() {
     std::process::exit(if failures > 0 { 1 } else { 0 });
 }
 
-fn run_round(algo: Algo, domain: DurabilityDomain, seed: u64) -> (u64, u64, u64) {
+fn run_round(
+    algo: Algo,
+    domain: DurabilityDomain,
+    policy: AdversaryPolicy,
+    seed: u64,
+) -> (u64, u64, u64) {
     let machine = Machine::new(MachineConfig {
         domain,
         track_persistence: true,
@@ -111,7 +121,7 @@ fn run_round(algo: Algo, domain: DurabilityDomain, seed: u64) -> (u64, u64, u64)
         }
         std::thread::sleep(std::time::Duration::from_millis(8 + (seed % 13)));
         machine.freeze();
-        let image = machine.crash(seed.wrapping_mul(0x9E37_79B9));
+        let image = machine.crash_with(seed.wrapping_mul(0x9E37_79B9), policy);
         stop.store(true, Ordering::Relaxed);
         machine.thaw();
         image

@@ -1,0 +1,213 @@
+//! crash_sites — deterministic crash-site enumeration sweep.
+//!
+//! Enumerates every persistence-relevant event of a single-threaded bank
+//! transfer workload and crashes at each one (strided above
+//! `--max-sites`), across {algorithm × durability domain × adversary
+//! policy}, then recovers and checks invariants (committed-prefix
+//! equality, allocator/GC consistency, recovery idempotence). See
+//! EXPERIMENTS.md §"Crash-site enumeration".
+//!
+//! Flags:
+//!
+//! * `--quick` — bounded smoke sweep (12 sites per case);
+//! * `--max-sites N` — stride the sweep down to ≤ N sites per case;
+//! * `--seed S` — workload/adversary seed (default 42);
+//! * `--json` — one JSON object per case (JSON Lines) instead of CSV;
+//! * `--skip-undo-rollback`, `--skip-redo-replay` — deliberately break
+//!   recovery to demonstrate the sweep catches it (must exit nonzero);
+//! * replay mode: `--site N --algo redo|undo --domain
+//!   adr|eadr|pdram|pdram-lite --policy per-word|all-old|all-new|per-line|biased:P`
+//!   re-runs one exact crash from a `CRASH-REPRO` line.
+//!
+//! Violations print their reproducer line to stderr; the process exits
+//! nonzero if any sweep case is violated.
+
+use pmem_sim::AdversaryPolicy;
+use ptm::crash_harness::{
+    algo_name, count_sites, default_cases, domain_name, parse_algo, parse_domain, run_site,
+    sweep_case, BankTransfers, CrashWorkload, SweepCase, SweepOptions,
+};
+use ptm::RecoverOptions;
+
+struct Opts {
+    quick: bool,
+    json: bool,
+    max_sites: Option<u64>,
+    seed: u64,
+    recover: RecoverOptions,
+    /// Replay mode: (site, algo, domain, policy).
+    replay: Option<SweepCase>,
+    replay_site: Option<u64>,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        json: false,
+        max_sites: None,
+        seed: 42,
+        recover: RecoverOptions::default(),
+        replay: None,
+        replay_site: None,
+    };
+    let (mut algo, mut domain, mut policy) = (None, None, None);
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--json" => opts.json = true,
+            "--max-sites" => {
+                opts.max_sites = Some(next(&mut args, "--max-sites").parse().expect("bad count"))
+            }
+            "--seed" => opts.seed = next(&mut args, "--seed").parse().expect("bad seed"),
+            "--skip-undo-rollback" => opts.recover.skip_undo_rollback = true,
+            "--skip-redo-replay" => opts.recover.skip_redo_replay = true,
+            "--site" => {
+                opts.replay_site = Some(next(&mut args, "--site").parse().expect("bad site"))
+            }
+            "--algo" => {
+                let v = next(&mut args, "--algo");
+                algo = Some(parse_algo(&v).unwrap_or_else(|| panic!("unknown algo `{v}`")));
+            }
+            "--domain" => {
+                let v = next(&mut args, "--domain");
+                domain = Some(parse_domain(&v).unwrap_or_else(|| panic!("unknown domain `{v}`")));
+            }
+            "--policy" => {
+                let v = next(&mut args, "--policy");
+                policy = Some(
+                    AdversaryPolicy::parse(&v).unwrap_or_else(|| panic!("unknown policy `{v}`")),
+                );
+            }
+            other => panic!(
+                "unknown flag `{other}` (known: --quick --json --max-sites --seed \
+                 --skip-undo-rollback --skip-redo-replay --site --algo --domain --policy)"
+            ),
+        }
+    }
+    if opts.replay_site.is_some() {
+        opts.replay = Some(SweepCase {
+            algo: algo.expect("replay mode needs --algo"),
+            domain: domain.expect("replay mode needs --domain"),
+            policy: policy.expect("replay mode needs --policy"),
+            seed: opts.seed,
+        });
+    } else {
+        assert!(
+            algo.is_none() && domain.is_none() && policy.is_none(),
+            "--algo/--domain/--policy select a replay and need --site"
+        );
+    }
+    opts
+}
+
+fn case_json(bank: &BankTransfers, case: &SweepCase, r: &ptm::CaseResult) -> String {
+    let violations: Vec<String> = r
+        .violations
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"site\":{},\"detail\":\"{}\"}}",
+                v.site,
+                v.detail.replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"workload\":\"{}\",\"algo\":\"{}\",\"domain\":\"{}\",\"policy\":\"{}\",\
+         \"seed\":{},\"total_sites\":{},\"sites_run\":{},\"violations\":[{}]}}",
+        bank.name(),
+        algo_name(case.algo),
+        domain_name(case.domain),
+        case.policy,
+        case.seed,
+        r.total_sites,
+        r.sites_run,
+        violations.join(",")
+    )
+}
+
+fn main() {
+    let opts = parse_opts();
+    let bank = BankTransfers::default();
+
+    if let (Some(case), Some(site)) = (opts.replay, opts.replay_site) {
+        let total = count_sites(&bank, &case);
+        let r = run_site(&bank, &case, site, opts.recover);
+        println!(
+            "replay workload={} site={}/{} algo={} domain={} policy={} seed={}",
+            bank.name(),
+            site,
+            total,
+            algo_name(case.algo),
+            domain_name(case.domain),
+            case.policy,
+            case.seed
+        );
+        match r.fired {
+            Some((at, kind)) => println!("crash fired at site {at} ({})", kind.label()),
+            None => println!("run completed; crashed at end-of-run"),
+        }
+        println!(
+            "recovery: logs={} redo_replayed={} undo_rolled_back={} torn={}",
+            r.recovery.logs_scanned,
+            r.recovery.redo_replayed,
+            r.recovery.undo_rolled_back,
+            r.recovery.torn_entries
+        );
+        if let Some(gc) = r.gc {
+            println!(
+                "gc: scanned={} live={} reclaimed={} leaked={}",
+                gc.blocks_scanned, gc.live_blocks, gc.reclaimed_blocks, gc.leaked_blocks
+            );
+        }
+        println!("state digest: {:#018x}", r.state_digest);
+        if r.violations.is_empty() {
+            println!("invariants: OK");
+        } else {
+            for v in &r.violations {
+                eprintln!("VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let sweep_opts = SweepOptions {
+        max_sites_per_case: if opts.quick { Some(12) } else { opts.max_sites },
+        recover: opts.recover,
+    };
+    if !opts.json {
+        println!("workload,algo,domain,policy,seed,total_sites,sites_run,violations");
+    }
+    let mut dirty = false;
+    for case in default_cases(opts.seed) {
+        let r = sweep_case(&bank, &case, sweep_opts);
+        if opts.json {
+            println!("{}", case_json(&bank, &case, &r));
+        } else {
+            println!(
+                "{},{},{},{},{},{},{},{}",
+                bank.name(),
+                algo_name(case.algo),
+                domain_name(case.domain),
+                case.policy,
+                case.seed,
+                r.total_sites,
+                r.sites_run,
+                r.violations.len()
+            );
+        }
+        for v in &r.violations {
+            dirty = true;
+            eprintln!("{v}");
+        }
+    }
+    if dirty {
+        std::process::exit(1);
+    }
+}

@@ -276,6 +276,56 @@ impl PHeap {
         PAddr(self.pool.raw_load(OFF_ROOTS + slot as u64))
     }
 
+    /// Exhaustive consistency check of the persistent header chain
+    /// against the volatile bookkeeping. O(heap); meant for crash
+    /// harnesses and tests, not hot paths.
+    ///
+    /// Checks that headers parse cleanly from the heap start up to the
+    /// bump pointer, and that every free-list entry is the data start of
+    /// a scanned block of the matching size class, with no duplicates.
+    /// (Free-list entries may still carry a live tag: the restart GC
+    /// reclaims leaked blocks without rewriting their headers.)
+    pub fn validate(&self) -> Result<(), String> {
+        let inner = self.inner.lock().unwrap();
+        let mut classes = std::collections::HashMap::new();
+        let mut cursor = self.start;
+        while cursor < inner.bump {
+            let word = self.pool.raw_load(cursor);
+            let Some((_tag, class)) = decode_header(word) else {
+                return Err(format!(
+                    "word {cursor} below bump {} is not a block header ({word:#x})",
+                    inner.bump
+                ));
+            };
+            classes.insert(cursor + 1, class);
+            cursor = cursor + 1 + class as u64;
+        }
+        if cursor != inner.bump {
+            return Err(format!(
+                "header chain ends at {cursor}, bump pointer says {}",
+                inner.bump
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (idx, list) in inner.free.iter().enumerate() {
+            for &data in list {
+                if !seen.insert(data) {
+                    return Err(format!("block {data} appears twice on free lists"));
+                }
+                match classes.get(&data) {
+                    None => return Err(format!("free-list entry {data} is not a block start")),
+                    Some(&class) if class_index(class) != idx => {
+                        return Err(format!(
+                            "free-list entry {data} has class {class}, filed under index {idx}"
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Total words currently consumed from the bump region.
     pub fn high_water_words(&self) -> u64 {
         self.inner.lock().unwrap().bump - self.start
@@ -474,6 +524,33 @@ mod tests {
         assert_eq!(st.free_words, 12);
         assert_eq!(st.per_class, vec![(12, 1)]);
         let _ = b;
+    }
+
+    #[test]
+    fn validate_accepts_live_and_attached_heaps() {
+        let (m, h) = setup();
+        let mut s = m.session(0);
+        let a = h.alloc(&mut s, 10);
+        let b = h.alloc(&mut s, 30);
+        h.free(&mut s, a);
+        h.set_root(&mut s, 0, b);
+        h.validate().unwrap();
+        // After crash + GC attach (which leaves stale tags on reclaimed
+        // blocks) the heap must still validate.
+        let img = m.crash(0);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+        let (h2, _) = PHeap::attach(m2.pool(h.pool().id())).unwrap();
+        h2.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_headers() {
+        let (m, h) = setup();
+        let mut s = m.session(0);
+        let a = h.alloc(&mut s, 10);
+        h.pool().raw_store(a.word() - 1, u64::MAX); // smash the header
+        let err = h.validate().unwrap_err();
+        assert!(err.contains("not a block header"), "{err}");
     }
 
     #[test]

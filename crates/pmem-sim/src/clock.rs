@@ -20,6 +20,13 @@ use std::sync::Arc;
 /// Sentinel virtual time for a thread that has finished its run.
 const DONE: u64 = u64::MAX;
 
+/// Yield iterations [`ClockDomain::freeze`] tolerates before concluding
+/// the world will never stop and panicking with a per-slot dump. Threads
+/// park within ~64 memory operations, so any legitimate wait is orders of
+/// magnitude shorter; a thread blocked outside the simulator (a deadlock,
+/// a forgotten `publish`/`finish`) is the only way to exhaust this.
+const FREEZE_YIELD_BUDGET: u64 = 20_000_000;
+
 /// Shared state for one virtual thread's clock.
 #[derive(Debug)]
 pub struct ClockSlot {
@@ -30,6 +37,10 @@ pub struct ClockSlot {
     final_vt: AtomicU64,
     /// Set while the thread is parked at a freeze point.
     parked: std::sync::atomic::AtomicBool,
+    /// Mirror of the owner's crash-atomic nesting depth, so freeze-stall
+    /// diagnostics can tell "never published" from "stuck inside an
+    /// atomic section".
+    deferred: std::sync::atomic::AtomicU32,
 }
 
 impl ClockSlot {
@@ -38,6 +49,7 @@ impl ClockSlot {
             vt: AtomicU64::new(0),
             final_vt: AtomicU64::new(0),
             parked: std::sync::atomic::AtomicBool::new(false),
+            deferred: std::sync::atomic::AtomicU32::new(0),
         }
     }
 }
@@ -72,9 +84,22 @@ impl ClockDomain {
     /// Stop the world: every thread parks at its next publish point
     /// (within ~64 memory operations). Blocks until all threads are
     /// parked or finished. Call [`ClockDomain::thaw`] to resume.
+    ///
+    /// # Panics
+    /// Panics with a per-slot diagnostic dump if some thread never
+    /// reaches a publish point within a large yield budget — a silent
+    /// infinite spin here turned harness hangs into undebuggable
+    /// timeouts.
     pub fn freeze(&self) {
+        self.freeze_with_budget(FREEZE_YIELD_BUDGET);
+    }
+
+    /// [`ClockDomain::freeze`] with an explicit yield budget (exposed so
+    /// tests can exercise the stall diagnostics quickly).
+    pub fn freeze_with_budget(&self, budget: u64) {
         use std::sync::atomic::Ordering as O;
         self.freeze.store(true, O::SeqCst);
+        let mut spins = 0u64;
         loop {
             let all_stopped = self
                 .slots
@@ -83,8 +108,40 @@ impl ClockDomain {
             if all_stopped {
                 return;
             }
+            spins += 1;
+            if spins > budget {
+                // Un-freeze so parked peers are released even if this
+                // panic is caught; then report which slot is stuck.
+                self.freeze.store(false, O::SeqCst);
+                panic!(
+                    "ClockDomain::freeze stalled after {budget} yields; \
+                     some thread never reached a publish point\n{}",
+                    self.dump_slots()
+                );
+            }
             std::thread::yield_now();
         }
+    }
+
+    /// Human-readable per-slot state, for stall diagnostics.
+    fn dump_slots(&self) -> String {
+        use std::sync::atomic::Ordering as O;
+        let mut out = String::new();
+        for (i, s) in self.slots.iter().enumerate() {
+            let vt = s.vt.load(O::SeqCst);
+            let vt = if vt == DONE {
+                "DONE".to_string()
+            } else {
+                vt.to_string()
+            };
+            out.push_str(&format!(
+                "  slot {i}: vt={vt} parked={} deferred={} final_vt={}\n",
+                s.parked.load(O::SeqCst),
+                s.deferred.load(O::SeqCst),
+                s.final_vt.load(O::SeqCst),
+            ));
+        }
+        out
     }
 
     /// Resume after a [`ClockDomain::freeze`].
@@ -247,6 +304,7 @@ impl ClockHandle {
     /// Nestable. Keep sections short — the world-stop waits them out.
     pub fn enter_atomic(&mut self) {
         self.defer_park += 1;
+        self.slot.deferred.store(self.defer_park, Ordering::Release);
     }
 
     /// Leave a crash-atomic section (parks immediately if a freeze is
@@ -254,9 +312,17 @@ impl ClockHandle {
     pub fn exit_atomic(&mut self) {
         debug_assert!(self.defer_park > 0);
         self.defer_park -= 1;
+        self.slot.deferred.store(self.defer_park, Ordering::Release);
         if self.defer_park == 0 {
             self.maybe_park();
         }
+    }
+
+    /// Whether this thread is inside a crash-atomic section (a simulated
+    /// power failure must not land here).
+    #[inline]
+    pub fn in_atomic(&self) -> bool {
+        self.defer_park > 0
     }
 
     /// Mark this virtual thread finished: it no longer constrains others.
@@ -428,6 +494,40 @@ mod freeze_tests {
         });
         // After the scope, the worker resumed and exited: progress resumed.
         assert!(progressed.load(std::sync::atomic::Ordering::SeqCst) > 0);
+    }
+
+    #[test]
+    fn stalled_freeze_panics_with_slot_dump() {
+        // Slot 1's thread never publishes or finishes: before the yield
+        // budget, freeze() would spin forever with no diagnostics.
+        let d = Arc::new(ClockDomain::new(2, u64::MAX));
+        let mut h0 = d.handle(0);
+        h0.finish();
+        let _h1 = d.handle(1); // alive, never parks
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.freeze_with_budget(5_000)))
+                .expect_err("freeze must give up");
+        let msg = err.downcast_ref::<String>().expect("panic message").clone();
+        assert!(msg.contains("freeze stalled"), "got: {msg}");
+        assert!(msg.contains("slot 0: vt=DONE"), "got: {msg}");
+        assert!(msg.contains("slot 1: vt=0 parked=false"), "got: {msg}");
+        // The failed freeze must not leave the world frozen.
+        assert!(!d.freeze.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn slot_mirrors_atomic_section_depth() {
+        let d = Arc::new(ClockDomain::new(1, u64::MAX));
+        let mut h = d.handle(0);
+        assert!(!h.in_atomic());
+        h.enter_atomic();
+        h.enter_atomic();
+        assert!(h.in_atomic());
+        assert_eq!(d.slots[0].deferred.load(Ordering::SeqCst), 2);
+        h.exit_atomic();
+        h.exit_atomic();
+        assert!(!h.in_atomic());
+        assert_eq!(d.slots[0].deferred.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -26,6 +26,77 @@ use rand::{Rng, SeedableRng};
 use crate::domain::DurabilityDomain;
 use crate::machine::{Machine, MachineConfig};
 use crate::pool::{MediaKind, PersistenceClass};
+use crate::WORDS_PER_LINE;
+
+/// How the crash adversary decides the fate of each word that was dirty
+/// but unflushed at failure time (ADR-class domains only).
+///
+/// The original simulator hardcoded an independent fair coin per word
+/// ([`AdversaryPolicy::PerWord`]). That distribution almost never
+/// produces the extreme images — *no* dirty word drained, *every* dirty
+/// word drained — nor the cache-line-granular tearing that real Optane
+/// produces (the media drains whole 64-byte lines; see Izraelevitz et
+/// al.'s device measurements), so recovery bugs that only manifest under
+/// those images escape randomized testing entirely. Crash-site sweeps
+/// run all of [`AdversaryPolicy::SWEEP`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AdversaryPolicy {
+    /// No unflushed dirty word reaches media: the most forgetful
+    /// allowed failure.
+    AllOld,
+    /// Every unflushed dirty word reaches media: the maximally drained
+    /// failure (cache-visible state, as if the WPQ flushed everything).
+    AllNew,
+    /// Each unflushed dirty word independently survives with
+    /// probability `p`.
+    Biased(f64),
+    /// Whole cache lines drain or are lost atomically (fair coin per
+    /// line) — the granularity hardware actually evicts at. Words of
+    /// one line never tear against each other, but lines tear against
+    /// other lines.
+    PerLine,
+    /// The legacy fair coin per word (`Biased(0.5)`); the default.
+    #[default]
+    PerWord,
+}
+
+impl AdversaryPolicy {
+    /// The policies a crash-site sweep exercises, in severity order.
+    pub const SWEEP: [AdversaryPolicy; 4] = [
+        AdversaryPolicy::PerWord,
+        AdversaryPolicy::AllOld,
+        AdversaryPolicy::AllNew,
+        AdversaryPolicy::PerLine,
+    ];
+
+    /// Parse the reproducer-line spelling produced by [`std::fmt::Display`].
+    pub fn parse(s: &str) -> Option<AdversaryPolicy> {
+        match s {
+            "all-old" => Some(AdversaryPolicy::AllOld),
+            "all-new" => Some(AdversaryPolicy::AllNew),
+            "per-line" => Some(AdversaryPolicy::PerLine),
+            "per-word" => Some(AdversaryPolicy::PerWord),
+            _ => {
+                let p: f64 = s.strip_prefix("biased:")?.parse().ok()?;
+                (0.0..=1.0)
+                    .contains(&p)
+                    .then_some(AdversaryPolicy::Biased(p))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for AdversaryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdversaryPolicy::AllOld => write!(f, "all-old"),
+            AdversaryPolicy::AllNew => write!(f, "all-new"),
+            AdversaryPolicy::Biased(p) => write!(f, "biased:{p}"),
+            AdversaryPolicy::PerLine => write!(f, "per-line"),
+            AdversaryPolicy::PerWord => write!(f, "per-word"),
+        }
+    }
+}
 
 /// Surviving contents of one pool.
 #[derive(Debug, Clone)]
@@ -55,6 +126,12 @@ impl Machine {
     /// Panics if the machine was built without `track_persistence` and the
     /// domain needs a durable shadow (ADR / NoPowerReserve).
     pub fn crash(&self, seed: u64) -> CrashImage {
+        self.crash_with(seed, AdversaryPolicy::default())
+    }
+
+    /// Like [`Machine::crash`], with an explicit adversary policy for the
+    /// fate of unflushed dirty words.
+    pub fn crash_with(&self, seed: u64, policy: AdversaryPolicy) -> CrashImage {
         let mut rng = SmallRng::seed_from_u64(seed);
         let domain = self.domain();
         let mut pools = Vec::new();
@@ -72,11 +149,33 @@ impl Machine {
                     )
                 });
                 // Adversary: each unflushed dirty word may or may not have
-                // reached media.
+                // reached media, per the policy.
                 let current = pool.dump_current();
-                for (w, slot) in base.iter_mut().enumerate() {
-                    if *slot != current[w] && rng.gen_bool(0.5) {
-                        *slot = current[w];
+                match policy {
+                    AdversaryPolicy::AllOld => {}
+                    AdversaryPolicy::AllNew => base.copy_from_slice(&current),
+                    AdversaryPolicy::Biased(p) => {
+                        for (w, slot) in base.iter_mut().enumerate() {
+                            if *slot != current[w] && rng.gen_bool(p) {
+                                *slot = current[w];
+                            }
+                        }
+                    }
+                    AdversaryPolicy::PerWord => {
+                        for (w, slot) in base.iter_mut().enumerate() {
+                            if *slot != current[w] && rng.gen_bool(0.5) {
+                                *slot = current[w];
+                            }
+                        }
+                    }
+                    AdversaryPolicy::PerLine => {
+                        for (line, chunk) in base.chunks_mut(WORDS_PER_LINE).enumerate() {
+                            let cur = &current[line * WORDS_PER_LINE..];
+                            let dirty = chunk.iter().zip(cur).any(|(s, c)| s != c);
+                            if dirty && rng.gen_bool(0.5) {
+                                chunk.copy_from_slice(&cur[..chunk.len()]);
+                            }
+                        }
                     }
                 }
                 base
@@ -237,6 +336,107 @@ mod tests {
         });
         m.alloc_pool("o", 64, MediaKind::Optane);
         let _ = m.crash(0);
+    }
+
+    /// Regression for the hardcoded `gen_bool(0.5)` adversary: with 32
+    /// independent fair coins the all-old and all-new images each occur
+    /// with probability 2^-32 — effectively never — yet recovery must be
+    /// correct for them. The policy enum makes them first-class.
+    #[test]
+    fn extreme_images_are_reachable_by_policy() {
+        let m = tracked(DD::Adr);
+        let p = m.alloc_pool("o", 256, MediaKind::Optane);
+        let mut s = m.session(0);
+        for i in 0..32 {
+            s.store(p.addr(i), i + 1); // all dirty, none flushed
+        }
+        let old = m.crash_with(0, AdversaryPolicy::AllOld);
+        let new = m.crash_with(0, AdversaryPolicy::AllNew);
+        for i in 0..32 {
+            assert_eq!(old.pools[0].words[i as usize], 0, "all-old word {i}");
+            assert_eq!(new.pools[0].words[i as usize], i + 1, "all-new word {i}");
+        }
+        // The fair per-word coin mixes both (sanity that the default
+        // remains adversarial at all).
+        let mixed = m.crash_with(3, AdversaryPolicy::PerWord);
+        let kept = (0..32).filter(|&i| mixed.pools[0].words[i] != 0).count();
+        assert!(kept > 0 && kept < 32, "per-word must mix: kept {kept}/32");
+    }
+
+    #[test]
+    fn per_line_policy_never_tears_within_a_line() {
+        let m = tracked(DD::Adr);
+        let p = m.alloc_pool("o", 256, MediaKind::Optane);
+        let mut s = m.session(0);
+        // Two dirty words in each of four lines.
+        for line in 0..4u64 {
+            s.store(p.addr(line * 8), 100 + line);
+            s.store(p.addr(line * 8 + 1), 200 + line);
+        }
+        let mut seen_kept = false;
+        let mut seen_lost = false;
+        let mut seen_mixed_lines = false;
+        for seed in 0..64 {
+            let img = m.crash_with(seed, AdversaryPolicy::PerLine);
+            let mut fates = Vec::new();
+            for line in 0..4u64 {
+                let a = img.pools[0].words[(line * 8) as usize];
+                let b = img.pools[0].words[(line * 8 + 1) as usize];
+                match (a, b) {
+                    (0, 0) => {
+                        seen_lost = true;
+                        fates.push(false);
+                    }
+                    (x, y) if x == 100 + line && y == 200 + line => {
+                        seen_kept = true;
+                        fates.push(true);
+                    }
+                    other => panic!("seed {seed} line {line}: intra-line tear {other:?}"),
+                }
+            }
+            if fates.iter().any(|&f| f) && fates.iter().any(|&f| !f) {
+                seen_mixed_lines = true;
+            }
+        }
+        assert!(seen_kept, "some lines must drain");
+        assert!(seen_lost, "some lines must be lost");
+        assert!(seen_mixed_lines, "lines must tear against each other");
+    }
+
+    #[test]
+    fn biased_policy_skews_survival() {
+        let m = tracked(DD::Adr);
+        let p = m.alloc_pool("o", 1024, MediaKind::Optane);
+        let mut s = m.session(0);
+        for i in 0..128 {
+            s.store(p.addr(i), 1);
+        }
+        let survivors = |policy| -> usize {
+            (0..8)
+                .map(|seed| {
+                    let img = m.crash_with(seed, policy);
+                    (0..128).filter(|&i| img.pools[0].words[i] == 1).count()
+                })
+                .sum()
+        };
+        let low = survivors(AdversaryPolicy::Biased(0.05));
+        let high = survivors(AdversaryPolicy::Biased(0.95));
+        assert!(low * 4 < high, "bias must matter: low {low} high {high}");
+    }
+
+    #[test]
+    fn policy_display_parse_roundtrip() {
+        for p in [
+            AdversaryPolicy::AllOld,
+            AdversaryPolicy::AllNew,
+            AdversaryPolicy::PerLine,
+            AdversaryPolicy::PerWord,
+            AdversaryPolicy::Biased(0.25),
+        ] {
+            assert_eq!(AdversaryPolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(AdversaryPolicy::parse("biased:1.5"), None);
+        assert_eq!(AdversaryPolicy::parse("junk"), None);
     }
 
     #[test]

@@ -27,7 +27,11 @@
 //! * **crash simulation** ([`crash`]): a simulated power failure yields a
 //!   media image containing exactly what the active durability domain
 //!   guarantees (adversarially randomized where the hardware gives no
-//!   guarantee), against which recovery code can be exercised.
+//!   guarantee), against which recovery code can be exercised;
+//! * **crash-site injection** ([`inject`]): every persistence-relevant
+//!   event is a numbered crash site; an armed [`CrashInjector`] triggers a
+//!   deterministic simulated power failure exactly at the N-th site, which
+//!   lets harnesses *enumerate* the crash space instead of sampling it.
 //!
 //! Memory is exposed as 64-bit words inside [`pool::PmemPool`]s addressed by
 //! [`PAddr`]. All timed accesses go through a per-thread [`MemSession`].
@@ -54,14 +58,19 @@ pub mod cache;
 pub mod clock;
 pub mod crash;
 pub mod domain;
+pub mod inject;
 pub mod latency;
 pub mod machine;
 pub mod pool;
 pub mod session;
 pub mod stats;
 
-pub use crash::CrashImage;
+pub use crash::{AdversaryPolicy, CrashImage};
 pub use domain::DurabilityDomain;
+pub use inject::{
+    catch_simulated_crash, silence_simulated_crash_panics, CrashInjector, FiredCrash,
+    SimulatedCrash, SiteKind,
+};
 pub use latency::LatencyModel;
 pub use machine::{Machine, MachineConfig};
 pub use pool::{MediaKind, PAddr, PersistenceClass, PmemPool, PoolId};

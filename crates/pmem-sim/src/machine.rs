@@ -1,12 +1,13 @@
 //! The simulated machine: pools + cache + bandwidth servers + clocks.
 
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use crate::bandwidth::Servers;
 use crate::cache::CacheSim;
 use crate::clock::ClockDomain;
 use crate::domain::DurabilityDomain;
+use crate::inject::{CrashInjector, SiteKind};
 use crate::latency::LatencyModel;
 use crate::pool::{MediaKind, PersistenceClass, PmemPool, PoolId};
 use crate::session::MemSession;
@@ -66,6 +67,11 @@ pub struct Machine {
     pub(crate) dram_cache: CacheSim,
     pub(crate) servers: Servers,
     clocks: RwLock<Arc<ClockDomain>>,
+    /// Armed crash-site injector, if any (see [`crate::inject`]).
+    injector: Mutex<Option<Arc<CrashInjector>>>,
+    /// Fast-path flag mirroring `injector.is_some()`, so un-instrumented
+    /// runs pay one relaxed load per persistence event.
+    injector_armed: AtomicBool,
     pub stats: MachineStats,
 }
 
@@ -83,8 +89,42 @@ impl Machine {
             dram_cache,
             servers,
             clocks: RwLock::new(clocks),
+            injector: Mutex::new(None),
+            injector_armed: AtomicBool::new(false),
             stats: MachineStats::new(),
         })
+    }
+
+    /// Arm a crash-site injector: every subsequent persistence-relevant
+    /// event is counted (and may trigger a simulated crash). Replaces any
+    /// previously armed injector.
+    pub fn arm_injector(&self, injector: Arc<CrashInjector>) {
+        *self.injector.lock().unwrap() = Some(injector);
+        self.injector_armed.store(true, Ordering::Release);
+    }
+
+    /// Disarm and return the current injector.
+    pub fn disarm_injector(&self) -> Option<Arc<CrashInjector>> {
+        self.injector_armed.store(false, Ordering::Release);
+        self.injector.lock().unwrap().take()
+    }
+
+    /// Record one persistence-relevant event with the armed injector (a
+    /// no-op when none is armed). May unwind with
+    /// [`crate::inject::SimulatedCrash`] if the armed site is reached.
+    #[inline]
+    pub fn note_site(&self, kind: SiteKind, in_atomic: bool) {
+        if self.injector_armed.load(Ordering::Relaxed) {
+            self.note_site_slow(kind, in_atomic);
+        }
+    }
+
+    #[cold]
+    fn note_site_slow(&self, kind: SiteKind, in_atomic: bool) {
+        let injector = self.injector.lock().unwrap().clone();
+        if let Some(inj) = injector {
+            inj.note(self, kind, in_atomic);
+        }
     }
 
     pub fn config(&self) -> &MachineConfig {

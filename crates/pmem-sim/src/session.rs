@@ -23,6 +23,7 @@ use std::sync::Arc;
 use crate::cache::{line_key, Access};
 use crate::clock::ClockHandle;
 use crate::domain::DurabilityDomain;
+use crate::inject::SiteKind;
 use crate::machine::Machine;
 use crate::pool::{MediaKind, PAddr, PmemPool, PoolId};
 use crate::stats::MachineStats;
@@ -111,6 +112,14 @@ impl MemSession {
         self.clock.exit_atomic();
     }
 
+    /// Report a persistence-relevant event to the machine's crash-site
+    /// injector (no-op unless one is armed). Called *before* the event's
+    /// effect, so site N enumerates "crash just before event N".
+    #[inline]
+    fn site(&self, kind: SiteKind) {
+        self.machine.note_site(kind, self.clock.in_atomic());
+    }
+
     #[inline]
     fn resolve(&mut self, id: PoolId) -> Arc<PmemPool> {
         let idx = id.0 as usize;
@@ -194,6 +203,7 @@ impl MemSession {
         // Durability of the displaced line first — before any advance
         // (park point). See `persist_victim`.
         if let Some(v) = dirty_victim {
+            self.site(SiteKind::Eviction);
             self.persist_victim(v);
         }
         let m = self.machine.model().clone();
@@ -247,6 +257,7 @@ impl MemSession {
 
     /// Timed 64-bit store (becomes durable according to the domain rules).
     pub fn store(&mut self, addr: PAddr, value: u64) {
+        self.site(SiteKind::Store);
         let pool = self.resolve(addr.pool());
         let key = line_key(addr.pool().0, addr.line());
         MachineStats::bump(&self.machine.stats.stores, 1);
@@ -281,6 +292,7 @@ impl MemSession {
 
     /// Timed compare-and-swap (used by allocator free lists and tests).
     pub fn cas(&mut self, addr: PAddr, expect: u64, new: u64) -> Result<u64, u64> {
+        self.site(SiteKind::Store);
         let pool = self.resolve(addr.pool());
         let key = line_key(addr.pool().0, addr.line());
         MachineStats::bump(&self.machine.stats.stores, 1);
@@ -302,6 +314,7 @@ impl MemSession {
         if !self.machine.domain().requires_flushes() {
             return;
         }
+        self.site(SiteKind::Clwb);
         let pool = self.resolve(addr.pool());
         let key = line_key(addr.pool().0, addr.line());
         let optane = self.effective_optane(&pool);
@@ -341,6 +354,7 @@ impl MemSession {
             .request(self.now(), m.write_line_ns(optane));
         // The flush is durable once the WPQ accepts it — when its bank
         // starts serving it — not when the media write completes.
+        self.site(SiteKind::WpqAccept);
         let accept = g
             .finish
             .saturating_sub(m.write_line_ns(optane))
@@ -361,6 +375,7 @@ impl MemSession {
         if !self.machine.domain().requires_flushes() {
             return;
         }
+        self.site(SiteKind::Sfence);
         MachineStats::bump(&self.machine.stats.sfences, 1);
         let now = self.now();
         if self.last_flush_accept > now {

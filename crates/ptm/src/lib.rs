@@ -42,6 +42,7 @@
 //! ```
 
 pub mod config;
+pub mod crash_harness;
 pub mod db;
 pub mod log;
 pub mod orec;
@@ -52,8 +53,12 @@ pub mod txn;
 pub mod umap;
 
 pub use config::{Algo, FlushTiming, PtmConfig};
+pub use crash_harness::{
+    count_sites, default_cases, run_site, sweep, sweep_case, BankTransfers, CaseResult,
+    CrashWorkload, SiteResult, SweepCase, SweepOptions, SweepReport, Violation,
+};
 pub use db::PtmDb;
 pub use phases::{Phase, PhaseSnapshot, PhaseStats, PhaseTimer, PHASE_COUNT};
-pub use recovery::{recover, RecoveryReport};
+pub use recovery::{recover, recover_with_options, RecoverOptions, RecoveryReport};
 pub use stats::{PtmStats, PtmStatsSnapshot};
 pub use txn::{Abort, Ptm, Tx, TxResult, TxThread};

@@ -19,12 +19,30 @@
 
 use std::sync::Arc;
 
-use pmem_sim::{Machine, PAddr, WORDS_PER_LINE};
+use pmem_sim::{Machine, PAddr, SiteKind, WORDS_PER_LINE};
 
 use crate::log::{
     seal, TxLog, ALGO_REDO, ALGO_UNDO, ENTRY0, ENTRY_WORDS, LOG_POOL_PREFIX, OVF_POOL_PREFIX,
     STATE_COMMITTED, STATE_IDLE, W_ALGO, W_COUNT, W_OVF, W_PRIMARY_CAP, W_SEQ, W_STATE,
 };
+
+/// Fault-injection switches for harness self-tests.
+///
+/// A crash-site sweep that always passes proves nothing until it is shown
+/// to *fail* when recovery is deliberately broken. These switches disable
+/// individual recovery obligations so `ptm::crash_harness` (and its
+/// tests) can demonstrate that the sweep catches the resulting
+/// inconsistencies with a deterministic reproducer. Never set in
+/// production recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverOptions {
+    /// Skip rolling back in-flight undo logs (leaves torn in-place
+    /// writes of uncommitted transactions in program data).
+    pub skip_undo_rollback: bool,
+    /// Skip replaying committed redo logs (loses transactions whose
+    /// commit marker is durable but whose writeback was not).
+    pub skip_redo_replay: bool,
+}
 
 /// What recovery found and repaired.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,6 +62,9 @@ pub struct RecoveryReport {
 }
 
 fn store_persist(machine: &Machine, addr: PAddr, value: u64) {
+    // Each recovery persist is itself a crash site: recovery must be
+    // idempotent under a failure at any point of its own execution.
+    machine.note_site(SiteKind::RecoveryPersist, false);
     let pool = machine.pool(addr.pool());
     pool.raw_store(addr.word(), value);
     pool.persist_line_now(addr.word() / WORDS_PER_LINE as u64);
@@ -51,6 +72,11 @@ fn store_persist(machine: &Machine, addr: PAddr, value: u64) {
 
 /// Recover every PTM log on `machine`. Idempotent.
 pub fn recover(machine: &Arc<Machine>) -> RecoveryReport {
+    recover_with_options(machine, RecoverOptions::default())
+}
+
+/// [`recover`] with fault-injection switches (harness self-tests only).
+pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> RecoveryReport {
     let mut report = RecoveryReport::default();
     for primary in machine.pools() {
         if !primary.name().starts_with(LOG_POOL_PREFIX)
@@ -66,7 +92,7 @@ pub fn recover(machine: &Arc<Machine>) -> RecoveryReport {
         match algo {
             ALGO_REDO => {
                 let state = primary.raw_load(W_STATE);
-                if state == STATE_COMMITTED {
+                if state == STATE_COMMITTED && !opts.skip_redo_replay {
                     let count = primary.raw_load(W_COUNT) as usize;
                     for i in 0..count {
                         let (a, v, _) =
@@ -76,6 +102,10 @@ pub fn recover(machine: &Arc<Machine>) -> RecoveryReport {
                     }
                     report.redo_replayed += 1;
                 }
+                // Retiring the log is the last crash site of this log's
+                // recovery: a failure before it re-runs the (idempotent)
+                // replay, a failure after it finds an idle log.
+                machine.note_site(SiteKind::RecoveryPersist, false);
                 primary.raw_store(W_STATE, STATE_IDLE);
                 primary.persist_line_now(0);
             }
@@ -103,16 +133,22 @@ pub fn recover(machine: &Arc<Machine>) -> RecoveryReport {
                     }
                     valid.push((a, old));
                 }
-                if !valid.is_empty() {
+                if !valid.is_empty() && !opts.skip_undo_rollback {
                     for &(a, old) in valid.iter().rev() {
                         store_persist(machine, PAddr(a), old);
                         report.undo_entries += 1;
                     }
                     report.undo_rolled_back += 1;
                 }
-                // Truncate.
+                // Truncate. Ordering matters for mid-recovery crashes:
+                // entries are only erased *after* every rollback store is
+                // durable, so a re-run either sees the full valid prefix
+                // again (and harmlessly rolls it back a second time) or
+                // an already-truncated log.
+                machine.note_site(SiteKind::RecoveryPersist, false);
                 primary.raw_store(ENTRY0, 0);
                 primary.persist_line_now(ENTRY0 / WORDS_PER_LINE as u64);
+                machine.note_site(SiteKind::RecoveryPersist, false);
                 primary.raw_store(W_STATE, STATE_IDLE);
                 primary.persist_line_now(0);
             }
@@ -248,6 +284,194 @@ mod tests {
         let r = recover(&m);
         assert_eq!(r.logs_scanned, 1);
         assert_eq!(r.redo_replayed + r.undo_rolled_back, 0);
+    }
+}
+
+#[cfg(test)]
+mod recovery_idempotence_tests {
+    use super::*;
+    use crate::config::PtmConfig;
+    use crate::log::{STATE_COMMITTED, W_COUNT, W_STATE};
+    use palloc::PHeap;
+    use pmem_sim::{
+        catch_simulated_crash, silence_simulated_crash_panics, AdversaryPolicy, CrashInjector,
+        DurabilityDomain, Machine, MachineConfig,
+    };
+
+    const N: usize = 6;
+
+    /// Build a machine whose durable state holds a committed-but-not-
+    /// written-back redo log of `N` entries targeting `block[0..N]`
+    /// (values `1000+i`), then crash it and return the rebooted machine.
+    fn crashed_redo_machine() -> (Arc<Machine>, PAddr) {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        let heap = PHeap::format(&m, "heap", 1 << 14, 4);
+        let cfg = PtmConfig::redo();
+        let log = crate::log::TxLog::create(&m, 0, &cfg);
+        let block = {
+            let mut s = m.session(0);
+            let b = heap.alloc(&mut s, N);
+            for i in 0..N as u64 {
+                s.store(b.offset(i), 1);
+            }
+            s.persist_range(b, N as u64);
+            b
+        };
+        for i in 0..N {
+            let e = log.entry_addr(i);
+            log.primary.raw_store(e.word(), block.offset(i as u64).0);
+            log.primary.raw_store(e.word() + 1, 1000 + i as u64);
+            log.primary.persist_line_now(e.line());
+        }
+        log.primary.raw_store(W_COUNT, N as u64);
+        log.primary.raw_store(W_STATE, STATE_COMMITTED);
+        log.primary.persist_line_now(0);
+        let img = m.crash(1);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+        (m2, block)
+    }
+
+    /// Like above, but an in-flight undo log: `N` sealed entries with old
+    /// value 7, in-place data torn to 999 and durable (worst case).
+    fn crashed_undo_machine() -> (Arc<Machine>, PAddr) {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        let heap = PHeap::format(&m, "heap", 1 << 14, 4);
+        let cfg = PtmConfig::undo();
+        let log = crate::log::TxLog::create(&m, 0, &cfg);
+        let block = {
+            let mut s = m.session(0);
+            let b = heap.alloc(&mut s, N);
+            for i in 0..N as u64 {
+                s.store(b.offset(i), 7);
+            }
+            s.persist_range(b, N as u64);
+            b
+        };
+        for i in 0..N {
+            let e = log.entry_addr(i);
+            let a = block.offset(i as u64);
+            log.primary.raw_store(e.word(), a.0);
+            log.primary.raw_store(e.word() + 1, 7);
+            log.primary.raw_store(e.word() + 2, seal(a.0, 7, 0));
+            log.primary.persist_line_now(e.line());
+            heap.pool().raw_store(a.word(), 999);
+            heap.pool().persist_line_now(a.line());
+        }
+        let img = m.crash(2);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+        (m2, block)
+    }
+
+    /// Crash `machine` at recovery-persist site `site` (if recovery has
+    /// that many), reboot from the captured image, and return the new
+    /// machine. `None` if recovery completed before reaching the site.
+    fn crash_during_recovery(
+        machine: &Arc<Machine>,
+        site: u64,
+        policy: AdversaryPolicy,
+    ) -> Option<Arc<Machine>> {
+        silence_simulated_crash_panics();
+        let inj = CrashInjector::at_site(site, policy, site ^ 0xDEAD);
+        machine.arm_injector(Arc::clone(&inj));
+        let interrupted = catch_simulated_crash(|| recover(machine)).is_err();
+        machine.disarm_injector();
+        interrupted.then(|| {
+            let fired = inj.take_outcome().expect("crash fired");
+            Machine::reboot(
+                &fired.image,
+                MachineConfig::functional(DurabilityDomain::Adr),
+            )
+        })
+    }
+
+    fn full_state(machine: &Arc<Machine>) -> Vec<Vec<u64>> {
+        machine
+            .pools()
+            .iter()
+            .map(|p| (0..p.len_words() as u64).map(|w| p.raw_load(w)).collect())
+            .collect()
+    }
+
+    /// Redo replay interrupted at *every* recovery persist site must
+    /// converge to the fully-replayed state on the next recovery pass.
+    #[test]
+    fn redo_replay_survives_crash_at_every_recovery_site() {
+        for policy in AdversaryPolicy::SWEEP {
+            for site in 0.. {
+                let (m2, block) = crashed_redo_machine();
+                let Some(m3) = crash_during_recovery(&m2, site, policy) else {
+                    assert!(site > 0, "recovery must have at least one site");
+                    break;
+                };
+                recover(&m3);
+                for i in 0..N as u64 {
+                    assert_eq!(
+                        m3.pool(block.pool()).raw_load(block.word() + i),
+                        1000 + i,
+                        "policy {policy} site {site} entry {i}"
+                    );
+                }
+                // Third pass: already converged, nothing left to do.
+                let before = full_state(&m3);
+                let r2 = recover(&m3);
+                assert_eq!(r2.redo_replayed, 0, "policy {policy} site {site}");
+                assert_eq!(before, full_state(&m3), "policy {policy} site {site}");
+            }
+        }
+    }
+
+    /// Undo rollback interrupted at *every* recovery persist site must
+    /// converge to the fully-rolled-back state on the next pass.
+    #[test]
+    fn undo_rollback_survives_crash_at_every_recovery_site() {
+        for policy in AdversaryPolicy::SWEEP {
+            for site in 0.. {
+                let (m2, block) = crashed_undo_machine();
+                let Some(m3) = crash_during_recovery(&m2, site, policy) else {
+                    assert!(site > 0, "recovery must have at least one site");
+                    break;
+                };
+                recover(&m3);
+                for i in 0..N as u64 {
+                    assert_eq!(
+                        m3.pool(block.pool()).raw_load(block.word() + i),
+                        7,
+                        "policy {policy} site {site} entry {i}"
+                    );
+                }
+                let before = full_state(&m3);
+                let r2 = recover(&m3);
+                assert_eq!(r2.undo_rolled_back, 0, "policy {policy} site {site}");
+                assert_eq!(before, full_state(&m3), "policy {policy} site {site}");
+            }
+        }
+    }
+
+    /// The fault-injection switches actually break recovery (harness
+    /// self-test support): with rollback skipped, torn data survives.
+    #[test]
+    fn skip_switches_break_recovery_as_advertised() {
+        let (m2, block) = crashed_undo_machine();
+        let r = recover_with_options(
+            &m2,
+            RecoverOptions {
+                skip_undo_rollback: true,
+                ..RecoverOptions::default()
+            },
+        );
+        assert_eq!(r.undo_rolled_back, 0);
+        assert_eq!(m2.pool(block.pool()).raw_load(block.word()), 999);
+
+        let (m2, block) = crashed_redo_machine();
+        let r = recover_with_options(
+            &m2,
+            RecoverOptions {
+                skip_redo_replay: true,
+                ..RecoverOptions::default()
+            },
+        );
+        assert_eq!(r.redo_replayed, 0);
+        assert_eq!(m2.pool(block.pool()).raw_load(block.word()), 1);
     }
 }
 

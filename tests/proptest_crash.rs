@@ -3,7 +3,7 @@
 //! recovered state equals exactly the committed prefix of the program.
 
 use optane_ptm::palloc::PHeap;
-use optane_ptm::pmem_sim::{DurabilityDomain, Machine, MachineConfig};
+use optane_ptm::pmem_sim::{AdversaryPolicy, DurabilityDomain, Machine, MachineConfig};
 use optane_ptm::pstructs::PHashMap;
 use optane_ptm::ptm::{recover, Algo, Ptm, PtmConfig, TxThread};
 use proptest::prelude::*;
@@ -37,6 +37,16 @@ fn domains() -> impl Strategy<Value = DurabilityDomain> {
     ]
 }
 
+fn policies() -> impl Strategy<Value = AdversaryPolicy> {
+    prop_oneof![
+        Just(AdversaryPolicy::PerWord),
+        Just(AdversaryPolicy::AllOld),
+        Just(AdversaryPolicy::AllNew),
+        Just(AdversaryPolicy::PerLine),
+        (1u64..100).prop_map(|p| AdversaryPolicy::Biased(p as f64 / 100.0)),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -44,6 +54,7 @@ proptest! {
     fn recovered_state_is_exactly_the_committed_state(
         program in steps(),
         domain in domains(),
+        policy in policies(),
         redo in any::<bool>(),
         seed in any::<u64>(),
     ) {
@@ -83,8 +94,9 @@ proptest! {
                 }
             }
         }
-        // Crash, reboot, recover, re-attach.
-        let image = machine.crash(seed);
+        // Crash (under a sampled adversary policy), reboot, recover,
+        // re-attach.
+        let image = machine.crash_with(seed, policy);
         let machine2 = Machine::reboot(&image, MachineConfig {
             domain,
             track_persistence: true,
@@ -100,7 +112,7 @@ proptest! {
         // crash, so the recovered state must equal the model exactly.)
         for k in 0..64u64 {
             let got = th2.run(|tx| map2.get(tx, k));
-            prop_assert_eq!(got, model.get(&k).copied(), "domain {:?} algo {:?} key {}", domain, algo, k);
+            prop_assert_eq!(got, model.get(&k).copied(), "domain {:?} algo {:?} policy {} key {}", domain, algo, policy, k);
         }
         prop_assert_eq!(th2.run(|tx| map2.len(tx)), model.len() as u64);
     }
