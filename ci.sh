@@ -16,6 +16,12 @@ cargo test -q
 echo "=== phase_profile smoke ==="
 cargo run -q --release -p bench --bin phase_profile -- --threads 1 --ops 200 > /dev/null
 
+echo "=== write-combining smoke + flush-elision guard ==="
+# Quick naive-vs-combined ablation. The binary's built-in regression
+# guard exits nonzero if the combined pipeline elides zero flushes on
+# the redo ADR workload (i.e. the planner stopped deduplicating).
+cargo run -q --release -p bench --bin ablation_write_combining -- --quick > /dev/null
+
 echo "=== crash_sites smoke sweep ==="
 # Bounded deterministic crash-site sweep: every {algo x domain x policy}
 # case, 12 strided sites each. Exits nonzero on any invariant violation,

@@ -162,6 +162,15 @@ pub fn point_json(workload: &str, r: &RunResult) -> String {
         r.ptm.max_write_entries,
         &mut tf,
     );
+    push_kv_u64(&mut out, "flushes_elided", r.ptm.flushes_elided, &mut tf);
+    push_kv_u64(&mut out, "lines_planned", r.ptm.lines_planned, &mut tf);
+    push_kv_u64(
+        &mut out,
+        "max_read_set_unique",
+        r.ptm.max_read_set_unique,
+        &mut tf,
+    );
+    push_kv_u64(&mut out, "max_write_lines", r.ptm.max_write_lines, &mut tf);
     out.push('}');
 
     // Memory-system counters.
@@ -175,6 +184,7 @@ pub fn point_json(workload: &str, r: &RunResult) -> String {
     push_kv_u64(&mut out, "l3_misses", r.mem.l3_misses, &mut mf);
     push_kv_u64(&mut out, "clwbs", r.mem.clwbs, &mut mf);
     push_kv_u64(&mut out, "clwb_writebacks", r.mem.clwb_writebacks, &mut mf);
+    push_kv_u64(&mut out, "clwb_batches", r.mem.clwb_batches, &mut mf);
     push_kv_u64(&mut out, "sfences", r.mem.sfences, &mut mf);
     push_kv_u64(&mut out, "evictions", r.mem.evictions, &mut mf);
     push_kv_u64(
@@ -286,6 +296,11 @@ mod tests {
             "\"ptm\"",
             "\"mem\"",
             "\"throughput_mops\"",
+            "\"flushes_elided\"",
+            "\"lines_planned\"",
+            "\"max_read_set_unique\"",
+            "\"max_write_lines\"",
+            "\"clwb_batches\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

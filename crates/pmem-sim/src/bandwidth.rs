@@ -127,14 +127,23 @@ impl Servers {
         self.dram_read.reset();
     }
 
+    /// Bank index a line key hashes to on the Optane write path.
+    ///
+    /// Exposed so batched flush planners (`MemSession::clwb_batch`) can
+    /// interleave lines across banks with the exact routing `write_for`
+    /// will use.
+    pub fn optane_bank_of(&self, line_key: u64) -> usize {
+        let mut h = line_key;
+        h ^= h >> 29;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        (h % self.optane_write.len() as u64) as usize
+    }
+
     /// Pick the write server for a media kind; Optane writes are routed
     /// to a bank by the line key.
     pub fn write_for(&self, optane: bool, line_key: u64) -> &BwServer {
         if optane {
-            let mut h = line_key;
-            h ^= h >> 29;
-            h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
-            &self.optane_write[(h % self.optane_write.len() as u64) as usize]
+            &self.optane_write[self.optane_bank_of(line_key)]
         } else {
             &self.dram_write
         }

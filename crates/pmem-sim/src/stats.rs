@@ -16,6 +16,8 @@ pub struct MachineStats {
     pub clwbs: AtomicU64,
     /// `clwb`s that actually wrote a dirty line back.
     pub clwb_writebacks: AtomicU64,
+    /// Batched flush drains issued via `clwb_batch`.
+    pub clwb_batches: AtomicU64,
     pub sfences: AtomicU64,
     /// Dirty lines displaced by capacity/conflict evictions.
     pub evictions: AtomicU64,
@@ -38,6 +40,7 @@ pub struct StatsSnapshot {
     pub l3_misses: u64,
     pub clwbs: u64,
     pub clwb_writebacks: u64,
+    pub clwb_batches: u64,
     pub sfences: u64,
     pub evictions: u64,
     pub optane_lines_written: u64,
@@ -65,6 +68,7 @@ impl MachineStats {
             l3_misses: self.l3_misses.load(Ordering::Relaxed),
             clwbs: self.clwbs.load(Ordering::Relaxed),
             clwb_writebacks: self.clwb_writebacks.load(Ordering::Relaxed),
+            clwb_batches: self.clwb_batches.load(Ordering::Relaxed),
             sfences: self.sfences.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             optane_lines_written: self.optane_lines_written.load(Ordering::Relaxed),
@@ -83,6 +87,7 @@ impl MachineStats {
             &self.l3_misses,
             &self.clwbs,
             &self.clwb_writebacks,
+            &self.clwb_batches,
             &self.sfences,
             &self.evictions,
             &self.optane_lines_written,
@@ -107,6 +112,7 @@ impl StatsSnapshot {
             l3_misses: self.l3_misses.saturating_sub(earlier.l3_misses),
             clwbs: self.clwbs.saturating_sub(earlier.clwbs),
             clwb_writebacks: self.clwb_writebacks.saturating_sub(earlier.clwb_writebacks),
+            clwb_batches: self.clwb_batches.saturating_sub(earlier.clwb_batches),
             sfences: self.sfences.saturating_sub(earlier.sfences),
             evictions: self.evictions.saturating_sub(earlier.evictions),
             optane_lines_written: self

@@ -47,6 +47,14 @@ pub struct PtmConfig {
     pub split_log_index: bool,
     /// TL2-style timestamp extension on validation failure.
     pub ts_extension: bool,
+    /// Write-combining commit pipeline: plan every durability obligation
+    /// of a fence window (redo write-back lines, `eager_writes`, fresh
+    /// blocks, log lines) in a line-granular `LineSet`, dedupe, and
+    /// drain through the bank-interleaved `MemSession::clwb_batch`; also
+    /// duplicate-filters the read set so `validate_reads`/`extend` cost
+    /// O(unique orecs). Off by default (ablation flag): the naive
+    /// per-entry flush loop is the paper's measured baseline.
+    pub write_combining: bool,
     /// Number of orecs (rounded to a power of two).
     pub orec_count: usize,
     /// Log capacity in entries (4 words each).
@@ -91,6 +99,7 @@ impl Default for PtmConfig {
             elide_fences: false,
             split_log_index: true,
             ts_extension: true,
+            write_combining: false,
             orec_count: 1 << 18,
             log_capacity: 1 << 13,
             lite_log_entries: 128,
@@ -130,6 +139,15 @@ impl PtmConfig {
             ..Self::default()
         }
     }
+
+    /// The given algorithm with the write-combining commit pipeline on.
+    pub fn combined(algo: Algo) -> Self {
+        PtmConfig {
+            algo,
+            write_combining: true,
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +160,14 @@ mod tests {
         assert!(c.split_log_index, "paper's tuned algorithms split the log");
         assert!(c.ts_extension, "every optimization enabled");
         assert!(!c.elide_fences, "fence elision is an incorrect variant");
+        assert!(!c.write_combining, "write combining is the ablation arm");
+    }
+
+    #[test]
+    fn combined_turns_on_write_combining() {
+        let c = PtmConfig::combined(Algo::UndoEager);
+        assert_eq!(c.algo, Algo::UndoEager);
+        assert!(c.write_combining);
     }
 
     #[test]

@@ -402,6 +402,10 @@ pub struct BankTransfers {
     pub accounts: u64,
     pub initial: u64,
     pub transfers: usize,
+    /// Run commits through the write-combining pipeline (the default:
+    /// the sweep's acceptance bar is that batching survives every crash
+    /// site; set `false` to sweep the naive baseline).
+    pub write_combining: bool,
 }
 
 impl Default for BankTransfers {
@@ -410,6 +414,7 @@ impl Default for BankTransfers {
             accounts: 8,
             initial: 100,
             transfers: 10,
+            write_combining: true,
         }
     }
 }
@@ -456,9 +461,10 @@ impl CrashWorkload for BankTransfers {
 
     fn run(&self, machine: &Arc<Machine>, case: &SweepCase) {
         let heap = PHeap::format(machine, self.heap_pool(), 1 << 15, 4);
-        let cfg = match case.algo {
-            Algo::RedoLazy => PtmConfig::redo(),
-            Algo::UndoEager => PtmConfig::undo(),
+        let cfg = PtmConfig {
+            algo: case.algo,
+            write_combining: self.write_combining,
+            ..PtmConfig::default()
         };
         let ptm = Ptm::new(cfg);
         let mut th = TxThread::new(ptm, Arc::clone(&heap), machine.session(0));
@@ -535,6 +541,7 @@ mod tests {
             accounts: 4,
             initial: 64,
             transfers: 3,
+            ..BankTransfers::default()
         }
     }
 

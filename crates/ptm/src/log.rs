@@ -64,6 +64,19 @@ pub const ENTRY_WORDS: u64 = 4;
 /// Checksum seal for undo entries.
 pub const SEAL: u64 = 0x005E_A10F_1EA5_C0DE;
 
+/// Distinct cache lines occupied by the first `count` log entries.
+///
+/// Entries are 4 words in an 8-word line and start line-aligned (at
+/// [`ENTRY0`] in the primary pool, at word 0 in the overflow pool), so
+/// they pack two per line: `count` entries dirty exactly
+/// `ceil(count / 2)` lines. This is the write-combining planner's
+/// per-commit log flush cost; the naive pipeline pays one flush per
+/// entry instead.
+#[inline]
+pub const fn entry_lines(count: usize) -> usize {
+    count.div_ceil(2)
+}
+
 /// Seal an undo entry for transaction sequence number `seq`.
 #[inline]
 pub fn seal(addr: u64, value: u64, seq: u64) -> u64 {
@@ -250,6 +263,17 @@ mod tests {
             let line_of_first = a.line();
             let line_of_last = a.offset(ENTRY_WORDS - 1).line();
             assert_eq!(line_of_first, line_of_last, "entry {i} spans lines");
+        }
+    }
+
+    #[test]
+    fn entry_lines_matches_entry_addr_geometry() {
+        let m = machine(DurabilityDomain::Adr);
+        let log = TxLog::create(&m, 0, &PtmConfig::redo());
+        for count in 0..32usize {
+            let lines: std::collections::HashSet<u64> =
+                (0..count).map(|i| log.entry_addr(i).line()).collect();
+            assert_eq!(entry_lines(count), lines.len(), "count {count}");
         }
     }
 

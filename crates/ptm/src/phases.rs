@@ -10,7 +10,10 @@
 //!
 //! Attribution rules (uniform across algorithms):
 //!
-//! * every `clwb` issued by the PTM is charged to [`Phase::Flush`];
+//! * every `clwb` issued by the PTM is charged to [`Phase::Flush`] —
+//!   including the batched drains of the write-combining planner
+//!   (`LineSet` → `clwb_batch`), so naive and combined pipelines stay
+//!   directly comparable in the phase breakdown;
 //! * every `sfence` is charged to [`Phase::FenceWait`] (this includes the
 //!   WPQ-acceptance wait the paper measures — under eADR both collapse to
 //!   zero because the session elides the instructions);
@@ -40,7 +43,9 @@ pub enum Phase {
     Speculation = 0,
     /// Building/persisting log entries and commit markers.
     LogAppend = 1,
-    /// `clwb` instructions (incl. WPQ back-pressure stalls at flush time).
+    /// `clwb` instructions (incl. WPQ back-pressure stalls at flush
+    /// time, and the write-combining planner's batched `clwb_batch`
+    /// drains).
     Flush = 2,
     /// `sfence` instructions: waiting for flush acceptance.
     FenceWait = 3,

@@ -25,6 +25,15 @@ pub struct PtmStats {
     /// sizing argument for PDRAM-Lite: Vacation <= 37 log cache lines,
     /// TPCC <= 36).
     pub max_write_entries: AtomicU64,
+    /// Flushes the write-combining planner skipped because the line was
+    /// already planned in the same fence window (offers minus unique).
+    pub flushes_elided: AtomicU64,
+    /// Unique lines the planner actually drained through `clwb_batch`.
+    pub lines_planned: AtomicU64,
+    /// Largest duplicate-filtered read set observed, in unique orecs.
+    pub max_read_set_unique: AtomicU64,
+    /// Largest write-back footprint observed, in unique data lines.
+    pub max_write_lines: AtomicU64,
 }
 
 /// Plain-value snapshot.
@@ -41,6 +50,10 @@ pub struct PtmStatsSnapshot {
     pub htm_aborts: u64,
     pub htm_fallbacks: u64,
     pub max_write_entries: u64,
+    pub flushes_elided: u64,
+    pub lines_planned: u64,
+    pub max_read_set_unique: u64,
+    pub max_write_lines: u64,
 }
 
 impl PtmStats {
@@ -59,6 +72,18 @@ impl PtmStats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Add `n` to a plain counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a high-water mark (keeps the larger value).
+    #[inline]
+    pub fn high_water(counter: &AtomicU64, v: u64) {
+        counter.fetch_max(v, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> PtmStatsSnapshot {
         PtmStatsSnapshot {
             commits: self.commits.load(Ordering::Relaxed),
@@ -72,6 +97,10 @@ impl PtmStats {
             htm_aborts: self.htm_aborts.load(Ordering::Relaxed),
             htm_fallbacks: self.htm_fallbacks.load(Ordering::Relaxed),
             max_write_entries: self.max_write_entries.load(Ordering::Relaxed),
+            flushes_elided: self.flushes_elided.load(Ordering::Relaxed),
+            lines_planned: self.lines_planned.load(Ordering::Relaxed),
+            max_read_set_unique: self.max_read_set_unique.load(Ordering::Relaxed),
+            max_write_lines: self.max_write_lines.load(Ordering::Relaxed),
         }
     }
 
@@ -88,6 +117,10 @@ impl PtmStats {
             &self.htm_aborts,
             &self.htm_fallbacks,
             &self.max_write_entries,
+            &self.flushes_elided,
+            &self.lines_planned,
+            &self.max_read_set_unique,
+            &self.max_write_lines,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -128,6 +161,10 @@ impl PtmStatsSnapshot {
             htm_aborts: self.htm_aborts.saturating_sub(earlier.htm_aborts),
             htm_fallbacks: self.htm_fallbacks.saturating_sub(earlier.htm_fallbacks),
             max_write_entries: self.max_write_entries.max(earlier.max_write_entries),
+            flushes_elided: self.flushes_elided.saturating_sub(earlier.flushes_elided),
+            lines_planned: self.lines_planned.saturating_sub(earlier.lines_planned),
+            max_read_set_unique: self.max_read_set_unique.max(earlier.max_read_set_unique),
+            max_write_lines: self.max_write_lines.max(earlier.max_write_lines),
         }
     }
 }
@@ -160,6 +197,25 @@ mod tests {
         assert_eq!(d.aborts, 0);
         // High-water mark semantics: the larger value survives.
         assert_eq!(d.max_write_entries, 9);
+    }
+
+    #[test]
+    fn planner_counters_and_high_water_marks() {
+        let s = PtmStats::new();
+        PtmStats::add(&s.flushes_elided, 5);
+        PtmStats::add(&s.lines_planned, 3);
+        PtmStats::high_water(&s.max_read_set_unique, 7);
+        PtmStats::high_water(&s.max_read_set_unique, 4); // smaller: ignored
+        PtmStats::high_water(&s.max_write_lines, 2);
+        let a = s.snapshot();
+        assert_eq!(a.flushes_elided, 5);
+        assert_eq!(a.lines_planned, 3);
+        assert_eq!(a.max_read_set_unique, 7);
+        PtmStats::add(&s.flushes_elided, 1);
+        let d = s.snapshot().delta_since(&a);
+        assert_eq!(d.flushes_elided, 1, "plain counter: subtract");
+        assert_eq!(d.max_read_set_unique, 7, "high-water: keep the max");
+        assert_eq!(d.max_write_lines, 2);
     }
 
     #[test]

@@ -42,7 +42,7 @@ use crate::log::{TxLog, STATE_COMMITTED, STATE_IDLE};
 use crate::orec::{is_locked, owner_of, GlobalClock, OrecTable};
 use crate::phases::{Phase, PhaseSnapshot, PhaseStats, PhaseTimer};
 use crate::stats::{PtmStats, PtmStatsSnapshot};
-use crate::umap::U64Map;
+use crate::umap::{LineSet, U64Map};
 
 /// A shared PTM instance: one per machine/heap.
 pub struct Ptm {
@@ -99,9 +99,18 @@ pub struct TxThread {
 
     start_time: u64,
     read_set: Vec<(u32, u64)>,
+    /// Duplicate filter over `read_set` (orec -> slot), maintained only
+    /// under `write_combining`: repeated reads of a hot stripe then cost
+    /// O(unique orecs) in `validate_reads`/`extend`.
+    read_index: U64Map,
     /// Redo: (addr bits, new value). Undo: (addr bits, old value).
     entries: Vec<(u64, u64)>,
     redo_index: U64Map,
+    /// Write-combining flush planner: every durability obligation of the
+    /// current fence window, deduped at cache-line granularity.
+    plan: LineSet,
+    /// Reusable drain buffer handed to `MemSession::clwb_batch`.
+    plan_scratch: Vec<PAddr>,
     /// Held orecs with their pre-lock versions.
     owned: Vec<(u32, u64)>,
     owned_map: U64Map,
@@ -141,8 +150,11 @@ impl TxThread {
             log,
             start_time: 0,
             read_set: Vec::with_capacity(256),
+            read_index: U64Map::new(256),
             entries: Vec::with_capacity(cap.min(256)),
             redo_index: U64Map::new(64),
+            plan: LineSet::new(64),
+            plan_scratch: Vec::with_capacity(64),
             owned: Vec::with_capacity(64),
             owned_map: U64Map::new(64),
             undo_logged: U64Map::new(64),
@@ -286,6 +298,44 @@ impl TxThread {
         self.timer.switch(now, prev);
     }
 
+    /// Whether this commit should route its flushes through the
+    /// write-combining planner. Under eADR-class domains the planner is
+    /// skipped entirely (flushes are free no-ops there, so planning
+    /// would only spend DRAM time and skew the planner counters).
+    #[inline]
+    fn combining(&self) -> bool {
+        self.ptm.config.write_combining && self.s.machine().domain().requires_flushes()
+    }
+
+    /// Offer the cache line containing `addr` to the fence window's plan.
+    #[inline]
+    fn plan_line(&mut self, addr: PAddr) {
+        let base = PAddr::new(addr.pool(), addr.line() * pmem_sim::WORDS_PER_LINE as u64);
+        self.plan.insert(base.0);
+    }
+
+    /// Drain the planned window through the bank-interleaved batched
+    /// flusher, charged to [`Phase::Flush`]; updates the planner
+    /// counters (`lines_planned`, `flushes_elided`).
+    fn drain_plan(&mut self) {
+        let unique = self.plan.len() as u64;
+        let offered = self.plan.offered();
+        if unique == 0 {
+            return;
+        }
+        PtmStats::add(&self.ptm.stats.lines_planned, unique);
+        PtmStats::add(&self.ptm.stats.flushes_elided, offered - unique);
+        self.plan_scratch.clear();
+        self.plan_scratch
+            .extend(self.plan.lines().iter().map(|&k| PAddr(k)));
+        self.plan.clear();
+        let now = self.s.now();
+        let prev = self.timer.switch(now, Phase::Flush);
+        self.s.clwb_batch(&mut self.plan_scratch);
+        let now = self.s.now();
+        self.timer.switch(now, prev);
+    }
+
     #[inline]
     fn index_cost(&mut self) {
         let cfg = &self.ptm.config;
@@ -305,8 +355,10 @@ impl TxThread {
         let now = self.s.now();
         self.timer.switch(now, Phase::Speculation);
         self.read_set.clear();
+        self.read_index.clear();
         self.entries.clear();
         self.redo_index.clear();
+        self.plan.clear();
         self.owned.clear();
         self.owned_map.clear();
         self.undo_logged.clear();
@@ -396,7 +448,28 @@ impl TxThread {
                 PtmStats::bump(&self.ptm.stats.aborts_read_version);
                 return Err(Abort);
             }
-            self.read_set.push((o, v1));
+            if self.ptm.config.write_combining {
+                // Duplicate-filtered read set: one slot per orec. A
+                // repeat hit must have observed the recorded version —
+                // any later committer bumps the orec past start_time,
+                // which forces the extension/abort path above before
+                // this push point is reached.
+                match self.read_index.get(o as u64) {
+                    Some(slot) => {
+                        debug_assert_eq!(
+                            self.read_set[slot as usize].1, v1,
+                            "re-read of orec {o} observed a version the recorded \
+                             snapshot did not"
+                        );
+                    }
+                    None => {
+                        self.read_index.insert(o as u64, self.read_set.len() as u64);
+                        self.read_set.push((o, v1));
+                    }
+                }
+            } else {
+                self.read_set.push((o, v1));
+            }
             return Ok(val);
         }
     }
@@ -520,9 +593,12 @@ impl TxThread {
             self.fence();
             let now = self.s.now();
             self.timer.switch(now, outer);
+            // One commit-time flush obligation per *unique* address:
+            // repeat stores used to push a duplicate per store, inflating
+            // the commit flush loop for write-hot transactions.
+            self.eager_writes.push(addr.0);
         }
         self.s.store(addr, val);
-        self.eager_writes.push(addr.0);
         Ok(())
     }
 
@@ -665,6 +741,21 @@ impl TxThread {
         }
     }
 
+    /// Planner counterpart of [`Self::flush_fresh_blocks`]: offer the
+    /// alloc-new lines to the current fence window instead of flushing
+    /// them immediately (overlapping blocks dedupe).
+    fn plan_fresh_blocks(&mut self) {
+        for i in 0..self.fresh_blocks.len() {
+            let (addr_bits, words) = self.fresh_blocks[i];
+            let base = PAddr(addr_bits);
+            let mut w = 0u64;
+            while w < words as u64 {
+                self.plan_line(base.offset(w));
+                w += pmem_sim::WORDS_PER_LINE as u64;
+            }
+        }
+    }
+
     fn commit_redo(&mut self) -> bool {
         if self.entries.is_empty() {
             // Read-only: per-read validation against start_time already
@@ -722,14 +813,27 @@ impl TxThread {
         }
         // Persist alloc-new initialization and the redo log: flush each
         // line once, one fence for both.
-        self.flush_fresh_blocks();
-        let mut last_line = (pmem_sim::PoolId(u32::MAX), u64::MAX);
-        for i in 0..self.entries.len() {
-            let e = self.log.entry_addr(i);
-            let line = (e.pool(), e.line());
-            if line != last_line {
-                self.flush_line(e);
-                last_line = line;
+        let combining = self.combining();
+        if combining {
+            // Window 1: plan fresh-block lines and log lines together —
+            // the planner dedupes across both sources (a fresh block the
+            // log pass also covered is flushed once).
+            self.plan_fresh_blocks();
+            for i in 0..self.entries.len() {
+                let e = self.log.entry_addr(i);
+                self.plan_line(e);
+            }
+            self.drain_plan();
+        } else {
+            self.flush_fresh_blocks();
+            let mut last_line = (pmem_sim::PoolId(u32::MAX), u64::MAX);
+            for i in 0..self.entries.len() {
+                let e = self.log.entry_addr(i);
+                let line = (e.pool(), e.line());
+                if line != last_line {
+                    self.flush_line(e);
+                    last_line = line;
+                }
             }
         }
         self.fence();
@@ -745,11 +849,26 @@ impl TxThread {
         // Write back and persist program data.
         let now = self.s.now();
         self.timer.switch(now, Phase::Writeback);
-        for i in 0..self.entries.len() {
-            let (a, v) = self.entries[i];
-            let addr = PAddr(a);
-            self.s.store(addr, v);
-            self.flush_line(addr);
+        if combining {
+            // Window 2: apply the whole write set first, then flush each
+            // dirty line exactly once. The naive loop's store-then-flush
+            // per entry re-dirties a shared line between flushes, so a
+            // line written by k entries pays k writebacks.
+            for i in 0..self.entries.len() {
+                let (a, v) = self.entries[i];
+                let addr = PAddr(a);
+                self.s.store(addr, v);
+                self.plan_line(addr);
+            }
+            PtmStats::high_water(&self.ptm.stats.max_write_lines, self.plan.len() as u64);
+            self.drain_plan();
+        } else {
+            for i in 0..self.entries.len() {
+                let (a, v) = self.entries[i];
+                let addr = PAddr(a);
+                self.s.store(addr, v);
+                self.flush_line(addr);
+            }
         }
         self.fence();
         // Retire the log.
@@ -767,8 +886,21 @@ impl TxThread {
             self.ptm.orecs.release(o, wv);
         }
         self.ptm.stats.note_write_set(self.entries.len() as u64);
+        self.note_read_set();
         self.apply_frees();
         true
+    }
+
+    /// Record the duplicate-filtered read-set high-water mark (only
+    /// meaningful when `write_combining` maintains the filter).
+    #[inline]
+    fn note_read_set(&self) {
+        if self.ptm.config.write_combining {
+            PtmStats::high_water(
+                &self.ptm.stats.max_read_set_unique,
+                self.read_set.len() as u64,
+            );
+        }
     }
 
     fn commit_undo(&mut self) -> bool {
@@ -787,10 +919,20 @@ impl TxThread {
             return false;
         }
         // Flush the in-place data and alloc-new blocks, one fence.
-        self.flush_fresh_blocks();
-        for i in 0..self.eager_writes.len() {
-            let addr = PAddr(self.eager_writes[i]);
-            self.flush_line(addr);
+        if self.combining() {
+            self.plan_fresh_blocks();
+            for i in 0..self.eager_writes.len() {
+                let addr = PAddr(self.eager_writes[i]);
+                self.plan_line(addr);
+            }
+            PtmStats::high_water(&self.ptm.stats.max_write_lines, self.plan.len() as u64);
+            self.drain_plan();
+        } else {
+            self.flush_fresh_blocks();
+            for i in 0..self.eager_writes.len() {
+                let addr = PAddr(self.eager_writes[i]);
+                self.flush_line(addr);
+            }
         }
         self.fence();
         // Truncate the undo log: entry 0's addr word zeroed, durable.
@@ -808,6 +950,7 @@ impl TxThread {
             self.ptm.orecs.release(o, wv);
         }
         self.ptm.stats.note_write_set(self.entries.len() as u64);
+        self.note_read_set();
         self.apply_frees();
         true
     }
@@ -1214,6 +1357,192 @@ mod tests {
             });
             assert_eq!(total, accounts * 1_000, "{algo:?}: money not conserved");
         }
+    }
+
+    fn setup_with(cfg: PtmConfig) -> (Arc<Machine>, Arc<Ptm>, Arc<PHeap>) {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
+        (m.clone(), Ptm::new(cfg), heap)
+    }
+
+    /// Unique (pool, line) count of a set of addresses.
+    fn unique_lines(addrs: &[PAddr]) -> u64 {
+        let mut lines: Vec<(u32, u64)> = addrs.iter().map(|a| (a.pool().0, a.line())).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines.len() as u64
+    }
+
+    /// Satellite acceptance: under ADR with write combining, the
+    /// writebacks of one committed redo transaction are exactly the
+    /// unique dirty lines it touches — ceil(k/2) log lines (two entries
+    /// per line), the header line twice (COMMITTED marker + retire), and
+    /// each unique data line once.
+    #[test]
+    fn combined_redo_writebacks_equal_unique_dirty_lines() {
+        let (m, ptm, heap) = setup_with(PtmConfig::combined(Algo::RedoLazy));
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 24);
+        // 12 entries: 8 words of one region plus 4 of another — several
+        // entries share data lines.
+        let writes: Vec<PAddr> = (0..8).chain(16..20).map(|w| a.offset(w)).collect();
+        let before = m.stats.snapshot();
+        th.run(|tx| {
+            for (i, &w) in writes.iter().enumerate() {
+                tx.write(w, i as u64 + 1)?;
+            }
+            Ok(())
+        });
+        let d = m.stats.snapshot().delta_since(&before);
+        let k = writes.len() as u64;
+        let log_lines = crate::log::entry_lines(writes.len()) as u64;
+        let data_lines = unique_lines(&writes);
+        assert!(data_lines < k, "test must exercise line sharing");
+        let expected = log_lines + 2 + data_lines;
+        assert_eq!(
+            d.clwb_writebacks, expected,
+            "writebacks must equal unique dirty lines \
+             (log {log_lines} + header 2 + data {data_lines})"
+        );
+        assert_eq!(
+            d.clwbs, expected,
+            "combined pipeline flushes each line once"
+        );
+        assert_eq!(d.clwb_batches, 2, "one batched drain per fence window");
+        let s = ptm.stats_snapshot();
+        // The header-line flushes (marker, retire) go direct, not through
+        // the planner: only log and data lines are planned.
+        assert_eq!(s.lines_planned, log_lines + data_lines);
+        assert_eq!(
+            s.flushes_elided,
+            (k - log_lines) + (k - data_lines),
+            "planner elides the duplicate log- and data-line offers"
+        );
+        assert_eq!(s.max_write_lines, data_lines);
+    }
+
+    /// Same-shape accounting for undo: the commit window flushes each
+    /// unique in-place data line once (the per-entry log flushes during
+    /// execution are the algorithm's O(W) cost and stay as-is).
+    #[test]
+    fn combined_undo_writebacks_equal_unique_dirty_lines() {
+        let (m, ptm, heap) = setup_with(PtmConfig::combined(Algo::UndoEager));
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 16);
+        let writes: Vec<PAddr> = (0..6).map(|w| a.offset(w)).collect();
+        let before = m.stats.snapshot();
+        th.run(|tx| {
+            for (i, &w) in writes.iter().enumerate() {
+                // Repeat stores: the eager_writes dedup keeps one
+                // obligation per address.
+                tx.write(w, i as u64)?;
+                tx.write(w, i as u64 + 10)?;
+            }
+            Ok(())
+        });
+        let d = m.stats.snapshot().delta_since(&before);
+        let k = writes.len() as u64;
+        let data_lines = unique_lines(&writes);
+        // seq header + one flush per log entry append + commit window
+        // (unique data lines) + truncate.
+        let expected = 1 + k + data_lines + 1;
+        assert_eq!(d.clwb_writebacks, expected);
+        let s = ptm.stats_snapshot();
+        assert_eq!(s.lines_planned, data_lines);
+        assert_eq!(s.flushes_elided, k - data_lines);
+    }
+
+    /// The combined pipeline must commit the same data as the naive one
+    /// while issuing strictly fewer flushes on a line-sharing write set.
+    #[test]
+    fn combined_pipeline_matches_naive_semantics_with_fewer_flushes() {
+        for algo in both() {
+            let run = |combining: bool| {
+                let cfg = PtmConfig {
+                    write_combining: combining,
+                    ..match algo {
+                        Algo::RedoLazy => PtmConfig::redo(),
+                        Algo::UndoEager => PtmConfig::undo(),
+                    }
+                };
+                let (m, ptm, heap) = setup_with(cfg);
+                let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+                let a = heap.alloc(th.session_mut(), 32);
+                for round in 0..4u64 {
+                    th.run(|tx| {
+                        for w in 0..16u64 {
+                            tx.write_at(a, w, round * 100 + w)?;
+                        }
+                        Ok(())
+                    });
+                }
+                let values: Vec<u64> = (0..16)
+                    .map(|w| heap.pool().shadow().unwrap().load(a.word() + w))
+                    .collect();
+                (values, m.stats.snapshot().clwbs)
+            };
+            let (naive_vals, naive_clwbs) = run(false);
+            let (combined_vals, combined_clwbs) = run(true);
+            assert_eq!(naive_vals, combined_vals, "{algo:?}: divergent commits");
+            assert!(
+                combined_clwbs < naive_clwbs,
+                "{algo:?}: combined {combined_clwbs} must flush less than naive {naive_clwbs}"
+            );
+        }
+    }
+
+    /// Under eADR the planner is bypassed entirely: no planner counters
+    /// move and no flush instructions are issued — the eADR arm of the
+    /// ablation must be unchanged by the flag.
+    #[test]
+    fn combining_is_inert_under_eadr() {
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
+        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
+        let ptm = Ptm::new(PtmConfig {
+            write_combining: true,
+            htm_retries: 0,
+            ..PtmConfig::redo()
+        });
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 16);
+        th.run(|tx| {
+            for w in 0..16u64 {
+                tx.write_at(a, w, w)?;
+            }
+            Ok(())
+        });
+        let s = ptm.stats_snapshot();
+        assert_eq!(s.lines_planned, 0);
+        assert_eq!(s.flushes_elided, 0);
+        assert_eq!(m.stats.snapshot().clwbs, 0);
+        assert_eq!(m.stats.snapshot().clwb_batches, 0);
+    }
+
+    /// The duplicate-filtered read set keeps one slot per orec, so a
+    /// hot-stripe re-read costs O(unique orecs) at validation.
+    #[test]
+    fn read_set_is_duplicate_filtered_under_combining() {
+        let (m, ptm, heap) = setup_with(PtmConfig::combined(Algo::RedoLazy));
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| tx.write(a, 7));
+        let got = th.run(|tx| {
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += tx.read(a)?;
+            }
+            // A write forces the full (non-read-only) commit path, which
+            // records the read-set high-water mark.
+            tx.write(a.offset(1), sum)?;
+            Ok(sum)
+        });
+        assert_eq!(got, 700);
+        let s = ptm.stats_snapshot();
+        assert!(
+            s.max_read_set_unique <= 2,
+            "100 re-reads of one stripe must collapse to one slot, got {}",
+            s.max_read_set_unique
+        );
     }
 
     #[test]

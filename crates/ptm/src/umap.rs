@@ -72,15 +72,24 @@ impl U64Map {
         }
     }
 
+    /// Slot count of the backing table (doubles on growth).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
     /// Insert or overwrite; returns the previous value if any.
+    ///
+    /// Occupancy is checked only when a genuinely new key lands: an
+    /// overwrite of an existing key never grows the table.
     #[inline]
     pub fn insert(&mut self, key: u64, val: u64) -> Option<u64> {
-        if self.len * 10 >= (self.mask + 1) * 7 {
-            self.grow();
-        }
         let mut i = self.slot_of(key);
         loop {
             if self.gens[i] != self.gen {
+                if self.len * 10 >= (self.mask + 1) * 7 {
+                    self.grow();
+                    return self.insert(key, val);
+                }
                 self.gens[i] = self.gen;
                 self.keys[i] = key;
                 self.vals[i] = val;
@@ -113,6 +122,71 @@ impl U64Map {
             }
         }
         *self = bigger;
+    }
+}
+
+/// Deduplicating set of cache-line keys for one fence window.
+///
+/// The write-combining commit pipeline offers every durability
+/// obligation (redo write-back lines, `eager_writes`, fresh blocks,
+/// log lines) to a `LineSet`; duplicates are filtered in O(1) via the
+/// generation-stamped [`U64Map`], and the surviving unique lines are
+/// drained in insertion order through `MemSession::clwb_batch`. The
+/// spread between [`LineSet::offered`] and [`LineSet::len`] is the
+/// number of flushes the planner elided.
+#[derive(Debug)]
+pub struct LineSet {
+    index: U64Map,
+    lines: Vec<u64>,
+    offered: u64,
+}
+
+impl LineSet {
+    /// Create with capacity for roughly `cap` unique lines.
+    pub fn new(cap: usize) -> Self {
+        LineSet {
+            index: U64Map::new(cap),
+            lines: Vec::with_capacity(cap),
+            offered: 0,
+        }
+    }
+
+    /// Offer a line key; returns `true` if it was new to this window.
+    #[inline]
+    pub fn insert(&mut self, line_key: u64) -> bool {
+        self.offered += 1;
+        if self.index.insert(line_key, 0).is_none() {
+            self.lines.push(line_key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unique lines collected this window.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Total offers this window, duplicates included.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Unique line keys in first-insertion order.
+    pub fn lines(&self) -> &[u64] {
+        &self.lines
+    }
+
+    /// Reset for the next fence window; O(1) in the index.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.lines.clear();
+        self.offered = 0;
     }
 }
 
@@ -184,5 +258,68 @@ mod tests {
             m.clear();
             assert_eq!(m.get(round), None);
         }
+    }
+
+    /// Regression: overwriting an existing key must never grow the
+    /// table, even when occupancy sits at the growth threshold.
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut m = U64Map::new(8);
+        // Fill to exactly the 70% threshold of the 16-slot table so the
+        // old "check occupancy before probing" bug would fire on the
+        // very next insert call.
+        while m.len() * 10 < m.capacity() * 7 {
+            let k = m.len() as u64;
+            m.insert(k, k);
+        }
+        let cap = m.capacity();
+        for round in 0..1000u64 {
+            m.insert(0, round);
+        }
+        assert_eq!(m.capacity(), cap, "overwrites must not trigger grow()");
+        assert_eq!(m.get(0), Some(999));
+        // A genuinely new key at the threshold does grow.
+        m.insert(u64::MAX, 1);
+        assert!(m.capacity() > cap);
+        assert_eq!(m.get(u64::MAX), Some(1));
+    }
+
+    #[test]
+    fn lineset_dedupes_and_counts_offers() {
+        let mut s = LineSet::new(4);
+        assert!(s.is_empty());
+        assert!(s.insert(64));
+        assert!(s.insert(128));
+        assert!(!s.insert(64));
+        assert!(!s.insert(64));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.offered(), 4);
+        assert_eq!(s.lines(), &[64, 128]);
+    }
+
+    #[test]
+    fn lineset_clear_resets_window() {
+        let mut s = LineSet::new(2);
+        for k in 0..100u64 {
+            s.insert(k * 64);
+            s.insert(k * 64);
+        }
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.offered(), 200);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.offered(), 0);
+        assert!(s.insert(64), "cleared set treats old lines as new");
+        assert_eq!(s.lines(), &[64]);
+    }
+
+    #[test]
+    fn lineset_preserves_insertion_order_across_growth() {
+        let mut s = LineSet::new(2);
+        let keys: Vec<u64> = (0..500).map(|k| k * 64 + 7).collect();
+        for &k in &keys {
+            s.insert(k);
+        }
+        assert_eq!(s.lines(), &keys[..]);
     }
 }

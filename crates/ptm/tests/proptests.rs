@@ -110,6 +110,41 @@ proptest! {
         let _ = PAddr::NULL;
     }
 
+    /// The write-combining commit pipeline is semantically transparent:
+    /// for arbitrary sequential programs, the final memory equals the
+    /// naive pipeline's under ADR (where the flush schedule matters).
+    #[test]
+    fn write_combining_matches_naive_memory(
+        writes in prop::collection::vec((0u64..48, any::<u64>()), 1..80),
+        redo in any::<bool>(),
+    ) {
+        let algo = if redo { Algo::RedoLazy } else { Algo::UndoEager };
+        let run_with = |combining: bool| {
+            let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+            let heap = PHeap::format(&m, "h", 1 << 14, 4);
+            let cfg = PtmConfig { algo, write_combining: combining, ..PtmConfig::default() };
+            let mut th = TxThread::new(Ptm::new(cfg), heap.clone(), m.session(0));
+            let base = {
+                let h = std::sync::Arc::clone(&heap);
+                h.alloc(th.session_mut(), 48)
+            };
+            for chunk in writes.chunks(5) {
+                th.run(|tx| {
+                    for &(a, v) in chunk {
+                        let old = tx.read_at(base, a)?;
+                        tx.write_at(base, a, old ^ v)?;
+                    }
+                    Ok(())
+                });
+            }
+            // Durable (shadow) state, not just cache-visible state.
+            (0..48u64)
+                .map(|a| heap.pool().shadow().unwrap().load(base.word() + a))
+                .collect::<Vec<u64>>()
+        };
+        prop_assert_eq!(run_with(false), run_with(true));
+    }
+
     /// The hybrid HTM path computes the same results as pure software for
     /// sequential programs.
     #[test]
@@ -136,5 +171,57 @@ proptest! {
                 .collect::<Vec<u64>>()
         };
         prop_assert_eq!(run_with(0), run_with(4));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Routed through the PR 2 crash-site sweep: for random seeds and
+    /// algorithms, the naive and write-combined pipelines both survive a
+    /// bounded ADR site sweep violation-free, and an end-of-run crash
+    /// (same armed site, same adversary coin flips) recovers both
+    /// pipelines to the identical state digest.
+    #[test]
+    fn crash_sweep_is_clean_and_digests_match_across_pipelines(
+        seed in 0u64..1_000,
+        redo in any::<bool>(),
+        transfers in 2usize..5,
+    ) {
+        use pmem_sim::AdversaryPolicy;
+        use ptm::crash_harness::{run_site, sweep_case, BankTransfers, SweepCase, SweepOptions};
+        use ptm::RecoverOptions;
+
+        let algo = if redo { Algo::RedoLazy } else { Algo::UndoEager };
+        let case = SweepCase {
+            algo,
+            domain: DurabilityDomain::Adr,
+            policy: AdversaryPolicy::SWEEP[(seed % AdversaryPolicy::SWEEP.len() as u64) as usize],
+            seed,
+        };
+        let bank = |combining: bool| BankTransfers {
+            accounts: 4,
+            initial: 64,
+            transfers,
+            write_combining: combining,
+        };
+        let opts = SweepOptions {
+            max_sites_per_case: Some(6),
+            ..SweepOptions::default()
+        };
+        for combining in [false, true] {
+            let r = sweep_case(&bank(combining), &case, opts);
+            let lines: Vec<String> = r.violations.iter().map(|v| v.to_string()).collect();
+            prop_assert!(lines.is_empty(), "combining={}: {:?}", combining, lines);
+        }
+        // End-of-run crash at one fixed armed site: identical adversary
+        // seed for both pipelines, so equal digests ⇒ the combined
+        // pipeline leaves the machine in exactly the naive durable state.
+        const END: u64 = 1 << 40;
+        let naive = run_site(&bank(false), &case, END, RecoverOptions::default());
+        let combined = run_site(&bank(true), &case, END, RecoverOptions::default());
+        prop_assert!(naive.violations.is_empty(), "{:?}", naive.violations);
+        prop_assert!(combined.violations.is_empty(), "{:?}", combined.violations);
+        prop_assert_eq!(naive.state_digest, combined.state_digest);
     }
 }

@@ -18,6 +18,7 @@ fn small_bank() -> BankTransfers {
         accounts: 6,
         initial: 80,
         transfers: 5,
+        ..BankTransfers::default()
     }
 }
 
