@@ -28,4 +28,15 @@ echo "=== crash_sites smoke sweep ==="
 # printing CRASH-REPRO reproducer lines to stderr.
 cargo run -q --release -p bench --bin crash_sites -- --quick > /dev/null
 
+echo "=== trace smoke ==="
+# Record a short traced run, then re-derive its totals from the trace
+# alone. trace_analyze exits nonzero if any trace-derived total diverges
+# from the embedded counters or the Chrome JSON is structurally invalid.
+TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cargo run -q --release -p bench --bin phase_profile -- --quick --trace "$TRACE_TMP/smoke.trc" > /dev/null
+cargo run -q --release -p bench --bin trace_analyze -- --file "$TRACE_TMP/smoke.trc" > /dev/null
+# And the live self-run cross-check (4-thread tpcc-hash under ADR).
+cargo run -q --release -p bench --bin trace_analyze -- --quick > /dev/null
+
 echo CI_OK

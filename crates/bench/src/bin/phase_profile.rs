@@ -7,8 +7,14 @@
 //! under eADR both collapse to ~0 because the `clwb`/`sfence` calls are
 //! elided — the surviving costs are speculation, logging stores and
 //! validation.
+//!
+//! With `--trace <path>`, the tpcc-hash / ADR / redo point is re-run with
+//! the flight recorder attached and both export formats are written
+//! (binary dump to `<path>`, Chrome trace-event JSON to `<path>.json`)
+//! for `trace_analyze --file <path>` to cross-check offline.
 
-use bench::{emit_point, run_point, HarnessOpts};
+use bench::trace_out::write_trace_exports;
+use bench::{emit_point, run_point, run_point_with, HarnessOpts};
 use pmem_sim::{DurabilityDomain, MediaKind};
 use ptm::{Algo, Phase};
 use workloads::Scenario;
@@ -35,7 +41,28 @@ fn main() {
                     domain,
                     algo,
                 );
-                let r = run_point(name, &sc, &opts, threads);
+                let traced = opts.trace.as_deref().filter(|_| {
+                    name == "tpcc-hash" && domain == DurabilityDomain::Adr && algo == Algo::RedoLazy
+                });
+                let r = match traced {
+                    Some(path) => {
+                        // Size the ring so the dump is lossless and
+                        // `trace_analyze --file` can cross-check exactly
+                        // (tpcc-hash records a few hundred events/op).
+                        let cap = (opts.ops_per_thread as usize * 512).next_power_of_two();
+                        let sink = trace::TraceSink::new(cap);
+                        let rc = workloads::driver::RunConfig {
+                            trace: Some(std::sync::Arc::clone(&sink)),
+                            ..opts.run_config(threads)
+                        };
+                        let r = run_point_with(name, &sc, &rc, opts.quick);
+                        let n = write_trace_exports(path, &sink, &r)
+                            .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+                        eprintln!("# trace: {n} events -> {path} and {path}.json");
+                        r
+                    }
+                    None => run_point(name, &sc, &opts, threads),
+                };
                 if opts.json {
                     emit_point(&opts, name, &r);
                     continue;

@@ -1,0 +1,342 @@
+//! Flight-recorder analysis: prove the trace is a faithful account of a
+//! run, then mine it for the structures the counters cannot show.
+//!
+//! Two modes:
+//!
+//! * **Self-run** (default): run tpcc-hash under Optane/ADR/redo with the
+//!   recorder attached (4 threads, a deliberately small WPQ so stall
+//!   intervals appear), then cross-check every trace-derived total
+//!   against the live `PtmStats`/`MachineStats` counters. Any divergence
+//!   on a lossless trace is a bug and exits nonzero.
+//! * **`--file <dump>`**: load a binary dump written by
+//!   `phase_profile --trace` (or any harness run), cross-check against
+//!   the counter totals embedded in the dump, and structurally validate
+//!   the sibling `<dump>.json` Chrome trace if present.
+//!
+//! Both modes then report the orec abort-attribution heatmap (top-10
+//! contended orecs with per-cause breakdown), the WPQ occupancy timeline
+//! with merged stall intervals, and per-fence-window flush counts.
+//! `--json` emits the same summary as a single JSON object.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bench::trace_out::expected_totals;
+use pmem_sim::{DurabilityDomain, LatencyModel, MediaKind};
+use trace::analyze::{
+    abort_heatmap, crosscheck, fence_windows, wpq_timeline, TraceTotals, WpqTimeline,
+};
+use trace::export::{read_binary, validate_json_structure, ExpectedTotals};
+use trace::{AbortCause, ThreadTrace, TraceSink};
+use workloads::driver::RunConfig;
+use workloads::Scenario;
+
+struct Opts {
+    quick: bool,
+    json: bool,
+    file: Option<String>,
+    threads: usize,
+    ops: u64,
+}
+
+fn parse_args() -> Opts {
+    let mut o = Opts {
+        quick: false,
+        json: false,
+        file: None,
+        threads: 4,
+        ops: 1_500,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                o.quick = true;
+                o.ops = 300;
+            }
+            "--json" => o.json = true,
+            "--file" => o.file = Some(args.next().expect("--file needs a dump path")),
+            "--threads" => {
+                o.threads = args
+                    .next()
+                    .expect("--threads needs a number")
+                    .parse()
+                    .expect("bad thread count");
+            }
+            "--ops" => {
+                o.ops = args
+                    .next()
+                    .expect("--ops needs a number")
+                    .parse()
+                    .expect("bad op count");
+            }
+            other => {
+                panic!("unknown flag `{other}` (known: --quick --threads --ops --json --file)")
+            }
+        }
+    }
+    o
+}
+
+/// Everything the report needs, regardless of where the trace came from.
+struct Analysis {
+    mode: String,
+    threads: Vec<ThreadTrace>,
+    dropped: u64,
+    derived: TraceTotals,
+    expected: ExpectedTotals,
+    divergences: Vec<String>,
+    json_check: Option<Result<(), String>>,
+}
+
+fn analyze_self_run(o: &Opts) -> Analysis {
+    // Size the per-thread ring to the run so the trace is lossless and
+    // the cross-check can demand exact equality: tpcc-hash transactions
+    // record a few hundred events each (reads, writes, flushes, WPQ
+    // acceptances), so 512 events/op is comfortable headroom.
+    let ring_cap = (o.ops as usize * 512).next_power_of_two();
+    let sink = TraceSink::new(ring_cap);
+    let sc = Scenario::new(
+        "Optane_ADR_R",
+        MediaKind::Optane,
+        DurabilityDomain::Adr,
+        ptm::Algo::RedoLazy,
+    );
+    // A tiny WPQ makes the backlog bound reachable at bench scale, so the
+    // stall-interval reconstruction has real intervals to find.
+    let model = LatencyModel {
+        wpq_lines: 4,
+        ..LatencyModel::default()
+    };
+    let rc = RunConfig {
+        threads: o.threads,
+        ops_per_thread: o.ops,
+        model,
+        trace: Some(Arc::clone(&sink)),
+        ..RunConfig::default()
+    };
+    let r = bench::run_point_with("tpcc-hash", &sc, &rc, o.quick);
+    let expected = expected_totals(&r);
+    let threads = sink.threads();
+    let derived = TraceTotals::from_events(&trace::merge_threads(&threads));
+    let dropped = sink.dropped_events();
+    let divergences = if dropped == 0 {
+        crosscheck(&derived, &expected)
+    } else {
+        Vec::new() // lossy trace: equality is not expected
+    };
+    Analysis {
+        mode: format!("self-run tpcc-hash {} x{}", sc.label, o.threads),
+        threads,
+        dropped,
+        derived,
+        expected,
+        divergences,
+        json_check: None,
+    }
+}
+
+fn analyze_file(path: &str) -> Analysis {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let dump = read_binary(&bytes).unwrap_or_else(|e| panic!("parsing {path}: {e}"));
+    let derived = TraceTotals::from_events(&dump.merged());
+    let dropped = dump.dropped_events();
+    let divergences = if dropped == 0 {
+        crosscheck(&derived, &dump.expected)
+    } else {
+        Vec::new()
+    };
+    let sibling = format!("{path}.json");
+    let json_check = std::fs::read_to_string(&sibling)
+        .ok()
+        .map(|s| validate_json_structure(&s));
+    Analysis {
+        mode: format!("file {path}"),
+        threads: dump.threads,
+        dropped,
+        derived,
+        expected: dump.expected,
+        divergences,
+        json_check,
+    }
+}
+
+fn print_text(a: &Analysis, heat: &[trace::analyze::OrecAborts], wpq: &WpqTimeline) {
+    let events: u64 = a.threads.iter().map(|t| t.events.len() as u64).sum();
+    println!("# trace_analyze: {}", a.mode);
+    println!(
+        "events={} threads={} dropped_events={}",
+        events,
+        a.threads.len(),
+        a.dropped
+    );
+
+    println!("\n## counter cross-check (trace-derived vs live counters)");
+    if a.dropped > 0 {
+        println!(
+            "SKIPPED: {} events dropped (ring overflow) — totals are lower bounds",
+            a.dropped
+        );
+    } else if a.divergences.is_empty() {
+        println!(
+            "OK: all 15 totals match exactly (commits={} aborts={} clwbs={} sfences={})",
+            a.derived.commits, a.derived.aborts, a.derived.clwbs, a.derived.sfences
+        );
+    } else {
+        for d in &a.divergences {
+            println!("DIVERGENT {d}");
+        }
+    }
+    if let Some(check) = &a.json_check {
+        match check {
+            Ok(()) => println!("chrome JSON sibling: structurally valid"),
+            Err(e) => println!("chrome JSON sibling: INVALID ({e})"),
+        }
+    }
+
+    println!(
+        "\n## orec abort heatmap (top-{}, cause breakdown)",
+        heat.len()
+    );
+    println!("orec,total,read_locked,read_version,acquire,validation");
+    for h in heat {
+        println!(
+            "{},{},{},{},{},{}",
+            h.orec,
+            h.total,
+            h.by_cause[AbortCause::ReadLocked as usize],
+            h.by_cause[AbortCause::ReadVersion as usize],
+            h.by_cause[AbortCause::Acquire as usize],
+            h.by_cause[AbortCause::Validation as usize],
+        );
+    }
+    if heat.is_empty() {
+        println!("(no orec-attributable aborts)");
+    }
+
+    println!("\n## WPQ occupancy timeline");
+    println!(
+        "samples={} max_backlog_ns={} total_stall_ns={} stall_intervals={}",
+        wpq.samples.len(),
+        wpq.max_backlog_ns,
+        wpq.total_stall_ns,
+        wpq.stalls.len()
+    );
+    for s in wpq.stalls.iter().take(10) {
+        println!(
+            "stall [{} .. {}] span_ns={} events={} stall_ns={}",
+            s.start,
+            s.end,
+            s.end - s.start,
+            s.events,
+            s.stall_ns
+        );
+    }
+
+    let windows = fence_windows(&a.threads);
+    println!("\n## fence windows");
+    if windows.is_empty() {
+        println!("windows=0 (no sfence events — eADR or untraced run)");
+    } else {
+        let total_clwbs: u64 = windows.iter().map(|w| w.clwbs).sum();
+        let waited = windows.iter().filter(|w| w.wait_ns > 0).count();
+        println!(
+            "windows={} clwbs_per_window_mean={:.2} windows_with_wait={} max_window_clwbs={}",
+            windows.len(),
+            total_clwbs as f64 / windows.len() as f64,
+            waited,
+            windows.iter().map(|w| w.clwbs).max().unwrap_or(0)
+        );
+    }
+}
+
+fn print_json(a: &Analysis, heat: &[trace::analyze::OrecAborts], wpq: &WpqTimeline) {
+    let events: u64 = a.threads.iter().map(|t| t.events.len() as u64).sum();
+    let windows = fence_windows(&a.threads);
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    out.push_str(&format!("\"mode\":{:?}", a.mode));
+    out.push_str(&format!(
+        ",\"events\":{events},\"threads\":{},\"dropped_events\":{}",
+        a.threads.len(),
+        a.dropped
+    ));
+    out.push_str(&format!(
+        ",\"crosscheck\":{{\"checked\":{},\"divergences\":[",
+        a.dropped == 0
+    ));
+    for (i, d) in a.divergences.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{d:?}"));
+    }
+    out.push_str("]}");
+    out.push_str(",\"totals\":{");
+    for (i, (name, v)) in a.expected.fields().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{v}"));
+    }
+    out.push('}');
+    out.push_str(",\"heatmap\":[");
+    for (i, h) in heat.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"orec\":{},\"total\":{},\"read_locked\":{},\"read_version\":{},\"acquire\":{},\"validation\":{}}}",
+            h.orec,
+            h.total,
+            h.by_cause[AbortCause::ReadLocked as usize],
+            h.by_cause[AbortCause::ReadVersion as usize],
+            h.by_cause[AbortCause::Acquire as usize],
+            h.by_cause[AbortCause::Validation as usize],
+        ));
+    }
+    out.push(']');
+    out.push_str(&format!(
+        ",\"wpq\":{{\"samples\":{},\"max_backlog_ns\":{},\"total_stall_ns\":{},\"stall_intervals\":[",
+        wpq.samples.len(),
+        wpq.max_backlog_ns,
+        wpq.total_stall_ns
+    ));
+    for (i, s) in wpq.stalls.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"start\":{},\"end\":{},\"events\":{},\"stall_ns\":{}}}",
+            s.start, s.end, s.events, s.stall_ns
+        ));
+    }
+    out.push_str("]}");
+    out.push_str(&format!(",\"fence_windows\":{}", windows.len()));
+    out.push('}');
+    println!("{out}");
+}
+
+fn main() -> ExitCode {
+    let o = parse_args();
+    let a = match &o.file {
+        Some(path) => analyze_file(path),
+        None => analyze_self_run(&o),
+    };
+    let merged = trace::merge_threads(&a.threads);
+    let heat = abort_heatmap(&merged, 10);
+    let wpq = wpq_timeline(&merged);
+
+    if o.json {
+        print_json(&a, &heat, &wpq);
+    } else {
+        print_text(&a, &heat, &wpq);
+    }
+
+    let json_bad = matches!(&a.json_check, Some(Err(_)));
+    if !a.divergences.is_empty() || json_bad {
+        eprintln!("trace_analyze: FAILED (divergences or invalid chrome JSON)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

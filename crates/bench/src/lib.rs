@@ -15,6 +15,7 @@
 //! orderings and crossover points are.
 
 pub mod report;
+pub mod trace_out;
 
 use workloads::driver::{run_scenario, RunConfig, RunResult, Scenario, Workload};
 use workloads::{BTreeInsertOnly, BTreeMixed, IndexKind, Tatp, Tpcc, Vacation, VacationCfg};
@@ -27,6 +28,10 @@ pub struct HarnessOpts {
     pub ops_per_thread: u64,
     /// Emit one JSON object per point (JSON Lines) instead of CSV.
     pub json: bool,
+    /// Record a flight-recorder trace of one designated point to this
+    /// path (binary dump) and `<path>.json` (Chrome trace-event JSON).
+    /// Which point is traced is up to the binary; see `phase_profile`.
+    pub trace: Option<String>,
 }
 
 impl HarnessOpts {
@@ -37,6 +42,7 @@ impl HarnessOpts {
         let mut threads: Option<Vec<usize>> = None;
         let mut ops: Option<u64> = None;
         let mut json = false;
+        let mut trace = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -58,7 +64,12 @@ impl HarnessOpts {
                             .expect("bad op count"),
                     );
                 }
-                other => panic!("unknown flag `{other}` (known: --quick --threads --ops --json)"),
+                "--trace" => {
+                    trace = Some(args.next().expect("--trace needs a file path"));
+                }
+                other => {
+                    panic!("unknown flag `{other}` (known: --quick --threads --ops --json --trace)")
+                }
             }
         }
         let default_threads = if quick {
@@ -72,6 +83,7 @@ impl HarnessOpts {
             threads: threads.unwrap_or(default_threads),
             ops_per_thread: ops.unwrap_or(default_ops),
             json,
+            trace,
         }
     }
 
@@ -258,6 +270,7 @@ mod tests {
             threads: vec![1],
             ops_per_thread: 50,
             json: false,
+            trace: None,
         };
         let sc = Scenario::new(
             "t",

@@ -301,6 +301,18 @@ mod tests {
             "\"max_read_set_unique\"",
             "\"max_write_lines\"",
             "\"clwb_batches\"",
+            // Per-cause abort attribution and the hybrid-HTM counters:
+            // trace_analyze cross-checks its trace-derived totals against
+            // exactly these keys, so their presence is part of the schema.
+            "\"aborts_read_locked\"",
+            "\"aborts_read_version\"",
+            "\"aborts_acquire\"",
+            "\"aborts_validation\"",
+            "\"htm_commits\"",
+            "\"htm_aborts\"",
+            "\"htm_fallbacks\"",
+            "\"wpq_stall_ns\"",
+            "\"fence_wait_ns\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

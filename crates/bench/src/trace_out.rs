@@ -1,0 +1,86 @@
+//! Writing flight-recorder exports from a finished harness run.
+//!
+//! The binary dump embeds the `PtmStats`/`MachineStats` counter totals
+//! of the run that produced it, so `trace_analyze --file` can cross-check
+//! a dump offline without re-running the workload.
+
+use std::sync::Arc;
+
+use trace::export::{chrome_trace_json, write_binary, ExpectedTotals};
+use trace::TraceSink;
+use workloads::driver::RunResult;
+
+/// Counter totals a lossless trace must reproduce, lifted from a run's
+/// stats snapshots (the same counters `report::point_json` emits).
+pub fn expected_totals(r: &RunResult) -> ExpectedTotals {
+    ExpectedTotals {
+        commits: r.ptm.commits,
+        aborts: r.ptm.aborts,
+        aborts_read_locked: r.ptm.aborts_read_locked,
+        aborts_read_version: r.ptm.aborts_read_version,
+        aborts_acquire: r.ptm.aborts_acquire,
+        aborts_validation: r.ptm.aborts_validation,
+        htm_commits: r.ptm.htm_commits,
+        htm_aborts: r.ptm.htm_aborts,
+        htm_fallbacks: r.ptm.htm_fallbacks,
+        clwbs: r.mem.clwbs,
+        clwb_writebacks: r.mem.clwb_writebacks,
+        clwb_batches: r.mem.clwb_batches,
+        sfences: r.mem.sfences,
+        fence_wait_ns: r.mem.fence_wait_ns,
+        wpq_stall_ns: r.mem.wpq_stall_ns,
+    }
+}
+
+/// Write both export formats for a recorded run: the compact binary dump
+/// to `path` and Chrome trace-event JSON (Perfetto-loadable) to
+/// `<path>.json`. Returns the number of events exported.
+pub fn write_trace_exports(
+    path: &str,
+    sink: &Arc<TraceSink>,
+    r: &RunResult,
+) -> std::io::Result<u64> {
+    let threads = sink.threads();
+    let expected = expected_totals(r);
+    std::fs::write(path, write_binary(&threads, &expected))?;
+    std::fs::write(format!("{path}.json"), chrome_trace_json(&threads))?;
+    Ok(threads.iter().map(|t| t.events.len() as u64).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{DurabilityDomain, MediaKind};
+    use trace::export::read_binary;
+    use workloads::driver::{RunConfig, Scenario};
+
+    #[test]
+    fn exports_roundtrip_and_embed_run_totals() {
+        let sink = TraceSink::new(TraceSink::DEFAULT_RING_CAPACITY);
+        let sc = Scenario::new(
+            "trace-out",
+            MediaKind::Optane,
+            DurabilityDomain::Adr,
+            ptm::Algo::RedoLazy,
+        );
+        let rc = RunConfig {
+            threads: 2,
+            ops_per_thread: 40,
+            trace: Some(Arc::clone(&sink)),
+            ..RunConfig::default()
+        };
+        let r = crate::run_point_with("tatp", &sc, &rc, true);
+
+        let dir = std::env::temp_dir().join("ptm_trace_out_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.trc");
+        let path = path.to_str().unwrap();
+        let n = write_trace_exports(path, &sink, &r).unwrap();
+        assert!(n > 0, "traced run exported no events");
+
+        let dump = read_binary(&std::fs::read(path).unwrap()).unwrap();
+        assert_eq!(dump.expected, expected_totals(&r));
+        let json = std::fs::read_to_string(format!("{path}.json")).unwrap();
+        trace::export::validate_json_structure(&json).unwrap();
+    }
+}

@@ -72,6 +72,10 @@ pub struct Machine {
     /// Fast-path flag mirroring `injector.is_some()`, so un-instrumented
     /// runs pay one relaxed load per persistence event.
     injector_armed: AtomicBool,
+    /// Attached flight-recorder sink, if any. Sessions capture a ring
+    /// from it at construction; same arming idiom as the injector.
+    tracer: Mutex<Option<Arc<trace::TraceSink>>>,
+    tracer_armed: AtomicBool,
     pub stats: MachineStats,
 }
 
@@ -91,6 +95,8 @@ impl Machine {
             clocks: RwLock::new(clocks),
             injector: Mutex::new(None),
             injector_armed: AtomicBool::new(false),
+            tracer: Mutex::new(None),
+            tracer_armed: AtomicBool::new(false),
             stats: MachineStats::new(),
         })
     }
@@ -125,6 +131,36 @@ impl Machine {
         if let Some(inj) = injector {
             inj.note(self, kind, in_atomic);
         }
+    }
+
+    /// Attach a flight-recorder sink: sessions created *afterwards* record
+    /// durability events into per-thread rings submitted to this sink.
+    /// Replaces any previously attached sink.
+    pub fn attach_tracer(&self, sink: Arc<trace::TraceSink>) {
+        *self.tracer.lock().unwrap() = Some(sink);
+        self.tracer_armed.store(true, Ordering::Release);
+    }
+
+    /// Detach and return the current tracer sink.
+    pub fn detach_tracer(&self) -> Option<Arc<trace::TraceSink>> {
+        self.tracer_armed.store(false, Ordering::Release);
+        self.tracer.lock().unwrap().take()
+    }
+
+    /// The attached tracer sink, if any. One relaxed load when none is
+    /// attached (the common case).
+    #[inline]
+    pub fn tracer(&self) -> Option<Arc<trace::TraceSink>> {
+        if self.tracer_armed.load(Ordering::Relaxed) {
+            self.tracer_slow()
+        } else {
+            None
+        }
+    }
+
+    #[cold]
+    fn tracer_slow(&self) -> Option<Arc<trace::TraceSink>> {
+        self.tracer.lock().unwrap().clone()
     }
 
     pub fn config(&self) -> &MachineConfig {

@@ -54,10 +54,19 @@ pub struct MemSession {
     /// media is asynchronous (its saturation is modeled by the
     /// backlog-bound stalls at `clwb` time).
     last_flush_accept: u64,
+    /// Flight-recorder ring, captured from the machine's attached tracer
+    /// at construction (None when tracing is off — the common case — so
+    /// every record site is a single branch on an owned Option). The
+    /// ring is submitted back to the sink when the session drops.
+    ring: Option<(Arc<trace::TraceSink>, trace::TraceRing)>,
 }
 
 impl MemSession {
     pub(crate) fn new(machine: Arc<Machine>, tid: usize, clock: ClockHandle) -> Self {
+        let ring = machine.tracer().map(|sink| {
+            let ring = sink.ring();
+            (sink, ring)
+        });
         MemSession {
             machine,
             tid,
@@ -65,7 +74,25 @@ impl MemSession {
             pool_cache: Vec::new(),
             pending: Vec::new(),
             last_flush_accept: 0,
+            ring,
         }
+    }
+
+    /// Record a flight-recorder event at the current virtual time. A
+    /// single branch when tracing is off; used by this session's own
+    /// durability instrumentation and by the PTM layer for transaction
+    /// lifecycle events.
+    #[inline]
+    pub fn trace_event(&mut self, kind: trace::EventKind, a: u64, b: u64) {
+        if let Some((_, ring)) = self.ring.as_mut() {
+            ring.record(self.clock.now(), kind, a, b);
+        }
+    }
+
+    /// Whether this session is recording trace events.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.ring.is_some()
     }
 
     /// The virtual thread id of this session.
@@ -195,6 +222,7 @@ impl MemSession {
         if g.backlog > bound {
             let stall = g.backlog - bound;
             MachineStats::bump(&self.machine.stats.wpq_stall_ns, stall);
+            self.trace_event(trace::EventKind::WpqStall, stall, g.backlog);
             self.clock.advance(stall);
         }
     }
@@ -282,6 +310,7 @@ impl MemSession {
                     if g.backlog > bound {
                         let stall = g.backlog - bound;
                         MachineStats::bump(&self.machine.stats.wpq_stall_ns, stall);
+                        self.trace_event(trace::EventKind::WpqStall, stall, g.backlog);
                         self.clock.advance(stall);
                     }
                 }
@@ -321,6 +350,7 @@ impl MemSession {
         let m = self.machine.model().clone();
         MachineStats::bump(&self.machine.stats.clwbs, 1);
         let was_dirty = self.machine.cache.clwb(key);
+        self.trace_event(trace::EventKind::Clwb, key, was_dirty as u64);
         // Record the durability obligation regardless of the line's dirty
         // state, and before any clock advance (a park point): a clean
         // line may have been cleaned by *another thread's* in-flight
@@ -360,11 +390,13 @@ impl MemSession {
             .saturating_sub(m.write_line_ns(optane))
             .max(self.now());
         self.last_flush_accept = self.last_flush_accept.max(accept);
+        self.trace_event(trace::EventKind::WpqAccept, g.backlog, accept);
         // WPQ bound: a full queue back-pressures the flusher synchronously.
         let bound = m.wpq_backlog_ns();
         if g.backlog > bound {
             let stall = g.backlog - bound;
             MachineStats::bump(&self.machine.stats.wpq_stall_ns, stall);
+            self.trace_event(trace::EventKind::WpqStall, stall, g.backlog);
             self.clock.advance(stall);
         }
     }
@@ -388,6 +420,7 @@ impl MemSession {
             return;
         }
         MachineStats::bump(&self.machine.stats.clwb_batches, 1);
+        self.trace_event(trace::EventKind::ClwbBatch, lines.len() as u64, 0);
         if lines.len() > 1 {
             let banks = self.machine.servers.optane_write.len();
             let mut seq = vec![0u32; banks];
@@ -424,8 +457,11 @@ impl MemSession {
         self.site(SiteKind::Sfence);
         MachineStats::bump(&self.machine.stats.sfences, 1);
         let now = self.now();
-        if self.last_flush_accept > now {
-            let wait = self.last_flush_accept - now;
+        let wait = self.last_flush_accept.saturating_sub(now);
+        // Recorded before the wait is charged, so the event spans the
+        // fence-wait interval [ts, ts+wait].
+        self.trace_event(trace::EventKind::Sfence, wait, 0);
+        if wait > 0 {
             MachineStats::bump(&self.machine.stats.fence_wait_ns, wait);
             self.clock.advance(wait);
         }
@@ -460,6 +496,14 @@ impl MemSession {
             self.clwb(PAddr::new(addr.pool(), line * WORDS_PER_LINE as u64));
         }
         self.sfence();
+    }
+}
+
+impl Drop for MemSession {
+    fn drop(&mut self) {
+        if let Some((sink, ring)) = self.ring.take() {
+            sink.submit(self.tid as u32, &ring);
+        }
     }
 }
 

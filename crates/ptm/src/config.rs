@@ -89,6 +89,13 @@ pub struct PtmConfig {
     /// Hardware write-set capacity in words; exceeding it is a capacity
     /// abort (TSX is L1-bound).
     pub htm_capacity: usize,
+    /// Record transaction-lifecycle events into the flight recorder
+    /// attached to the machine (see the `trace` crate). The memory-system
+    /// events trace whenever a sink is attached; this flag additionally
+    /// gates the PTM-layer instrumentation (one boolean test per site
+    /// when off — the session ring is only captured when a sink is
+    /// armed, so the off cost is a single predictable branch).
+    pub tracing: bool,
 }
 
 impl Default for PtmConfig {
@@ -112,6 +119,7 @@ impl Default for PtmConfig {
             htm_begin_ns: 40,
             htm_commit_ns: 40,
             htm_capacity: 256,
+            tracing: false,
         }
     }
 }

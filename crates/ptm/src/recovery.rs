@@ -61,10 +61,13 @@ pub struct RecoveryReport {
     pub torn_entries: usize,
 }
 
-fn store_persist(machine: &Machine, addr: PAddr, value: u64) {
+fn store_persist(machine: &Machine, ring: &mut Option<trace::TraceRing>, addr: PAddr, value: u64) {
     // Each recovery persist is itself a crash site: recovery must be
     // idempotent under a failure at any point of its own execution.
     machine.note_site(SiteKind::RecoveryPersist, false);
+    if let Some(r) = ring.as_mut() {
+        r.record(0, trace::EventKind::RecoveryApply, addr.0, value);
+    }
     let pool = machine.pool(addr.pool());
     pool.raw_store(addr.word(), value);
     pool.persist_line_now(addr.word() / WORDS_PER_LINE as u64);
@@ -78,6 +81,19 @@ pub fn recover(machine: &Arc<Machine>) -> RecoveryReport {
 /// [`recover`] with fault-injection switches (harness self-tests only).
 pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> RecoveryReport {
     let mut report = RecoveryReport::default();
+    // Recovery is untimed and single-threaded: its events carry ts 0 and
+    // are submitted under the reserved RECOVERY_TID stream (ordering
+    // within the stream is preserved by the merge's sequence tiebreak).
+    let tracer = machine.tracer();
+    let mut ring = tracer.as_ref().map(|sink| sink.ring());
+    if let Some(r) = ring.as_mut() {
+        r.record(
+            0,
+            trace::EventKind::RecoveryBegin,
+            machine.pools().len() as u64,
+            0,
+        );
+    }
     for primary in machine.pools() {
         if !primary.name().starts_with(LOG_POOL_PREFIX)
             || primary.name().starts_with(OVF_POOL_PREFIX)
@@ -97,7 +113,7 @@ pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> Rec
                     for i in 0..count {
                         let (a, v, _) =
                             TxLog::raw_entry(&primary, overflow.as_deref(), primary_cap, i);
-                        store_persist(machine, PAddr(a), v);
+                        store_persist(machine, &mut ring, PAddr(a), v);
                         report.redo_entries += 1;
                     }
                     report.redo_replayed += 1;
@@ -135,7 +151,7 @@ pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> Rec
                 }
                 if !valid.is_empty() && !opts.skip_undo_rollback {
                     for &(a, old) in valid.iter().rev() {
-                        store_persist(machine, PAddr(a), old);
+                        store_persist(machine, &mut ring, PAddr(a), old);
                         report.undo_entries += 1;
                     }
                     report.undo_rolled_back += 1;
@@ -157,6 +173,15 @@ pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> Rec
                 // prefix: leave it alone.
             }
         }
+    }
+    if let (Some(sink), Some(mut r)) = (tracer, ring) {
+        r.record(
+            0,
+            trace::EventKind::RecoveryEnd,
+            report.redo_replayed as u64,
+            report.undo_rolled_back as u64,
+        );
+        sink.submit(trace::RECOVERY_TID, &r);
     }
     report
 }

@@ -37,6 +37,8 @@ use pmem_sim::{MemSession, PAddr};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use trace::{AbortCause, EventKind};
+
 use crate::config::{Algo, FlushTiming, PtmConfig};
 use crate::log::{TxLog, STATE_COMMITTED, STATE_IDLE};
 use crate::orec::{is_locked, owner_of, GlobalClock, OrecTable};
@@ -133,6 +135,11 @@ pub struct TxThread {
     /// Charges elapsed virtual time to [`Phase`]s; drained into
     /// `ptm.phases` at the end of every [`TxThread::run`].
     timer: PhaseTimer,
+    /// Abort attribution for the flight recorder: `(cause code, orec)`
+    /// set at the site that decided to abort, consumed when the abort is
+    /// counted (a `None` at that point means the closure itself returned
+    /// `Err(Abort)` — a user abort with no contended orec).
+    pending_abort: Option<(u64, u64)>,
 }
 
 impl TxThread {
@@ -167,6 +174,26 @@ impl TxThread {
             rng: SmallRng::seed_from_u64(0x9E37 ^ tid),
             attempts: 0,
             timer: PhaseTimer::new(),
+            pending_abort: None,
+        }
+    }
+
+    /// Record a flight-recorder event. One boolean test when tracing is
+    /// off (and the session only captures a ring when a sink is attached
+    /// to the machine, so an enabled flag without a sink is still just a
+    /// second branch).
+    #[inline]
+    fn trace(&mut self, kind: EventKind, a: u64, b: u64) {
+        if self.ptm.config.tracing {
+            self.s.trace_event(kind, a, b);
+        }
+    }
+
+    /// Note which orec (and why) decided the current attempt must abort.
+    #[inline]
+    fn abort_at(&mut self, cause: AbortCause, orec: u32) {
+        if self.ptm.config.tracing {
+            self.pending_abort = Some((cause as u64, orec as u64));
         }
     }
 
@@ -192,6 +219,7 @@ impl TxThread {
     }
 
     fn run_inner<T>(&mut self, mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
+        self.attempts = 0;
         let htm_retries = self.ptm.config.htm_retries;
         if htm_retries > 0 && !self.s.machine().domain().requires_flushes() {
             for attempt in 0..htm_retries {
@@ -205,6 +233,7 @@ impl TxThread {
                             self.in_htm = false;
                             PtmStats::bump(&self.ptm.stats.htm_commits);
                             PtmStats::bump(&self.ptm.stats.commits);
+                            self.trace(EventKind::TxCommit, self.entries.len() as u64, 1);
                             return v;
                         }
                         false
@@ -214,12 +243,14 @@ impl TxThread {
                 debug_assert!(!committed);
                 self.in_htm = false;
                 PtmStats::bump(&self.ptm.stats.htm_aborts);
+                self.trace(EventKind::HtmAbort, attempt as u64, 0);
                 self.abort_cleanup();
                 let now = self.s.now();
                 self.timer.switch(now, Phase::Backoff);
                 self.s.advance(60u64 << attempt.min(6));
             }
             PtmStats::bump(&self.ptm.stats.htm_fallbacks);
+            self.trace(EventKind::HtmFallback, htm_retries as u64, 0);
         }
         self.run_software(f)
     }
@@ -234,12 +265,20 @@ impl TxThread {
                 Ok(v) => {
                     if self.try_commit() {
                         PtmStats::bump(&self.ptm.stats.commits);
+                        self.trace(EventKind::TxCommit, self.entries.len() as u64, 0);
                         return v;
                     }
                 }
                 Err(Abort) => self.user_abort(),
             }
             PtmStats::bump(&self.ptm.stats.aborts);
+            if self.ptm.config.tracing {
+                let (cause, orec) = self
+                    .pending_abort
+                    .take()
+                    .unwrap_or((AbortCause::User as u64, 0));
+                self.s.trace_event(EventKind::TxAbort, cause, orec);
+            }
             self.abort_cleanup();
             self.attempts += 1;
             assert!(
@@ -368,6 +407,9 @@ impl TxThread {
         self.tx_frees.clear();
         self.start_time = self.ptm.clock.sample();
         self.s.advance(self.ptm.config.orec_ns);
+        self.pending_abort = None;
+        let (attempts, start) = (self.attempts as u64, self.start_time);
+        self.trace(EventKind::TxBegin, attempts, start);
     }
 
     /// Timestamp extension: revalidate the read set at a newer clock.
@@ -428,6 +470,7 @@ impl TxThread {
                     continue;
                 }
                 PtmStats::bump(&self.ptm.stats.aborts_read_locked);
+                self.abort_at(AbortCause::ReadLocked, o);
                 return Err(Abort);
             }
             if v1 > self.start_time {
@@ -435,6 +478,7 @@ impl TxThread {
                     continue;
                 }
                 PtmStats::bump(&self.ptm.stats.aborts_read_version);
+                self.abort_at(AbortCause::ReadVersion, o);
                 return Err(Abort);
             }
             let val = self.s.load(addr);
@@ -446,8 +490,10 @@ impl TxThread {
                     continue;
                 }
                 PtmStats::bump(&self.ptm.stats.aborts_read_version);
+                self.abort_at(AbortCause::ReadVersion, o);
                 return Err(Abort);
             }
+            self.trace(EventKind::TxRead, o as u64, addr.0);
             if self.ptm.config.write_combining {
                 // Duplicate-filtered read set: one slot per orec. A
                 // repeat hit must have observed the recorded version —
@@ -485,6 +531,12 @@ impl TxThread {
     }
 
     fn redo_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        if self.ptm.config.tracing {
+            // The orec lookup is pure address hashing; only pay for it
+            // when the event is actually recorded.
+            let o = self.ptm.orecs.index_of(addr);
+            self.s.trace_event(EventKind::TxWrite, o as u64, addr.0);
+        }
         self.index_cost();
         let now = self.s.now();
         let outer = self.timer.switch(now, Phase::LogAppend);
@@ -538,6 +590,7 @@ impl TxThread {
                         continue;
                     }
                     PtmStats::bump(&self.ptm.stats.aborts_acquire);
+                    self.abort_at(AbortCause::Acquire, o);
                     return Err(Abort);
                 }
                 if v > self.start_time {
@@ -547,16 +600,19 @@ impl TxThread {
                         continue;
                     }
                     PtmStats::bump(&self.ptm.stats.aborts_acquire);
+                    self.abort_at(AbortCause::Acquire, o);
                     return Err(Abort);
                 }
                 self.s.advance(orec_ns);
                 if self.ptm.orecs.try_lock(o, v, self.tid).is_ok() {
                     self.owned_map.insert(o as u64, self.owned.len() as u64);
                     self.owned.push((o, v));
+                    self.trace(EventKind::TxAcquire, o as u64, v);
                     break;
                 }
                 if spins >= spin_limit {
                     PtmStats::bump(&self.ptm.stats.aborts_acquire);
+                    self.abort_at(AbortCause::Acquire, o);
                     return Err(Abort);
                 }
                 spins += 1;
@@ -599,6 +655,7 @@ impl TxThread {
             self.eager_writes.push(addr.0);
         }
         self.s.store(addr, val);
+        self.trace(EventKind::TxWrite, o as u64, addr.0);
         Ok(())
     }
 
@@ -705,8 +762,9 @@ impl TxThread {
     }
 
     /// Validate the read set against held/current orecs. Assumes write
-    /// orecs are already acquired.
-    fn validate_reads(&mut self) -> bool {
+    /// orecs are already acquired. On failure returns the orec whose
+    /// version moved (abort attribution).
+    fn validate_reads(&mut self) -> Result<(), u32> {
         self.s
             .advance(self.ptm.config.orec_ns * self.read_set.len() as u64);
         for i in 0..self.read_set.len() {
@@ -722,9 +780,9 @@ impl TxThread {
                     }
                 }
             }
-            return false;
+            return Err(o);
         }
-        true
+        Ok(())
     }
 
     /// Flush the lines of alloc-new blocks (unlogged initialization) so
@@ -791,6 +849,7 @@ impl TxThread {
                 if self.ptm.orecs.try_lock(o, v, self.tid).is_ok() {
                     self.owned_map.insert(o as u64, self.owned.len() as u64);
                     self.owned.push((o, v));
+                    self.trace(EventKind::TxAcquire, o as u64, v);
                     break true;
                 }
                 if spins >= spin_limit {
@@ -800,16 +859,22 @@ impl TxThread {
             };
             if !acquired {
                 PtmStats::bump(&self.ptm.stats.aborts_acquire);
+                self.abort_at(AbortCause::Acquire, o);
                 self.release_owned_restore();
                 return false;
             }
         }
         let wv = self.ptm.clock.bump();
         self.s.advance(orec_ns);
-        if wv != self.start_time + 2 && !self.validate_reads() {
-            PtmStats::bump(&self.ptm.stats.aborts_validation);
-            self.release_owned_restore();
-            return false;
+        if wv != self.start_time + 2 {
+            if let Err(o) = self.validate_reads() {
+                PtmStats::bump(&self.ptm.stats.aborts_validation);
+                self.abort_at(AbortCause::Validation, o);
+                self.release_owned_restore();
+                return false;
+            }
+            let reads = self.read_set.len() as u64;
+            self.trace(EventKind::TxValidate, reads, wv);
         }
         // Persist alloc-new initialization and the redo log: flush each
         // line once, one fence for both.
@@ -913,10 +978,15 @@ impl TxThread {
         self.timer.switch(now, Phase::Validation);
         let wv = self.ptm.clock.bump();
         self.s.advance(orec_ns);
-        if wv != self.start_time + 2 && !self.validate_reads() {
-            PtmStats::bump(&self.ptm.stats.aborts_validation);
-            self.rollback_undo(wv);
-            return false;
+        if wv != self.start_time + 2 {
+            if let Err(o) = self.validate_reads() {
+                PtmStats::bump(&self.ptm.stats.aborts_validation);
+                self.abort_at(AbortCause::Validation, o);
+                self.rollback_undo(wv);
+                return false;
+            }
+            let reads = self.read_set.len() as u64;
+            self.trace(EventKind::TxValidate, reads, wv);
         }
         // Flush the in-place data and alloc-new blocks, one fence.
         if self.combining() {

@@ -1,0 +1,433 @@
+//! Trace export: Chrome trace-event JSON (Perfetto-loadable) and a
+//! compact binary dump with an embedded counter block.
+//!
+//! Both formats surface per-thread `dropped_events` loss accounting. The
+//! binary dump additionally embeds the live counter totals
+//! ([`ExpectedTotals`], captured from `PtmStats`/`MachineStats` at export
+//! time) so an *offline* analyzer can re-derive totals from the events
+//! alone and cross-check them against what the counters said — the trace
+//! and the counters can never silently disagree.
+
+use crate::{EventKind, ThreadTrace, TraceEvent, TraceSink};
+
+/// Magic prefix of the binary dump format, version 1.
+pub const BINARY_MAGIC: &[u8; 8] = b"PTMTRC01";
+
+/// Counter totals captured at export time, in a fixed serialization
+/// order. Field-for-field these mirror the subset of
+/// `ptm::PtmStatsSnapshot` / `pmem_sim::StatsSnapshot` that the trace can
+/// independently re-derive (see [`crate::analyze::TraceTotals`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpectedTotals {
+    pub commits: u64,
+    pub aborts: u64,
+    pub aborts_read_locked: u64,
+    pub aborts_read_version: u64,
+    pub aborts_acquire: u64,
+    pub aborts_validation: u64,
+    pub htm_commits: u64,
+    pub htm_aborts: u64,
+    pub htm_fallbacks: u64,
+    pub clwbs: u64,
+    pub clwb_writebacks: u64,
+    pub clwb_batches: u64,
+    pub sfences: u64,
+    pub fence_wait_ns: u64,
+    pub wpq_stall_ns: u64,
+}
+
+impl ExpectedTotals {
+    /// `(name, value)` pairs in serialization order.
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
+        [
+            ("commits", self.commits),
+            ("aborts", self.aborts),
+            ("aborts_read_locked", self.aborts_read_locked),
+            ("aborts_read_version", self.aborts_read_version),
+            ("aborts_acquire", self.aborts_acquire),
+            ("aborts_validation", self.aborts_validation),
+            ("htm_commits", self.htm_commits),
+            ("htm_aborts", self.htm_aborts),
+            ("htm_fallbacks", self.htm_fallbacks),
+            ("clwbs", self.clwbs),
+            ("clwb_writebacks", self.clwb_writebacks),
+            ("clwb_batches", self.clwb_batches),
+            ("sfences", self.sfences),
+            ("fence_wait_ns", self.fence_wait_ns),
+            ("wpq_stall_ns", self.wpq_stall_ns),
+        ]
+    }
+
+    fn from_values(v: &[u64]) -> ExpectedTotals {
+        ExpectedTotals {
+            commits: v[0],
+            aborts: v[1],
+            aborts_read_locked: v[2],
+            aborts_read_version: v[3],
+            aborts_acquire: v[4],
+            aborts_validation: v[5],
+            htm_commits: v[6],
+            htm_aborts: v[7],
+            htm_fallbacks: v[8],
+            clwbs: v[9],
+            clwb_writebacks: v[10],
+            clwb_batches: v[11],
+            sfences: v[12],
+            fence_wait_ns: v[13],
+            wpq_stall_ns: v[14],
+        }
+    }
+}
+
+/// A parsed binary dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDump {
+    pub expected: ExpectedTotals,
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl TraceDump {
+    /// Total dropped events across threads.
+    pub fn dropped_events(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// The `(ts, tid, seq)`-merged timeline.
+    pub fn merged(&self) -> Vec<crate::MergedEvent> {
+        crate::merge_threads(&self.threads)
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "truncated dump: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+/// Serialize per-thread traces plus the counter block into the compact
+/// binary format. Deterministic: identical traces and totals produce
+/// byte-identical output (threads are written in tid order).
+pub fn write_binary(threads: &[ThreadTrace], expected: &ExpectedTotals) -> Vec<u8> {
+    let mut threads: Vec<&ThreadTrace> = threads.iter().collect();
+    threads.sort_by_key(|t| t.tid);
+    let events: usize = threads.iter().map(|t| t.events.len()).sum();
+    let mut out = Vec::with_capacity(32 + 16 * 15 + events * 25 + threads.len() * 20);
+    out.extend_from_slice(BINARY_MAGIC);
+    let fields = expected.fields();
+    put_u32(&mut out, fields.len() as u32);
+    for (_, v) in fields {
+        put_u64(&mut out, v);
+    }
+    put_u32(&mut out, threads.len() as u32);
+    for t in threads {
+        put_u32(&mut out, t.tid);
+        put_u64(&mut out, t.dropped);
+        put_u64(&mut out, t.events.len() as u64);
+        for ev in &t.events {
+            put_u64(&mut out, ev.ts);
+            out.push(ev.kind as u8);
+            put_u64(&mut out, ev.a);
+            put_u64(&mut out, ev.b);
+        }
+    }
+    out
+}
+
+/// Convenience: serialize everything a sink has collected.
+pub fn write_binary_from_sink(sink: &TraceSink, expected: &ExpectedTotals) -> Vec<u8> {
+    write_binary(&sink.threads(), expected)
+}
+
+/// Parse a binary dump, validating structure, magic and event codes.
+pub fn read_binary(buf: &[u8]) -> Result<TraceDump, String> {
+    let mut r = Reader { buf, pos: 0 };
+    let magic = r.take(8)?;
+    if magic != BINARY_MAGIC {
+        return Err(format!("bad magic {magic:?} (expected {BINARY_MAGIC:?})"));
+    }
+    let n_counters = r.u32()? as usize;
+    if n_counters != 15 {
+        return Err(format!("unsupported counter-block size {n_counters}"));
+    }
+    let mut vals = Vec::with_capacity(n_counters);
+    for _ in 0..n_counters {
+        vals.push(r.u64()?);
+    }
+    let expected = ExpectedTotals::from_values(&vals);
+    let n_threads = r.u32()? as usize;
+    let mut threads = Vec::with_capacity(n_threads);
+    for _ in 0..n_threads {
+        let tid = r.u32()?;
+        let dropped = r.u64()?;
+        let count = r.u64()? as usize;
+        let mut events = Vec::with_capacity(count.min(1 << 20));
+        let mut prev_ts = 0u64;
+        for i in 0..count {
+            let ts = r.u64()?;
+            let code = r.u8()?;
+            let kind = EventKind::from_code(code)
+                .ok_or_else(|| format!("thread {tid} event {i}: bad kind code {code}"))?;
+            let a = r.u64()?;
+            let b = r.u64()?;
+            if ts < prev_ts {
+                return Err(format!(
+                    "thread {tid} event {i}: timestamp {ts} < predecessor {prev_ts}"
+                ));
+            }
+            prev_ts = ts;
+            events.push(TraceEvent { ts, kind, a, b });
+        }
+        threads.push(ThreadTrace {
+            tid,
+            events,
+            dropped,
+        });
+    }
+    if r.pos != buf.len() {
+        return Err(format!("{} trailing bytes after dump", buf.len() - r.pos));
+    }
+    Ok(TraceDump { expected, threads })
+}
+
+/// Append a virtual-ns timestamp as fractional Chrome microseconds
+/// (ns-exact: 3 decimal places).
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1000, ns % 1000));
+}
+
+/// Render per-thread traces as Chrome trace-event JSON.
+///
+/// Load the output in [Perfetto](https://ui.perfetto.dev) ("Open trace
+/// file") or `chrome://tracing`. Durationful events (`sfence` waits, WPQ
+/// stalls) become complete events (`"ph":"X"`) spanning their wait; all
+/// other events are instants (`"ph":"i"`). Per-thread dropped-event
+/// counts are surfaced in `otherData.dropped_by_thread` and as metadata
+/// on each thread.
+pub fn chrome_trace_json(threads: &[ThreadTrace]) -> String {
+    let mut threads: Vec<&ThreadTrace> = threads.iter().collect();
+    threads.sort_by_key(|t| t.tid);
+    let dropped_total: u64 = threads.iter().map(|t| t.dropped).sum();
+    let mut out = String::with_capacity(threads.iter().map(|t| t.events.len()).sum::<usize>() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":");
+    out.push_str(&dropped_total.to_string());
+    out.push_str(",\"dropped_by_thread\":{");
+    for (i, t) in threads.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", t.tid, t.dropped));
+    }
+    out.push_str("}},\"traceEvents\":[");
+    let mut first = true;
+    for t in &threads {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let name = if t.tid == crate::RECOVERY_TID {
+            "recovery".to_string()
+        } else {
+            format!("vthread {}", t.tid)
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+             \"args\":{{\"name\":\"{name}\",\"dropped_events\":{}}}}}",
+            t.tid, t.dropped
+        ));
+        for ev in &t.events {
+            out.push(',');
+            out.push_str("{\"name\":\"");
+            out.push_str(ev.kind.label());
+            out.push_str("\",\"ph\":\"");
+            let durationful = matches!(ev.kind, EventKind::Sfence | EventKind::WpqStall);
+            if durationful {
+                out.push_str("X\",\"dur\":");
+                push_us(&mut out, ev.a);
+            } else {
+                out.push_str("i\",\"s\":\"t\"");
+            }
+            out.push_str(",\"ts\":");
+            push_us(&mut out, ev.ts);
+            out.push_str(&format!(",\"pid\":0,\"tid\":{}", t.tid));
+            out.push_str(&format!(",\"args\":{{\"a\":{},\"b\":{}}}}}", ev.a, ev.b));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Structural JSON validation without a parser: non-empty object with
+/// balanced braces/brackets outside string literals and correctly
+/// terminated strings/escapes. Used by `trace_analyze`'s CI smoke to
+/// reject malformed exports.
+pub fn validate_json_structure(s: &str) -> Result<(), String> {
+    let t = s.trim();
+    if !t.starts_with('{') || !t.ends_with('}') {
+        return Err("not a JSON object".into());
+    }
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in t.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err("unbalanced close delimiter".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err("unterminated string".into());
+    }
+    if depth != 0 {
+        return Err(format!("unbalanced delimiters (depth {depth})"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRing;
+
+    fn sample_threads() -> Vec<ThreadTrace> {
+        let mut r0 = TraceRing::new(16);
+        r0.record(100, EventKind::TxBegin, 0, 0);
+        r0.record(150, EventKind::Clwb, 77, 1);
+        r0.record(200, EventKind::Sfence, 50, 0);
+        r0.record(300, EventKind::TxCommit, 2, 0);
+        let mut r1 = TraceRing::new(2);
+        r1.record(110, EventKind::TxBegin, 0, 0);
+        r1.record(140, EventKind::TxAbort, 2, 9);
+        r1.record(180, EventKind::WpqStall, 40, 9000);
+        vec![
+            ThreadTrace {
+                tid: 0,
+                events: r0.ordered(),
+                dropped: r0.dropped(),
+            },
+            ThreadTrace {
+                tid: 1,
+                events: r1.ordered(),
+                dropped: r1.dropped(),
+            },
+        ]
+    }
+
+    #[test]
+    fn binary_roundtrips_exactly() {
+        let threads = sample_threads();
+        let expected = ExpectedTotals {
+            commits: 1,
+            aborts: 1,
+            clwbs: 1,
+            sfences: 1,
+            fence_wait_ns: 50,
+            wpq_stall_ns: 40,
+            ..ExpectedTotals::default()
+        };
+        let bytes = write_binary(&threads, &expected);
+        let dump = read_binary(&bytes).expect("roundtrip");
+        assert_eq!(dump.expected, expected);
+        assert_eq!(dump.threads, threads);
+        assert_eq!(dump.dropped_events(), 1, "thread 1's ring dropped one");
+        // Re-serializing the parse is byte-identical (determinism).
+        assert_eq!(write_binary(&dump.threads, &dump.expected), bytes);
+    }
+
+    #[test]
+    fn binary_is_deterministic_regardless_of_thread_order() {
+        let threads = sample_threads();
+        let rev: Vec<ThreadTrace> = threads.iter().rev().cloned().collect();
+        let e = ExpectedTotals::default();
+        assert_eq!(write_binary(&threads, &e), write_binary(&rev, &e));
+    }
+
+    #[test]
+    fn reader_rejects_corruption() {
+        let bytes = write_binary(&sample_threads(), &ExpectedTotals::default());
+        assert!(read_binary(&bytes[..bytes.len() - 1]).is_err(), "truncated");
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(read_binary(&bad_magic).is_err(), "magic");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(read_binary(&trailing).is_err(), "trailing bytes");
+        // Corrupt an event kind code (first event of thread 0 sits after
+        // magic + counter block + thread count + tid/dropped/count + ts).
+        let kind_off = 8 + 4 + 15 * 8 + 4 + (4 + 8 + 8) + 8;
+        let mut bad_kind = bytes.clone();
+        bad_kind[kind_off] = 200;
+        assert!(read_binary(&bad_kind).is_err(), "kind code");
+    }
+
+    #[test]
+    fn chrome_json_is_structurally_valid_and_loss_accounted() {
+        let threads = sample_threads();
+        let j = chrome_trace_json(&threads);
+        validate_json_structure(&j).expect("well-formed");
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("\"dropped_events\":1"));
+        assert!(j.contains("\"dropped_by_thread\":{\"0\":0,\"1\":1}"));
+        // The sfence is a complete event with its wait as the duration.
+        assert!(j.contains("\"name\":\"sfence\",\"ph\":\"X\",\"dur\":0.050"));
+        // Instants carry the scope field.
+        assert!(j.contains("\"name\":\"clwb\",\"ph\":\"i\",\"s\":\"t\""));
+        // ns-exact fractional microseconds.
+        assert!(j.contains("\"ts\":0.100"));
+    }
+
+    #[test]
+    fn json_validator_rejects_malformed() {
+        assert!(validate_json_structure("{\"a\":1}").is_ok());
+        assert!(validate_json_structure("").is_err());
+        assert!(validate_json_structure("[1,2]").is_err());
+        assert!(validate_json_structure("{\"a\":[1,2}").is_err());
+        assert!(validate_json_structure("{\"a\":\"unterminated}").is_err());
+        assert!(validate_json_structure("{}}").is_err());
+    }
+}

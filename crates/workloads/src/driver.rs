@@ -145,6 +145,11 @@ pub struct RunConfig {
     /// perturb the other knobs (split log, flush timing, orec count,
     /// PDRAM-Lite budget) here.
     pub ptm: PtmConfig,
+    /// Flight-recorder sink: when set, it is attached to the machine for
+    /// the measured phase only (setup is excluded, matching the stats
+    /// resets) and `PtmConfig::tracing` is forced on, so every thread's
+    /// transaction and durability events land in the sink.
+    pub trace: Option<Arc<trace::TraceSink>>,
 }
 
 impl Default for RunConfig {
@@ -156,6 +161,7 @@ impl Default for RunConfig {
             model: LatencyModel::default(),
             seed: 42,
             ptm: PtmConfig::default(),
+            trace: None,
         }
     }
 }
@@ -216,6 +222,7 @@ pub fn run_scenario<W: Workload>(w: &mut W, sc: &Scenario, rc: &RunConfig) -> Ru
         algo: sc.algo,
         elide_fences: sc.elide_fences,
         heap_media: sc.heap_media,
+        tracing: rc.ptm.tracing || rc.trace.is_some(),
         ..rc.ptm.clone()
     });
     // Setup phase: one thread, unthrottled.
@@ -227,6 +234,13 @@ pub fn run_scenario<W: Workload>(w: &mut W, sc: &Scenario, rc: &RunConfig) -> Ru
     ptm.stats.reset();
     ptm.phases.reset();
     machine.stats.reset();
+    // Attach the flight recorder after setup and the stats resets, so
+    // the trace covers exactly what the counters cover: sessions capture
+    // their rings at construction, and the measured sessions below are
+    // created after this point.
+    if let Some(sink) = &rc.trace {
+        machine.attach_tracer(Arc::clone(sink));
+    }
     // Measured phase. Latencies go into per-thread log₂ histograms merged
     // at thread exit: memory stays O(buckets), not O(ops).
     machine.begin_run(rc.threads, rc.window_ns);
@@ -255,6 +269,11 @@ pub fn run_scenario<W: Workload>(w: &mut W, sc: &Scenario, rc: &RunConfig) -> Ru
         }
     });
     let elapsed = machine.run_time_ns();
+    // All measured sessions have dropped (submitting their rings); the
+    // sink now holds the complete run.
+    if rc.trace.is_some() {
+        machine.detach_tracer();
+    }
     RunResult {
         label: sc.label.clone(),
         threads: rc.threads,

@@ -13,10 +13,13 @@
 //!   and orec-eager undo);
 //! * [`pstructs`] — persistent data structures built on `ptm`;
 //! * [`workloads`] — the paper's five benchmark applications and the
-//!   virtual-thread measurement driver.
+//!   virtual-thread measurement driver;
+//! * [`trace`] — the virtual-time flight recorder (per-thread event rings,
+//!   Perfetto/binary export, abort-attribution and WPQ analysis).
 
 pub use palloc;
 pub use pmem_sim;
 pub use pstructs;
 pub use ptm;
+pub use trace;
 pub use workloads;

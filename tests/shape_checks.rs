@@ -320,6 +320,76 @@ fn kvstore_working_set_regimes() {
 }
 
 #[test]
+fn trace_shows_wpq_stalls_under_write_hot_adr() {
+    // PR4 shape: a write-hot workload under ADR with a deliberately tiny
+    // WPQ must produce at least one reconstructed stall interval in the
+    // flight-recorder timeline, and stall time must agree with the
+    // machine counter.
+    use optane_ptm::trace::{analyze, TraceSink};
+    let sink = TraceSink::new(1 << 18);
+    let model = optane_ptm::pmem_sim::LatencyModel {
+        wpq_lines: 4,
+        ..optane_ptm::pmem_sim::LatencyModel::default()
+    };
+    let c = RunConfig {
+        threads: 2,
+        ops_per_thread: 400,
+        seed: 1234,
+        model,
+        trace: Some(std::sync::Arc::clone(&sink)),
+        ..RunConfig::default()
+    };
+    let r = run_scenario(
+        &mut tpcc(),
+        &sc(MediaKind::Optane, DurabilityDomain::Adr, Algo::RedoLazy),
+        &c,
+    );
+    assert_eq!(
+        sink.dropped_events(),
+        0,
+        "ring must not overflow at test scale"
+    );
+    let t = analyze::wpq_timeline(&sink.merged());
+    assert!(
+        !t.stalls.is_empty(),
+        "tiny WPQ under write-hot ADR must stall at least once"
+    );
+    assert_eq!(
+        t.total_stall_ns, r.mem.wpq_stall_ns,
+        "trace-derived stall time must equal the machine counter"
+    );
+}
+
+#[test]
+fn trace_shows_no_fence_waits_under_eadr() {
+    // PR4 shape: under eADR the domain elides clwb/sfence entirely, so a
+    // traced run must contain zero sfence (and zero clwb) events.
+    use optane_ptm::trace::{EventKind, TraceSink};
+    let sink = TraceSink::new(1 << 18);
+    let c = RunConfig {
+        threads: 2,
+        ops_per_thread: 400,
+        seed: 1234,
+        trace: Some(std::sync::Arc::clone(&sink)),
+        ..RunConfig::default()
+    };
+    run_scenario(
+        &mut tpcc(),
+        &sc(MediaKind::Optane, DurabilityDomain::Eadr, Algo::RedoLazy),
+        &c,
+    );
+    let merged = sink.merged();
+    assert!(!merged.is_empty(), "traced run must record events");
+    for kind in [EventKind::Sfence, EventKind::Clwb, EventKind::WpqStall] {
+        assert_eq!(
+            merged.iter().filter(|e| e.kind == kind).count(),
+            0,
+            "eADR must produce no {kind:?} events"
+        );
+    }
+}
+
+#[test]
 fn write_sets_are_small_enough_for_pdram_lite() {
     // §IV-B sizing argument: "the Vacation benchmark never requires more
     // than 37 contiguous cache lines for its redo log. TPCC (Hash Table)

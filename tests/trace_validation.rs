@@ -1,0 +1,123 @@
+//! Flight-recorder validation: the trace is deterministic, merges in
+//! timestamp order, and — for random workload/scenario/thread mixes —
+//! re-derives exactly the totals the live counters report.
+
+use optane_ptm::pmem_sim::{DurabilityDomain, MediaKind};
+use optane_ptm::ptm::Algo;
+use optane_ptm::trace::analyze::{crosscheck, TraceTotals};
+use optane_ptm::trace::export::{read_binary, write_binary, ExpectedTotals};
+use optane_ptm::trace::TraceSink;
+use optane_ptm::workloads::driver::{run_scenario, RunConfig, RunResult, Scenario};
+use optane_ptm::workloads::{IndexKind, Tatp, Tpcc, Vacation, VacationCfg};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn expected_of(r: &RunResult) -> ExpectedTotals {
+    ExpectedTotals {
+        commits: r.ptm.commits,
+        aborts: r.ptm.aborts,
+        aborts_read_locked: r.ptm.aborts_read_locked,
+        aborts_read_version: r.ptm.aborts_read_version,
+        aborts_acquire: r.ptm.aborts_acquire,
+        aborts_validation: r.ptm.aborts_validation,
+        htm_commits: r.ptm.htm_commits,
+        htm_aborts: r.ptm.htm_aborts,
+        htm_fallbacks: r.ptm.htm_fallbacks,
+        clwbs: r.mem.clwbs,
+        clwb_writebacks: r.mem.clwb_writebacks,
+        clwb_batches: r.mem.clwb_batches,
+        sfences: r.mem.sfences,
+        fence_wait_ns: r.mem.fence_wait_ns,
+        wpq_stall_ns: r.mem.wpq_stall_ns,
+    }
+}
+
+fn traced_run(
+    which: u8,
+    threads: usize,
+    ops: u64,
+    algo: Algo,
+    domain: DurabilityDomain,
+) -> (Arc<TraceSink>, RunResult) {
+    let sink = TraceSink::new(1 << 17);
+    let sc = Scenario::new("tv", MediaKind::Optane, domain, algo);
+    let rc = RunConfig {
+        threads,
+        ops_per_thread: ops,
+        seed: 42,
+        trace: Some(Arc::clone(&sink)),
+        ..RunConfig::default()
+    };
+    let r = match which {
+        0 => run_scenario(&mut Tatp::new(600), &sc, &rc),
+        1 => run_scenario(&mut Tpcc::new(IndexKind::Hash, 4, 2_000), &sc, &rc),
+        _ => run_scenario(&mut Vacation::new(VacationCfg::low(256)), &sc, &rc),
+    };
+    (sink, r)
+}
+
+#[test]
+fn identical_single_thread_runs_dump_identical_bytes() {
+    // Two runs of the same deterministic single-thread workload must
+    // produce byte-identical binary dumps: same events, same timestamps,
+    // same embedded counter totals.
+    let (s1, r1) = traced_run(1, 1, 120, Algo::RedoLazy, DurabilityDomain::Adr);
+    let (s2, r2) = traced_run(1, 1, 120, Algo::RedoLazy, DurabilityDomain::Adr);
+    let d1 = write_binary(&s1.threads(), &expected_of(&r1));
+    let d2 = write_binary(&s2.threads(), &expected_of(&r2));
+    assert!(!d1.is_empty());
+    assert_eq!(
+        d1, d2,
+        "trace dumps of identical runs must be byte-identical"
+    );
+    // And the dump round-trips through the reader.
+    let dump = read_binary(&d1).unwrap();
+    assert_eq!(dump.expected, expected_of(&r1));
+    assert_eq!(dump.threads.len(), 1);
+}
+
+#[test]
+fn merged_timeline_is_nondecreasing_across_threads() {
+    let (sink, _r) = traced_run(1, 4, 150, Algo::RedoLazy, DurabilityDomain::Adr);
+    assert_eq!(sink.dropped_events(), 0);
+    let merged = sink.merged();
+    assert!(
+        merged.len() > 1000,
+        "4-thread tpcc must record plenty of events"
+    );
+    let tids: std::collections::BTreeSet<u32> = merged.iter().map(|e| e.tid).collect();
+    assert!(tids.len() >= 4, "events from every worker thread");
+    for w in merged.windows(2) {
+        assert!(
+            w[0].ts <= w[1].ts,
+            "merge must be ordered: {} then {}",
+            w[0].ts,
+            w[1].ts
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn trace_totals_equal_live_counters_on_random_workloads(
+        which in 0u8..3,
+        threads in 1usize..4,
+        ops in 20u64..120,
+        redo in any::<bool>(),
+        eadr in any::<bool>(),
+    ) {
+        let algo = if redo { Algo::RedoLazy } else { Algo::UndoEager };
+        let domain = if eadr { DurabilityDomain::Eadr } else { DurabilityDomain::Adr };
+        let (sink, r) = traced_run(which, threads, ops, algo, domain);
+        prop_assert_eq!(sink.dropped_events(), 0, "ring sized for test scale");
+        let derived = TraceTotals::from_events(&sink.merged());
+        let diverged = crosscheck(&derived, &expected_of(&r));
+        prop_assert!(
+            diverged.is_empty(),
+            "trace must re-derive the counters exactly: {:?}",
+            diverged
+        );
+    }
+}
