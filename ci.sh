@@ -11,10 +11,31 @@ echo "=== clippy ==="
 cargo clippy --workspace -- -D warnings
 
 echo "=== test ==="
-cargo test -q
+# --workspace: the root package's integration tests alone skip the ptm /
+# pstructs / workloads unit suites.
+cargo test -q --workspace
 
-echo "=== phase_profile smoke ==="
+echo "=== algorithm seam check ==="
+# The pluggable-algorithm refactor (PR 5) demands that the only dispatch
+# on PtmConfig::algo is the registry in crates/ptm/src/algo/. A `match`
+# on an `.algo` field anywhere else means someone re-grew a hard-coded
+# algorithm switch outside the seam.
+if grep -rn "match .*\.algo\b" crates examples tests --include='*.rs' \
+    | grep -v "crates/ptm/src/algo/"; then
+  echo "ERROR: algorithm dispatch outside ptm::algo registry (see above)" >&2
+  exit 1
+fi
+
+echo "=== phase_profile smoke (3 algorithms x {ADR, eADR}) ==="
+# phase_profile iterates the full {undo, redo, cow} x {ADR, eADR} matrix
+# internally, so this one smoke run exercises every registered algorithm
+# in both flush-required and flush-elided domains.
 cargo run -q --release -p bench --bin phase_profile -- --threads 1 --ops 200 > /dev/null
+
+echo "=== algo_compare smoke ==="
+# Head-to-head {redo, undo, cow} comparison across all four durability
+# domains (throughput / abort rate / persistence work).
+cargo run -q --release -p bench --bin algo_compare -- --quick --threads 2 --ops 100 > /dev/null
 
 echo "=== write-combining smoke + flush-elision guard ==="
 # Quick naive-vs-combined ablation. The binary's built-in regression
@@ -22,10 +43,11 @@ echo "=== write-combining smoke + flush-elision guard ==="
 # the redo ADR workload (i.e. the planner stopped deduplicating).
 cargo run -q --release -p bench --bin ablation_write_combining -- --quick > /dev/null
 
-echo "=== crash_sites smoke sweep ==="
+echo "=== crash_sites smoke sweep (3 algorithms x 4 domains) ==="
 # Bounded deterministic crash-site sweep: every {algo x domain x policy}
-# case, 12 strided sites each. Exits nonzero on any invariant violation,
-# printing CRASH-REPRO reproducer lines to stderr.
+# case — all three registered algorithms, including cow shadow — with 12
+# strided sites each. Exits nonzero on any invariant violation, printing
+# CRASH-REPRO reproducer lines to stderr.
 cargo run -q --release -p bench --bin crash_sites -- --quick > /dev/null
 
 echo "=== trace smoke ==="

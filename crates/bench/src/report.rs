@@ -171,6 +171,19 @@ pub fn point_json(workload: &str, r: &RunResult) -> String {
         &mut tf,
     );
     push_kv_u64(&mut out, "max_write_lines", r.ptm.max_write_lines, &mut tf);
+    push_kv_u64(
+        &mut out,
+        "shadow_lines_allocated",
+        r.ptm.shadow_lines_allocated,
+        &mut tf,
+    );
+    push_kv_u64(
+        &mut out,
+        "shadow_lines_reclaimed",
+        r.ptm.shadow_lines_reclaimed,
+        &mut tf,
+    );
+    push_kv_u64(&mut out, "publish_fences", r.ptm.publish_fences, &mut tf);
     out.push('}');
 
     // Memory-system counters.
@@ -300,6 +313,9 @@ mod tests {
             "\"lines_planned\"",
             "\"max_read_set_unique\"",
             "\"max_write_lines\"",
+            "\"shadow_lines_allocated\"",
+            "\"shadow_lines_reclaimed\"",
+            "\"publish_fences\"",
             "\"clwb_batches\"",
             // Per-cause abort attribution and the hybrid-HTM counters:
             // trace_analyze cross-checks its trace-derived totals against

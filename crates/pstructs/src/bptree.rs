@@ -341,10 +341,7 @@ mod tests {
     fn setup(algo: Algo) -> (Arc<Machine>, Arc<PHeap>, TxThread) {
         let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
         let heap = PHeap::format(&m, "heap", 1 << 20, 8);
-        let cfg = match algo {
-            Algo::RedoLazy => PtmConfig::redo(),
-            Algo::UndoEager => PtmConfig::undo(),
-        };
+        let cfg = PtmConfig::with_algo(algo);
         let ptm = Ptm::new(cfg);
         let th = TxThread::new(ptm, heap.clone(), m.session(0));
         (m, heap, th)
@@ -361,7 +358,7 @@ mod tests {
 
     #[test]
     fn insert_get_roundtrip_with_splits() {
-        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        for algo in Algo::ALL {
             let (_m, _h, mut th) = setup(algo);
             let t = th.run(BpTree::create);
             let n = 500u64;
@@ -445,7 +442,7 @@ mod tests {
     fn model_check_against_btreemap() {
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
-        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        for algo in Algo::ALL {
             let (_m, _h, mut th) = setup(algo);
             let t = th.run(BpTree::create);
             let mut model = std::collections::BTreeMap::new();

@@ -178,17 +178,14 @@ mod tests {
     fn setup(algo: Algo) -> (Arc<Machine>, Arc<PHeap>, TxThread) {
         let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
         let heap = PHeap::format(&m, "heap", 1 << 20, 8);
-        let cfg = match algo {
-            Algo::RedoLazy => PtmConfig::redo(),
-            Algo::UndoEager => PtmConfig::undo(),
-        };
+        let cfg = PtmConfig::with_algo(algo);
         let th = TxThread::new(Ptm::new(cfg), heap.clone(), m.session(0));
         (m, heap, th)
     }
 
     #[test]
     fn insert_get_remove_roundtrip() {
-        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        for algo in Algo::ALL {
             let (_m, _h, mut th) = setup(algo);
             let map = th.run(|tx| PHashMap::create(tx, 64));
             assert_eq!(th.run(|tx| map.get(tx, 1)), None);

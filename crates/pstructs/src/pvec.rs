@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn push_get_set_pop() {
-        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        for algo in Algo::ALL {
             let mut th = setup(algo);
             let v = th.run(PVec::create);
             for i in 0..5u64 {

@@ -222,7 +222,7 @@ mod tests {
 
     #[test]
     fn insert_get_remove_roundtrip() {
-        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        for algo in Algo::ALL {
             let mut th = setup(algo);
             let sl = th.run(PSkipList::create);
             assert!(th.run(|tx| sl.is_empty(tx)));

@@ -1,0 +1,510 @@
+//! Shared per-thread transaction machinery, independent of the logging
+//! algorithm: read-set tracking, `U64Map`-deduped write-set structures,
+//! orec acquisition/validation, phase charging, flush planning, and
+//! trace emission.
+//!
+//! [`TxAccess`] owns everything a transaction attempt accumulates —
+//! the [`crate::algo::LogPolicy`] implementations operate on it and keep
+//! no state of their own. `txn.rs` drives the retry loop and the HTM
+//! fast path on top of it.
+
+use std::sync::Arc;
+
+use palloc::PHeap;
+use pmem_sim::{MemSession, PAddr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use trace::{AbortCause, EventKind};
+
+use crate::log::TxLog;
+use crate::orec::{is_locked, owner_of};
+use crate::phases::{Phase, PhaseTimer};
+use crate::stats::PtmStats;
+use crate::txn::{Abort, Ptm, TxResult};
+use crate::umap::{LineSet, U64Map};
+
+/// The shared state of a transaction attempt (one per [`crate::TxThread`]).
+///
+/// Fields are `pub(crate)`: the algorithm policies in [`crate::algo`] and
+/// the driver in [`crate::txn`] manipulate them directly, exactly like
+/// the pre-seam monolith did.
+pub struct TxAccess {
+    pub(crate) ptm: Arc<Ptm>,
+    pub(crate) heap: Arc<PHeap>,
+    pub(crate) s: MemSession,
+    pub(crate) tid: u64,
+    pub(crate) log: TxLog,
+
+    pub(crate) start_time: u64,
+    pub(crate) read_set: Vec<(u32, u64)>,
+    /// Duplicate filter over `read_set` (orec -> slot), maintained only
+    /// under `write_combining`: repeated reads of a hot stripe then cost
+    /// O(unique orecs) in `validate_reads`/`extend`.
+    pub(crate) read_index: U64Map,
+    /// Redo: (addr bits, new value). Undo: (addr bits, old value).
+    pub(crate) entries: Vec<(u64, u64)>,
+    pub(crate) redo_index: U64Map,
+    /// Write-combining flush planner: every durability obligation of the
+    /// current fence window, deduped at cache-line granularity.
+    pub(crate) plan: LineSet,
+    /// Reusable drain buffer handed to `MemSession::clwb_batch`.
+    pub(crate) plan_scratch: Vec<PAddr>,
+    /// Held orecs with their pre-lock versions.
+    pub(crate) owned: Vec<(u32, u64)>,
+    pub(crate) owned_map: U64Map,
+    pub(crate) undo_logged: U64Map,
+    pub(crate) eager_writes: Vec<u64>,
+    /// CowShadow: home-line base bits -> index into `cow_lines`.
+    pub(crate) cow_map: U64Map,
+    /// CowShadow: per-home-line shadow redirections.
+    pub(crate) cow_lines: Vec<crate::algo::cow::CowLine>,
+    /// CowShadow: unique written word addresses (commit-time orec
+    /// acquisition, word-granular like the redo write set).
+    pub(crate) cow_words: Vec<u64>,
+    /// Blocks allocated and zero-initialized this transaction via the
+    /// alloc-new optimization: their stores bypass the log (they are
+    /// unreachable until a logged pointer-write commits) but their lines
+    /// must be flushed before the commit point.
+    pub(crate) fresh_blocks: Vec<(u64, usize)>,
+    pub(crate) tx_allocs: Vec<PAddr>,
+    pub(crate) tx_frees: Vec<PAddr>,
+    /// Cached copy of the persistent undo sequence number (log header
+    /// word `W_SEQ`).
+    pub(crate) undo_seq: u64,
+    /// Executing on the hardware path (no logging, no orec charges).
+    pub(crate) in_htm: bool,
+    pub(crate) rng: SmallRng,
+    pub(crate) attempts: u32,
+    /// Charges elapsed virtual time to [`Phase`]s; drained into
+    /// `ptm.phases` at the end of every [`crate::TxThread::run`].
+    pub(crate) timer: PhaseTimer,
+    /// Abort attribution for the flight recorder: `(cause code, orec)`
+    /// set at the site that decided to abort, consumed when the abort is
+    /// counted (a `None` at that point means the closure itself returned
+    /// `Err(Abort)` — a user abort with no contended orec).
+    pub(crate) pending_abort: Option<(u64, u64)>,
+}
+
+impl TxAccess {
+    pub(crate) fn new(ptm: Arc<Ptm>, heap: Arc<PHeap>, s: MemSession) -> TxAccess {
+        let tid = s.tid() as u64;
+        let log = TxLog::create(s.machine(), s.tid(), &ptm.config);
+        let cap = ptm.config.log_capacity.min(1 << 12);
+        TxAccess {
+            ptm,
+            heap,
+            s,
+            tid,
+            log,
+            start_time: 0,
+            read_set: Vec::with_capacity(256),
+            read_index: U64Map::new(256),
+            entries: Vec::with_capacity(cap.min(256)),
+            redo_index: U64Map::new(64),
+            plan: LineSet::new(64),
+            plan_scratch: Vec::with_capacity(64),
+            owned: Vec::with_capacity(64),
+            owned_map: U64Map::new(64),
+            undo_logged: U64Map::new(64),
+            eager_writes: Vec::with_capacity(64),
+            cow_map: U64Map::new(64),
+            cow_lines: Vec::with_capacity(64),
+            cow_words: Vec::with_capacity(64),
+            fresh_blocks: Vec::new(),
+            tx_allocs: Vec::new(),
+            tx_frees: Vec::new(),
+            undo_seq: 0,
+            in_htm: false,
+            rng: SmallRng::seed_from_u64(0x9E37 ^ tid),
+            attempts: 0,
+            timer: PhaseTimer::new(),
+            pending_abort: None,
+        }
+    }
+
+    /// Record a flight-recorder event. One boolean test when tracing is
+    /// off (and the session only captures a ring when a sink is attached
+    /// to the machine, so an enabled flag without a sink is still just a
+    /// second branch).
+    #[inline]
+    pub(crate) fn trace(&mut self, kind: EventKind, a: u64, b: u64) {
+        if self.ptm.config.tracing {
+            self.s.trace_event(kind, a, b);
+        }
+    }
+
+    /// Note which orec (and why) decided the current attempt must abort.
+    #[inline]
+    pub(crate) fn abort_at(&mut self, cause: AbortCause, orec: u32) {
+        if self.ptm.config.tracing {
+            self.pending_abort = Some((cause as u64, orec as u64));
+        }
+    }
+
+    /// `sfence`, charged to [`Phase::FenceWait`]. Under eADR-class
+    /// domains the session elides the fence, so ~0 ns is charged — this
+    /// is how the profiler shows the ADR→eADR fence-wait collapse.
+    #[inline]
+    pub(crate) fn fence(&mut self) {
+        if !self.ptm.config.elide_fences {
+            let now = self.s.now();
+            let prev = self.timer.switch(now, Phase::FenceWait);
+            self.s.sfence();
+            let now = self.s.now();
+            self.timer.switch(now, prev);
+        }
+    }
+
+    /// `clwb`, charged to [`Phase::Flush`] (elided → ~0 under eADR).
+    #[inline]
+    pub(crate) fn flush_line(&mut self, addr: PAddr) {
+        let now = self.s.now();
+        let prev = self.timer.switch(now, Phase::Flush);
+        self.s.clwb(addr);
+        let now = self.s.now();
+        self.timer.switch(now, prev);
+    }
+
+    /// Whether this commit should route its flushes through the
+    /// write-combining planner. Under eADR-class domains the planner is
+    /// skipped entirely (flushes are free no-ops there, so planning
+    /// would only spend DRAM time and skew the planner counters).
+    #[inline]
+    pub(crate) fn combining(&self) -> bool {
+        self.ptm.config.write_combining && self.s.machine().domain().requires_flushes()
+    }
+
+    /// Offer the cache line containing `addr` to the fence window's plan.
+    #[inline]
+    pub(crate) fn plan_line(&mut self, addr: PAddr) {
+        let base = PAddr::new(addr.pool(), addr.line() * pmem_sim::WORDS_PER_LINE as u64);
+        self.plan.insert(base.0);
+    }
+
+    /// Drain the planned window through the bank-interleaved batched
+    /// flusher, charged to [`Phase::Flush`]; updates the planner
+    /// counters (`lines_planned`, `flushes_elided`).
+    pub(crate) fn drain_plan(&mut self) {
+        let unique = self.plan.len() as u64;
+        let offered = self.plan.offered();
+        if unique == 0 {
+            return;
+        }
+        PtmStats::add(&self.ptm.stats.lines_planned, unique);
+        PtmStats::add(&self.ptm.stats.flushes_elided, offered - unique);
+        self.plan_scratch.clear();
+        self.plan_scratch
+            .extend(self.plan.lines().iter().map(|&k| PAddr(k)));
+        self.plan.clear();
+        let now = self.s.now();
+        let prev = self.timer.switch(now, Phase::Flush);
+        self.s.clwb_batch(&mut self.plan_scratch);
+        let now = self.s.now();
+        self.timer.switch(now, prev);
+    }
+
+    #[inline]
+    pub(crate) fn index_cost(&mut self) {
+        let cfg = &self.ptm.config;
+        if cfg.split_log_index {
+            self.s.advance(cfg.index_ns);
+        } else {
+            // Unsplit ablation: the index itself lives in Optane; charge a
+            // partial media access per probe (some probes hit cache).
+            let extra = self.s.machine().model().optane_load_ns / 4;
+            self.s.advance(cfg.index_ns + extra);
+        }
+    }
+
+    pub(crate) fn begin(&mut self) {
+        // A new attempt starts in speculation (also closes out the
+        // previous attempt's backoff/rollback interval).
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Speculation);
+        self.read_set.clear();
+        self.read_index.clear();
+        self.entries.clear();
+        self.redo_index.clear();
+        self.plan.clear();
+        self.owned.clear();
+        self.owned_map.clear();
+        self.undo_logged.clear();
+        self.eager_writes.clear();
+        self.cow_map.clear();
+        self.cow_lines.clear();
+        self.cow_words.clear();
+        self.fresh_blocks.clear();
+        self.tx_allocs.clear();
+        self.tx_frees.clear();
+        self.start_time = self.ptm.clock.sample();
+        self.s.advance(self.ptm.config.orec_ns);
+        self.pending_abort = None;
+        let (attempts, start) = (self.attempts as u64, self.start_time);
+        self.trace(EventKind::TxBegin, attempts, start);
+    }
+
+    /// Timestamp extension: revalidate the read set at a newer clock.
+    pub(crate) fn extend(&mut self) -> bool {
+        let cfg_orec_ns = self.ptm.config.orec_ns;
+        let ts = self.ptm.clock.sample();
+        self.s
+            .advance(cfg_orec_ns * (self.read_set.len() as u64 + 1));
+        for i in 0..self.read_set.len() {
+            let (o, ver) = self.read_set[i];
+            let cur = self.ptm.orecs.load(o);
+            if cur == ver {
+                continue;
+            }
+            if is_locked(cur) && owner_of(cur) == self.tid {
+                if let Some(idx) = self.owned_map.get(o as u64) {
+                    if self.owned[idx as usize].1 == ver {
+                        continue;
+                    }
+                }
+            }
+            return false;
+        }
+        self.start_time = ts;
+        PtmStats::bump(&self.ptm.stats.extensions);
+        true
+    }
+
+    /// The shared validated-read protocol: spin past locked stripes,
+    /// snapshot-check the orec around the data load, extend on a too-new
+    /// version, and record the read in the (optionally duplicate-
+    /// filtered) read set. Algorithm-specific own-write fast paths run
+    /// before this via [`crate::algo::LogPolicy::on_read`].
+    pub(crate) fn validated_read(&mut self, addr: PAddr, o: u32) -> TxResult<u64> {
+        let spin_limit = self.ptm.config.lock_spin;
+        let orec_ns = self.ptm.config.orec_ns;
+        let mut spins = 0;
+        loop {
+            self.s.advance(orec_ns);
+            let v1 = self.ptm.orecs.load(o);
+            if is_locked(v1) {
+                if spins < spin_limit {
+                    spins += 1;
+                    self.s.advance(8);
+                    continue;
+                }
+                PtmStats::bump(&self.ptm.stats.aborts_read_locked);
+                self.abort_at(AbortCause::ReadLocked, o);
+                return Err(Abort);
+            }
+            if v1 > self.start_time {
+                if self.ptm.config.ts_extension && self.extend() {
+                    continue;
+                }
+                PtmStats::bump(&self.ptm.stats.aborts_read_version);
+                self.abort_at(AbortCause::ReadVersion, o);
+                return Err(Abort);
+            }
+            let val = self.s.load(addr);
+            self.s.advance(orec_ns);
+            let v2 = self.ptm.orecs.load(o);
+            if v2 != v1 {
+                if spins < spin_limit {
+                    spins += 1;
+                    continue;
+                }
+                PtmStats::bump(&self.ptm.stats.aborts_read_version);
+                self.abort_at(AbortCause::ReadVersion, o);
+                return Err(Abort);
+            }
+            self.trace(EventKind::TxRead, o as u64, addr.0);
+            if self.ptm.config.write_combining {
+                // Duplicate-filtered read set: one slot per orec. A
+                // repeat hit must have observed the recorded version —
+                // any later committer bumps the orec past start_time,
+                // which forces the extension/abort path above before
+                // this push point is reached.
+                match self.read_index.get(o as u64) {
+                    Some(slot) => {
+                        debug_assert_eq!(
+                            self.read_set[slot as usize].1, v1,
+                            "re-read of orec {o} observed a version the recorded \
+                             snapshot did not"
+                        );
+                    }
+                    None => {
+                        self.read_index.insert(o as u64, self.read_set.len() as u64);
+                        self.read_set.push((o, v1));
+                    }
+                }
+            } else {
+                self.read_set.push((o, v1));
+            }
+            return Ok(val);
+        }
+    }
+
+    /// Validate the read set against held/current orecs. Assumes write
+    /// orecs are already acquired. On failure returns the orec whose
+    /// version moved (abort attribution).
+    pub(crate) fn validate_reads(&mut self) -> Result<(), u32> {
+        self.s
+            .advance(self.ptm.config.orec_ns * self.read_set.len() as u64);
+        for i in 0..self.read_set.len() {
+            let (o, ver) = self.read_set[i];
+            let cur = self.ptm.orecs.load(o);
+            if cur == ver {
+                continue;
+            }
+            if is_locked(cur) && owner_of(cur) == self.tid {
+                if let Some(idx) = self.owned_map.get(o as u64) {
+                    if self.owned[idx as usize].1 == ver {
+                        continue;
+                    }
+                }
+            }
+            return Err(o);
+        }
+        Ok(())
+    }
+
+    /// Commit-time acquisition of the orec striping `addr` (redo-style:
+    /// locks any unlocked even version regardless of its timestamp).
+    /// Charges the index probe and orec accesses; on failure notes the
+    /// abort cause and stats and returns `false` — the caller releases
+    /// whatever it already holds.
+    pub(crate) fn acquire_commit(&mut self, addr: PAddr) -> bool {
+        let spin_limit = self.ptm.config.lock_spin;
+        let orec_ns = self.ptm.config.orec_ns;
+        let o = self.ptm.orecs.index_of(addr);
+        self.s.advance(self.ptm.config.index_ns);
+        if self.owned_map.get(o as u64).is_some() {
+            return true;
+        }
+        let mut spins = 0;
+        let acquired = loop {
+            self.s.advance(orec_ns);
+            let v = self.ptm.orecs.load(o);
+            if is_locked(v) {
+                if spins < spin_limit {
+                    spins += 1;
+                    self.s.advance(8);
+                    continue;
+                }
+                break false;
+            }
+            self.s.advance(orec_ns);
+            if self.ptm.orecs.try_lock(o, v, self.tid).is_ok() {
+                self.owned_map.insert(o as u64, self.owned.len() as u64);
+                self.owned.push((o, v));
+                self.trace(EventKind::TxAcquire, o as u64, v);
+                break true;
+            }
+            if spins >= spin_limit {
+                break false;
+            }
+            spins += 1;
+        };
+        if !acquired {
+            PtmStats::bump(&self.ptm.stats.aborts_acquire);
+            self.abort_at(AbortCause::Acquire, o);
+        }
+        acquired
+    }
+
+    /// Flush the lines of alloc-new blocks (unlogged initialization) so
+    /// they are durable before the commit point.
+    pub(crate) fn flush_fresh_blocks(&mut self) {
+        for i in 0..self.fresh_blocks.len() {
+            let (addr_bits, words) = self.fresh_blocks[i];
+            let base = PAddr(addr_bits);
+            let mut w = 0u64;
+            while w < words as u64 {
+                self.flush_line(base.offset(w));
+                w += pmem_sim::WORDS_PER_LINE as u64;
+            }
+        }
+    }
+
+    /// Planner counterpart of [`Self::flush_fresh_blocks`]: offer the
+    /// alloc-new lines to the current fence window instead of flushing
+    /// them immediately (overlapping blocks dedupe).
+    pub(crate) fn plan_fresh_blocks(&mut self) {
+        for i in 0..self.fresh_blocks.len() {
+            let (addr_bits, words) = self.fresh_blocks[i];
+            let base = PAddr(addr_bits);
+            let mut w = 0u64;
+            while w < words as u64 {
+                self.plan_line(base.offset(w));
+                w += pmem_sim::WORDS_PER_LINE as u64;
+            }
+        }
+    }
+
+    /// Record the duplicate-filtered read-set high-water mark (only
+    /// meaningful when `write_combining` maintains the filter).
+    #[inline]
+    pub(crate) fn note_read_set(&self) {
+        if self.ptm.config.write_combining {
+            PtmStats::high_water(
+                &self.ptm.stats.max_read_set_unique,
+                self.read_set.len() as u64,
+            );
+        }
+    }
+
+    /// Release held orecs at their pre-lock versions (nothing was
+    /// written in place). Shared by the redo/cow abort paths and the
+    /// HTM commit's failure arm.
+    pub(crate) fn release_owned_restore(&mut self) {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Rollback);
+        self.s
+            .advance(self.ptm.config.orec_ns * self.owned.len() as u64);
+        for i in 0..self.owned.len() {
+            let (o, prev) = self.owned[i];
+            self.ptm.orecs.release(o, prev);
+        }
+        self.owned.clear();
+        self.owned_map.clear();
+    }
+
+    /// Return transactionally-allocated blocks after an abort.
+    pub(crate) fn abort_cleanup(&mut self) {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Rollback);
+        let heap = Arc::clone(&self.heap);
+        for i in 0..self.tx_allocs.len() {
+            let a = self.tx_allocs[i];
+            heap.free(&mut self.s, a);
+        }
+        self.tx_allocs.clear();
+        self.tx_frees.clear();
+    }
+
+    /// Apply deferred frees after a successful commit (allocator work:
+    /// charged to [`Phase::Speculation`] like `Tx::alloc`).
+    pub(crate) fn apply_frees(&mut self) {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Speculation);
+        let heap = Arc::clone(&self.heap);
+        for i in 0..self.tx_frees.len() {
+            let a = self.tx_frees[i];
+            heap.free(&mut self.s, a);
+        }
+        self.tx_frees.clear();
+        self.tx_allocs.clear();
+    }
+
+    pub(crate) fn backoff(&mut self) {
+        let now = self.s.now();
+        self.timer.switch(now, Phase::Backoff);
+        let shift = self.attempts.min(8);
+        let ceiling = (100u64 << shift).min(40_000);
+        let delay = self.rng.gen_range(ceiling / 2..=ceiling);
+        self.s.advance(delay);
+        self.s.publish_clock();
+        std::thread::yield_now();
+        if self.attempts > 256 {
+            // Deep backoff: on an oversubscribed host a pure yield loop
+            // can starve the conflicting lock holder of real CPU time.
+            // Virtual time is unaffected (already charged above).
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+}

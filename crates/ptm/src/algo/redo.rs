@@ -1,0 +1,216 @@
+//! "orec-lazy": commit-time locking with redo logging.
+//!
+//! Writes are buffered in the redo log (reads consult it first); at
+//! commit the write-set orecs are acquired, the log is flushed and
+//! sealed with the COMMITTED marker, and only then is program data
+//! written back. **O(1)** fences per transaction: one after the log,
+//! one with the COMMITTED marker, one after writeback, one with the
+//! IDLE marker.
+
+use pmem_sim::PAddr;
+
+use trace::EventKind;
+
+use crate::access::TxAccess;
+use crate::config::{Algo, FlushTiming};
+use crate::log::{committed_marker, is_committed, marker_count, ALGO_REDO, STATE_IDLE};
+use crate::phases::Phase;
+use crate::recovery::RecoverCtx;
+use crate::stats::PtmStats;
+use crate::txn::TxResult;
+
+use super::LogPolicy;
+
+pub struct RedoPolicy;
+
+impl LogPolicy for RedoPolicy {
+    fn algo(&self) -> Algo {
+        Algo::RedoLazy
+    }
+
+    fn persistent_tag(&self) -> u64 {
+        ALGO_REDO
+    }
+
+    fn on_read(&self, ax: &mut TxAccess, addr: PAddr, _o: u32) -> Option<TxResult<u64>> {
+        if !ax.entries.is_empty() {
+            ax.index_cost();
+            if let Some(i) = ax.redo_index.get(addr.0) {
+                return Some(Ok(ax.entries[i as usize].1));
+            }
+        }
+        None
+    }
+
+    fn on_write(&self, ax: &mut TxAccess, addr: PAddr, val: u64) -> TxResult<()> {
+        if ax.ptm.config.tracing {
+            // The orec lookup is pure address hashing; only pay for it
+            // when the event is actually recorded.
+            let o = ax.ptm.orecs.index_of(addr);
+            ax.s.trace_event(EventKind::TxWrite, o as u64, addr.0);
+        }
+        ax.index_cost();
+        let now = ax.s.now();
+        let outer = ax.timer.switch(now, Phase::LogAppend);
+        if let Some(i) = ax.redo_index.get(addr.0) {
+            let i = i as usize;
+            ax.entries[i].1 = val;
+            let e = ax.log.entry_addr(i);
+            ax.s.store(e.offset(1), val);
+            let now = ax.s.now();
+            ax.timer.switch(now, outer);
+            return Ok(());
+        }
+        let i = ax.entries.len();
+        assert!(i < ax.log.capacity, "redo log overflow ({i} entries)");
+        ax.entries.push((addr.0, val));
+        ax.redo_index.insert(addr.0, i as u64);
+        let e = ax.log.entry_addr(i);
+        ax.s.store(e, addr.0);
+        ax.s.store(e.offset(1), val);
+        // Incremental flush timing (§III-B): stagger `clwb`s during
+        // execution by flushing each log line as it *completes* (the
+        // commit still covers every touched line). The paper found this
+        // makes no difference vs batching — flushing half-filled lines on
+        // every append would instead double the writeback traffic.
+        if ax.ptm.config.flush_timing == FlushTiming::Incremental && i > 0 {
+            let prev = ax.log.entry_addr(i - 1);
+            if prev.line() != e.line() || prev.pool() != e.pool() {
+                ax.flush_line(prev);
+            }
+        }
+        let now = ax.s.now();
+        ax.timer.switch(now, outer);
+        Ok(())
+    }
+
+    fn read_only(&self, ax: &TxAccess) -> bool {
+        // Per-read validation against start_time already guarantees a
+        // consistent snapshot.
+        ax.entries.is_empty()
+    }
+
+    fn write_set_size(&self, ax: &TxAccess) -> u64 {
+        ax.entries.len() as u64
+    }
+
+    /// Acquire all write-set orecs (commit-time locking).
+    fn pre_commit_acquire(&self, ax: &mut TxAccess) -> bool {
+        for i in 0..ax.entries.len() {
+            let addr = PAddr(ax.entries[i].0);
+            if !ax.acquire_commit(addr) {
+                ax.release_owned_restore();
+                return false;
+            }
+        }
+        true
+    }
+
+    fn make_durable(&self, ax: &mut TxAccess) {
+        // Persist alloc-new initialization and the redo log: flush each
+        // line once, one fence for both.
+        if ax.combining() {
+            // Window 1: plan fresh-block lines and log lines together —
+            // the planner dedupes across both sources (a fresh block the
+            // log pass also covered is flushed once).
+            ax.plan_fresh_blocks();
+            for i in 0..ax.entries.len() {
+                let e = ax.log.entry_addr(i);
+                ax.plan_line(e);
+            }
+            ax.drain_plan();
+        } else {
+            ax.flush_fresh_blocks();
+            let mut last_line = (pmem_sim::PoolId(u32::MAX), u64::MAX);
+            for i in 0..ax.entries.len() {
+                let e = ax.log.entry_addr(i);
+                let line = (e.pool(), e.line());
+                if line != last_line {
+                    ax.flush_line(e);
+                    last_line = line;
+                }
+            }
+        }
+        ax.fence();
+        // Linearization + durability point: the COMMITTED marker.
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::LogAppend);
+        let state = ax.log.state_addr();
+        let count = ax.log.count_addr();
+        // The count rides inside the marker word (see `committed_marker`):
+        // marker and count must persist atomically, and a torn header
+        // line persists word by word. `W_COUNT` is only a mirror.
+        ax.s.store(count, ax.entries.len() as u64);
+        ax.s.store(state, committed_marker(ax.entries.len() as u64));
+        ax.flush_line(state); // state & count share the header line
+        ax.fence();
+    }
+
+    fn commit_publish(&self, ax: &mut TxAccess, wv: u64) {
+        // Write back and persist program data.
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::Writeback);
+        if ax.combining() {
+            // Window 2: apply the whole write set first, then flush each
+            // dirty line exactly once. The naive loop's store-then-flush
+            // per entry re-dirties a shared line between flushes, so a
+            // line written by k entries pays k writebacks.
+            for i in 0..ax.entries.len() {
+                let (a, v) = ax.entries[i];
+                let addr = PAddr(a);
+                ax.s.store(addr, v);
+                ax.plan_line(addr);
+            }
+            PtmStats::high_water(&ax.ptm.stats.max_write_lines, ax.plan.len() as u64);
+            ax.drain_plan();
+        } else {
+            for i in 0..ax.entries.len() {
+                let (a, v) = ax.entries[i];
+                let addr = PAddr(a);
+                ax.s.store(addr, v);
+                ax.flush_line(addr);
+            }
+        }
+        ax.fence();
+        // Retire the log.
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::LogAppend);
+        let state = ax.log.state_addr();
+        ax.s.store(state, STATE_IDLE);
+        ax.flush_line(state);
+        ax.fence();
+        // Make the writes visible at the commit timestamp.
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::Validation);
+        ax.s.advance(ax.ptm.config.orec_ns * ax.owned.len() as u64);
+        for i in 0..ax.owned.len() {
+            let (o, _) = ax.owned[i];
+            ax.ptm.orecs.release(o, wv);
+        }
+    }
+
+    /// Redo abort: nothing was written in place; restore pre-lock
+    /// versions.
+    fn abort_rollback(&self, ax: &mut TxAccess, _wv: Option<u64>) {
+        ax.release_owned_restore();
+    }
+
+    fn recover_apply(&self, ctx: &mut RecoverCtx<'_>) {
+        let state = ctx.primary.raw_load(crate::log::W_STATE);
+        if is_committed(state) && !ctx.opts.skip_redo_replay {
+            // Take the count from the marker word, NOT from `W_COUNT`: a
+            // torn header line can persist the fresh marker next to a
+            // stale count, and a stale (larger) count would replay
+            // leftover entries from an earlier transaction on top of
+            // this one's write set.
+            let count = marker_count(state) as usize;
+            for i in 0..count {
+                let (a, v, _chk) = ctx.raw_entry(i);
+                ctx.store_persist(PAddr(a), v);
+                ctx.report.redo_entries += 1;
+            }
+            ctx.report.redo_replayed += 1;
+        }
+        ctx.retire();
+    }
+}

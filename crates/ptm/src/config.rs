@@ -1,7 +1,13 @@
 //! PTM configuration: algorithm selection and the paper's tuning knobs.
 
-/// Which PTM algorithm to run (the two best performers from the authors'
-/// PACT'19 suite, as used throughout the paper).
+/// Which PTM algorithm to run. The first two are the best performers
+/// from the authors' PACT'19 suite, as used throughout the paper; the
+/// third is the canonical copy-on-write design point (Marathe et al.,
+/// arXiv:1804.00701) that proves the `ptm::algo` seam.
+///
+/// Each variant maps to one [`crate::algo::LogPolicy`] implementation in
+/// the `crate::algo` registry — adding an algorithm means adding a
+/// policy file and a registry row, nothing else.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algo {
     /// "orec-lazy": commit-time locking with redo logging. Reads consult
@@ -11,15 +17,55 @@ pub enum Algo {
     /// "orec-eager": encounter-time locking with undo logging. Writes go
     /// in place after persisting the old value. O(W) fences.
     UndoEager,
+    /// Copy-on-write shadow updates: writes are redirected to
+    /// line-granular shadow blocks allocated from the persistent heap,
+    /// published atomically at commit (redo-style marker), and reclaimed
+    /// on abort (or by the restart GC after a crash). O(1) fences, ~2x
+    /// data writes.
+    CowShadow,
 }
 
 impl Algo {
-    /// Suffix used in the paper's curve labels ("R" / "U").
+    /// Every registered algorithm, in registry order. Test helpers and
+    /// sweep grids iterate this so a newly registered algorithm is
+    /// exercised automatically.
+    pub const ALL: [Algo; 3] = [Algo::RedoLazy, Algo::UndoEager, Algo::CowShadow];
+
+    /// Suffix used in the paper's curve labels ("R" / "U" / "C").
     pub fn label(self) -> &'static str {
         match self {
             Algo::RedoLazy => "R",
             Algo::UndoEager => "U",
+            Algo::CowShadow => "C",
         }
+    }
+
+    /// Canonical CLI name; [`std::fmt::Display`] and [`std::str::FromStr`]
+    /// round-trip through it (single source of truth for `--algo`
+    /// parsing across the bench binaries and the crash harness).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::RedoLazy => "redo",
+            Algo::UndoEager => "undo",
+            Algo::CowShadow => "cow",
+        }
+    }
+}
+
+impl std::fmt::Display for Algo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algo {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Algo, String> {
+        Algo::ALL
+            .into_iter()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| format!("unknown algorithm `{s}` (known: redo, undo, cow)"))
     }
 }
 
@@ -134,18 +180,24 @@ impl PtmConfig {
         }
     }
 
-    pub fn redo() -> Self {
+    /// Default configuration running `algo`.
+    pub fn with_algo(algo: Algo) -> Self {
         PtmConfig {
-            algo: Algo::RedoLazy,
+            algo,
             ..Self::default()
         }
     }
 
+    pub fn redo() -> Self {
+        Self::with_algo(Algo::RedoLazy)
+    }
+
     pub fn undo() -> Self {
-        PtmConfig {
-            algo: Algo::UndoEager,
-            ..Self::default()
-        }
+        Self::with_algo(Algo::UndoEager)
+    }
+
+    pub fn cow() -> Self {
+        Self::with_algo(Algo::CowShadow)
     }
 
     /// The given algorithm with the write-combining commit pipeline on.
@@ -182,7 +234,21 @@ mod tests {
     fn constructors_pick_algorithms() {
         assert_eq!(PtmConfig::redo().algo, Algo::RedoLazy);
         assert_eq!(PtmConfig::undo().algo, Algo::UndoEager);
+        assert_eq!(PtmConfig::cow().algo, Algo::CowShadow);
+        for algo in Algo::ALL {
+            assert_eq!(PtmConfig::with_algo(algo).algo, algo);
+        }
         assert_eq!(Algo::RedoLazy.label(), "R");
         assert_eq!(Algo::UndoEager.label(), "U");
+        assert_eq!(Algo::CowShadow.label(), "C");
+    }
+
+    #[test]
+    fn display_fromstr_round_trips() {
+        for algo in Algo::ALL {
+            let s = algo.to_string();
+            assert_eq!(s.parse::<Algo>().unwrap(), algo, "{s}");
+        }
+        assert!("nope".parse::<Algo>().is_err());
     }
 }

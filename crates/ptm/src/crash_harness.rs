@@ -49,21 +49,15 @@ pub struct SweepCase {
     pub seed: u64,
 }
 
-/// Short stable names used in reproducer lines and CLI flags.
+/// Short stable names used in reproducer lines and CLI flags
+/// (delegates to [`Algo::name`] so the registry is the single source).
 pub fn algo_name(algo: Algo) -> &'static str {
-    match algo {
-        Algo::RedoLazy => "redo",
-        Algo::UndoEager => "undo",
-    }
+    algo.name()
 }
 
 /// Inverse of [`algo_name`].
 pub fn parse_algo(s: &str) -> Option<Algo> {
-    match s {
-        "redo" => Some(Algo::RedoLazy),
-        "undo" => Some(Algo::UndoEager),
-        _ => None,
-    }
+    s.parse().ok()
 }
 
 /// Short stable names used in reproducer lines and CLI flags.
@@ -363,12 +357,12 @@ pub fn sweep(workload: &dyn CrashWorkload, cases: &[SweepCase], opts: SweepOptio
     }
 }
 
-/// The paper-relevant sweep grid: both algorithms × the four live
-/// durability domains × every adversary policy in
+/// The paper-relevant sweep grid: every registered algorithm × the four
+/// live durability domains × every adversary policy in
 /// [`AdversaryPolicy::SWEEP`].
 pub fn default_cases(seed: u64) -> Vec<SweepCase> {
     let mut cases = Vec::new();
-    for algo in [Algo::RedoLazy, Algo::UndoEager] {
+    for algo in Algo::ALL {
         for domain in [
             DurabilityDomain::Adr,
             DurabilityDomain::Eadr,
@@ -578,13 +572,13 @@ mod tests {
     }
 
     #[test]
-    fn bounded_sweep_of_both_algorithms_is_clean() {
+    fn bounded_sweep_of_every_algorithm_is_clean() {
         let bank = tiny_bank();
         let opts = SweepOptions {
             max_sites_per_case: Some(24),
             ..SweepOptions::default()
         };
-        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        for algo in Algo::ALL {
             let report = sweep_case(&bank, &case(algo, AdversaryPolicy::PerWord), opts);
             assert!(report.sites_run > 0 && report.sites_run <= 25);
             let msgs: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
@@ -641,13 +635,16 @@ mod tests {
     #[test]
     fn default_grid_covers_algos_domains_and_policies() {
         let cases = default_cases(7);
-        assert_eq!(cases.len(), 2 * 4 * AdversaryPolicy::SWEEP.len());
+        assert_eq!(
+            cases.len(),
+            Algo::ALL.len() * 4 * AdversaryPolicy::SWEEP.len()
+        );
         assert!(cases.iter().all(|c| c.seed == 7));
     }
 
     #[test]
     fn names_roundtrip() {
-        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        for algo in Algo::ALL {
             assert_eq!(parse_algo(algo_name(algo)), Some(algo));
         }
         for domain in [

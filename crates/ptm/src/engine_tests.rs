@@ -1,0 +1,773 @@
+//! Engine-level tests for the transaction driver and every registered
+//! algorithm policy (redo, undo, cow shadow). These exercise the public
+//! `TxThread`/`Tx` API only; policy-internal unit tests live next to
+//! their modules.
+
+use std::sync::Arc;
+
+use palloc::PHeap;
+use pmem_sim::{DurabilityDomain, Machine, MachineConfig, PAddr};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use crate::config::{Algo, PtmConfig};
+use crate::txn::{Abort, Ptm, TxThread};
+
+fn setup(algo: Algo) -> (Arc<Machine>, Arc<Ptm>, Arc<PHeap>) {
+    let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+    let heap = PHeap::format(&m, "heap", 1 << 16, 8);
+    (m.clone(), Ptm::new(PtmConfig::with_algo(algo)), heap)
+}
+
+/// Every registered algorithm — tests iterate the registry, not a
+/// hand-kept list, so a fourth algorithm is covered by construction.
+fn all() -> Vec<Algo> {
+    Algo::ALL.to_vec()
+}
+
+#[test]
+fn write_then_read_within_tx() {
+    for algo in all() {
+        let (m, ptm, heap) = setup(algo);
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        let got = th.run(|tx| {
+            tx.write(a, 10)?;
+            tx.write(a.offset(1), 20)?;
+            let x = tx.read(a)?;
+            let y = tx.read(a.offset(1))?;
+            Ok(x + y)
+        });
+        assert_eq!(got, 30, "{algo:?}");
+    }
+}
+
+#[test]
+fn committed_writes_visible_to_next_tx() {
+    for algo in all() {
+        let (m, ptm, heap) = setup(algo);
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| tx.write(a, 55));
+        let v = th.run(|tx| tx.read(a));
+        assert_eq!(v, 55, "{algo:?}");
+    }
+}
+
+#[test]
+fn user_abort_rolls_back() {
+    for algo in all() {
+        let (m, ptm, heap) = setup(algo);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| tx.write(a, 1));
+        let mut tried = false;
+        th.run(|tx| {
+            if !tried {
+                tried = true;
+                tx.write(a, 999)?;
+                return Err(Abort); // user-requested retry
+            }
+            Ok(())
+        });
+        let v = th.run(|tx| tx.read(a));
+        assert_eq!(v, 1, "{algo:?}: speculative write must be undone");
+        assert!(ptm.stats_snapshot().aborts >= 1);
+    }
+}
+
+#[test]
+fn read_only_tx_commits_without_clock_bump() {
+    for algo in all() {
+        let (m, ptm, heap) = setup(algo);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| tx.write(a, 5));
+        let before = ptm.clock.sample();
+        let v = th.run(|tx| tx.read(a));
+        assert_eq!(v, 5);
+        assert_eq!(ptm.clock.sample(), before, "{algo:?}");
+    }
+}
+
+#[test]
+fn commit_is_durable_under_adr() {
+    for algo in all() {
+        let (m, ptm, heap) = setup(algo);
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| tx.write(a, 77));
+        // After commit, the value must be durable (in the shadow).
+        assert_eq!(heap.pool().shadow().unwrap().load(a.word()), 77, "{algo:?}");
+    }
+}
+
+#[test]
+fn alloc_in_aborted_tx_is_freed() {
+    for algo in all() {
+        let (m, ptm, heap) = setup(algo);
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let mut first = true;
+        let mut leaked = PAddr::NULL;
+        th.run(|tx| {
+            if first {
+                first = false;
+                leaked = tx.alloc(8);
+                return Err(Abort);
+            }
+            Ok(())
+        });
+        assert_eq!(heap.free_blocks(), 1, "{algo:?}: aborted alloc returned");
+        // And it is reusable.
+        let again = heap.alloc(th.session_mut(), 8);
+        assert_eq!(again, leaked);
+    }
+}
+
+#[test]
+fn free_in_committed_tx_is_applied() {
+    for algo in all() {
+        let (m, ptm, heap) = setup(algo);
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 8);
+        th.run(|tx| {
+            tx.free(a);
+            tx.write_at(a, 0, 0)?; // touching freed-this-tx memory is
+                                   // legal until commit
+            Ok(())
+        });
+        // The freed block is back on its size class (cow additionally
+        // cycles shadow blocks through a different class, so counting
+        // free blocks is not algorithm-portable — reuse is).
+        let again = heap.alloc(th.session_mut(), 8);
+        assert_eq!(again, a, "{algo:?}: freed block must be reusable");
+    }
+}
+
+#[test]
+fn conflicting_writers_serialize_counter() {
+    for algo in all() {
+        let (m, ptm, heap) = setup(algo);
+        let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let ctr = heap.alloc(th0.session_mut(), 1);
+        th0.run(|tx| tx.write(ctr, 0));
+        drop(th0);
+        let threads = 4;
+        let per = 500;
+        m.begin_run(threads, u64::MAX);
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let m = Arc::clone(&m);
+                let ptm = Arc::clone(&ptm);
+                let heap = Arc::clone(&heap);
+                scope.spawn(move || {
+                    let mut th = TxThread::new(ptm, heap, m.session(tid));
+                    for _ in 0..per {
+                        th.run(|tx| {
+                            let v = tx.read(ctr)?;
+                            tx.write(ctr, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), {
+            m.begin_run(1, u64::MAX);
+            m.session(0)
+        });
+        let v = th.run(|tx| tx.read(ctr));
+        assert_eq!(v, (threads * per) as u64, "{algo:?}: lost updates");
+    }
+}
+
+#[test]
+fn bank_invariant_under_concurrency() {
+    for algo in all() {
+        let (m, ptm, heap) = setup(algo);
+        let accounts = 16u64;
+        let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let table = heap.alloc(th0.session_mut(), accounts as usize);
+        th0.run(|tx| {
+            for i in 0..accounts {
+                tx.write_at(table, i, 1_000)?;
+            }
+            Ok(())
+        });
+        drop(th0);
+        let threads = 4;
+        m.begin_run(threads, u64::MAX);
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let m = Arc::clone(&m);
+                let ptm = Arc::clone(&ptm);
+                let heap = Arc::clone(&heap);
+                scope.spawn(move || {
+                    let mut th = TxThread::new(ptm, heap, m.session(tid));
+                    let mut rng = SmallRng::seed_from_u64(tid as u64);
+                    for _ in 0..400 {
+                        let from = rng.gen_range(0..accounts);
+                        let to = rng.gen_range(0..accounts);
+                        th.run(|tx| {
+                            let f = tx.read_at(table, from)?;
+                            let t = tx.read_at(table, to)?;
+                            if from != to && f >= 10 {
+                                tx.write_at(table, from, f - 10)?;
+                                tx.write_at(table, to, t + 10)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        m.begin_run(1, u64::MAX);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let total = th.run(|tx| {
+            let mut sum = 0;
+            for i in 0..accounts {
+                sum += tx.read_at(table, i)?;
+            }
+            Ok(sum)
+        });
+        assert_eq!(total, accounts * 1_000, "{algo:?}: money not conserved");
+    }
+}
+
+fn setup_with(cfg: PtmConfig) -> (Arc<Machine>, Arc<Ptm>, Arc<PHeap>) {
+    let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+    let heap = PHeap::format(&m, "heap", 1 << 16, 8);
+    (m.clone(), Ptm::new(cfg), heap)
+}
+
+/// Unique (pool, line) count of a set of addresses.
+fn unique_lines(addrs: &[PAddr]) -> u64 {
+    let mut lines: Vec<(u32, u64)> = addrs.iter().map(|a| (a.pool().0, a.line())).collect();
+    lines.sort_unstable();
+    lines.dedup();
+    lines.len() as u64
+}
+
+/// Satellite acceptance: under ADR with write combining, the
+/// writebacks of one committed redo transaction are exactly the
+/// unique dirty lines it touches — ceil(k/2) log lines (two entries
+/// per line), the header line twice (COMMITTED marker + retire), and
+/// each unique data line once.
+#[test]
+fn combined_redo_writebacks_equal_unique_dirty_lines() {
+    let (m, ptm, heap) = setup_with(PtmConfig::combined(Algo::RedoLazy));
+    let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+    let a = heap.alloc(th.session_mut(), 24);
+    // 12 entries: 8 words of one region plus 4 of another — several
+    // entries share data lines.
+    let writes: Vec<PAddr> = (0..8).chain(16..20).map(|w| a.offset(w)).collect();
+    let before = m.stats.snapshot();
+    th.run(|tx| {
+        for (i, &w) in writes.iter().enumerate() {
+            tx.write(w, i as u64 + 1)?;
+        }
+        Ok(())
+    });
+    let d = m.stats.snapshot().delta_since(&before);
+    let k = writes.len() as u64;
+    let log_lines = crate::log::entry_lines(writes.len()) as u64;
+    let data_lines = unique_lines(&writes);
+    assert!(data_lines < k, "test must exercise line sharing");
+    let expected = log_lines + 2 + data_lines;
+    assert_eq!(
+        d.clwb_writebacks, expected,
+        "writebacks must equal unique dirty lines \
+         (log {log_lines} + header 2 + data {data_lines})"
+    );
+    assert_eq!(
+        d.clwbs, expected,
+        "combined pipeline flushes each line once"
+    );
+    assert_eq!(d.clwb_batches, 2, "one batched drain per fence window");
+    let s = ptm.stats_snapshot();
+    // The header-line flushes (marker, retire) go direct, not through
+    // the planner: only log and data lines are planned.
+    assert_eq!(s.lines_planned, log_lines + data_lines);
+    assert_eq!(
+        s.flushes_elided,
+        (k - log_lines) + (k - data_lines),
+        "planner elides the duplicate log- and data-line offers"
+    );
+    assert_eq!(s.max_write_lines, data_lines);
+}
+
+/// Same-shape accounting for undo: the commit window flushes each
+/// unique in-place data line once (the per-entry log flushes during
+/// execution are the algorithm's O(W) cost and stay as-is).
+#[test]
+fn combined_undo_writebacks_equal_unique_dirty_lines() {
+    let (m, ptm, heap) = setup_with(PtmConfig::combined(Algo::UndoEager));
+    let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+    let a = heap.alloc(th.session_mut(), 16);
+    let writes: Vec<PAddr> = (0..6).map(|w| a.offset(w)).collect();
+    let before = m.stats.snapshot();
+    th.run(|tx| {
+        for (i, &w) in writes.iter().enumerate() {
+            // Repeat stores: the eager_writes dedup keeps one
+            // obligation per address.
+            tx.write(w, i as u64)?;
+            tx.write(w, i as u64 + 10)?;
+        }
+        Ok(())
+    });
+    let d = m.stats.snapshot().delta_since(&before);
+    let k = writes.len() as u64;
+    let data_lines = unique_lines(&writes);
+    // seq header + one flush per log entry append + commit window
+    // (unique data lines) + truncate.
+    let expected = 1 + k + data_lines + 1;
+    assert_eq!(d.clwb_writebacks, expected);
+    let s = ptm.stats_snapshot();
+    assert_eq!(s.lines_planned, data_lines);
+    assert_eq!(s.flushes_elided, k - data_lines);
+}
+
+/// Cow shadow accounting: under ADR with write combining, a committed
+/// transaction flushes each shadow line once, the publish-log lines,
+/// the header line twice (marker + retire), and each home line once in
+/// the publish window — and bumps exactly two publish fences.
+#[test]
+fn combined_cow_writebacks_count_shadow_and_home_lines() {
+    let (m, ptm, heap) = setup_with(PtmConfig::combined(Algo::CowShadow));
+    let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+    let a = heap.alloc(th.session_mut(), 24);
+    let writes: Vec<PAddr> = (0..8).chain(16..20).map(|w| a.offset(w)).collect();
+    let before = m.stats.snapshot();
+    th.run(|tx| {
+        for (i, &w) in writes.iter().enumerate() {
+            tx.write(w, i as u64 + 1)?;
+        }
+        Ok(())
+    });
+    let d = m.stats.snapshot().delta_since(&before);
+    let home_lines = unique_lines(&writes);
+    let s = ptm.stats_snapshot();
+    assert_eq!(s.shadow_lines_allocated, home_lines, "one shadow per line");
+    assert_eq!(s.shadow_lines_reclaimed, home_lines, "reclaimed at publish");
+    assert_eq!(s.publish_fences, 2, "publish + retire");
+    // shadow lines + publish-log lines (one 4-word record per dirtied
+    // line, two per cache line) + header twice + home lines.
+    let log_lines = crate::log::entry_lines(home_lines as usize) as u64;
+    let expected = home_lines + log_lines + 2 + home_lines;
+    assert_eq!(
+        d.clwbs, expected,
+        "cow flushes shadow {home_lines} + log {log_lines} + header 2 + home {home_lines}"
+    );
+}
+
+/// The combined pipeline must commit the same data as the naive one
+/// while issuing strictly fewer flushes on a line-sharing write set.
+/// Redo and undo only: cow is already line-granular, so combining has
+/// nothing left to elide there.
+#[test]
+fn combined_pipeline_matches_naive_semantics_with_fewer_flushes() {
+    for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        let run = |combining: bool| {
+            let cfg = PtmConfig {
+                write_combining: combining,
+                ..PtmConfig::with_algo(algo)
+            };
+            let (m, ptm, heap) = setup_with(cfg);
+            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+            let a = heap.alloc(th.session_mut(), 32);
+            for round in 0..4u64 {
+                th.run(|tx| {
+                    for w in 0..16u64 {
+                        tx.write_at(a, w, round * 100 + w)?;
+                    }
+                    Ok(())
+                });
+            }
+            let values: Vec<u64> = (0..16)
+                .map(|w| heap.pool().shadow().unwrap().load(a.word() + w))
+                .collect();
+            (values, m.stats.snapshot().clwbs)
+        };
+        let (naive_vals, naive_clwbs) = run(false);
+        let (combined_vals, combined_clwbs) = run(true);
+        assert_eq!(naive_vals, combined_vals, "{algo:?}: divergent commits");
+        assert!(
+            combined_clwbs < naive_clwbs,
+            "{algo:?}: combined {combined_clwbs} must flush less than naive {naive_clwbs}"
+        );
+    }
+}
+
+/// Under eADR the planner is bypassed entirely: no planner counters
+/// move and no flush instructions are issued — the eADR arm of the
+/// ablation must be unchanged by the flag.
+#[test]
+fn combining_is_inert_under_eadr() {
+    let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
+    let heap = PHeap::format(&m, "heap", 1 << 16, 8);
+    let ptm = Ptm::new(PtmConfig {
+        write_combining: true,
+        htm_retries: 0,
+        ..PtmConfig::redo()
+    });
+    let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+    let a = heap.alloc(th.session_mut(), 16);
+    th.run(|tx| {
+        for w in 0..16u64 {
+            tx.write_at(a, w, w)?;
+        }
+        Ok(())
+    });
+    let s = ptm.stats_snapshot();
+    assert_eq!(s.lines_planned, 0);
+    assert_eq!(s.flushes_elided, 0);
+    assert_eq!(m.stats.snapshot().clwbs, 0);
+    assert_eq!(m.stats.snapshot().clwb_batches, 0);
+}
+
+/// The duplicate-filtered read set keeps one slot per orec, so a
+/// hot-stripe re-read costs O(unique orecs) at validation.
+#[test]
+fn read_set_is_duplicate_filtered_under_combining() {
+    let (m, ptm, heap) = setup_with(PtmConfig::combined(Algo::RedoLazy));
+    let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+    let a = heap.alloc(th.session_mut(), 4);
+    th.run(|tx| tx.write(a, 7));
+    let got = th.run(|tx| {
+        let mut sum = 0;
+        for _ in 0..100 {
+            sum += tx.read(a)?;
+        }
+        // A write forces the full (non-read-only) commit path, which
+        // records the read-set high-water mark.
+        tx.write(a.offset(1), sum)?;
+        Ok(sum)
+    });
+    assert_eq!(got, 700);
+    let s = ptm.stats_snapshot();
+    assert!(
+        s.max_read_set_unique <= 2,
+        "100 re-reads of one stripe must collapse to one slot, got {}",
+        s.max_read_set_unique
+    );
+}
+
+#[test]
+fn undo_pays_more_fences_than_redo() {
+    let writes = 16u64;
+    let fences_for = |algo: Algo| {
+        let (m, ptm, heap) = setup(algo);
+        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), writes as usize);
+        let before = m.stats.snapshot().sfences;
+        th.run(|tx| {
+            for i in 0..writes {
+                tx.write_at(a, i, i)?;
+            }
+            Ok(())
+        });
+        m.stats.snapshot().sfences - before
+    };
+    let undo = fences_for(Algo::UndoEager);
+    let redo = fences_for(Algo::RedoLazy);
+    let cow = fences_for(Algo::CowShadow);
+    assert!(
+        undo >= writes && redo <= 8 && cow <= 8,
+        "undo fences {undo} (expect >= {writes}), redo {redo} and cow {cow} (expect O(1))"
+    );
+}
+
+#[test]
+fn elide_fences_suppresses_sfence() {
+    let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+    let heap = PHeap::format(&m, "heap", 1 << 14, 8);
+    let cfg = PtmConfig {
+        elide_fences: true,
+        ..PtmConfig::undo()
+    };
+    let ptm = Ptm::new(cfg);
+    let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
+    let a = heap.alloc(th.session_mut(), 8);
+    let before = m.stats.snapshot();
+    th.run(|tx| {
+        for i in 0..8 {
+            tx.write_at(a, i, i)?;
+        }
+        Ok(())
+    });
+    let after = m.stats.snapshot();
+    assert_eq!(after.sfences, before.sfences, "no fences issued");
+    assert!(after.clwbs > before.clwbs, "flushes still issued");
+}
+
+#[test]
+fn ts_extension_salvages_reads() {
+    // A transaction reads a, then another tx commits to b (raising the
+    // clock), then the first reads b: without extension this aborts;
+    // with it, the read set {a} revalidates and the tx commits.
+    let (m, ptm, heap) = setup(Algo::RedoLazy);
+    m.begin_run(2, u64::MAX);
+    let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+    let mut th1 = TxThread::new(ptm.clone(), heap.clone(), m.session(1));
+    let a = heap.alloc(th0.session_mut(), 1);
+    let b = heap.alloc(th0.session_mut(), 1);
+    th0.run(|tx| {
+        tx.write(a, 1)?;
+        tx.write(b, 2)
+    });
+    let before = ptm.stats_snapshot();
+    let mut stage = 0;
+    let got = th0.run(|tx| {
+        let va = tx.read(a)?;
+        if stage == 0 {
+            stage = 1;
+            th1.run(|tx1| {
+                let vb = tx1.read(b)?;
+                tx1.write(b, vb + 10)
+            });
+        }
+        let vb = tx.read(b)?;
+        Ok((va, vb))
+    });
+    assert_eq!(got, (1, 12));
+    let after = ptm.stats_snapshot();
+    assert_eq!(after.aborts, before.aborts, "extension avoided the abort");
+    assert!(after.extensions > before.extensions);
+}
+
+#[test]
+fn snapshot_isolation_is_really_serializable() {
+    // Classic write-skew shape is prevented: two txs each read both
+    // cells and write one; outcome must be serializable.
+    for algo in all() {
+        let (m, ptm, heap) = setup(algo);
+        m.begin_run(2, u64::MAX);
+        let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th0.session_mut(), 1);
+        let b = heap.alloc(th0.session_mut(), 1);
+        th0.run(|tx| {
+            tx.write(a, 100)?;
+            tx.write(b, 100)
+        });
+        drop(th0);
+        std::thread::scope(|scope| {
+            let m0 = Arc::clone(&m);
+            let p0 = Arc::clone(&ptm);
+            let h0 = Arc::clone(&heap);
+            scope.spawn(move || {
+                let mut th = TxThread::new(p0, h0, m0.session(0));
+                th.run(|tx| {
+                    let x = tx.read(a)?;
+                    let y = tx.read(b)?;
+                    if x + y >= 100 {
+                        tx.write(a, x.saturating_sub(100))?;
+                    }
+                    Ok(())
+                });
+            });
+            let m1 = Arc::clone(&m);
+            let p1 = Arc::clone(&ptm);
+            let h1 = Arc::clone(&heap);
+            scope.spawn(move || {
+                let mut th = TxThread::new(p1, h1, m1.session(1));
+                th.run(|tx| {
+                    let x = tx.read(a)?;
+                    let y = tx.read(b)?;
+                    if x + y >= 100 {
+                        tx.write(b, y.saturating_sub(100))?;
+                    }
+                    Ok(())
+                });
+            });
+        });
+        m.begin_run(1, u64::MAX);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let (x, y) = th.run(|tx| Ok((tx.read(a)?, tx.read(b)?)));
+        // Serializable outcomes: one tx sees the other's debit.
+        assert!(
+            (x, y) == (0, 100) || (x, y) == (100, 0) || (x, y) == (0, 0),
+            "{algo:?}: non-serializable outcome ({x},{y})"
+        );
+        // (0,0) happens only if one committed before the other began;
+        // with sum 200 initially both guards pass, so (0,0) is also
+        // serializable. What must NOT happen is a torn guard, e.g.
+        // negative balances — unrepresentable here, so the assert above
+        // is the full check.
+    }
+}
+
+mod htm {
+    use super::*;
+
+    fn setup(domain: DurabilityDomain) -> (Arc<Machine>, Arc<Ptm>, Arc<PHeap>) {
+        let m = Machine::new(MachineConfig::functional(domain));
+        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
+        let ptm = Ptm::new(PtmConfig::hybrid(Algo::RedoLazy));
+        (m, ptm, heap)
+    }
+
+    #[test]
+    fn htm_commits_under_eadr() {
+        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| {
+            tx.write(a, 5)?;
+            let v = tx.read(a)?;
+            tx.write(a.offset(1), v * 2)
+        });
+        assert_eq!(th.run(|tx| tx.read(a.offset(1))), 10);
+        let s = ptm.stats_snapshot();
+        assert!(s.htm_commits >= 2, "hardware path used: {s:?}");
+        assert_eq!(s.htm_fallbacks, 0);
+        // No flushes and no log traffic on the hardware path.
+        assert_eq!(m.stats.snapshot().clwbs, 0);
+    }
+
+    #[test]
+    fn htm_is_skipped_under_adr() {
+        let (m, ptm, heap) = setup(DurabilityDomain::Adr);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 4);
+        th.run(|tx| tx.write(a, 9));
+        let s = ptm.stats_snapshot();
+        assert_eq!(s.htm_commits, 0, "TSX is incompatible with ADR");
+        assert_eq!(s.commits, 1);
+        assert!(m.stats.snapshot().sfences > 0, "software path flushed");
+    }
+
+    #[test]
+    fn htm_commit_is_durable_under_eadr() {
+        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let a = heap.alloc(th.session_mut(), 2);
+        th.run(|tx| tx.write(a, 1234));
+        assert!(ptm.stats_snapshot().htm_commits >= 1);
+        let img = m.crash(0);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Eadr));
+        crate::recovery::recover(&m2);
+        assert_eq!(m2.pool(a.pool()).raw_load(a.word()), 1234);
+    }
+
+    #[test]
+    fn htm_capacity_overflow_falls_back() {
+        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let cap = ptm.config.htm_capacity;
+        let a = heap.alloc(th.session_mut(), cap + 8);
+        th.run(|tx| {
+            for i in 0..(cap as u64 + 4) {
+                tx.write_at(a, i, i)?;
+            }
+            Ok(())
+        });
+        let s = ptm.stats_snapshot();
+        assert!(s.htm_fallbacks >= 1, "capacity abort must fall back: {s:?}");
+        assert_eq!(s.commits, 1);
+        // Data intact via the software path.
+        assert_eq!(th.run(|tx| tx.read_at(a, cap as u64 + 3)), cap as u64 + 3);
+    }
+
+    #[test]
+    fn hybrid_counter_is_exact_under_concurrency() {
+        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
+        let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let ctr = heap.alloc(th0.session_mut(), 1);
+        th0.run(|tx| tx.write(ctr, 0));
+        drop(th0);
+        let threads = 4;
+        let per = 400;
+        m.begin_run(threads, u64::MAX);
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let m = Arc::clone(&m);
+                let ptm = Arc::clone(&ptm);
+                let heap = Arc::clone(&heap);
+                scope.spawn(move || {
+                    let mut th = TxThread::new(ptm, heap, m.session(tid));
+                    for _ in 0..per {
+                        th.run(|tx| {
+                            let v = tx.read(ctr)?;
+                            tx.write(ctr, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        m.begin_run(1, u64::MAX);
+        let mut th = TxThread::new(ptm.clone(), heap, m.session(0));
+        assert_eq!(th.run(|tx| tx.read(ctr)), (threads * per) as u64);
+        let s = ptm.stats_snapshot();
+        assert!(s.htm_commits > 0, "some hardware commits expected: {s:?}");
+    }
+
+    #[test]
+    fn htm_mixes_safely_with_software_writers() {
+        // One thread runs hybrid, another pure-STM eager, on overlapping
+        // data; the sum invariant must hold.
+        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
+        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
+        let hybrid = Ptm::new(PtmConfig::hybrid(Algo::RedoLazy));
+        let mut th0 = TxThread::new(hybrid.clone(), heap.clone(), m.session(0));
+        let cells = heap.alloc(th0.session_mut(), 8);
+        th0.run(|tx| {
+            for i in 0..8 {
+                tx.write_at(cells, i, 100)?;
+            }
+            Ok(())
+        });
+        drop(th0);
+        m.begin_run(2, u64::MAX);
+        std::thread::scope(|scope| {
+            // NOTE: both threads must share the same Ptm (same orecs/clock);
+            // the hybrid flag is per-config, so use one Ptm and rely on
+            // run()'s dispatch for both.
+            let m0 = Arc::clone(&m);
+            let p0 = Arc::clone(&hybrid);
+            let h0 = Arc::clone(&heap);
+            scope.spawn(move || {
+                let mut th = TxThread::new(p0, h0, m0.session(0));
+                for i in 0..500u64 {
+                    th.run(|tx| {
+                        let a = i % 8;
+                        let b = (i + 3) % 8;
+                        let va = tx.read_at(cells, a)?;
+                        let vb = tx.read_at(cells, b)?;
+                        if a != b && va > 0 {
+                            tx.write_at(cells, a, va - 1)?;
+                            tx.write_at(cells, b, vb + 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+            let m1 = Arc::clone(&m);
+            let p1 = Arc::clone(&hybrid);
+            let h1 = Arc::clone(&heap);
+            scope.spawn(move || {
+                let mut th = TxThread::new(p1, h1, m1.session(1));
+                for i in 0..500u64 {
+                    th.run(|tx| {
+                        let a = (i + 5) % 8;
+                        let b = i % 8;
+                        let va = tx.read_at(cells, a)?;
+                        let vb = tx.read_at(cells, b)?;
+                        if a != b && va > 0 {
+                            tx.write_at(cells, a, va - 1)?;
+                            tx.write_at(cells, b, vb + 1)?;
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        });
+        m.begin_run(1, u64::MAX);
+        let mut th = TxThread::new(hybrid, heap, m.session(0));
+        let sum = th.run(|tx| {
+            let mut s = 0;
+            for i in 0..8 {
+                s += tx.read_at(cells, i)?;
+            }
+            Ok(s)
+        });
+        assert_eq!(sum, 800, "transfers must conserve");
+    }
+}

@@ -1,14 +1,20 @@
 //! # ptm — persistent transactional memory (the paper's core contribution)
 //!
 //! An orec-based PTM runtime in the style of the authors' PACT'19 LLVM
-//! plugin, providing the two algorithms the paper evaluates:
+//! plugin. Algorithms are pluggable: each one implements
+//! [`algo::LogPolicy`] and registers in the [`algo`] registry, while the
+//! driver ([`txn`]) and shared machinery ([`access`]) stay
+//! algorithm-agnostic. Three policies ship:
 //!
 //! * **orec-lazy** ([`config::Algo::RedoLazy`]) — commit-time locking with
 //!   redo logging and O(1) fences per transaction;
 //! * **orec-eager** ([`config::Algo::UndoEager`]) — encounter-time locking
-//!   with undo logging and O(W) fences.
+//!   with undo logging and O(W) fences;
+//! * **cow shadow** ([`config::Algo::CowShadow`]) — commit-time locking
+//!   with copy-on-write shadow lines published home at commit, O(1)
+//!   fences at ~2x data-write cost.
 //!
-//! Both are tuned the way the paper tunes them for Optane: the log's hash
+//! All are tuned the way the paper tunes them for Optane: the log's hash
 //! index lives in DRAM while logged data lives in persistent memory (the
 //! split-log optimization), timestamp extension is on, and read-only
 //! transactions skip the commit protocol entirely.
@@ -41,9 +47,13 @@
 //! assert_eq!(v, 42);
 //! ```
 
+pub mod access;
+pub mod algo;
 pub mod config;
 pub mod crash_harness;
 pub mod db;
+#[cfg(test)]
+mod engine_tests;
 pub mod log;
 pub mod orec;
 pub mod phases;

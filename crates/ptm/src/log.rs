@@ -5,7 +5,8 @@
 //! ```text
 //! word 0  state        (IDLE / COMMITTED — the redo linearization marker)
 //! word 1  count        (redo: number of valid entries, sealed with state)
-//! word 2  algo         (1 = redo, 2 = undo; recovery dispatches on it)
+//! word 2  algo         (1 = redo, 2 = undo, 3 = cow; recovery dispatches
+//!                       on it via the `crate::algo` registry)
 //! word 3  overflow id  (pool id of the spill region, 0 = none)
 //! word 4  primary cap  (entries that fit in this pool)
 //! word 8… entries      (4 words each: addr, value, checksum, pad)
@@ -34,15 +35,45 @@ use std::sync::Arc;
 
 use pmem_sim::{DurabilityDomain, Machine, MediaKind, PAddr, PersistenceClass, PmemPool};
 
-use crate::config::{Algo, PtmConfig};
+use crate::config::PtmConfig;
 
-/// Descriptor state values.
+/// Descriptor state values (the low byte of `W_STATE`).
 pub const STATE_IDLE: u64 = 0;
 pub const STATE_COMMITTED: u64 = 2;
+/// Bits of the state word holding the state value proper; the upper
+/// bits of a committed marker carry the entry count (see
+/// [`committed_marker`]).
+pub const STATE_MASK: u64 = 0xFF;
 
-/// Algo discriminants as stored persistently.
+/// Build a committed marker carrying its own entry count. The marker
+/// and the count must become durable *atomically*: they share the
+/// header cache line, but under a power failure the WPQ persists a torn
+/// line word by word — a marker word that survives while the separate
+/// `W_COUNT` word reverts to a stale (larger) value makes recovery
+/// replay stale entries past the real write set. Packing the count into
+/// the marker word makes that split impossible. `W_COUNT` is still
+/// written as an observability mirror, but recovery must never trust it
+/// for a committed log.
+pub fn committed_marker(count: u64) -> u64 {
+    debug_assert!(count < 1 << 56, "entry count overflows marker");
+    STATE_COMMITTED | (count << 8)
+}
+
+/// Whether a state word is a committed marker (any entry count).
+pub fn is_committed(state: u64) -> bool {
+    state & STATE_MASK == STATE_COMMITTED
+}
+
+/// The entry count packed into a committed marker.
+pub fn marker_count(state: u64) -> u64 {
+    state >> 8
+}
+
+/// Algo discriminants as stored persistently (each policy's
+/// `LogPolicy::persistent_tag`).
 pub const ALGO_REDO: u64 = 1;
 pub const ALGO_UNDO: u64 = 2;
+pub const ALGO_COW: u64 = 3;
 
 /// Header word offsets.
 pub const W_STATE: u64 = 0;
@@ -126,13 +157,7 @@ impl TxLog {
         };
         primary.raw_store(W_STATE, STATE_IDLE);
         primary.raw_store(W_COUNT, 0);
-        primary.raw_store(
-            W_ALGO,
-            match cfg.algo {
-                Algo::RedoLazy => ALGO_REDO,
-                Algo::UndoEager => ALGO_UNDO,
-            },
-        );
+        primary.raw_store(W_ALGO, crate::algo::policy(cfg.algo).persistent_tag());
         primary.raw_store(W_OVF, overflow.as_ref().map_or(0, |p| p.id().0 as u64));
         primary.raw_store(W_PRIMARY_CAP, primary_cap as u64);
         primary.raw_store(W_SEQ, 0);

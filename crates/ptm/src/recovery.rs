@@ -13,17 +13,24 @@
 //! * **undo, live entries**: the crash interrupted an in-flight
 //!   transaction after some in-place writes — roll the entries back in
 //!   reverse order, persist the restored values, truncate.
+//! * **cow, COMMITTED**: publish each logged shadow line's masked words
+//!   to its home location (idempotent, like redo replay), then retire;
+//!   the orphaned shadow blocks are reclaimed by the restart GC.
 //!
-//! Recovery is untimed (it happens outside measured execution) and uses
-//! raw pool operations plus `persist_line_now`.
+//! The per-algorithm repair logic lives in each policy's
+//! [`crate::algo::LogPolicy::recover_apply`], dispatched on the log
+//! header's persistent tag; this module owns discovery and the
+//! [`RecoverCtx`] repair primitives. Recovery is untimed (it happens
+//! outside measured execution) and uses raw pool operations plus
+//! `persist_line_now`.
 
 use std::sync::Arc;
 
-use pmem_sim::{Machine, PAddr, SiteKind, WORDS_PER_LINE};
+use pmem_sim::{Machine, PAddr, PmemPool, SiteKind, WORDS_PER_LINE};
 
 use crate::log::{
-    seal, TxLog, ALGO_REDO, ALGO_UNDO, ENTRY0, ENTRY_WORDS, LOG_POOL_PREFIX, OVF_POOL_PREFIX,
-    STATE_COMMITTED, STATE_IDLE, W_ALGO, W_COUNT, W_OVF, W_PRIMARY_CAP, W_SEQ, W_STATE,
+    TxLog, ENTRY0, LOG_POOL_PREFIX, OVF_POOL_PREFIX, STATE_IDLE, W_ALGO, W_OVF, W_PRIMARY_CAP,
+    W_STATE,
 };
 
 /// Fault-injection switches for harness self-tests.
@@ -59,18 +66,74 @@ pub struct RecoveryReport {
     pub undo_entries: usize,
     /// Undo entries rejected by the torn-write checksum.
     pub torn_entries: usize,
+    /// Committed cow logs whose shadow lines were published forward.
+    pub cow_published: usize,
+    /// Cow words copied shadow → home during publish replay.
+    pub cow_words: usize,
 }
 
-fn store_persist(machine: &Machine, ring: &mut Option<trace::TraceRing>, addr: PAddr, value: u64) {
-    // Each recovery persist is itself a crash site: recovery must be
-    // idempotent under a failure at any point of its own execution.
-    machine.note_site(SiteKind::RecoveryPersist, false);
-    if let Some(r) = ring.as_mut() {
-        r.record(0, trace::EventKind::RecoveryApply, addr.0, value);
+/// One crashed log, as handed to [`crate::algo::LogPolicy::recover_apply`]:
+/// the discovered pools plus the repair primitives every algorithm's
+/// recovery is built from. Each persist primitive is its own crash site
+/// ([`SiteKind::RecoveryPersist`]) so the idempotence sweeps enumerate
+/// mid-recovery failures of any algorithm uniformly.
+pub struct RecoverCtx<'a> {
+    pub machine: &'a Arc<Machine>,
+    ring: &'a mut Option<trace::TraceRing>,
+    /// The log's primary pool (header + first `primary_cap` entries).
+    pub primary: Arc<PmemPool>,
+    /// PDRAM-Lite spill pool, when the header points at one.
+    pub overflow: Option<Arc<PmemPool>>,
+    pub primary_cap: usize,
+    pub opts: RecoverOptions,
+    pub report: &'a mut RecoveryReport,
+}
+
+impl RecoverCtx<'_> {
+    /// Durable raw store of one word (with its trace event and crash
+    /// site). Recovery must be idempotent under a failure at any point
+    /// of its own execution.
+    pub fn store_persist(&mut self, addr: PAddr, value: u64) {
+        self.machine.note_site(SiteKind::RecoveryPersist, false);
+        if let Some(r) = self.ring.as_mut() {
+            r.record(0, trace::EventKind::RecoveryApply, addr.0, value);
+        }
+        let pool = self.machine.pool(addr.pool());
+        pool.raw_store(addr.word(), value);
+        pool.persist_line_now(addr.word() / WORDS_PER_LINE as u64);
     }
-    let pool = machine.pool(addr.pool());
-    pool.raw_store(addr.word(), value);
-    pool.persist_line_now(addr.word() / WORDS_PER_LINE as u64);
+
+    /// Untimed read of log entry `i` (primary or overflow).
+    pub fn raw_entry(&self, i: usize) -> (u64, u64, u64) {
+        TxLog::raw_entry(&self.primary, self.overflow.as_deref(), self.primary_cap, i)
+    }
+
+    /// Untimed raw load of an arbitrary persistent word (e.g. cow
+    /// shadow data referenced from a log entry).
+    pub fn raw_load(&self, addr: PAddr) -> u64 {
+        self.machine.pool(addr.pool()).raw_load(addr.word())
+    }
+
+    /// Zero entry 0's address word (undo-style truncation), durably.
+    /// Its own crash site: ordering matters for mid-recovery crashes —
+    /// call only after every repair store is durable, so a re-run
+    /// either sees the full valid prefix again (and harmlessly repairs
+    /// it a second time) or an already-truncated log.
+    pub fn truncate_entries(&mut self) {
+        self.machine.note_site(SiteKind::RecoveryPersist, false);
+        self.primary.raw_store(ENTRY0, 0);
+        self.primary
+            .persist_line_now(ENTRY0 / WORDS_PER_LINE as u64);
+    }
+
+    /// Retire the log to IDLE, durably. The last crash site of a log's
+    /// recovery: a failure before it re-runs the (idempotent) repair, a
+    /// failure after it finds an idle log.
+    pub fn retire(&mut self) {
+        self.machine.note_site(SiteKind::RecoveryPersist, false);
+        self.primary.raw_store(W_STATE, STATE_IDLE);
+        self.primary.persist_line_now(0);
+    }
 }
 
 /// Recover every PTM log on `machine`. Idempotent.
@@ -101,78 +164,25 @@ pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> Rec
             continue;
         }
         report.logs_scanned += 1;
-        let algo = primary.raw_load(W_ALGO);
+        let tag = primary.raw_load(W_ALGO);
+        let Some(policy) = crate::algo::policy_for_tag(tag) else {
+            // Unformatted or foreign pool that happens to share the
+            // prefix: leave it alone.
+            continue;
+        };
         let primary_cap = primary.raw_load(W_PRIMARY_CAP) as usize;
         let ovf_id = primary.raw_load(W_OVF) as u32;
         let overflow = (ovf_id != 0).then(|| machine.pool(pmem_sim::PoolId(ovf_id)));
-        match algo {
-            ALGO_REDO => {
-                let state = primary.raw_load(W_STATE);
-                if state == STATE_COMMITTED && !opts.skip_redo_replay {
-                    let count = primary.raw_load(W_COUNT) as usize;
-                    for i in 0..count {
-                        let (a, v, _) =
-                            TxLog::raw_entry(&primary, overflow.as_deref(), primary_cap, i);
-                        store_persist(machine, &mut ring, PAddr(a), v);
-                        report.redo_entries += 1;
-                    }
-                    report.redo_replayed += 1;
-                }
-                // Retiring the log is the last crash site of this log's
-                // recovery: a failure before it re-runs the (idempotent)
-                // replay, a failure after it finds an idle log.
-                machine.note_site(SiteKind::RecoveryPersist, false);
-                primary.raw_store(W_STATE, STATE_IDLE);
-                primary.persist_line_now(0);
-            }
-            ALGO_UNDO => {
-                // Collect the valid prefix of entries, sealed under the
-                // descriptor's persisted sequence number.
-                let seq = primary.raw_load(W_SEQ);
-                let mut valid = Vec::new();
-                let capacity = primary_cap
-                    + overflow
-                        .as_ref()
-                        .map_or(0, |p| p.len_words() / ENTRY_WORDS as usize);
-                for i in 0..capacity {
-                    let (a, old, chk) =
-                        TxLog::raw_entry(&primary, overflow.as_deref(), primary_cap, i);
-                    if a == 0 {
-                        break;
-                    }
-                    if chk != seal(a, old, seq) {
-                        // Torn tail entry: its in-place store never
-                        // happened (the fence orders entry before data),
-                        // so stopping here is safe.
-                        report.torn_entries += 1;
-                        break;
-                    }
-                    valid.push((a, old));
-                }
-                if !valid.is_empty() && !opts.skip_undo_rollback {
-                    for &(a, old) in valid.iter().rev() {
-                        store_persist(machine, &mut ring, PAddr(a), old);
-                        report.undo_entries += 1;
-                    }
-                    report.undo_rolled_back += 1;
-                }
-                // Truncate. Ordering matters for mid-recovery crashes:
-                // entries are only erased *after* every rollback store is
-                // durable, so a re-run either sees the full valid prefix
-                // again (and harmlessly rolls it back a second time) or
-                // an already-truncated log.
-                machine.note_site(SiteKind::RecoveryPersist, false);
-                primary.raw_store(ENTRY0, 0);
-                primary.persist_line_now(ENTRY0 / WORDS_PER_LINE as u64);
-                machine.note_site(SiteKind::RecoveryPersist, false);
-                primary.raw_store(W_STATE, STATE_IDLE);
-                primary.persist_line_now(0);
-            }
-            _ => {
-                // Unformatted or foreign pool that happens to share the
-                // prefix: leave it alone.
-            }
-        }
+        let mut ctx = RecoverCtx {
+            machine,
+            ring: &mut ring,
+            primary,
+            overflow,
+            primary_cap,
+            opts,
+            report: &mut report,
+        };
+        policy.recover_apply(&mut ctx);
     }
     if let (Some(sink), Some(mut r)) = (tracer, ring) {
         r.record(
@@ -190,7 +200,7 @@ pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> Rec
 mod tests {
     use super::*;
     use crate::config::PtmConfig;
-    use crate::log::{STATE_COMMITTED, W_COUNT, W_STATE};
+    use crate::log::{committed_marker, seal, W_COUNT, W_STATE};
     use crate::txn::{Ptm, TxThread};
     use palloc::PHeap;
     use pmem_sim::{DurabilityDomain, MachineConfig, MediaKind};
@@ -234,7 +244,7 @@ mod tests {
         log.primary.raw_store(e.word() + 1, 42);
         log.primary.persist_line_now(e.line());
         log.primary.raw_store(W_COUNT, 1);
-        log.primary.raw_store(W_STATE, STATE_COMMITTED);
+        log.primary.raw_store(W_STATE, committed_marker(1));
         log.primary.persist_line_now(0);
         // Crash: the in-place data store never happened.
         let img = m.crash(1);
@@ -247,6 +257,56 @@ mod tests {
         let r2 = recover(&m2);
         assert_eq!(r2.redo_replayed, 0);
         assert_eq!(m2.pool(target.pool()).raw_load(target.word()), 42);
+    }
+
+    #[test]
+    fn stale_count_word_cannot_extend_a_committed_replay() {
+        // The bug the exhaustive crash-site sweep found (site 61, redo,
+        // ADR, per-word adversary): the marker and `W_COUNT` share the
+        // header line but persist word by word, so a crash inside the
+        // marker's flush window can keep a *stale, larger* `W_COUNT`
+        // next to the fresh marker. Recovery must take the count from
+        // the marker word — a stale mirror must not make it replay
+        // leftover entries from an earlier transaction on top of the
+        // committed write set.
+        let m = pmem_sim::Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
+        let heap = PHeap::format(&m, "heap", 1 << 14, 4);
+        let cfg = PtmConfig::redo();
+        let log = crate::log::TxLog::create(&m, 0, &cfg);
+        let (a, b) = {
+            let mut s = m.session(0);
+            let t = heap.alloc(&mut s, 4);
+            s.store(t, 1);
+            s.store(t.offset(1), 1);
+            s.clwb(t);
+            s.sfence();
+            (t, t.offset(1))
+        };
+        // Fresh committed transaction: 1 entry (a := 42). A leftover
+        // entry from an earlier, retired transaction sits right after it
+        // (b := 7) and the stale `W_COUNT` mirror still says 2.
+        let e0 = log.entry_addr(0);
+        log.primary.raw_store(e0.word(), a.0);
+        log.primary.raw_store(e0.word() + 1, 42);
+        let e1 = log.entry_addr(1);
+        log.primary.raw_store(e1.word(), b.0);
+        log.primary.raw_store(e1.word() + 1, 7);
+        log.primary.persist_line_now(e0.line());
+        log.primary.persist_line_now(e1.line());
+        log.primary.raw_store(W_COUNT, 2); // stale mirror survives
+        log.primary.raw_store(W_STATE, committed_marker(1));
+        log.primary.persist_line_now(0);
+        let img = m.crash(4);
+        let m2 = pmem_sim::Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+        let r = recover(&m2);
+        assert_eq!(r.redo_replayed, 1);
+        assert_eq!(r.redo_entries, 1, "only the marker's count is replayed");
+        assert_eq!(m2.pool(a.pool()).raw_load(a.word()), 42);
+        assert_eq!(
+            m2.pool(b.pool()).raw_load(b.word()),
+            1,
+            "stale leftover entry must not be replayed"
+        );
     }
 
     #[test]
@@ -316,7 +376,7 @@ mod tests {
 mod recovery_idempotence_tests {
     use super::*;
     use crate::config::PtmConfig;
-    use crate::log::{STATE_COMMITTED, W_COUNT, W_STATE};
+    use crate::log::{committed_marker, seal, W_COUNT, W_STATE};
     use palloc::PHeap;
     use pmem_sim::{
         catch_simulated_crash, silence_simulated_crash_panics, AdversaryPolicy, CrashInjector,
@@ -349,7 +409,7 @@ mod recovery_idempotence_tests {
             log.primary.persist_line_now(e.line());
         }
         log.primary.raw_store(W_COUNT, N as u64);
-        log.primary.raw_store(W_STATE, STATE_COMMITTED);
+        log.primary.raw_store(W_STATE, committed_marker(N as u64));
         log.primary.persist_line_now(0);
         let img = m.crash(1);
         let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
@@ -540,7 +600,7 @@ mod overflow_recovery_tests {
             .find(|p| p.name() == "ptm-log-0")
             .unwrap();
         log_pool.raw_store(crate::log::W_COUNT, 32);
-        log_pool.raw_store(crate::log::W_STATE, crate::log::STATE_COMMITTED);
+        log_pool.raw_store(crate::log::W_STATE, crate::log::committed_marker(32));
         log_pool.persist_line_now(0);
         for i in 0..32u64 {
             heap.pool().raw_store(block.word() + i, 0);

@@ -34,6 +34,14 @@ pub struct PtmStats {
     pub max_read_set_unique: AtomicU64,
     /// Largest write-back footprint observed, in unique data lines.
     pub max_write_lines: AtomicU64,
+    /// CowShadow: shadow lines allocated from the persistent heap.
+    pub shadow_lines_allocated: AtomicU64,
+    /// CowShadow: shadow lines returned to the allocator after a publish
+    /// or an abort (crashed transactions leave theirs to the restart GC).
+    pub shadow_lines_reclaimed: AtomicU64,
+    /// CowShadow: ordering points issued while publishing shadow lines
+    /// to their home locations (two per committed writer transaction).
+    pub publish_fences: AtomicU64,
 }
 
 /// Plain-value snapshot.
@@ -54,6 +62,9 @@ pub struct PtmStatsSnapshot {
     pub lines_planned: u64,
     pub max_read_set_unique: u64,
     pub max_write_lines: u64,
+    pub shadow_lines_allocated: u64,
+    pub shadow_lines_reclaimed: u64,
+    pub publish_fences: u64,
 }
 
 impl PtmStats {
@@ -101,6 +112,9 @@ impl PtmStats {
             lines_planned: self.lines_planned.load(Ordering::Relaxed),
             max_read_set_unique: self.max_read_set_unique.load(Ordering::Relaxed),
             max_write_lines: self.max_write_lines.load(Ordering::Relaxed),
+            shadow_lines_allocated: self.shadow_lines_allocated.load(Ordering::Relaxed),
+            shadow_lines_reclaimed: self.shadow_lines_reclaimed.load(Ordering::Relaxed),
+            publish_fences: self.publish_fences.load(Ordering::Relaxed),
         }
     }
 
@@ -121,6 +135,9 @@ impl PtmStats {
             &self.lines_planned,
             &self.max_read_set_unique,
             &self.max_write_lines,
+            &self.shadow_lines_allocated,
+            &self.shadow_lines_reclaimed,
+            &self.publish_fences,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -165,6 +182,13 @@ impl PtmStatsSnapshot {
             lines_planned: self.lines_planned.saturating_sub(earlier.lines_planned),
             max_read_set_unique: self.max_read_set_unique.max(earlier.max_read_set_unique),
             max_write_lines: self.max_write_lines.max(earlier.max_write_lines),
+            shadow_lines_allocated: self
+                .shadow_lines_allocated
+                .saturating_sub(earlier.shadow_lines_allocated),
+            shadow_lines_reclaimed: self
+                .shadow_lines_reclaimed
+                .saturating_sub(earlier.shadow_lines_reclaimed),
+            publish_fences: self.publish_fences.saturating_sub(earlier.publish_fences),
         }
     }
 }

@@ -1,6 +1,14 @@
-//! The transaction engine: orec-lazy (redo) and orec-eager (undo).
+//! The transaction driver: retry/backoff loop, commit sequencing, and
+//! the hardware-TM fast path.
 //!
-//! Both algorithms follow TL2-style timestamp validation against the
+//! Algorithm-specific behavior (redo / undo / cow shadow) lives behind
+//! [`crate::algo::LogPolicy`]; the shared per-attempt machinery (read
+//! set, write-set structures, orec protocol, phase charging, trace
+//! emission) lives in [`crate::access::TxAccess`]. This module never
+//! matches on [`crate::config::Algo`] — it resolves the policy once via
+//! the `crate::algo` registry and drives it.
+//!
+//! All algorithms follow TL2-style timestamp validation against the
 //! global clock, with every optimization the paper enables:
 //!
 //! * **timestamp extension** — a read that observes a too-new version
@@ -22,7 +30,9 @@
 //!   writeback, one with the IDLE marker;
 //! * **orec-eager** issues **O(W)** fences: every first write to a
 //!   location persists an undo entry (`clwb` + `sfence`) *before* the
-//!   in-place store.
+//!   in-place store;
+//! * **cow shadow** is O(1)-fenced like redo, trading the log payload
+//!   for shadow lines published home at commit.
 //!
 //! Under eADR-class durability domains the `clwb`/`sfence` calls are
 //! free ([`pmem_sim::MemSession`] elides them), which is precisely the
@@ -34,17 +44,15 @@ use std::sync::Arc;
 
 use palloc::PHeap;
 use pmem_sim::{MemSession, PAddr};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use trace::{AbortCause, EventKind};
 
-use crate::config::{Algo, FlushTiming, PtmConfig};
-use crate::log::{TxLog, STATE_COMMITTED, STATE_IDLE};
-use crate::orec::{is_locked, owner_of, GlobalClock, OrecTable};
-use crate::phases::{Phase, PhaseSnapshot, PhaseStats, PhaseTimer};
+use crate::access::TxAccess;
+use crate::algo::LogPolicy;
+use crate::config::PtmConfig;
+use crate::orec::{is_locked, GlobalClock, OrecTable};
+use crate::phases::{Phase, PhaseSnapshot, PhaseStats};
 use crate::stats::{PtmStats, PtmStatsSnapshot};
-use crate::umap::{LineSet, U64Map};
 
 /// A shared PTM instance: one per machine/heap.
 pub struct Ptm {
@@ -88,112 +96,25 @@ pub type TxResult<T> = Result<T, Abort>;
 
 /// Per-thread transaction executor.
 ///
-/// Owns the thread's [`MemSession`] and persistent log. Obtain one per
-/// virtual thread, then call [`TxThread::run`] with a closure over
-/// [`Tx`]. The closure **must propagate** `Err(Abort)` from `read`/`write`
-/// (use `?`) — swallowing it would let inconsistent reads escape.
+/// Owns the thread's [`MemSession`] and persistent log (inside its
+/// [`TxAccess`]) plus the algorithm policy resolved from the registry.
+/// Obtain one per virtual thread, then call [`TxThread::run`] with a
+/// closure over [`Tx`]. The closure **must propagate** `Err(Abort)`
+/// from `read`/`write` (use `?`) — swallowing it would let inconsistent
+/// reads escape.
 pub struct TxThread {
-    ptm: Arc<Ptm>,
-    heap: Arc<PHeap>,
-    s: MemSession,
-    tid: u64,
-    log: TxLog,
-
-    start_time: u64,
-    read_set: Vec<(u32, u64)>,
-    /// Duplicate filter over `read_set` (orec -> slot), maintained only
-    /// under `write_combining`: repeated reads of a hot stripe then cost
-    /// O(unique orecs) in `validate_reads`/`extend`.
-    read_index: U64Map,
-    /// Redo: (addr bits, new value). Undo: (addr bits, old value).
-    entries: Vec<(u64, u64)>,
-    redo_index: U64Map,
-    /// Write-combining flush planner: every durability obligation of the
-    /// current fence window, deduped at cache-line granularity.
-    plan: LineSet,
-    /// Reusable drain buffer handed to `MemSession::clwb_batch`.
-    plan_scratch: Vec<PAddr>,
-    /// Held orecs with their pre-lock versions.
-    owned: Vec<(u32, u64)>,
-    owned_map: U64Map,
-    undo_logged: U64Map,
-    eager_writes: Vec<u64>,
-    /// Blocks allocated and zero-initialized this transaction via the
-    /// alloc-new optimization: their stores bypass the log (they are
-    /// unreachable until a logged pointer-write commits) but their lines
-    /// must be flushed before the commit point.
-    fresh_blocks: Vec<(u64, usize)>,
-    tx_allocs: Vec<PAddr>,
-    tx_frees: Vec<PAddr>,
-    /// Cached copy of the persistent undo sequence number (log header
-    /// word `W_SEQ`).
-    undo_seq: u64,
-    /// Executing on the hardware path (no logging, no orec charges).
-    in_htm: bool,
-    rng: SmallRng,
-    attempts: u32,
-    /// Charges elapsed virtual time to [`Phase`]s; drained into
-    /// `ptm.phases` at the end of every [`TxThread::run`].
-    timer: PhaseTimer,
-    /// Abort attribution for the flight recorder: `(cause code, orec)`
-    /// set at the site that decided to abort, consumed when the abort is
-    /// counted (a `None` at that point means the closure itself returned
-    /// `Err(Abort)` — a user abort with no contended orec).
-    pending_abort: Option<(u64, u64)>,
+    ax: TxAccess,
+    policy: &'static dyn LogPolicy,
 }
 
 impl TxThread {
     /// Create an executor for the session's virtual thread; allocates the
     /// thread's persistent log pools on the session's machine.
     pub fn new(ptm: Arc<Ptm>, heap: Arc<PHeap>, s: MemSession) -> TxThread {
-        let tid = s.tid() as u64;
-        let log = TxLog::create(s.machine(), s.tid(), &ptm.config);
-        let cap = ptm.config.log_capacity.min(1 << 12);
+        let policy = crate::algo::policy(ptm.config.algo);
         TxThread {
-            ptm,
-            heap,
-            s,
-            tid,
-            log,
-            start_time: 0,
-            read_set: Vec::with_capacity(256),
-            read_index: U64Map::new(256),
-            entries: Vec::with_capacity(cap.min(256)),
-            redo_index: U64Map::new(64),
-            plan: LineSet::new(64),
-            plan_scratch: Vec::with_capacity(64),
-            owned: Vec::with_capacity(64),
-            owned_map: U64Map::new(64),
-            undo_logged: U64Map::new(64),
-            eager_writes: Vec::with_capacity(64),
-            fresh_blocks: Vec::new(),
-            tx_allocs: Vec::new(),
-            tx_frees: Vec::new(),
-            undo_seq: 0,
-            in_htm: false,
-            rng: SmallRng::seed_from_u64(0x9E37 ^ tid),
-            attempts: 0,
-            timer: PhaseTimer::new(),
-            pending_abort: None,
-        }
-    }
-
-    /// Record a flight-recorder event. One boolean test when tracing is
-    /// off (and the session only captures a ring when a sink is attached
-    /// to the machine, so an enabled flag without a sink is still just a
-    /// second branch).
-    #[inline]
-    fn trace(&mut self, kind: EventKind, a: u64, b: u64) {
-        if self.ptm.config.tracing {
-            self.s.trace_event(kind, a, b);
-        }
-    }
-
-    /// Note which orec (and why) decided the current attempt must abort.
-    #[inline]
-    fn abort_at(&mut self, cause: AbortCause, orec: u32) {
-        if self.ptm.config.tracing {
-            self.pending_abort = Some((cause as u64, orec as u64));
+            ax: TxAccess::new(ptm, heap, s),
+            policy,
         }
     }
 
@@ -210,30 +131,31 @@ impl TxThread {
         // Phase accounting brackets the whole call: every virtual
         // nanosecond between here and the drain is charged to exactly one
         // phase.
-        let now = self.s.now();
-        self.timer.start(now);
+        let now = self.ax.s.now();
+        self.ax.timer.start(now);
         let v = self.run_inner(f);
-        let now = self.s.now();
-        self.timer.drain(now, &self.ptm.phases);
+        let now = self.ax.s.now();
+        self.ax.timer.drain(now, &self.ax.ptm.phases);
         v
     }
 
     fn run_inner<T>(&mut self, mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
-        self.attempts = 0;
-        let htm_retries = self.ptm.config.htm_retries;
-        if htm_retries > 0 && !self.s.machine().domain().requires_flushes() {
+        self.ax.attempts = 0;
+        let htm_retries = self.ax.ptm.config.htm_retries;
+        if htm_retries > 0 && !self.ax.s.machine().domain().requires_flushes() {
             for attempt in 0..htm_retries {
-                self.begin();
-                self.in_htm = true;
-                self.s.advance(self.ptm.config.htm_begin_ns);
+                self.ax.begin();
+                self.ax.in_htm = true;
+                self.ax.s.advance(self.ax.ptm.config.htm_begin_ns);
                 let outcome = f(&mut Tx { th: self });
                 let committed = match outcome {
                     Ok(v) => {
                         if self.commit_htm() {
-                            self.in_htm = false;
-                            PtmStats::bump(&self.ptm.stats.htm_commits);
-                            PtmStats::bump(&self.ptm.stats.commits);
-                            self.trace(EventKind::TxCommit, self.entries.len() as u64, 1);
+                            self.ax.in_htm = false;
+                            PtmStats::bump(&self.ax.ptm.stats.htm_commits);
+                            PtmStats::bump(&self.ax.ptm.stats.commits);
+                            let n = self.ax.entries.len() as u64;
+                            self.ax.trace(EventKind::TxCommit, n, 1);
                             return v;
                         }
                         false
@@ -241,422 +163,132 @@ impl TxThread {
                     Err(Abort) => false,
                 };
                 debug_assert!(!committed);
-                self.in_htm = false;
-                PtmStats::bump(&self.ptm.stats.htm_aborts);
-                self.trace(EventKind::HtmAbort, attempt as u64, 0);
-                self.abort_cleanup();
-                let now = self.s.now();
-                self.timer.switch(now, Phase::Backoff);
-                self.s.advance(60u64 << attempt.min(6));
+                self.ax.in_htm = false;
+                PtmStats::bump(&self.ax.ptm.stats.htm_aborts);
+                self.ax.trace(EventKind::HtmAbort, attempt as u64, 0);
+                self.ax.abort_cleanup();
+                let now = self.ax.s.now();
+                self.ax.timer.switch(now, Phase::Backoff);
+                self.ax.s.advance(60u64 << attempt.min(6));
             }
-            PtmStats::bump(&self.ptm.stats.htm_fallbacks);
-            self.trace(EventKind::HtmFallback, htm_retries as u64, 0);
+            PtmStats::bump(&self.ax.ptm.stats.htm_fallbacks);
+            self.ax.trace(EventKind::HtmFallback, htm_retries as u64, 0);
         }
         self.run_software(f)
     }
 
     /// The software (STM) retry loop.
     fn run_software<T>(&mut self, mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
-        self.attempts = 0;
+        self.ax.attempts = 0;
         loop {
-            self.begin();
+            self.ax.begin();
             let outcome = f(&mut Tx { th: self });
             match outcome {
                 Ok(v) => {
                     if self.try_commit() {
-                        PtmStats::bump(&self.ptm.stats.commits);
-                        self.trace(EventKind::TxCommit, self.entries.len() as u64, 0);
+                        PtmStats::bump(&self.ax.ptm.stats.commits);
+                        let n = self.policy.write_set_size(&self.ax);
+                        self.ax.trace(EventKind::TxCommit, n, 0);
                         return v;
                     }
                 }
-                Err(Abort) => self.user_abort(),
+                Err(Abort) => self.policy.abort_rollback(&mut self.ax, None),
             }
-            PtmStats::bump(&self.ptm.stats.aborts);
-            if self.ptm.config.tracing {
+            PtmStats::bump(&self.ax.ptm.stats.aborts);
+            if self.ax.ptm.config.tracing {
                 let (cause, orec) = self
+                    .ax
                     .pending_abort
                     .take()
                     .unwrap_or((AbortCause::User as u64, 0));
-                self.s.trace_event(EventKind::TxAbort, cause, orec);
+                self.ax.s.trace_event(EventKind::TxAbort, cause, orec);
             }
-            self.abort_cleanup();
-            self.attempts += 1;
+            self.ax.abort_cleanup();
+            self.ax.attempts += 1;
             assert!(
-                self.attempts < self.ptm.config.max_retries,
+                self.ax.attempts < self.ax.ptm.config.max_retries,
                 "transaction livelock: {} consecutive aborts on thread {}",
-                self.attempts,
-                self.tid
+                self.ax.attempts,
+                self.ax.tid
             );
-            self.backoff();
+            self.ax.backoff();
         }
     }
 
     /// The underlying session, for non-transactional phases (setup).
     pub fn session_mut(&mut self) -> &mut MemSession {
-        &mut self.s
+        &mut self.ax.s
     }
 
     /// The heap this executor allocates from.
     pub fn heap(&self) -> &Arc<PHeap> {
-        &self.heap
+        &self.ax.heap
     }
 
     /// The shared PTM.
     pub fn ptm(&self) -> &Arc<Ptm> {
-        &self.ptm
+        &self.ax.ptm
     }
 
     /// Consume the executor, returning its session.
     pub fn into_session(self) -> MemSession {
-        self.s
+        self.ax.s
     }
 
     // ---- internals ------------------------------------------------------
 
-    /// `sfence`, charged to [`Phase::FenceWait`]. Under eADR-class
-    /// domains the session elides the fence, so ~0 ns is charged — this
-    /// is how the profiler shows the ADR→eADR fence-wait collapse.
-    #[inline]
-    fn fence(&mut self) {
-        if !self.ptm.config.elide_fences {
-            let now = self.s.now();
-            let prev = self.timer.switch(now, Phase::FenceWait);
-            self.s.sfence();
-            let now = self.s.now();
-            self.timer.switch(now, prev);
-        }
-    }
-
-    /// `clwb`, charged to [`Phase::Flush`] (elided → ~0 under eADR).
-    #[inline]
-    fn flush_line(&mut self, addr: PAddr) {
-        let now = self.s.now();
-        let prev = self.timer.switch(now, Phase::Flush);
-        self.s.clwb(addr);
-        let now = self.s.now();
-        self.timer.switch(now, prev);
-    }
-
-    /// Whether this commit should route its flushes through the
-    /// write-combining planner. Under eADR-class domains the planner is
-    /// skipped entirely (flushes are free no-ops there, so planning
-    /// would only spend DRAM time and skew the planner counters).
-    #[inline]
-    fn combining(&self) -> bool {
-        self.ptm.config.write_combining && self.s.machine().domain().requires_flushes()
-    }
-
-    /// Offer the cache line containing `addr` to the fence window's plan.
-    #[inline]
-    fn plan_line(&mut self, addr: PAddr) {
-        let base = PAddr::new(addr.pool(), addr.line() * pmem_sim::WORDS_PER_LINE as u64);
-        self.plan.insert(base.0);
-    }
-
-    /// Drain the planned window through the bank-interleaved batched
-    /// flusher, charged to [`Phase::Flush`]; updates the planner
-    /// counters (`lines_planned`, `flushes_elided`).
-    fn drain_plan(&mut self) {
-        let unique = self.plan.len() as u64;
-        let offered = self.plan.offered();
-        if unique == 0 {
-            return;
-        }
-        PtmStats::add(&self.ptm.stats.lines_planned, unique);
-        PtmStats::add(&self.ptm.stats.flushes_elided, offered - unique);
-        self.plan_scratch.clear();
-        self.plan_scratch
-            .extend(self.plan.lines().iter().map(|&k| PAddr(k)));
-        self.plan.clear();
-        let now = self.s.now();
-        let prev = self.timer.switch(now, Phase::Flush);
-        self.s.clwb_batch(&mut self.plan_scratch);
-        let now = self.s.now();
-        self.timer.switch(now, prev);
-    }
-
-    #[inline]
-    fn index_cost(&mut self) {
-        let cfg = &self.ptm.config;
-        if cfg.split_log_index {
-            self.s.advance(cfg.index_ns);
-        } else {
-            // Unsplit ablation: the index itself lives in Optane; charge a
-            // partial media access per probe (some probes hit cache).
-            let extra = self.s.machine().model().optane_load_ns / 4;
-            self.s.advance(cfg.index_ns + extra);
-        }
-    }
-
-    fn begin(&mut self) {
-        // A new attempt starts in speculation (also closes out the
-        // previous attempt's backoff/rollback interval).
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Speculation);
-        self.read_set.clear();
-        self.read_index.clear();
-        self.entries.clear();
-        self.redo_index.clear();
-        self.plan.clear();
-        self.owned.clear();
-        self.owned_map.clear();
-        self.undo_logged.clear();
-        self.eager_writes.clear();
-        self.fresh_blocks.clear();
-        self.tx_allocs.clear();
-        self.tx_frees.clear();
-        self.start_time = self.ptm.clock.sample();
-        self.s.advance(self.ptm.config.orec_ns);
-        self.pending_abort = None;
-        let (attempts, start) = (self.attempts as u64, self.start_time);
-        self.trace(EventKind::TxBegin, attempts, start);
-    }
-
-    /// Timestamp extension: revalidate the read set at a newer clock.
-    fn extend(&mut self) -> bool {
-        let cfg_orec_ns = self.ptm.config.orec_ns;
-        let ts = self.ptm.clock.sample();
-        self.s
-            .advance(cfg_orec_ns * (self.read_set.len() as u64 + 1));
-        for i in 0..self.read_set.len() {
-            let (o, ver) = self.read_set[i];
-            let cur = self.ptm.orecs.load(o);
-            if cur == ver {
-                continue;
-            }
-            if is_locked(cur) && owner_of(cur) == self.tid {
-                if let Some(idx) = self.owned_map.get(o as u64) {
-                    if self.owned[idx as usize].1 == ver {
-                        continue;
-                    }
-                }
-            }
-            return false;
-        }
-        self.start_time = ts;
-        PtmStats::bump(&self.ptm.stats.extensions);
-        true
-    }
-
     pub(crate) fn tx_read(&mut self, addr: PAddr) -> TxResult<u64> {
-        if self.in_htm {
+        if self.ax.in_htm {
             return self.htm_read(addr);
         }
-        let cfg_algo = self.ptm.config.algo;
-        if cfg_algo == Algo::RedoLazy && !self.entries.is_empty() {
-            self.index_cost();
-            if let Some(i) = self.redo_index.get(addr.0) {
-                return Ok(self.entries[i as usize].1);
-            }
+        let o = self.ax.ptm.orecs.index_of(addr);
+        if let Some(hit) = self.policy.on_read(&mut self.ax, addr, o) {
+            return hit;
         }
-        let o = self.ptm.orecs.index_of(addr);
-        if cfg_algo == Algo::UndoEager && !self.owned.is_empty() {
-            self.s.advance(self.ptm.config.index_ns);
-            if self.owned_map.get(o as u64).is_some() {
-                // We hold the stripe: in-place values are ours to read.
-                return Ok(self.s.load(addr));
-            }
-        }
-        let spin_limit = self.ptm.config.lock_spin;
-        let orec_ns = self.ptm.config.orec_ns;
-        let mut spins = 0;
-        loop {
-            self.s.advance(orec_ns);
-            let v1 = self.ptm.orecs.load(o);
-            if is_locked(v1) {
-                if spins < spin_limit {
-                    spins += 1;
-                    self.s.advance(8);
-                    continue;
-                }
-                PtmStats::bump(&self.ptm.stats.aborts_read_locked);
-                self.abort_at(AbortCause::ReadLocked, o);
-                return Err(Abort);
-            }
-            if v1 > self.start_time {
-                if self.ptm.config.ts_extension && self.extend() {
-                    continue;
-                }
-                PtmStats::bump(&self.ptm.stats.aborts_read_version);
-                self.abort_at(AbortCause::ReadVersion, o);
-                return Err(Abort);
-            }
-            let val = self.s.load(addr);
-            self.s.advance(orec_ns);
-            let v2 = self.ptm.orecs.load(o);
-            if v2 != v1 {
-                if spins < spin_limit {
-                    spins += 1;
-                    continue;
-                }
-                PtmStats::bump(&self.ptm.stats.aborts_read_version);
-                self.abort_at(AbortCause::ReadVersion, o);
-                return Err(Abort);
-            }
-            self.trace(EventKind::TxRead, o as u64, addr.0);
-            if self.ptm.config.write_combining {
-                // Duplicate-filtered read set: one slot per orec. A
-                // repeat hit must have observed the recorded version —
-                // any later committer bumps the orec past start_time,
-                // which forces the extension/abort path above before
-                // this push point is reached.
-                match self.read_index.get(o as u64) {
-                    Some(slot) => {
-                        debug_assert_eq!(
-                            self.read_set[slot as usize].1, v1,
-                            "re-read of orec {o} observed a version the recorded \
-                             snapshot did not"
-                        );
-                    }
-                    None => {
-                        self.read_index.insert(o as u64, self.read_set.len() as u64);
-                        self.read_set.push((o, v1));
-                    }
-                }
-            } else {
-                self.read_set.push((o, v1));
-            }
-            return Ok(val);
-        }
+        self.ax.validated_read(addr, o)
     }
 
     pub(crate) fn tx_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
-        if self.in_htm {
+        if self.ax.in_htm {
             return self.htm_write(addr, val);
         }
-        match self.ptm.config.algo {
-            Algo::RedoLazy => self.redo_write(addr, val),
-            Algo::UndoEager => self.eager_write(addr, val),
-        }
+        self.policy.on_write(&mut self.ax, addr, val)
     }
 
-    fn redo_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
-        if self.ptm.config.tracing {
-            // The orec lookup is pure address hashing; only pay for it
-            // when the event is actually recorded.
-            let o = self.ptm.orecs.index_of(addr);
-            self.s.trace_event(EventKind::TxWrite, o as u64, addr.0);
+    /// The shared commit sequence. The policy fills in acquisition,
+    /// durability, and publication; the driver owns the clock protocol
+    /// and read validation so every algorithm serializes identically.
+    fn try_commit(&mut self) -> bool {
+        if self.policy.read_only(&self.ax) {
+            self.ax.apply_frees();
+            return true;
         }
-        self.index_cost();
-        let now = self.s.now();
-        let outer = self.timer.switch(now, Phase::LogAppend);
-        if let Some(i) = self.redo_index.get(addr.0) {
-            let i = i as usize;
-            self.entries[i].1 = val;
-            let e = self.log.entry_addr(i);
-            self.s.store(e.offset(1), val);
-            let now = self.s.now();
-            self.timer.switch(now, outer);
-            return Ok(());
+        let now = self.ax.s.now();
+        self.ax.timer.switch(now, Phase::Validation);
+        if !self.policy.pre_commit_acquire(&mut self.ax) {
+            return false;
         }
-        let i = self.entries.len();
-        assert!(i < self.log.capacity, "redo log overflow ({i} entries)");
-        self.entries.push((addr.0, val));
-        self.redo_index.insert(addr.0, i as u64);
-        let e = self.log.entry_addr(i);
-        self.s.store(e, addr.0);
-        self.s.store(e.offset(1), val);
-        // Incremental flush timing (§III-B): stagger `clwb`s during
-        // execution by flushing each log line as it *completes* (the
-        // commit still covers every touched line). The paper found this
-        // makes no difference vs batching — flushing half-filled lines on
-        // every append would instead double the writeback traffic.
-        if self.ptm.config.flush_timing == FlushTiming::Incremental && i > 0 {
-            let prev = self.log.entry_addr(i - 1);
-            if prev.line() != e.line() || prev.pool() != e.pool() {
-                self.flush_line(prev);
+        let wv = self.ax.ptm.clock.bump();
+        self.ax.s.advance(self.ax.ptm.config.orec_ns);
+        if wv != self.ax.start_time + 2 {
+            if let Err(o) = self.ax.validate_reads() {
+                PtmStats::bump(&self.ax.ptm.stats.aborts_validation);
+                self.ax.abort_at(AbortCause::Validation, o);
+                self.policy.abort_rollback(&mut self.ax, Some(wv));
+                return false;
             }
+            let reads = self.ax.read_set.len() as u64;
+            self.ax.trace(EventKind::TxValidate, reads, wv);
         }
-        let now = self.s.now();
-        self.timer.switch(now, outer);
-        Ok(())
-    }
-
-    fn eager_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
-        let o = self.ptm.orecs.index_of(addr);
-        self.index_cost();
-        if self.owned_map.get(o as u64).is_none() {
-            let spin_limit = self.ptm.config.lock_spin;
-            let orec_ns = self.ptm.config.orec_ns;
-            let mut spins = 0;
-            loop {
-                self.s.advance(orec_ns);
-                let v = self.ptm.orecs.load(o);
-                if is_locked(v) {
-                    // (cannot be ours: owned_map said no)
-                    if spins < spin_limit {
-                        spins += 1;
-                        self.s.advance(8);
-                        continue;
-                    }
-                    PtmStats::bump(&self.ptm.stats.aborts_acquire);
-                    self.abort_at(AbortCause::Acquire, o);
-                    return Err(Abort);
-                }
-                if v > self.start_time {
-                    // Acquiring a newer stripe would let owned-stripe reads
-                    // see post-snapshot values; extend or abort.
-                    if self.ptm.config.ts_extension && self.extend() {
-                        continue;
-                    }
-                    PtmStats::bump(&self.ptm.stats.aborts_acquire);
-                    self.abort_at(AbortCause::Acquire, o);
-                    return Err(Abort);
-                }
-                self.s.advance(orec_ns);
-                if self.ptm.orecs.try_lock(o, v, self.tid).is_ok() {
-                    self.owned_map.insert(o as u64, self.owned.len() as u64);
-                    self.owned.push((o, v));
-                    self.trace(EventKind::TxAcquire, o as u64, v);
-                    break;
-                }
-                if spins >= spin_limit {
-                    PtmStats::bump(&self.ptm.stats.aborts_acquire);
-                    self.abort_at(AbortCause::Acquire, o);
-                    return Err(Abort);
-                }
-                spins += 1;
-            }
-        }
-        // First write to this address: persist the old value, fenced,
-        // before the in-place store (the undo fence the paper measures).
-        self.index_cost();
-        if self.undo_logged.get(addr.0).is_none() {
-            let now = self.s.now();
-            let outer = self.timer.switch(now, Phase::LogAppend);
-            self.undo_logged.insert(addr.0, 1);
-            let i = self.entries.len();
-            assert!(i < self.log.capacity, "undo log overflow ({i} entries)");
-            if i == 0 {
-                // First entry of this transaction: persist the bumped
-                // sequence number before any entry can become valid, so
-                // recovery rejects stale entries from earlier
-                // transactions that lie past ours.
-                self.undo_seq += 1;
-                let seq_addr = self.log.seq_addr();
-                self.s.store(seq_addr, self.undo_seq);
-                self.flush_line(seq_addr);
-                self.fence();
-            }
-            let old = self.s.load(addr);
-            self.entries.push((addr.0, old));
-            let e = self.log.entry_addr(i);
-            self.s.store(e, addr.0);
-            self.s.store(e.offset(1), old);
-            self.s
-                .store(e.offset(2), crate::log::seal(addr.0, old, self.undo_seq));
-            self.flush_line(e);
-            self.fence();
-            let now = self.s.now();
-            self.timer.switch(now, outer);
-            // One commit-time flush obligation per *unique* address:
-            // repeat stores used to push a duplicate per store, inflating
-            // the commit flush loop for write-hot transactions.
-            self.eager_writes.push(addr.0);
-        }
-        self.s.store(addr, val);
-        self.trace(EventKind::TxWrite, o as u64, addr.0);
-        Ok(())
+        self.policy.make_durable(&mut self.ax);
+        self.policy.commit_publish(&mut self.ax, wv);
+        self.ax
+            .ptm
+            .stats
+            .note_write_set(self.policy.write_set_size(&self.ax));
+        self.ax.note_read_set();
+        self.ax.apply_frees();
+        true
     }
 
     /// Hardware-path read: the cache coherence protocol does the conflict
@@ -664,32 +296,33 @@ impl TxThread {
     /// stripe means a software writer is (or was) active and the hardware
     /// transaction must abort.
     fn htm_read(&mut self, addr: PAddr) -> TxResult<u64> {
-        if !self.entries.is_empty() {
-            if let Some(i) = self.redo_index.get(addr.0) {
-                return Ok(self.entries[i as usize].1);
+        if !self.ax.entries.is_empty() {
+            if let Some(i) = self.ax.redo_index.get(addr.0) {
+                return Ok(self.ax.entries[i as usize].1);
             }
         }
-        let o = self.ptm.orecs.index_of(addr);
-        let v = self.ptm.orecs.load(o);
-        if is_locked(v) || v > self.start_time {
+        let o = self.ax.ptm.orecs.index_of(addr);
+        let v = self.ax.ptm.orecs.load(o);
+        if is_locked(v) || v > self.ax.start_time {
             return Err(Abort);
         }
-        Ok(self.s.load(addr))
+        Ok(self.ax.s.load(addr))
     }
 
     /// Hardware-path write: buffered in the (volatile) write set; exceeds
     /// of the modeled L1-bound capacity abort the hardware transaction.
     fn htm_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
-        if let Some(i) = self.redo_index.get(addr.0) {
-            self.entries[i as usize].1 = val;
+        if let Some(i) = self.ax.redo_index.get(addr.0) {
+            self.ax.entries[i as usize].1 = val;
             return Ok(());
         }
-        if self.entries.len() >= self.ptm.config.htm_capacity {
+        if self.ax.entries.len() >= self.ax.ptm.config.htm_capacity {
             return Err(Abort); // capacity abort
         }
-        self.entries.push((addr.0, val));
-        self.redo_index
-            .insert(addr.0, self.entries.len() as u64 - 1);
+        self.ax.entries.push((addr.0, val));
+        self.ax
+            .redo_index
+            .insert(addr.0, self.ax.entries.len() as u64 - 1);
         Ok(())
     }
 
@@ -701,34 +334,35 @@ impl TxThread {
     /// durable the moment they are cache-visible, which is exactly why
     /// the paper expects TSX to compose with eADR but not ADR.
     fn commit_htm(&mut self) -> bool {
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Validation);
-        self.s.advance(self.ptm.config.htm_commit_ns);
-        if self.entries.is_empty() {
+        let ax = &mut self.ax;
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::Validation);
+        ax.s.advance(ax.ptm.config.htm_commit_ns);
+        if ax.entries.is_empty() {
             // Read-only: all reads saw orec versions <= start_time and
             // unlocked stripes; any later committer would have bumped the
             // clock, which htm_read's version check bounds. Commit.
-            self.apply_frees();
+            ax.apply_frees();
             return true;
         }
-        for i in 0..self.entries.len() {
-            let addr = PAddr(self.entries[i].0);
-            let o = self.ptm.orecs.index_of(addr);
-            if self.owned_map.get(o as u64).is_some() {
+        for i in 0..ax.entries.len() {
+            let addr = PAddr(ax.entries[i].0);
+            let o = ax.ptm.orecs.index_of(addr);
+            if ax.owned_map.get(o as u64).is_some() {
                 continue;
             }
-            let v = self.ptm.orecs.load(o);
-            if is_locked(v) || self.ptm.orecs.try_lock(o, v, self.tid).is_err() {
-                self.release_owned_restore();
+            let v = ax.ptm.orecs.load(o);
+            if is_locked(v) || ax.ptm.orecs.try_lock(o, v, ax.tid).is_err() {
+                ax.release_owned_restore();
                 return false;
             }
-            self.owned_map.insert(o as u64, self.owned.len() as u64);
-            self.owned.push((o, v));
+            ax.owned_map.insert(o as u64, ax.owned.len() as u64);
+            ax.owned.push((o, v));
         }
-        let wv = match self.ptm.clock.try_advance(self.start_time) {
+        let wv = match ax.ptm.clock.try_advance(ax.start_time) {
             Ok(wv) => wv,
             Err(_) => {
-                self.release_owned_restore();
+                ax.release_owned_restore();
                 return false;
             }
         };
@@ -736,395 +370,22 @@ impl TxThread {
         // eADR, durable) atomically at xend; a simulated power failure
         // must not split the application of the write set — there is no
         // log to repair a torn hardware commit.
-        self.s.enter_atomic();
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Writeback);
-        for i in 0..self.entries.len() {
-            let (a, v) = self.entries[i];
-            self.s.store(PAddr(a), v);
+        ax.s.enter_atomic();
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::Writeback);
+        for i in 0..ax.entries.len() {
+            let (a, v) = ax.entries[i];
+            ax.s.store(PAddr(a), v);
         }
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Validation);
-        for i in 0..self.owned.len() {
-            let (o, _) = self.owned[i];
-            self.ptm.orecs.release(o, wv);
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::Validation);
+        for i in 0..ax.owned.len() {
+            let (o, _) = ax.owned[i];
+            ax.ptm.orecs.release(o, wv);
         }
-        self.s.exit_atomic();
-        self.apply_frees();
+        ax.s.exit_atomic();
+        ax.apply_frees();
         true
-    }
-
-    fn try_commit(&mut self) -> bool {
-        match self.ptm.config.algo {
-            Algo::RedoLazy => self.commit_redo(),
-            Algo::UndoEager => self.commit_undo(),
-        }
-    }
-
-    /// Validate the read set against held/current orecs. Assumes write
-    /// orecs are already acquired. On failure returns the orec whose
-    /// version moved (abort attribution).
-    fn validate_reads(&mut self) -> Result<(), u32> {
-        self.s
-            .advance(self.ptm.config.orec_ns * self.read_set.len() as u64);
-        for i in 0..self.read_set.len() {
-            let (o, ver) = self.read_set[i];
-            let cur = self.ptm.orecs.load(o);
-            if cur == ver {
-                continue;
-            }
-            if is_locked(cur) && owner_of(cur) == self.tid {
-                if let Some(idx) = self.owned_map.get(o as u64) {
-                    if self.owned[idx as usize].1 == ver {
-                        continue;
-                    }
-                }
-            }
-            return Err(o);
-        }
-        Ok(())
-    }
-
-    /// Flush the lines of alloc-new blocks (unlogged initialization) so
-    /// they are durable before the commit point.
-    fn flush_fresh_blocks(&mut self) {
-        for i in 0..self.fresh_blocks.len() {
-            let (addr_bits, words) = self.fresh_blocks[i];
-            let base = PAddr(addr_bits);
-            let mut w = 0u64;
-            while w < words as u64 {
-                self.flush_line(base.offset(w));
-                w += pmem_sim::WORDS_PER_LINE as u64;
-            }
-        }
-    }
-
-    /// Planner counterpart of [`Self::flush_fresh_blocks`]: offer the
-    /// alloc-new lines to the current fence window instead of flushing
-    /// them immediately (overlapping blocks dedupe).
-    fn plan_fresh_blocks(&mut self) {
-        for i in 0..self.fresh_blocks.len() {
-            let (addr_bits, words) = self.fresh_blocks[i];
-            let base = PAddr(addr_bits);
-            let mut w = 0u64;
-            while w < words as u64 {
-                self.plan_line(base.offset(w));
-                w += pmem_sim::WORDS_PER_LINE as u64;
-            }
-        }
-    }
-
-    fn commit_redo(&mut self) -> bool {
-        if self.entries.is_empty() {
-            // Read-only: per-read validation against start_time already
-            // guarantees a consistent snapshot.
-            self.apply_frees();
-            return true;
-        }
-        // Acquire all write-set orecs (commit-time locking).
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Validation);
-        let spin_limit = self.ptm.config.lock_spin;
-        let orec_ns = self.ptm.config.orec_ns;
-        for i in 0..self.entries.len() {
-            let addr = PAddr(self.entries[i].0);
-            let o = self.ptm.orecs.index_of(addr);
-            self.s.advance(self.ptm.config.index_ns);
-            if self.owned_map.get(o as u64).is_some() {
-                continue;
-            }
-            let mut spins = 0;
-            let acquired = loop {
-                self.s.advance(orec_ns);
-                let v = self.ptm.orecs.load(o);
-                if is_locked(v) {
-                    if spins < spin_limit {
-                        spins += 1;
-                        self.s.advance(8);
-                        continue;
-                    }
-                    break false;
-                }
-                self.s.advance(orec_ns);
-                if self.ptm.orecs.try_lock(o, v, self.tid).is_ok() {
-                    self.owned_map.insert(o as u64, self.owned.len() as u64);
-                    self.owned.push((o, v));
-                    self.trace(EventKind::TxAcquire, o as u64, v);
-                    break true;
-                }
-                if spins >= spin_limit {
-                    break false;
-                }
-                spins += 1;
-            };
-            if !acquired {
-                PtmStats::bump(&self.ptm.stats.aborts_acquire);
-                self.abort_at(AbortCause::Acquire, o);
-                self.release_owned_restore();
-                return false;
-            }
-        }
-        let wv = self.ptm.clock.bump();
-        self.s.advance(orec_ns);
-        if wv != self.start_time + 2 {
-            if let Err(o) = self.validate_reads() {
-                PtmStats::bump(&self.ptm.stats.aborts_validation);
-                self.abort_at(AbortCause::Validation, o);
-                self.release_owned_restore();
-                return false;
-            }
-            let reads = self.read_set.len() as u64;
-            self.trace(EventKind::TxValidate, reads, wv);
-        }
-        // Persist alloc-new initialization and the redo log: flush each
-        // line once, one fence for both.
-        let combining = self.combining();
-        if combining {
-            // Window 1: plan fresh-block lines and log lines together —
-            // the planner dedupes across both sources (a fresh block the
-            // log pass also covered is flushed once).
-            self.plan_fresh_blocks();
-            for i in 0..self.entries.len() {
-                let e = self.log.entry_addr(i);
-                self.plan_line(e);
-            }
-            self.drain_plan();
-        } else {
-            self.flush_fresh_blocks();
-            let mut last_line = (pmem_sim::PoolId(u32::MAX), u64::MAX);
-            for i in 0..self.entries.len() {
-                let e = self.log.entry_addr(i);
-                let line = (e.pool(), e.line());
-                if line != last_line {
-                    self.flush_line(e);
-                    last_line = line;
-                }
-            }
-        }
-        self.fence();
-        // Linearization + durability point: the COMMITTED marker.
-        let now = self.s.now();
-        self.timer.switch(now, Phase::LogAppend);
-        let state = self.log.state_addr();
-        let count = self.log.count_addr();
-        self.s.store(count, self.entries.len() as u64);
-        self.s.store(state, STATE_COMMITTED);
-        self.flush_line(state); // state & count share the header line
-        self.fence();
-        // Write back and persist program data.
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Writeback);
-        if combining {
-            // Window 2: apply the whole write set first, then flush each
-            // dirty line exactly once. The naive loop's store-then-flush
-            // per entry re-dirties a shared line between flushes, so a
-            // line written by k entries pays k writebacks.
-            for i in 0..self.entries.len() {
-                let (a, v) = self.entries[i];
-                let addr = PAddr(a);
-                self.s.store(addr, v);
-                self.plan_line(addr);
-            }
-            PtmStats::high_water(&self.ptm.stats.max_write_lines, self.plan.len() as u64);
-            self.drain_plan();
-        } else {
-            for i in 0..self.entries.len() {
-                let (a, v) = self.entries[i];
-                let addr = PAddr(a);
-                self.s.store(addr, v);
-                self.flush_line(addr);
-            }
-        }
-        self.fence();
-        // Retire the log.
-        let now = self.s.now();
-        self.timer.switch(now, Phase::LogAppend);
-        self.s.store(state, STATE_IDLE);
-        self.flush_line(state);
-        self.fence();
-        // Make the writes visible at the commit timestamp.
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Validation);
-        self.s.advance(orec_ns * self.owned.len() as u64);
-        for i in 0..self.owned.len() {
-            let (o, _) = self.owned[i];
-            self.ptm.orecs.release(o, wv);
-        }
-        self.ptm.stats.note_write_set(self.entries.len() as u64);
-        self.note_read_set();
-        self.apply_frees();
-        true
-    }
-
-    /// Record the duplicate-filtered read-set high-water mark (only
-    /// meaningful when `write_combining` maintains the filter).
-    #[inline]
-    fn note_read_set(&self) {
-        if self.ptm.config.write_combining {
-            PtmStats::high_water(
-                &self.ptm.stats.max_read_set_unique,
-                self.read_set.len() as u64,
-            );
-        }
-    }
-
-    fn commit_undo(&mut self) -> bool {
-        if self.owned.is_empty() && self.fresh_blocks.is_empty() {
-            self.apply_frees();
-            return true; // read-only
-        }
-        let orec_ns = self.ptm.config.orec_ns;
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Validation);
-        let wv = self.ptm.clock.bump();
-        self.s.advance(orec_ns);
-        if wv != self.start_time + 2 {
-            if let Err(o) = self.validate_reads() {
-                PtmStats::bump(&self.ptm.stats.aborts_validation);
-                self.abort_at(AbortCause::Validation, o);
-                self.rollback_undo(wv);
-                return false;
-            }
-            let reads = self.read_set.len() as u64;
-            self.trace(EventKind::TxValidate, reads, wv);
-        }
-        // Flush the in-place data and alloc-new blocks, one fence.
-        if self.combining() {
-            self.plan_fresh_blocks();
-            for i in 0..self.eager_writes.len() {
-                let addr = PAddr(self.eager_writes[i]);
-                self.plan_line(addr);
-            }
-            PtmStats::high_water(&self.ptm.stats.max_write_lines, self.plan.len() as u64);
-            self.drain_plan();
-        } else {
-            self.flush_fresh_blocks();
-            for i in 0..self.eager_writes.len() {
-                let addr = PAddr(self.eager_writes[i]);
-                self.flush_line(addr);
-            }
-        }
-        self.fence();
-        // Truncate the undo log: entry 0's addr word zeroed, durable.
-        let now = self.s.now();
-        self.timer.switch(now, Phase::LogAppend);
-        let e0 = self.log.entry_addr(0);
-        self.s.store(e0, 0);
-        self.flush_line(e0);
-        self.fence();
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Validation);
-        self.s.advance(orec_ns * self.owned.len() as u64);
-        for i in 0..self.owned.len() {
-            let (o, _) = self.owned[i];
-            self.ptm.orecs.release(o, wv);
-        }
-        self.ptm.stats.note_write_set(self.entries.len() as u64);
-        self.note_read_set();
-        self.apply_frees();
-        true
-    }
-
-    /// Redo abort: nothing was written in place; restore pre-lock versions.
-    fn release_owned_restore(&mut self) {
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Rollback);
-        self.s
-            .advance(self.ptm.config.orec_ns * self.owned.len() as u64);
-        for i in 0..self.owned.len() {
-            let (o, prev) = self.owned[i];
-            self.ptm.orecs.release(o, prev);
-        }
-        self.owned.clear();
-        self.owned_map.clear();
-    }
-
-    /// Undo abort: restore old values (durably), truncate, release at a
-    /// fresh timestamp so concurrent readers of speculative values fail
-    /// validation.
-    fn rollback_undo(&mut self, wv: u64) {
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Rollback);
-        for i in (0..self.entries.len()).rev() {
-            let (a, old) = self.entries[i];
-            let addr = PAddr(a);
-            self.s.store(addr, old);
-            self.flush_line(addr);
-        }
-        self.fence();
-        if !self.entries.is_empty() {
-            let e0 = self.log.entry_addr(0);
-            self.s.store(e0, 0);
-            self.flush_line(e0);
-            self.fence();
-        }
-        self.s
-            .advance(self.ptm.config.orec_ns * self.owned.len() as u64);
-        for i in 0..self.owned.len() {
-            let (o, _) = self.owned[i];
-            self.ptm.orecs.release(o, wv);
-        }
-        self.owned.clear();
-        self.owned_map.clear();
-    }
-
-    /// Abort initiated by user code (`Err(Abort)` escaped the closure).
-    fn user_abort(&mut self) {
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Rollback);
-        match self.ptm.config.algo {
-            Algo::RedoLazy => self.release_owned_restore(),
-            Algo::UndoEager => {
-                if !self.owned.is_empty() {
-                    let wv = self.ptm.clock.bump();
-                    self.rollback_undo(wv);
-                }
-            }
-        }
-    }
-
-    /// Return transactionally-allocated blocks after an abort.
-    fn abort_cleanup(&mut self) {
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Rollback);
-        let heap = Arc::clone(&self.heap);
-        for i in 0..self.tx_allocs.len() {
-            let a = self.tx_allocs[i];
-            heap.free(&mut self.s, a);
-        }
-        self.tx_allocs.clear();
-        self.tx_frees.clear();
-    }
-
-    /// Apply deferred frees after a successful commit (allocator work:
-    /// charged to [`Phase::Speculation`] like `Tx::alloc`).
-    fn apply_frees(&mut self) {
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Speculation);
-        let heap = Arc::clone(&self.heap);
-        for i in 0..self.tx_frees.len() {
-            let a = self.tx_frees[i];
-            heap.free(&mut self.s, a);
-        }
-        self.tx_frees.clear();
-        self.tx_allocs.clear();
-    }
-
-    fn backoff(&mut self) {
-        let now = self.s.now();
-        self.timer.switch(now, Phase::Backoff);
-        let shift = self.attempts.min(8);
-        let ceiling = (100u64 << shift).min(40_000);
-        let delay = self.rng.gen_range(ceiling / 2..=ceiling);
-        self.s.advance(delay);
-        self.s.publish_clock();
-        std::thread::yield_now();
-        if self.attempts > 256 {
-            // Deep backoff: on an oversubscribed host a pure yield loop
-            // can starve the conflicting lock holder of real CPU time.
-            // Virtual time is unaffected (already charged above).
-            std::thread::sleep(std::time::Duration::from_micros(50));
-        }
     }
 }
 
@@ -1161,28 +422,28 @@ impl Tx<'_> {
     /// Allocate from the persistent heap. Returned blocks are freed
     /// automatically if the transaction aborts.
     pub fn alloc(&mut self, words: usize) -> PAddr {
-        let heap = Arc::clone(&self.th.heap);
-        let a = heap.alloc(&mut self.th.s, words);
-        self.th.tx_allocs.push(a);
+        let heap = Arc::clone(&self.th.ax.heap);
+        let a = heap.alloc(&mut self.th.ax.s, words);
+        self.th.ax.tx_allocs.push(a);
         a
     }
 
     /// Free a block; deferred until the transaction commits.
     pub fn free(&mut self, addr: PAddr) {
-        self.th.tx_frees.push(addr);
+        self.th.ax.tx_frees.push(addr);
     }
 
     /// Allocate a zeroed block with the alloc-new optimization: the
     /// zeroes are written directly (not logged — the block is unreachable
     /// until a logged pointer-write commits) and flushed with the commit.
     pub fn alloc_zeroed(&mut self, words: usize) -> PAddr {
-        let heap = Arc::clone(&self.th.heap);
-        let a = heap.alloc(&mut self.th.s, words);
+        let heap = Arc::clone(&self.th.ax.heap);
+        let a = heap.alloc(&mut self.th.ax.s, words);
         for w in 0..words as u64 {
-            self.th.s.store(a.offset(w), 0);
+            self.th.ax.s.store(a.offset(w), 0);
         }
-        self.th.tx_allocs.push(a);
-        self.th.fresh_blocks.push((a.0, words));
+        self.th.ax.tx_allocs.push(a);
+        self.th.ax.fresh_blocks.push((a.0, words));
         a
     }
 
@@ -1196,745 +457,5 @@ impl Tx<'_> {
     #[inline]
     pub fn write_ptr(&mut self, addr: PAddr, p: PAddr) -> TxResult<()> {
         self.th.tx_write(addr, p.0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use pmem_sim::{DurabilityDomain, Machine, MachineConfig};
-
-    fn setup(algo: Algo) -> (Arc<Machine>, Arc<Ptm>, Arc<PHeap>) {
-        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
-        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
-        let cfg = match algo {
-            Algo::RedoLazy => PtmConfig::redo(),
-            Algo::UndoEager => PtmConfig::undo(),
-        };
-        (m.clone(), Ptm::new(cfg), heap)
-    }
-
-    fn both() -> Vec<Algo> {
-        vec![Algo::RedoLazy, Algo::UndoEager]
-    }
-
-    #[test]
-    fn write_then_read_within_tx() {
-        for algo in both() {
-            let (m, ptm, heap) = setup(algo);
-            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
-            let a = heap.alloc(th.session_mut(), 4);
-            let got = th.run(|tx| {
-                tx.write(a, 10)?;
-                tx.write(a.offset(1), 20)?;
-                let x = tx.read(a)?;
-                let y = tx.read(a.offset(1))?;
-                Ok(x + y)
-            });
-            assert_eq!(got, 30, "{algo:?}");
-        }
-    }
-
-    #[test]
-    fn committed_writes_visible_to_next_tx() {
-        for algo in both() {
-            let (m, ptm, heap) = setup(algo);
-            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
-            let a = heap.alloc(th.session_mut(), 4);
-            th.run(|tx| tx.write(a, 55));
-            let v = th.run(|tx| tx.read(a));
-            assert_eq!(v, 55, "{algo:?}");
-        }
-    }
-
-    #[test]
-    fn user_abort_rolls_back() {
-        for algo in both() {
-            let (m, ptm, heap) = setup(algo);
-            let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-            let a = heap.alloc(th.session_mut(), 4);
-            th.run(|tx| tx.write(a, 1));
-            let mut tried = false;
-            th.run(|tx| {
-                if !tried {
-                    tried = true;
-                    tx.write(a, 999)?;
-                    return Err(Abort); // user-requested retry
-                }
-                Ok(())
-            });
-            let v = th.run(|tx| tx.read(a));
-            assert_eq!(v, 1, "{algo:?}: speculative write must be undone");
-            assert!(ptm.stats_snapshot().aborts >= 1);
-        }
-    }
-
-    #[test]
-    fn read_only_tx_commits_without_clock_bump() {
-        for algo in both() {
-            let (m, ptm, heap) = setup(algo);
-            let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-            let a = heap.alloc(th.session_mut(), 4);
-            th.run(|tx| tx.write(a, 5));
-            let before = ptm.clock.sample();
-            let v = th.run(|tx| tx.read(a));
-            assert_eq!(v, 5);
-            assert_eq!(ptm.clock.sample(), before, "{algo:?}");
-        }
-    }
-
-    #[test]
-    fn redo_commit_is_durable_under_adr() {
-        let (m, ptm, heap) = setup(Algo::RedoLazy);
-        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
-        let a = heap.alloc(th.session_mut(), 4);
-        th.run(|tx| tx.write(a, 77));
-        // After commit, the value must be durable (in the shadow).
-        assert_eq!(heap.pool().shadow().unwrap().load(a.word()), 77);
-    }
-
-    #[test]
-    fn undo_commit_is_durable_under_adr() {
-        let (m, ptm, heap) = setup(Algo::UndoEager);
-        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
-        let a = heap.alloc(th.session_mut(), 4);
-        th.run(|tx| tx.write(a, 88));
-        assert_eq!(heap.pool().shadow().unwrap().load(a.word()), 88);
-    }
-
-    #[test]
-    fn alloc_in_aborted_tx_is_freed() {
-        for algo in both() {
-            let (m, ptm, heap) = setup(algo);
-            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
-            let mut first = true;
-            let mut leaked = PAddr::NULL;
-            th.run(|tx| {
-                if first {
-                    first = false;
-                    leaked = tx.alloc(8);
-                    return Err(Abort);
-                }
-                Ok(())
-            });
-            assert_eq!(heap.free_blocks(), 1, "{algo:?}: aborted alloc returned");
-            // And it is reusable.
-            let again = heap.alloc(th.session_mut(), 8);
-            assert_eq!(again, leaked);
-        }
-    }
-
-    #[test]
-    fn free_in_committed_tx_is_applied() {
-        for algo in both() {
-            let (m, ptm, heap) = setup(algo);
-            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
-            let a = heap.alloc(th.session_mut(), 8);
-            th.run(|tx| {
-                tx.free(a);
-                tx.write_at(a, 0, 0)?; // touching freed-this-tx memory is
-                                       // legal until commit
-                Ok(())
-            });
-            assert_eq!(heap.free_blocks(), 1, "{algo:?}");
-        }
-    }
-
-    #[test]
-    fn conflicting_writers_serialize_counter() {
-        for algo in both() {
-            let (m, ptm, heap) = setup(algo);
-            let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-            let ctr = heap.alloc(th0.session_mut(), 1);
-            th0.run(|tx| tx.write(ctr, 0));
-            drop(th0);
-            let threads = 4;
-            let per = 500;
-            m.begin_run(threads, u64::MAX);
-            std::thread::scope(|scope| {
-                for tid in 0..threads {
-                    let m = Arc::clone(&m);
-                    let ptm = Arc::clone(&ptm);
-                    let heap = Arc::clone(&heap);
-                    scope.spawn(move || {
-                        let mut th = TxThread::new(ptm, heap, m.session(tid));
-                        for _ in 0..per {
-                            th.run(|tx| {
-                                let v = tx.read(ctr)?;
-                                tx.write(ctr, v + 1)
-                            });
-                        }
-                    });
-                }
-            });
-            let mut th = TxThread::new(ptm.clone(), heap.clone(), {
-                m.begin_run(1, u64::MAX);
-                m.session(0)
-            });
-            let v = th.run(|tx| tx.read(ctr));
-            assert_eq!(v, (threads * per) as u64, "{algo:?}: lost updates");
-        }
-    }
-
-    #[test]
-    fn bank_invariant_under_concurrency() {
-        for algo in both() {
-            let (m, ptm, heap) = setup(algo);
-            let accounts = 16u64;
-            let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-            let table = heap.alloc(th0.session_mut(), accounts as usize);
-            th0.run(|tx| {
-                for i in 0..accounts {
-                    tx.write_at(table, i, 1_000)?;
-                }
-                Ok(())
-            });
-            drop(th0);
-            let threads = 4;
-            m.begin_run(threads, u64::MAX);
-            std::thread::scope(|scope| {
-                for tid in 0..threads {
-                    let m = Arc::clone(&m);
-                    let ptm = Arc::clone(&ptm);
-                    let heap = Arc::clone(&heap);
-                    scope.spawn(move || {
-                        let mut th = TxThread::new(ptm, heap, m.session(tid));
-                        let mut rng = SmallRng::seed_from_u64(tid as u64);
-                        for _ in 0..400 {
-                            let from = rng.gen_range(0..accounts);
-                            let to = rng.gen_range(0..accounts);
-                            th.run(|tx| {
-                                let f = tx.read_at(table, from)?;
-                                let t = tx.read_at(table, to)?;
-                                if from != to && f >= 10 {
-                                    tx.write_at(table, from, f - 10)?;
-                                    tx.write_at(table, to, t + 10)?;
-                                }
-                                Ok(())
-                            });
-                        }
-                    });
-                }
-            });
-            m.begin_run(1, u64::MAX);
-            let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-            let total = th.run(|tx| {
-                let mut sum = 0;
-                for i in 0..accounts {
-                    sum += tx.read_at(table, i)?;
-                }
-                Ok(sum)
-            });
-            assert_eq!(total, accounts * 1_000, "{algo:?}: money not conserved");
-        }
-    }
-
-    fn setup_with(cfg: PtmConfig) -> (Arc<Machine>, Arc<Ptm>, Arc<PHeap>) {
-        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
-        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
-        (m.clone(), Ptm::new(cfg), heap)
-    }
-
-    /// Unique (pool, line) count of a set of addresses.
-    fn unique_lines(addrs: &[PAddr]) -> u64 {
-        let mut lines: Vec<(u32, u64)> = addrs.iter().map(|a| (a.pool().0, a.line())).collect();
-        lines.sort_unstable();
-        lines.dedup();
-        lines.len() as u64
-    }
-
-    /// Satellite acceptance: under ADR with write combining, the
-    /// writebacks of one committed redo transaction are exactly the
-    /// unique dirty lines it touches — ceil(k/2) log lines (two entries
-    /// per line), the header line twice (COMMITTED marker + retire), and
-    /// each unique data line once.
-    #[test]
-    fn combined_redo_writebacks_equal_unique_dirty_lines() {
-        let (m, ptm, heap) = setup_with(PtmConfig::combined(Algo::RedoLazy));
-        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let a = heap.alloc(th.session_mut(), 24);
-        // 12 entries: 8 words of one region plus 4 of another — several
-        // entries share data lines.
-        let writes: Vec<PAddr> = (0..8).chain(16..20).map(|w| a.offset(w)).collect();
-        let before = m.stats.snapshot();
-        th.run(|tx| {
-            for (i, &w) in writes.iter().enumerate() {
-                tx.write(w, i as u64 + 1)?;
-            }
-            Ok(())
-        });
-        let d = m.stats.snapshot().delta_since(&before);
-        let k = writes.len() as u64;
-        let log_lines = crate::log::entry_lines(writes.len()) as u64;
-        let data_lines = unique_lines(&writes);
-        assert!(data_lines < k, "test must exercise line sharing");
-        let expected = log_lines + 2 + data_lines;
-        assert_eq!(
-            d.clwb_writebacks, expected,
-            "writebacks must equal unique dirty lines \
-             (log {log_lines} + header 2 + data {data_lines})"
-        );
-        assert_eq!(
-            d.clwbs, expected,
-            "combined pipeline flushes each line once"
-        );
-        assert_eq!(d.clwb_batches, 2, "one batched drain per fence window");
-        let s = ptm.stats_snapshot();
-        // The header-line flushes (marker, retire) go direct, not through
-        // the planner: only log and data lines are planned.
-        assert_eq!(s.lines_planned, log_lines + data_lines);
-        assert_eq!(
-            s.flushes_elided,
-            (k - log_lines) + (k - data_lines),
-            "planner elides the duplicate log- and data-line offers"
-        );
-        assert_eq!(s.max_write_lines, data_lines);
-    }
-
-    /// Same-shape accounting for undo: the commit window flushes each
-    /// unique in-place data line once (the per-entry log flushes during
-    /// execution are the algorithm's O(W) cost and stay as-is).
-    #[test]
-    fn combined_undo_writebacks_equal_unique_dirty_lines() {
-        let (m, ptm, heap) = setup_with(PtmConfig::combined(Algo::UndoEager));
-        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let a = heap.alloc(th.session_mut(), 16);
-        let writes: Vec<PAddr> = (0..6).map(|w| a.offset(w)).collect();
-        let before = m.stats.snapshot();
-        th.run(|tx| {
-            for (i, &w) in writes.iter().enumerate() {
-                // Repeat stores: the eager_writes dedup keeps one
-                // obligation per address.
-                tx.write(w, i as u64)?;
-                tx.write(w, i as u64 + 10)?;
-            }
-            Ok(())
-        });
-        let d = m.stats.snapshot().delta_since(&before);
-        let k = writes.len() as u64;
-        let data_lines = unique_lines(&writes);
-        // seq header + one flush per log entry append + commit window
-        // (unique data lines) + truncate.
-        let expected = 1 + k + data_lines + 1;
-        assert_eq!(d.clwb_writebacks, expected);
-        let s = ptm.stats_snapshot();
-        assert_eq!(s.lines_planned, data_lines);
-        assert_eq!(s.flushes_elided, k - data_lines);
-    }
-
-    /// The combined pipeline must commit the same data as the naive one
-    /// while issuing strictly fewer flushes on a line-sharing write set.
-    #[test]
-    fn combined_pipeline_matches_naive_semantics_with_fewer_flushes() {
-        for algo in both() {
-            let run = |combining: bool| {
-                let cfg = PtmConfig {
-                    write_combining: combining,
-                    ..match algo {
-                        Algo::RedoLazy => PtmConfig::redo(),
-                        Algo::UndoEager => PtmConfig::undo(),
-                    }
-                };
-                let (m, ptm, heap) = setup_with(cfg);
-                let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
-                let a = heap.alloc(th.session_mut(), 32);
-                for round in 0..4u64 {
-                    th.run(|tx| {
-                        for w in 0..16u64 {
-                            tx.write_at(a, w, round * 100 + w)?;
-                        }
-                        Ok(())
-                    });
-                }
-                let values: Vec<u64> = (0..16)
-                    .map(|w| heap.pool().shadow().unwrap().load(a.word() + w))
-                    .collect();
-                (values, m.stats.snapshot().clwbs)
-            };
-            let (naive_vals, naive_clwbs) = run(false);
-            let (combined_vals, combined_clwbs) = run(true);
-            assert_eq!(naive_vals, combined_vals, "{algo:?}: divergent commits");
-            assert!(
-                combined_clwbs < naive_clwbs,
-                "{algo:?}: combined {combined_clwbs} must flush less than naive {naive_clwbs}"
-            );
-        }
-    }
-
-    /// Under eADR the planner is bypassed entirely: no planner counters
-    /// move and no flush instructions are issued — the eADR arm of the
-    /// ablation must be unchanged by the flag.
-    #[test]
-    fn combining_is_inert_under_eadr() {
-        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
-        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
-        let ptm = Ptm::new(PtmConfig {
-            write_combining: true,
-            htm_retries: 0,
-            ..PtmConfig::redo()
-        });
-        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let a = heap.alloc(th.session_mut(), 16);
-        th.run(|tx| {
-            for w in 0..16u64 {
-                tx.write_at(a, w, w)?;
-            }
-            Ok(())
-        });
-        let s = ptm.stats_snapshot();
-        assert_eq!(s.lines_planned, 0);
-        assert_eq!(s.flushes_elided, 0);
-        assert_eq!(m.stats.snapshot().clwbs, 0);
-        assert_eq!(m.stats.snapshot().clwb_batches, 0);
-    }
-
-    /// The duplicate-filtered read set keeps one slot per orec, so a
-    /// hot-stripe re-read costs O(unique orecs) at validation.
-    #[test]
-    fn read_set_is_duplicate_filtered_under_combining() {
-        let (m, ptm, heap) = setup_with(PtmConfig::combined(Algo::RedoLazy));
-        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let a = heap.alloc(th.session_mut(), 4);
-        th.run(|tx| tx.write(a, 7));
-        let got = th.run(|tx| {
-            let mut sum = 0;
-            for _ in 0..100 {
-                sum += tx.read(a)?;
-            }
-            // A write forces the full (non-read-only) commit path, which
-            // records the read-set high-water mark.
-            tx.write(a.offset(1), sum)?;
-            Ok(sum)
-        });
-        assert_eq!(got, 700);
-        let s = ptm.stats_snapshot();
-        assert!(
-            s.max_read_set_unique <= 2,
-            "100 re-reads of one stripe must collapse to one slot, got {}",
-            s.max_read_set_unique
-        );
-    }
-
-    #[test]
-    fn undo_pays_more_fences_than_redo() {
-        let writes = 16u64;
-        let fences_for = |algo: Algo| {
-            let (m, ptm, heap) = setup(algo);
-            let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
-            let a = heap.alloc(th.session_mut(), writes as usize);
-            let before = m.stats.snapshot().sfences;
-            th.run(|tx| {
-                for i in 0..writes {
-                    tx.write_at(a, i, i)?;
-                }
-                Ok(())
-            });
-            m.stats.snapshot().sfences - before
-        };
-        let undo = fences_for(Algo::UndoEager);
-        let redo = fences_for(Algo::RedoLazy);
-        assert!(
-            undo >= writes && redo <= 8,
-            "undo fences {undo} (expect >= {writes}), redo fences {redo} (expect O(1))"
-        );
-    }
-
-    #[test]
-    fn elide_fences_suppresses_sfence() {
-        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
-        let heap = PHeap::format(&m, "heap", 1 << 14, 8);
-        let cfg = PtmConfig {
-            elide_fences: true,
-            ..PtmConfig::undo()
-        };
-        let ptm = Ptm::new(cfg);
-        let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
-        let a = heap.alloc(th.session_mut(), 8);
-        let before = m.stats.snapshot();
-        th.run(|tx| {
-            for i in 0..8 {
-                tx.write_at(a, i, i)?;
-            }
-            Ok(())
-        });
-        let after = m.stats.snapshot();
-        assert_eq!(after.sfences, before.sfences, "no fences issued");
-        assert!(after.clwbs > before.clwbs, "flushes still issued");
-    }
-
-    #[test]
-    fn ts_extension_salvages_reads() {
-        // A transaction reads a, then another tx commits to b (raising the
-        // clock), then the first reads b: without extension this aborts;
-        // with it, the read set {a} revalidates and the tx commits.
-        let (m, ptm, heap) = setup(Algo::RedoLazy);
-        m.begin_run(2, u64::MAX);
-        let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let mut th1 = TxThread::new(ptm.clone(), heap.clone(), m.session(1));
-        let a = heap.alloc(th0.session_mut(), 1);
-        let b = heap.alloc(th0.session_mut(), 1);
-        th0.run(|tx| {
-            tx.write(a, 1)?;
-            tx.write(b, 2)
-        });
-        let before = ptm.stats_snapshot();
-        let mut stage = 0;
-        let got = th0.run(|tx| {
-            let va = tx.read(a)?;
-            if stage == 0 {
-                stage = 1;
-                th1.run(|tx1| {
-                    let vb = tx1.read(b)?;
-                    tx1.write(b, vb + 10)
-                });
-            }
-            let vb = tx.read(b)?;
-            Ok((va, vb))
-        });
-        assert_eq!(got, (1, 12));
-        let after = ptm.stats_snapshot();
-        assert_eq!(after.aborts, before.aborts, "extension avoided the abort");
-        assert!(after.extensions > before.extensions);
-    }
-
-    #[test]
-    fn snapshot_isolation_is_really_serializable() {
-        // Classic write-skew shape is prevented: two txs each read both
-        // cells and write one; outcome must be serializable.
-        for algo in both() {
-            let (m, ptm, heap) = setup(algo);
-            m.begin_run(2, u64::MAX);
-            let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-            let a = heap.alloc(th0.session_mut(), 1);
-            let b = heap.alloc(th0.session_mut(), 1);
-            th0.run(|tx| {
-                tx.write(a, 100)?;
-                tx.write(b, 100)
-            });
-            drop(th0);
-            std::thread::scope(|scope| {
-                let m0 = Arc::clone(&m);
-                let p0 = Arc::clone(&ptm);
-                let h0 = Arc::clone(&heap);
-                scope.spawn(move || {
-                    let mut th = TxThread::new(p0, h0, m0.session(0));
-                    th.run(|tx| {
-                        let x = tx.read(a)?;
-                        let y = tx.read(b)?;
-                        if x + y >= 100 {
-                            tx.write(a, x.saturating_sub(100))?;
-                        }
-                        Ok(())
-                    });
-                });
-                let m1 = Arc::clone(&m);
-                let p1 = Arc::clone(&ptm);
-                let h1 = Arc::clone(&heap);
-                scope.spawn(move || {
-                    let mut th = TxThread::new(p1, h1, m1.session(1));
-                    th.run(|tx| {
-                        let x = tx.read(a)?;
-                        let y = tx.read(b)?;
-                        if x + y >= 100 {
-                            tx.write(b, y.saturating_sub(100))?;
-                        }
-                        Ok(())
-                    });
-                });
-            });
-            m.begin_run(1, u64::MAX);
-            let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-            let (x, y) = th.run(|tx| Ok((tx.read(a)?, tx.read(b)?)));
-            // Serializable outcomes: one tx sees the other's debit.
-            assert!(
-                (x, y) == (0, 100) || (x, y) == (100, 0) || (x, y) == (0, 0),
-                "{algo:?}: non-serializable outcome ({x},{y})"
-            );
-            // (0,0) happens only if one committed before the other began;
-            // with sum 200 initially both guards pass, so (0,0) is also
-            // serializable. What must NOT happen is a torn guard, e.g.
-            // negative balances — unrepresentable here, so the assert above
-            // is the full check.
-        }
-    }
-}
-
-#[cfg(test)]
-mod htm_tests {
-    use super::*;
-    use pmem_sim::{DurabilityDomain, Machine, MachineConfig};
-
-    fn setup(domain: DurabilityDomain) -> (Arc<Machine>, Arc<Ptm>, Arc<PHeap>) {
-        let m = Machine::new(MachineConfig::functional(domain));
-        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
-        let ptm = Ptm::new(PtmConfig::hybrid(Algo::RedoLazy));
-        (m, ptm, heap)
-    }
-
-    #[test]
-    fn htm_commits_under_eadr() {
-        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
-        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let a = heap.alloc(th.session_mut(), 4);
-        th.run(|tx| {
-            tx.write(a, 5)?;
-            let v = tx.read(a)?;
-            tx.write(a.offset(1), v * 2)
-        });
-        assert_eq!(th.run(|tx| tx.read(a.offset(1))), 10);
-        let s = ptm.stats_snapshot();
-        assert!(s.htm_commits >= 2, "hardware path used: {s:?}");
-        assert_eq!(s.htm_fallbacks, 0);
-        // No flushes and no log traffic on the hardware path.
-        assert_eq!(m.stats.snapshot().clwbs, 0);
-    }
-
-    #[test]
-    fn htm_is_skipped_under_adr() {
-        let (m, ptm, heap) = setup(DurabilityDomain::Adr);
-        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let a = heap.alloc(th.session_mut(), 4);
-        th.run(|tx| tx.write(a, 9));
-        let s = ptm.stats_snapshot();
-        assert_eq!(s.htm_commits, 0, "TSX is incompatible with ADR");
-        assert_eq!(s.commits, 1);
-        assert!(m.stats.snapshot().sfences > 0, "software path flushed");
-    }
-
-    #[test]
-    fn htm_commit_is_durable_under_eadr() {
-        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
-        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let a = heap.alloc(th.session_mut(), 2);
-        th.run(|tx| tx.write(a, 1234));
-        assert!(ptm.stats_snapshot().htm_commits >= 1);
-        let img = m.crash(0);
-        let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Eadr));
-        crate::recovery::recover(&m2);
-        assert_eq!(m2.pool(a.pool()).raw_load(a.word()), 1234);
-    }
-
-    #[test]
-    fn htm_capacity_overflow_falls_back() {
-        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
-        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let cap = ptm.config.htm_capacity;
-        let a = heap.alloc(th.session_mut(), cap + 8);
-        th.run(|tx| {
-            for i in 0..(cap as u64 + 4) {
-                tx.write_at(a, i, i)?;
-            }
-            Ok(())
-        });
-        let s = ptm.stats_snapshot();
-        assert!(s.htm_fallbacks >= 1, "capacity abort must fall back: {s:?}");
-        assert_eq!(s.commits, 1);
-        // Data intact via the software path.
-        assert_eq!(th.run(|tx| tx.read_at(a, cap as u64 + 3)), cap as u64 + 3);
-    }
-
-    #[test]
-    fn hybrid_counter_is_exact_under_concurrency() {
-        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
-        let mut th0 = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let ctr = heap.alloc(th0.session_mut(), 1);
-        th0.run(|tx| tx.write(ctr, 0));
-        drop(th0);
-        let threads = 4;
-        let per = 400;
-        m.begin_run(threads, u64::MAX);
-        std::thread::scope(|scope| {
-            for tid in 0..threads {
-                let m = Arc::clone(&m);
-                let ptm = Arc::clone(&ptm);
-                let heap = Arc::clone(&heap);
-                scope.spawn(move || {
-                    let mut th = TxThread::new(ptm, heap, m.session(tid));
-                    for _ in 0..per {
-                        th.run(|tx| {
-                            let v = tx.read(ctr)?;
-                            tx.write(ctr, v + 1)
-                        });
-                    }
-                });
-            }
-        });
-        m.begin_run(1, u64::MAX);
-        let mut th = TxThread::new(ptm.clone(), heap, m.session(0));
-        assert_eq!(th.run(|tx| tx.read(ctr)), (threads * per) as u64);
-        let s = ptm.stats_snapshot();
-        assert!(s.htm_commits > 0, "some hardware commits expected: {s:?}");
-    }
-
-    #[test]
-    fn htm_mixes_safely_with_software_writers() {
-        // One thread runs hybrid, another pure-STM eager, on overlapping
-        // data; the sum invariant must hold.
-        let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
-        let heap = PHeap::format(&m, "heap", 1 << 16, 8);
-        let hybrid = Ptm::new(PtmConfig::hybrid(Algo::RedoLazy));
-        let mut th0 = TxThread::new(hybrid.clone(), heap.clone(), m.session(0));
-        let cells = heap.alloc(th0.session_mut(), 8);
-        th0.run(|tx| {
-            for i in 0..8 {
-                tx.write_at(cells, i, 100)?;
-            }
-            Ok(())
-        });
-        drop(th0);
-        m.begin_run(2, u64::MAX);
-        std::thread::scope(|scope| {
-            // NOTE: both threads must share the same Ptm (same orecs/clock);
-            // the hybrid flag is per-config, so use one Ptm and rely on
-            // run()'s dispatch for both.
-            let m0 = Arc::clone(&m);
-            let p0 = Arc::clone(&hybrid);
-            let h0 = Arc::clone(&heap);
-            scope.spawn(move || {
-                let mut th = TxThread::new(p0, h0, m0.session(0));
-                for i in 0..500u64 {
-                    th.run(|tx| {
-                        let a = i % 8;
-                        let b = (i + 3) % 8;
-                        let va = tx.read_at(cells, a)?;
-                        let vb = tx.read_at(cells, b)?;
-                        if a != b && va > 0 {
-                            tx.write_at(cells, a, va - 1)?;
-                            tx.write_at(cells, b, vb + 1)?;
-                        }
-                        Ok(())
-                    });
-                }
-            });
-            let m1 = Arc::clone(&m);
-            let p1 = Arc::clone(&hybrid);
-            let h1 = Arc::clone(&heap);
-            scope.spawn(move || {
-                let mut th = TxThread::new(p1, h1, m1.session(1));
-                for i in 0..500u64 {
-                    th.run(|tx| {
-                        let a = (i + 5) % 8;
-                        let b = i % 8;
-                        let va = tx.read_at(cells, a)?;
-                        let vb = tx.read_at(cells, b)?;
-                        if a != b && va > 0 {
-                            tx.write_at(cells, a, va - 1)?;
-                            tx.write_at(cells, b, vb + 1)?;
-                        }
-                        Ok(())
-                    });
-                }
-            });
-        });
-        m.begin_run(1, u64::MAX);
-        let mut th = TxThread::new(hybrid, heap, m.session(0));
-        let sum = th.run(|tx| {
-            let mut s = 0;
-            for i in 0..8 {
-                s += tx.read_at(cells, i)?;
-            }
-            Ok(s)
-        });
-        assert_eq!(sum, 800, "transfers must conserve");
     }
 }

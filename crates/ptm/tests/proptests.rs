@@ -34,8 +34,8 @@ proptest! {
     }
 
     /// Sequential transactions over random word programs behave exactly
-    /// like direct memory, under both algorithms and with arbitrary
-    /// transaction boundaries and user aborts.
+    /// like direct memory, under every registered algorithm and with
+    /// arbitrary transaction boundaries and user aborts.
     #[test]
     fn transactions_match_flat_memory(
         program in prop::collection::vec(
@@ -44,9 +44,9 @@ proptest! {
             (0u8..10, 0u64..64, any::<u64>()),
             1..120,
         ),
-        redo in any::<bool>(),
+        algo_idx in 0usize..Algo::ALL.len(),
     ) {
-        let algo = if redo { Algo::RedoLazy } else { Algo::UndoEager };
+        let algo = Algo::ALL[algo_idx];
         let m = Machine::new(MachineConfig::functional(DurabilityDomain::Eadr));
         let heap = PHeap::format(&m, "h", 1 << 14, 4);
         let cfg = PtmConfig { algo, ..PtmConfig::default() };
@@ -116,9 +116,9 @@ proptest! {
     #[test]
     fn write_combining_matches_naive_memory(
         writes in prop::collection::vec((0u64..48, any::<u64>()), 1..80),
-        redo in any::<bool>(),
+        algo_idx in 0usize..Algo::ALL.len(),
     ) {
-        let algo = if redo { Algo::RedoLazy } else { Algo::UndoEager };
+        let algo = Algo::ALL[algo_idx];
         let run_with = |combining: bool| {
             let m = Machine::new(MachineConfig::functional(DurabilityDomain::Adr));
             let heap = PHeap::format(&m, "h", 1 << 14, 4);
@@ -185,14 +185,14 @@ proptest! {
     #[test]
     fn crash_sweep_is_clean_and_digests_match_across_pipelines(
         seed in 0u64..1_000,
-        redo in any::<bool>(),
+        algo_idx in 0usize..Algo::ALL.len(),
         transfers in 2usize..5,
     ) {
         use pmem_sim::AdversaryPolicy;
         use ptm::crash_harness::{run_site, sweep_case, BankTransfers, SweepCase, SweepOptions};
         use ptm::RecoverOptions;
 
-        let algo = if redo { Algo::RedoLazy } else { Algo::UndoEager };
+        let algo = Algo::ALL[algo_idx];
         let case = SweepCase {
             algo,
             domain: DurabilityDomain::Adr,
@@ -223,5 +223,90 @@ proptest! {
         prop_assert!(naive.violations.is_empty(), "{:?}", naive.violations);
         prop_assert!(combined.violations.is_empty(), "{:?}", combined.violations);
         prop_assert_eq!(naive.state_digest, combined.state_digest);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cross-algorithm differential test: an identical sequential
+    /// workload (random writes, reads, user aborts, arbitrary
+    /// transaction boundaries) produces the identical committed heap
+    /// state under redo, undo, and cow shadow, in every durability
+    /// domain. The algorithm seam may change *how* writes become
+    /// durable, never *what* commits.
+    #[test]
+    fn algorithms_commit_identical_heap_state(
+        program in prop::collection::vec(
+            // (op, addr, value): op 0..7 = write, 7..9 = read,
+            // 9 = commit boundary, 10 = user abort
+            (0u8..11, 0u64..48, any::<u64>()),
+            1..100,
+        ),
+        domain_idx in 0usize..4,
+    ) {
+        let domain = [
+            DurabilityDomain::Adr,
+            DurabilityDomain::Eadr,
+            DurabilityDomain::Pdram,
+            DurabilityDomain::PdramLite,
+        ][domain_idx];
+        let final_state = |algo: Algo| {
+            let m = Machine::new(MachineConfig::functional(domain));
+            let heap = PHeap::format(&m, "h", 1 << 14, 4);
+            let cfg = PtmConfig { algo, htm_retries: 0, ..PtmConfig::default() };
+            let mut th = TxThread::new(Ptm::new(cfg), heap.clone(), m.session(0));
+            let base = {
+                let h = std::sync::Arc::clone(&heap);
+                h.alloc(th.session_mut(), 48)
+            };
+            let mut chunk: Vec<(u8, u64, u64)> = Vec::new();
+            let run_chunk = |th: &mut TxThread, chunk: &[(u8, u64, u64)], abort: bool| {
+                if chunk.is_empty() {
+                    return;
+                }
+                let mut aborted_once = false;
+                th.run(|tx| {
+                    for &(op, a, v) in chunk {
+                        if op < 7 {
+                            tx.write_at(base, a, v)?;
+                        } else {
+                            tx.read_at(base, a)?;
+                        }
+                    }
+                    if abort && !aborted_once {
+                        aborted_once = true;
+                        return Err(ptm::Abort);
+                    }
+                    Ok(())
+                });
+            };
+            for &(op, a, v) in &program {
+                match op {
+                    9 => { run_chunk(&mut th, &chunk, false); chunk.clear(); }
+                    10 => { run_chunk(&mut th, &chunk, true); chunk.clear(); }
+                    _ => chunk.push((op, a, v)),
+                }
+            }
+            run_chunk(&mut th, &chunk, false);
+            // Committed (cache-visible) data-block state. Only the block
+            // itself is compared: cow legitimately perturbs allocator
+            // metadata by cycling shadow blocks.
+            let pool = heap.pool();
+            (0..48u64)
+                .map(|a| pool.raw_load(base.word() + a))
+                .collect::<Vec<u64>>()
+        };
+        let reference = final_state(Algo::ALL[0]);
+        for &algo in &Algo::ALL[1..] {
+            prop_assert_eq!(
+                &reference,
+                &final_state(algo),
+                "{:?} diverged from {:?} under {:?}",
+                algo,
+                Algo::ALL[0],
+                domain
+            );
+        }
     }
 }

@@ -393,7 +393,7 @@ mod tests {
     /// phase sum equals the session's elapsed time within 1%.
     #[test]
     fn single_thread_phase_sum_matches_elapsed() {
-        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        for algo in Algo::ALL {
             let mut w = CounterWorkload::new();
             let machine = Machine::new(MachineConfig {
                 domain: DurabilityDomain::Adr,

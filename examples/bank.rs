@@ -23,7 +23,7 @@ const ACCOUNTS: u64 = 64;
 const INITIAL: u64 = 1_000;
 
 fn main() {
-    for algo in [Algo::RedoLazy, Algo::UndoEager] {
+    for algo in Algo::ALL {
         run(algo);
     }
     println!("bank OK");
@@ -36,10 +36,7 @@ fn run(algo: Algo) {
         ..MachineConfig::default()
     });
     let heap = PHeap::format(&machine, "bank-heap", 1 << 16, 4);
-    let cfg = match algo {
-        Algo::RedoLazy => PtmConfig::redo(),
-        Algo::UndoEager => PtmConfig::undo(),
-    };
+    let cfg = PtmConfig::with_algo(algo);
     let ptm = Ptm::new(cfg.clone());
 
     // Set up the accounts table and anchor it.

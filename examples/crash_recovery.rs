@@ -19,7 +19,7 @@ fn main() {
         DurabilityDomain::PdramLite,
     ];
     for domain in domains {
-        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        for algo in Algo::ALL {
             // PDRAM-Lite is a redo-log design; skip the undo pairing.
             if domain == DurabilityDomain::PdramLite && algo == Algo::UndoEager {
                 continue;
@@ -38,10 +38,7 @@ fn torture(domain: DurabilityDomain, algo: Algo) {
         ..MachineConfig::default()
     });
     let heap = PHeap::format(&machine, "heap", 1 << 16, 4);
-    let cfg = match algo {
-        Algo::RedoLazy => PtmConfig::redo(),
-        Algo::UndoEager => PtmConfig::undo(),
-    };
+    let cfg = PtmConfig::with_algo(algo);
     let ptm = Ptm::new(cfg);
     let mut th = TxThread::new(ptm, heap.clone(), machine.session(0));
     let tree = th.run(BpTree::create);

@@ -115,6 +115,14 @@ fn money_conserved_undo_adr() {
 }
 
 #[test]
+fn money_conserved_cow_adr() {
+    for seed in 0..4 {
+        let (total, ..) = run_crash_bank(Algo::CowShadow, DurabilityDomain::Adr, seed);
+        assert_eq!(total, ACCOUNTS * INITIAL, "seed {seed}");
+    }
+}
+
+#[test]
 fn money_conserved_redo_eadr() {
     let (total, ..) = run_crash_bank(Algo::RedoLazy, DurabilityDomain::Eadr, 7);
     assert_eq!(total, ACCOUNTS * INITIAL);
@@ -123,6 +131,12 @@ fn money_conserved_redo_eadr() {
 #[test]
 fn money_conserved_undo_eadr() {
     let (total, ..) = run_crash_bank(Algo::UndoEager, DurabilityDomain::Eadr, 7);
+    assert_eq!(total, ACCOUNTS * INITIAL);
+}
+
+#[test]
+fn money_conserved_cow_eadr() {
+    let (total, ..) = run_crash_bank(Algo::CowShadow, DurabilityDomain::Eadr, 7);
     assert_eq!(total, ACCOUNTS * INITIAL);
 }
 

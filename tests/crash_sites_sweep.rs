@@ -1,5 +1,5 @@
 //! Integration test for the deterministic crash-site enumeration
-//! harness: a bounded sweep over both algorithms, all four live
+//! harness: a bounded sweep over every registered algorithm, all four live
 //! durability domains and every adversary policy must be violation-free;
 //! deliberately broken recovery must fail with a deterministic,
 //! replayable reproducer; and recovery interrupted by a second crash
@@ -22,14 +22,14 @@ fn small_bank() -> BankTransfers {
     }
 }
 
-/// The headline acceptance sweep: {redo, undo} × {ADR, eADR, PDRAM,
+/// The headline acceptance sweep: {redo, undo, cow} × {ADR, eADR, PDRAM,
 /// PDRAM-Lite} × all four adversary policies, strided to a test-sized
 /// budget, with zero violations.
 #[test]
 fn bounded_sweep_over_the_full_grid_is_clean() {
     let bank = small_bank();
     let mut cases = Vec::new();
-    for algo in [Algo::RedoLazy, Algo::UndoEager] {
+    for algo in Algo::ALL {
         for domain in [
             DurabilityDomain::Adr,
             DurabilityDomain::Eadr,
@@ -54,8 +54,9 @@ fn bounded_sweep_over_the_full_grid_is_clean() {
             ..SweepOptions::default()
         },
     );
-    assert_eq!(report.cases.len(), 32);
-    assert!(report.sites_run() >= 32 * 10);
+    let expected = Algo::ALL.len() * 4 * AdversaryPolicy::SWEEP.len();
+    assert_eq!(report.cases.len(), expected);
+    assert!(report.sites_run() >= expected as u64 * 10);
     let lines: Vec<String> = report.violations().map(|v| v.to_string()).collect();
     assert!(report.is_clean(), "{lines:#?}");
 }

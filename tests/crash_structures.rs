@@ -47,7 +47,7 @@ fn btree_committed_keys_survive_every_domain() {
         DurabilityDomain::Pdram,
         DurabilityDomain::PdramLite,
     ] {
-        for algo in [Algo::RedoLazy, Algo::UndoEager] {
+        for algo in Algo::ALL {
             let m = machine(domain);
             let heap = PHeap::format(&m, "h", 1 << 16, 4);
             let ptm = Ptm::new(cfg_for(algo));

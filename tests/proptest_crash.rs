@@ -55,10 +55,10 @@ proptest! {
         program in steps(),
         domain in domains(),
         policy in policies(),
-        redo in any::<bool>(),
+        algo_idx in 0usize..Algo::ALL.len(),
         seed in any::<u64>(),
     ) {
-        let algo = if redo { Algo::RedoLazy } else { Algo::UndoEager };
+        let algo = Algo::ALL[algo_idx];
         let machine = Machine::new(MachineConfig {
             domain,
             track_persistence: true,

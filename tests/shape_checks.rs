@@ -214,7 +214,7 @@ fn fence_share_collapses_from_adr_to_eadr() {
     // workload's persistence share collapses to zero.
     use optane_ptm::ptm::Phase;
     let c = rc(1, 400);
-    for algo in [Algo::RedoLazy, Algo::UndoEager] {
+    for algo in Algo::ALL {
         let adr = run_scenario(
             &mut tpcc(),
             &sc(MediaKind::Optane, DurabilityDomain::Adr, algo),

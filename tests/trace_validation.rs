@@ -105,10 +105,10 @@ proptest! {
         which in 0u8..3,
         threads in 1usize..4,
         ops in 20u64..120,
-        redo in any::<bool>(),
+        algo_idx in 0usize..Algo::ALL.len(),
         eadr in any::<bool>(),
     ) {
-        let algo = if redo { Algo::RedoLazy } else { Algo::UndoEager };
+        let algo = Algo::ALL[algo_idx];
         let domain = if eadr { DurabilityDomain::Eadr } else { DurabilityDomain::Adr };
         let (sink, r) = traced_run(which, threads, ops, algo, domain);
         prop_assert_eq!(sink.dropped_events(), 0, "ring sized for test scale");
