@@ -50,6 +50,19 @@ echo "=== crash_sites smoke sweep (3 algorithms x 4 domains) ==="
 # CRASH-REPRO reproducer lines to stderr.
 cargo run -q --release -p bench --bin crash_sites -- --quick > /dev/null
 
+echo "=== shard_scaling smoke + scaling / group-commit guards ==="
+# Quick 1 -> 4 shard sweep of the sharded multi-pool engine. The
+# binary's built-in guards exit nonzero if aggregate throughput stops
+# scaling (largest shard count must beat shards/2 x the 1-shard
+# baseline) or if group commit stops reducing fences per commit.
+cargo run -q --release -p bench --bin shard_scaling -- --quick > /dev/null
+
+echo "=== per-shard crash sweep smoke (group-commit window workload) ==="
+# 4 shards swept independently under derived seeds, crashing the
+# two-thread group-commit bank inside open fence windows. Exits nonzero
+# if any shard's recovery tears a joined window.
+cargo run -q --release -p bench --bin crash_sites -- --quick --workload group --shards 4 > /dev/null
+
 echo "=== trace smoke ==="
 # Record a short traced run, then re-derive its totals from the trace
 # alone. trace_analyze exits nonzero if any trace-derived total diverges

@@ -12,6 +12,12 @@
 //! * `--quick` — bounded smoke sweep (12 sites per case);
 //! * `--max-sites N` — stride the sweep down to ≤ N sites per case;
 //! * `--seed S` — workload/adversary seed (default 42);
+//! * `--workload bank|group` — single-threaded bank transfers (default)
+//!   or the two-thread group-commit window workload (crashes inside an
+//!   open fence window must never tear the joined transactions);
+//! * `--shards N` — sweep N shards' logs independently, each under its
+//!   own derived seed (shard 0 keeps the base seed, so `--shards 1` is
+//!   bit-identical to the unsharded sweep);
 //! * `--json` — one JSON object per case (JSON Lines) instead of CSV;
 //! * `--skip-undo-rollback`, `--skip-redo-replay` — deliberately break
 //!   recovery to demonstrate the sweep catches it (must exit nonzero);
@@ -25,7 +31,7 @@
 use pmem_sim::AdversaryPolicy;
 use ptm::crash_harness::{
     algo_name, count_sites, default_cases, domain_name, parse_algo, parse_domain, run_site,
-    sweep_case, BankTransfers, CrashWorkload, SweepCase, SweepOptions,
+    sweep_case, BankTransfers, CrashWorkload, GroupWindowBank, SweepCase, SweepOptions,
 };
 use ptm::RecoverOptions;
 
@@ -34,10 +40,26 @@ struct Opts {
     json: bool,
     max_sites: Option<u64>,
     seed: u64,
+    workload: String,
+    shards: u64,
     recover: RecoverOptions,
     /// Replay mode: (site, algo, domain, policy).
     replay: Option<SweepCase>,
     replay_site: Option<u64>,
+}
+
+/// Shard `i`'s sweep seed: the same golden-ratio derivation the sharded
+/// engine uses, anchored so shard 0 keeps the base seed.
+fn shard_seed(seed: u64, shard: u64) -> u64 {
+    seed ^ 0x9E3779B97F4A7C15u64.wrapping_mul(shard)
+}
+
+fn make_workload(name: &str) -> Box<dyn CrashWorkload> {
+    match name {
+        "bank" => Box::new(BankTransfers::default()),
+        "group" => Box::new(GroupWindowBank::default()),
+        other => panic!("unknown workload `{other}` (known: bank group)"),
+    }
 }
 
 fn parse_opts() -> Opts {
@@ -46,6 +68,8 @@ fn parse_opts() -> Opts {
         json: false,
         max_sites: None,
         seed: 42,
+        workload: "bank".to_string(),
+        shards: 1,
         recover: RecoverOptions::default(),
         replay: None,
         replay_site: None,
@@ -64,6 +88,13 @@ fn parse_opts() -> Opts {
                 opts.max_sites = Some(next(&mut args, "--max-sites").parse().expect("bad count"))
             }
             "--seed" => opts.seed = next(&mut args, "--seed").parse().expect("bad seed"),
+            "--workload" => opts.workload = next(&mut args, "--workload"),
+            "--shards" => {
+                opts.shards = next(&mut args, "--shards")
+                    .parse()
+                    .expect("bad shard count");
+                assert!(opts.shards >= 1, "--shards needs at least 1");
+            }
             "--skip-undo-rollback" => opts.recover.skip_undo_rollback = true,
             "--skip-redo-replay" => opts.recover.skip_redo_replay = true,
             "--site" => {
@@ -85,7 +116,8 @@ fn parse_opts() -> Opts {
             }
             other => panic!(
                 "unknown flag `{other}` (known: --quick --json --max-sites --seed \
-                 --skip-undo-rollback --skip-redo-replay --site --algo --domain --policy)"
+                 --workload --shards --skip-undo-rollback --skip-redo-replay \
+                 --site --algo --domain --policy)"
             ),
         }
     }
@@ -105,7 +137,12 @@ fn parse_opts() -> Opts {
     opts
 }
 
-fn case_json(bank: &BankTransfers, case: &SweepCase, r: &ptm::CaseResult) -> String {
+fn case_json(
+    workload: &dyn CrashWorkload,
+    shard: u64,
+    case: &SweepCase,
+    r: &ptm::CaseResult,
+) -> String {
     let violations: Vec<String> = r
         .violations
         .iter()
@@ -118,9 +155,10 @@ fn case_json(bank: &BankTransfers, case: &SweepCase, r: &ptm::CaseResult) -> Str
         })
         .collect();
     format!(
-        "{{\"workload\":\"{}\",\"algo\":\"{}\",\"domain\":\"{}\",\"policy\":\"{}\",\
+        "{{\"workload\":\"{}\",\"shard\":{},\"algo\":\"{}\",\"domain\":\"{}\",\"policy\":\"{}\",\
          \"seed\":{},\"total_sites\":{},\"sites_run\":{},\"violations\":[{}]}}",
-        bank.name(),
+        workload.name(),
+        shard,
         algo_name(case.algo),
         domain_name(case.domain),
         case.policy,
@@ -133,14 +171,14 @@ fn case_json(bank: &BankTransfers, case: &SweepCase, r: &ptm::CaseResult) -> Str
 
 fn main() {
     let opts = parse_opts();
-    let bank = BankTransfers::default();
+    let workload = make_workload(&opts.workload);
 
     if let (Some(case), Some(site)) = (opts.replay, opts.replay_site) {
-        let total = count_sites(&bank, &case);
-        let r = run_site(&bank, &case, site, opts.recover);
+        let total = count_sites(workload.as_ref(), &case);
+        let r = run_site(workload.as_ref(), &case, site, opts.recover);
         println!(
             "replay workload={} site={}/{} algo={} domain={} policy={} seed={}",
-            bank.name(),
+            workload.name(),
             site,
             total,
             algo_name(case.algo),
@@ -182,29 +220,32 @@ fn main() {
         recover: opts.recover,
     };
     if !opts.json {
-        println!("workload,algo,domain,policy,seed,total_sites,sites_run,violations");
+        println!("workload,shard,algo,domain,policy,seed,total_sites,sites_run,violations");
     }
     let mut dirty = false;
-    for case in default_cases(opts.seed) {
-        let r = sweep_case(&bank, &case, sweep_opts);
-        if opts.json {
-            println!("{}", case_json(&bank, &case, &r));
-        } else {
-            println!(
-                "{},{},{},{},{},{},{},{}",
-                bank.name(),
-                algo_name(case.algo),
-                domain_name(case.domain),
-                case.policy,
-                case.seed,
-                r.total_sites,
-                r.sites_run,
-                r.violations.len()
-            );
-        }
-        for v in &r.violations {
-            dirty = true;
-            eprintln!("{v}");
+    for shard in 0..opts.shards {
+        for case in default_cases(shard_seed(opts.seed, shard)) {
+            let r = sweep_case(workload.as_ref(), &case, sweep_opts);
+            if opts.json {
+                println!("{}", case_json(workload.as_ref(), shard, &case, &r));
+            } else {
+                println!(
+                    "{},{},{},{},{},{},{},{},{}",
+                    workload.name(),
+                    shard,
+                    algo_name(case.algo),
+                    domain_name(case.domain),
+                    case.policy,
+                    case.seed,
+                    r.total_sites,
+                    r.sites_run,
+                    r.violations.len()
+                );
+            }
+            for v in &r.violations {
+                dirty = true;
+                eprintln!("{v}");
+            }
         }
     }
     if dirty {

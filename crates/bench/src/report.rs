@@ -184,6 +184,14 @@ pub fn point_json(workload: &str, r: &RunResult) -> String {
         &mut tf,
     );
     push_kv_u64(&mut out, "publish_fences", r.ptm.publish_fences, &mut tf);
+    push_kv_u64(
+        &mut out,
+        "group_commit_windows",
+        r.ptm.group_commit_windows,
+        &mut tf,
+    );
+    push_kv_u64(&mut out, "sfences_elided", r.ptm.sfences_elided, &mut tf);
+    push_kv_u64(&mut out, "max_backoff_ns", r.ptm.max_backoff_ns, &mut tf);
     out.push('}');
 
     // Memory-system counters.
@@ -213,8 +221,118 @@ pub fn point_json(workload: &str, r: &RunResult) -> String {
         &mut mf,
     );
     push_kv_u64(&mut out, "wpq_stall_ns", r.mem.wpq_stall_ns, &mut mf);
+    push_kv_u64(
+        &mut out,
+        "dram_write_stall_ns",
+        r.mem.dram_write_stall_ns,
+        &mut mf,
+    );
     push_kv_u64(&mut out, "fence_wait_ns", r.mem.fence_wait_ns, &mut mf);
     out.push('}');
+
+    out.push('}');
+    out
+}
+
+/// One sharded measurement point as a single-line JSON object.
+///
+/// Extends the flat schema with the shard geometry, the group-commit
+/// counters, sojourn latency (arrival → completion, the open-loop
+/// front-end's client-visible metric) and a `per_shard` array carrying
+/// each shard's WPQ-stall attribution.
+pub fn sharded_point_json(workload: &str, r: &workloads::ShardedRunResult) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut first = false;
+    out.push('{');
+    push_str_lit(&mut out, "workload");
+    out.push(':');
+    push_str_lit(&mut out, workload);
+    out.push(',');
+    push_str_lit(&mut out, "scenario");
+    out.push(':');
+    push_str_lit(&mut out, &r.label);
+    push_kv_u64(&mut out, "shards", r.shards as u64, &mut first);
+    push_kv_u64(
+        &mut out,
+        "threads_per_shard",
+        r.threads_per_shard as u64,
+        &mut first,
+    );
+    push_kv_u64(&mut out, "ops", r.ops, &mut first);
+    push_kv_u64(
+        &mut out,
+        "elapsed_virtual_ns",
+        r.elapsed_virtual_ns,
+        &mut first,
+    );
+    push_kv_f64(&mut out, "throughput_mops", r.throughput_mops(), &mut first);
+    push_kv_f64(
+        &mut out,
+        "sfences_per_commit",
+        r.sfences_per_commit(),
+        &mut first,
+    );
+
+    let s = r.sojourn.summary();
+    out.push(',');
+    push_str_lit(&mut out, "sojourn");
+    out.push_str(":{");
+    let mut lf = true;
+    push_kv_u64(&mut out, "count", s.count, &mut lf);
+    push_kv_f64(&mut out, "mean_ns", s.mean_ns, &mut lf);
+    push_kv_u64(&mut out, "p50", s.p50, &mut lf);
+    push_kv_u64(&mut out, "p99", s.p99, &mut lf);
+    push_kv_u64(&mut out, "p999", s.p999, &mut lf);
+    push_kv_u64(&mut out, "max", s.max, &mut lf);
+    out.push('}');
+
+    out.push(',');
+    push_str_lit(&mut out, "ptm");
+    out.push_str(":{");
+    let mut tf = true;
+    push_kv_u64(&mut out, "commits", r.ptm.commits, &mut tf);
+    push_kv_u64(&mut out, "aborts", r.ptm.aborts, &mut tf);
+    push_kv_u64(
+        &mut out,
+        "group_commit_windows",
+        r.ptm.group_commit_windows,
+        &mut tf,
+    );
+    push_kv_u64(&mut out, "sfences_elided", r.ptm.sfences_elided, &mut tf);
+    push_kv_u64(&mut out, "max_backoff_ns", r.ptm.max_backoff_ns, &mut tf);
+    out.push('}');
+
+    out.push(',');
+    push_str_lit(&mut out, "mem");
+    out.push_str(":{");
+    let mut mf = true;
+    push_kv_u64(&mut out, "sfences", r.mem.sfences, &mut mf);
+    push_kv_u64(&mut out, "wpq_stall_ns", r.mem.wpq_stall_ns, &mut mf);
+    push_kv_u64(
+        &mut out,
+        "dram_write_stall_ns",
+        r.mem.dram_write_stall_ns,
+        &mut mf,
+    );
+    push_kv_u64(&mut out, "fence_wait_ns", r.mem.fence_wait_ns, &mut mf);
+    out.push('}');
+
+    out.push(',');
+    push_str_lit(&mut out, "per_shard");
+    out.push_str(":[");
+    for (i, m) in r.per_shard_mem.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut sf = true;
+        push_kv_u64(&mut out, "shard", i as u64, &mut sf);
+        push_kv_u64(&mut out, "sfences", m.sfences, &mut sf);
+        push_kv_u64(&mut out, "wpq_stall_ns", m.wpq_stall_ns, &mut sf);
+        push_kv_u64(&mut out, "fence_wait_ns", m.fence_wait_ns, &mut sf);
+        out.push('}');
+    }
+    out.push(']');
 
     out.push('}');
     out
@@ -328,11 +446,53 @@ mod tests {
             "\"htm_aborts\"",
             "\"htm_fallbacks\"",
             "\"wpq_stall_ns\"",
+            "\"dram_write_stall_ns\"",
             "\"fence_wait_ns\"",
+            // Group-commit and backoff observability (PR 6): consumers
+            // key on these to compute fences-per-commit reductions.
+            "\"group_commit_windows\"",
+            "\"sfences_elided\"",
+            "\"max_backoff_ns\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         // One line (JSONL-safe).
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn sharded_json_pins_per_shard_attribution() {
+        use workloads::{ShardedRunConfig, StreamConfig};
+        let rc = ShardedRunConfig {
+            shards: 2,
+            threads_per_shard: 2,
+            stream: StreamConfig {
+                total_ops: 120,
+                keys: 256,
+                ..StreamConfig::default()
+            },
+            ..ShardedRunConfig::default()
+        };
+        let r = workloads::run_sharded_kv(&rc);
+        let j = sharded_point_json("sharded-kv", &r);
+        for key in [
+            "\"shards\"",
+            "\"threads_per_shard\"",
+            "\"throughput_mops\"",
+            "\"sfences_per_commit\"",
+            "\"sojourn\"",
+            "\"p99\"",
+            "\"group_commit_windows\"",
+            "\"sfences_elided\"",
+            "\"max_backoff_ns\"",
+            "\"per_shard\"",
+            "\"wpq_stall_ns\"",
+            "\"dram_write_stall_ns\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Exactly one per-shard entry per shard.
+        assert_eq!(j.matches("\"shard\":").count(), 2);
         assert!(!j.contains('\n'));
     }
 

@@ -63,6 +63,7 @@ pub mod latency;
 pub mod machine;
 pub mod pool;
 pub mod session;
+pub mod shard;
 pub mod stats;
 
 pub use crash::{AdversaryPolicy, CrashImage};
@@ -75,6 +76,7 @@ pub use latency::LatencyModel;
 pub use machine::{Machine, MachineConfig};
 pub use pool::{MediaKind, PAddr, PersistenceClass, PmemPool, PoolId};
 pub use session::MemSession;
+pub use shard::MachineSet;
 pub use stats::{MachineStats, StatsSnapshot};
 
 /// Bytes per simulated cache line.

@@ -25,8 +25,14 @@ pub struct MachineStats {
     pub optane_lines_written: AtomicU64,
     /// Lines written to DRAM.
     pub dram_lines_written: AtomicU64,
-    /// Virtual ns spent stalled on a full WPQ / writeback backlog.
+    /// Virtual ns spent stalled on a full WPQ / writeback backlog
+    /// (Optane write path only).
     pub wpq_stall_ns: AtomicU64,
+    /// Virtual ns spent stalled on DRAM write-server backlog (e.g. L3
+    /// victims of DRAM-backed or PDRAM-accelerated pools). Kept apart
+    /// from `wpq_stall_ns` so the WPQ counter means exactly "Optane
+    /// write-pending-queue pressure", the paper's saturation signal.
+    pub dram_write_stall_ns: AtomicU64,
     /// Virtual ns spent waiting in `sfence` for outstanding flushes.
     pub fence_wait_ns: AtomicU64,
 }
@@ -46,6 +52,7 @@ pub struct StatsSnapshot {
     pub optane_lines_written: u64,
     pub dram_lines_written: u64,
     pub wpq_stall_ns: u64,
+    pub dram_write_stall_ns: u64,
     pub fence_wait_ns: u64,
 }
 
@@ -74,6 +81,7 @@ impl MachineStats {
             optane_lines_written: self.optane_lines_written.load(Ordering::Relaxed),
             dram_lines_written: self.dram_lines_written.load(Ordering::Relaxed),
             wpq_stall_ns: self.wpq_stall_ns.load(Ordering::Relaxed),
+            dram_write_stall_ns: self.dram_write_stall_ns.load(Ordering::Relaxed),
             fence_wait_ns: self.fence_wait_ns.load(Ordering::Relaxed),
         }
     }
@@ -93,6 +101,7 @@ impl MachineStats {
             &self.optane_lines_written,
             &self.dram_lines_written,
             &self.wpq_stall_ns,
+            &self.dram_write_stall_ns,
             &self.fence_wait_ns,
         ] {
             c.store(0, Ordering::Relaxed);
@@ -122,8 +131,31 @@ impl StatsSnapshot {
                 .dram_lines_written
                 .saturating_sub(earlier.dram_lines_written),
             wpq_stall_ns: self.wpq_stall_ns.saturating_sub(earlier.wpq_stall_ns),
+            dram_write_stall_ns: self
+                .dram_write_stall_ns
+                .saturating_sub(earlier.dram_write_stall_ns),
             fence_wait_ns: self.fence_wait_ns.saturating_sub(earlier.fence_wait_ns),
         }
+    }
+
+    /// Accumulate another machine's counters into this snapshot (shard
+    /// aggregation: all fields are event counts or stall totals, so a
+    /// plain sum is the right combination everywhere).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.l3_hits += other.l3_hits;
+        self.l3_misses += other.l3_misses;
+        self.clwbs += other.clwbs;
+        self.clwb_writebacks += other.clwb_writebacks;
+        self.clwb_batches += other.clwb_batches;
+        self.sfences += other.sfences;
+        self.evictions += other.evictions;
+        self.optane_lines_written += other.optane_lines_written;
+        self.dram_lines_written += other.dram_lines_written;
+        self.wpq_stall_ns += other.wpq_stall_ns;
+        self.dram_write_stall_ns += other.dram_write_stall_ns;
+        self.fence_wait_ns += other.fence_wait_ns;
     }
 }
 

@@ -145,14 +145,57 @@ impl TxAccess {
     /// `sfence`, charged to [`Phase::FenceWait`]. Under eADR-class
     /// domains the session elides the fence, so ~0 ns is charged — this
     /// is how the profiler shows the ADR→eADR fence-wait collapse.
+    /// With `group_commit` on (and a flush-requiring domain), the fence
+    /// first tries to join the shard's group-commit window.
     #[inline]
     pub(crate) fn fence(&mut self) {
         if !self.ptm.config.elide_fences {
             let now = self.s.now();
             let prev = self.timer.switch(now, Phase::FenceWait);
-            self.s.sfence();
+            if self.ptm.config.group_commit && self.s.machine().domain().requires_flushes() {
+                self.group_fence();
+            } else {
+                self.s.sfence();
+            }
             let now = self.s.now();
             self.timer.switch(now, prev);
+        }
+    }
+
+    /// The group-commit fence protocol (see `txn::GroupFence`). A fence
+    /// request *joins* the window's last completed lead fence when that
+    /// fence (a) completed at or after this thread's latest WPQ
+    /// acceptance — so it drained this thread's flushes too — and (b)
+    /// lies within the recency window of this thread's clock in either
+    /// direction (a stale record from before a clock reset must lead,
+    /// not join). Otherwise it *leads*: executes a real `sfence` and
+    /// publishes the completion time for later committers to join.
+    /// Joining is retrospective — nobody ever blocks waiting for a
+    /// future fence — so the protocol is deadlock-free even when all
+    /// virtual threads share one OS thread.
+    fn group_fence(&mut self) {
+        let window = self.ptm.config.group_window_ns;
+        let acc = self.s.last_flush_accept();
+        let now = self.s.now();
+        let g = self.ptm.group.lock().unwrap();
+        let joinable = g.done >= acc
+            && now <= g.done.saturating_add(window)
+            && g.done <= now.saturating_add(window);
+        if joinable {
+            let cover = g.done;
+            drop(g);
+            self.s.fence_join(cover);
+            PtmStats::bump(&self.ptm.stats.sfences_elided);
+        } else {
+            drop(g);
+            self.s.sfence();
+            let done = self.s.now();
+            // Store unconditionally: even if a concurrent lead finished
+            // later, any completed fence is a valid (if conservative)
+            // cover, and overwriting heals stale records left behind by
+            // `begin_run` clock resets.
+            self.ptm.group.lock().unwrap().done = done;
+            PtmStats::bump(&self.ptm.stats.group_commit_windows);
         }
     }
 
@@ -495,8 +538,12 @@ impl TxAccess {
         let now = self.s.now();
         self.timer.switch(now, Phase::Backoff);
         let shift = self.attempts.min(8);
-        let ceiling = (100u64 << shift).min(40_000);
+        // Exponential growth saturates at the configured ceiling so a
+        // victim of a hot orec is delayed a bounded amount per attempt
+        // (never pushed past, e.g., a whole group-commit window).
+        let ceiling = (100u64 << shift).min(self.ptm.config.max_backoff_ns.max(1));
         let delay = self.rng.gen_range(ceiling / 2..=ceiling);
+        PtmStats::high_water(&self.ptm.stats.max_backoff_ns, delay);
         self.s.advance(delay);
         self.s.publish_clock();
         std::thread::yield_now();

@@ -101,6 +101,26 @@ pub struct PtmConfig {
     /// O(unique orecs). Off by default (ablation flag): the naive
     /// per-entry flush loop is the paper's measured baseline.
     pub write_combining: bool,
+    /// Cross-transaction group commit (Marathe et al., *Persistent
+    /// Memory Transactions*): a transaction reaching `make_durable`
+    /// whose flushes were all WPQ-accepted before a recently completed
+    /// fence *joins* that fence instead of issuing its own `sfence`.
+    /// Joining is retrospective and never blocks, so it composes with
+    /// single-OS-thread deterministic runs (crash sweeps). Off by
+    /// default: the single-fence-per-commit path stays bit-identical.
+    pub group_commit: bool,
+    /// Recency window for joining a completed group fence, in virtual
+    /// ns: a fence done at `d` covers a joiner at `now` only when
+    /// `|now - d| <= group_window_ns` (stale fences must not be joined;
+    /// a fence absurdly far in this thread's future signals a clock
+    /// reset and is also rejected).
+    pub group_window_ns: u64,
+    /// Contention backoff ceiling in virtual ns (the exponential retry
+    /// backoff saturates here). Bounded so a victim of a hot orec can
+    /// never be pushed past a group-commit window length per attempt;
+    /// the high-water `PtmStats::max_backoff_ns` makes the actual worst
+    /// delay observable.
+    pub max_backoff_ns: u64,
     /// Number of orecs (rounded to a power of two).
     pub orec_count: usize,
     /// Log capacity in entries (4 words each).
@@ -153,6 +173,9 @@ impl Default for PtmConfig {
             split_log_index: true,
             ts_extension: true,
             write_combining: false,
+            group_commit: false,
+            group_window_ns: 1_000,
+            max_backoff_ns: 40_000,
             orec_count: 1 << 18,
             log_capacity: 1 << 13,
             lite_log_entries: 128,
@@ -208,6 +231,15 @@ impl PtmConfig {
             ..Self::default()
         }
     }
+
+    /// The given algorithm with cross-transaction group commit on.
+    pub fn grouped(algo: Algo) -> Self {
+        PtmConfig {
+            algo,
+            group_commit: true,
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +253,15 @@ mod tests {
         assert!(c.ts_extension, "every optimization enabled");
         assert!(!c.elide_fences, "fence elision is an incorrect variant");
         assert!(!c.write_combining, "write combining is the ablation arm");
+        assert!(!c.group_commit, "group commit is opt-in");
+        assert!(c.max_backoff_ns > 0, "backoff ceiling must be positive");
+    }
+
+    #[test]
+    fn grouped_turns_on_group_commit() {
+        let c = PtmConfig::grouped(Algo::RedoLazy);
+        assert!(c.group_commit);
+        assert!(c.group_window_ns > 0);
     }
 
     #[test]

@@ -526,6 +526,160 @@ impl CrashWorkload for BankTransfers {
     }
 }
 
+/// A two-thread bank driven through a shared group-commit window, for
+/// sweeping crash sites that land *inside* an open window — after a lead
+/// transaction published its fence but while joiners are still riding it.
+///
+/// Both virtual threads live on one OS thread and are stepped
+/// alternately (A, B, A, B, ...), so the run is fully deterministic in
+/// the case seed while still exercising the cross-transaction join path:
+/// under the functional machine config the second thread's
+/// `make_durable` always lands within the lead's window and joins
+/// instead of fencing. Each thread transfers only within its own
+/// account range, so recovery must land on a committed prefix of each
+/// thread's plan *independently* — a torn window (a joiner treated as
+/// durable although its covering fence never retired) shows up as a
+/// non-prefix state.
+#[derive(Debug, Clone)]
+pub struct GroupWindowBank {
+    pub accounts_per_thread: u64,
+    pub initial: u64,
+    pub transfers_per_thread: usize,
+}
+
+impl Default for GroupWindowBank {
+    fn default() -> Self {
+        GroupWindowBank {
+            accounts_per_thread: 4,
+            initial: 100,
+            transfers_per_thread: 4,
+        }
+    }
+}
+
+impl GroupWindowBank {
+    /// Thread `t`'s deterministic transfer plan, confined to its own
+    /// account range `[t·n, (t+1)·n)` (offsets are range-local).
+    fn plan(&self, seed: u64, t: u64) -> Vec<(u64, u64, u64)> {
+        let n = self.accounts_per_thread;
+        let mut rng = SmallRng::seed_from_u64(seed ^ (t + 1).wrapping_mul(0x9E37_79B9));
+        (0..self.transfers_per_thread)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(1..self.initial / 2),
+                )
+            })
+            .collect()
+    }
+
+    /// Thread `t`'s range contents after k committed transfers.
+    fn prefix_states(&self, seed: u64, t: u64) -> Vec<Vec<u64>> {
+        let mut state = vec![self.initial; self.accounts_per_thread as usize];
+        let mut states = vec![state.clone()];
+        for (from, to, amt) in self.plan(seed, t) {
+            let f = state[from as usize];
+            if from != to && f >= amt {
+                state[from as usize] -= amt;
+                state[to as usize] += amt;
+            }
+            states.push(state.clone());
+        }
+        states
+    }
+}
+
+impl CrashWorkload for GroupWindowBank {
+    fn name(&self) -> &str {
+        "group-bank"
+    }
+
+    fn heap_pool(&self) -> &str {
+        "group-bank"
+    }
+
+    fn run(&self, machine: &Arc<Machine>, case: &SweepCase) {
+        machine.begin_run(2, u64::MAX);
+        let heap = PHeap::format(machine, self.heap_pool(), 1 << 15, 4);
+        let cfg = PtmConfig {
+            algo: case.algo,
+            group_commit: true,
+            // Generous window: under the functional (zero-latency) config
+            // every second fence lands inside it, so the join path runs
+            // at every transfer.
+            group_window_ns: 1 << 20,
+            ..PtmConfig::default()
+        };
+        let ptm = Ptm::new(cfg);
+        let mut ths: Vec<TxThread> = (0..2)
+            .map(|t| TxThread::new(Arc::clone(&ptm), Arc::clone(&heap), machine.session(t)))
+            .collect();
+        let n = self.accounts_per_thread;
+        let table = heap.alloc(ths[0].session_mut(), (2 * n) as usize);
+        ths[0].run(|tx| {
+            for i in 0..2 * n {
+                tx.write_at(table, i, self.initial)?;
+            }
+            Ok(())
+        });
+        heap.set_root(ths[0].session_mut(), 0, table);
+        let plans = [self.plan(case.seed, 0), self.plan(case.seed, 1)];
+        // Step the two virtual threads alternately from this one OS
+        // thread: every B-transfer commits right after an A-transfer's
+        // fence, inside the window A just opened (and vice versa).
+        for (pa, pb) in plans[0].iter().zip(&plans[1]) {
+            for (t, &(from, to, amt)) in [pa, pb].into_iter().enumerate() {
+                let base = t as u64 * n;
+                ths[t].run(|tx| {
+                    let f = tx.read_at(table, base + from)?;
+                    let v = tx.read_at(table, base + to)?;
+                    if from != to && f >= amt {
+                        tx.write_at(table, base + from, f - amt)?;
+                        tx.write_at(table, base + to, v + amt)?;
+                    }
+                    Ok(())
+                });
+            }
+        }
+    }
+
+    fn check(
+        &self,
+        machine: &Arc<Machine>,
+        heap: &Arc<PHeap>,
+        gc: &GcReport,
+        case: &SweepCase,
+    ) -> Vec<String> {
+        let mut violations = Vec::new();
+        let root = heap.root_raw(0);
+        let expected_live = if root.is_null() { 0 } else { 1 };
+        if gc.live_blocks != expected_live {
+            violations.push(format!(
+                "GC kept {} live blocks, expected {expected_live}",
+                gc.live_blocks
+            ));
+        }
+        if root.is_null() {
+            return violations;
+        }
+        let pool = machine.pool(root.pool());
+        let n = self.accounts_per_thread;
+        for t in 0..2u64 {
+            let slice: Vec<u64> = (0..n)
+                .map(|i| pool.raw_load(root.word() + t * n + i))
+                .collect();
+            if !self.prefix_states(case.seed, t).contains(&slice) {
+                violations.push(format!(
+                    "thread {t} range {slice:?} matches no committed prefix \
+                     (torn group-commit window?)"
+                ));
+            }
+        }
+        violations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,6 +784,83 @@ mod tests {
         // And correct recovery at that site is clean.
         let fixed = run_site(&bank, &c, v.site, RecoverOptions::default());
         assert!(fixed.violations.is_empty(), "{:?}", fixed.violations);
+    }
+
+    fn tiny_group_bank() -> GroupWindowBank {
+        GroupWindowBank {
+            accounts_per_thread: 4,
+            initial: 64,
+            transfers_per_thread: 3,
+        }
+    }
+
+    /// The two-thread group-commit workload really exercises the join
+    /// path: its fence stream contains `FenceJoin` events (transactions
+    /// riding another transaction's fence), so the sweep below genuinely
+    /// enumerates crash sites inside open windows.
+    #[test]
+    fn group_window_bank_joins_fences() {
+        let bank = tiny_group_bank();
+        let c = case(Algo::RedoLazy, AdversaryPolicy::PerWord);
+        let machine = Machine::new(MachineConfig::functional(c.domain));
+        let sink = trace::TraceSink::new(1 << 14);
+        machine.attach_tracer(Arc::clone(&sink));
+        bank.run(&machine, &c);
+        machine.detach_tracer();
+        let joins = sink
+            .merged()
+            .iter()
+            .filter(|e| e.kind == trace::EventKind::FenceJoin)
+            .count();
+        assert!(joins > 0, "no transaction ever joined a fence window");
+    }
+
+    /// The tentpole's torn-window acceptance bar: crash sites inside an
+    /// open group-commit window — for every algorithm across all four
+    /// live durability domains — recover to a committed prefix on both
+    /// participating threads.
+    #[test]
+    fn group_window_sweep_is_clean_across_algos_and_domains() {
+        let bank = tiny_group_bank();
+        let opts = SweepOptions {
+            max_sites_per_case: Some(16),
+            ..SweepOptions::default()
+        };
+        for algo in Algo::ALL {
+            for domain in [
+                DurabilityDomain::Adr,
+                DurabilityDomain::Eadr,
+                DurabilityDomain::Pdram,
+                DurabilityDomain::PdramLite,
+            ] {
+                let c = SweepCase {
+                    algo,
+                    domain,
+                    policy: AdversaryPolicy::PerWord,
+                    seed: 42,
+                };
+                let report = sweep_case(&bank, &c, opts);
+                assert!(report.sites_run > 0);
+                let msgs: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+                assert!(
+                    report.violations.is_empty(),
+                    "{algo:?}/{domain:?}: {msgs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_window_replay_is_deterministic() {
+        let bank = tiny_group_bank();
+        let c = case(Algo::CowShadow, AdversaryPolicy::PerWord);
+        let total = count_sites(&bank, &c);
+        assert!(total > 0);
+        let site = total / 3;
+        let a = run_site(&bank, &c, site, RecoverOptions::default());
+        let b = run_site(&bank, &c, site, RecoverOptions::default());
+        assert_eq!(a.fired, b.fired);
+        assert_eq!(a.state_digest, b.state_digest);
     }
 
     #[test]

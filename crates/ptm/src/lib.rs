@@ -58,6 +58,7 @@ pub mod log;
 pub mod orec;
 pub mod phases;
 pub mod recovery;
+pub mod shard;
 pub mod stats;
 pub mod txn;
 pub mod umap;
@@ -65,10 +66,11 @@ pub mod umap;
 pub use config::{Algo, FlushTiming, PtmConfig};
 pub use crash_harness::{
     count_sites, default_cases, run_site, sweep, sweep_case, BankTransfers, CaseResult,
-    CrashWorkload, SiteResult, SweepCase, SweepOptions, SweepReport, Violation,
+    CrashWorkload, GroupWindowBank, SiteResult, SweepCase, SweepOptions, SweepReport, Violation,
 };
 pub use db::PtmDb;
 pub use phases::{Phase, PhaseSnapshot, PhaseStats, PhaseTimer, PHASE_COUNT};
 pub use recovery::{recover, recover_with_options, RecoverOptions, RecoveryReport};
+pub use shard::{ShardedEngine, SHARD_HEAP_PREFIX};
 pub use stats::{PtmStats, PtmStatsSnapshot};
 pub use txn::{Abort, Ptm, Tx, TxResult, TxThread};

@@ -1,0 +1,326 @@
+//! Sharded multi-pool engine: N independent PTM instances, one per
+//! simulated machine, under a single coordinator.
+//!
+//! The paper's central obstruction is that a single Optane DIMM's write
+//! pipeline (WPQ + media write bandwidth) saturates with a handful of
+//! writer threads. A [`ShardedEngine`] sidesteps the wall by partitioning
+//! the key space across N shards, each a complete `machine + heap + ptm`
+//! stack with its own WPQ banks, orec table and log arena. Transactions
+//! are routed by key ([`ShardedEngine::shard_of`]) and each executor
+//! ([`ShardedEngine::thread`]) is *structurally* confined to one shard:
+//! its heap and memory session belong to that shard's machine, so a
+//! cross-shard access is not merely forbidden but unrepresentable
+//! (`PAddr`s of foreign pools panic at the pool boundary). Cross-shard
+//! atomicity (2PC) is deliberately out of scope.
+//!
+//! Crash behaviour composes per shard: [`ShardedEngine::crash_all`]
+//! yields one media image per shard, and [`ShardedEngine::reopen`] runs
+//! log recovery and allocator GC on every shard independently.
+
+use std::sync::Arc;
+
+use palloc::PHeap;
+use pmem_sim::{CrashImage, Machine, MachineConfig, MachineSet, StatsSnapshot};
+
+use crate::config::PtmConfig;
+use crate::db::ReopenReports;
+use crate::recovery::recover;
+use crate::stats::PtmStatsSnapshot;
+use crate::txn::{Ptm, TxThread};
+
+/// Pool-name prefix for shard heaps; shard `i`'s heap pool is named
+/// `"shard-heap-<i>"`, which is how [`ShardedEngine::reopen`] finds it.
+pub const SHARD_HEAP_PREFIX: &str = "shard-heap";
+
+fn shard_heap_name(shard: usize) -> String {
+    format!("{SHARD_HEAP_PREFIX}-{shard}")
+}
+
+/// N single-shard PTM stacks behind one key-routed front door.
+pub struct ShardedEngine {
+    machines: MachineSet,
+    heaps: Vec<Arc<PHeap>>,
+    ptms: Vec<Arc<Ptm>>,
+}
+
+impl ShardedEngine {
+    /// Build `shards` fresh stacks. Every shard gets an identical machine
+    /// configuration, an identical PTM configuration, and its own heap of
+    /// `heap_words_per_shard` words with `roots` root slots.
+    pub fn create(
+        shards: usize,
+        machine_cfg: MachineConfig,
+        ptm_cfg: PtmConfig,
+        heap_words_per_shard: usize,
+        roots: usize,
+    ) -> ShardedEngine {
+        let machines = MachineSet::new(shards, machine_cfg);
+        let heaps = (0..shards)
+            .map(|i| {
+                PHeap::format_with_media(
+                    machines.get(i),
+                    &shard_heap_name(i),
+                    heap_words_per_shard,
+                    roots,
+                    ptm_cfg.heap_media,
+                )
+            })
+            .collect();
+        let ptms = (0..shards).map(|_| Ptm::new(ptm_cfg.clone())).collect();
+        ShardedEngine {
+            machines,
+            heaps,
+            ptms,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Which shard owns `key`. Fibonacci multiply-shift so adjacent keys
+    /// scatter; deterministic, so routing is stable across runs and
+    /// across crash/reopen.
+    pub fn shard_of(&self, key: u64) -> usize {
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % self.shards() as u64) as usize
+    }
+
+    /// A transaction executor for virtual thread `tid` on shard `shard`.
+    /// The returned [`TxThread`] is bound to that shard's heap and clock
+    /// — it cannot name another shard's memory.
+    pub fn thread(&self, shard: usize, tid: usize) -> TxThread {
+        assert!(shard < self.shards(), "shard {shard} out of range");
+        TxThread::new(
+            Arc::clone(&self.ptms[shard]),
+            Arc::clone(&self.heaps[shard]),
+            self.machines.get(shard).session(tid),
+        )
+    }
+
+    /// Assert that `key` is homed on `shard` — drivers call this on every
+    /// operation so a routing bug fails loudly instead of silently doing
+    /// single-shard work on the wrong shard.
+    pub fn assert_routed(&self, shard: usize, key: u64) {
+        debug_assert_eq!(
+            self.shard_of(key),
+            shard,
+            "key {key} executed on shard {shard} but is homed on shard {}",
+            self.shard_of(key)
+        );
+    }
+
+    /// Start a timed run on every shard: `threads_per_shard` virtual
+    /// threads each, bounded-lag window `window_ns`.
+    pub fn begin_run_all(&self, threads_per_shard: usize, window_ns: u64) {
+        self.machines.begin_run_all(threads_per_shard, window_ns);
+    }
+
+    /// Stop the world on every shard (before a live-run crash).
+    pub fn freeze_all(&self) {
+        self.machines.freeze_all();
+    }
+
+    /// Resume every shard.
+    pub fn thaw_all(&self) {
+        self.machines.thaw_all();
+    }
+
+    /// Simulated power failure on all shards at once: one media image per
+    /// shard, adversary seeds derived per shard from `seed`.
+    pub fn crash_all(&self, seed: u64) -> Vec<CrashImage> {
+        self.machines.crash_all(seed)
+    }
+
+    /// Reboot every shard from its crash image: per-shard PTM recovery
+    /// (redo replay / undo rollback from that shard's log arena alone)
+    /// followed by per-shard heap attach + GC. Shard `i` recovers from
+    /// `images[i]`; recovery on one shard never reads another shard's
+    /// log.
+    pub fn reopen(
+        images: &[CrashImage],
+        machine_cfg: MachineConfig,
+        ptm_cfg: PtmConfig,
+    ) -> (ShardedEngine, Vec<ReopenReports>) {
+        assert!(!images.is_empty(), "reopen needs at least one shard image");
+        let mut machines = Vec::with_capacity(images.len());
+        let mut heaps = Vec::with_capacity(images.len());
+        let mut reports = Vec::with_capacity(images.len());
+        for (i, image) in images.iter().enumerate() {
+            let machine = Machine::reboot(image, machine_cfg.clone());
+            let recovery = recover(&machine);
+            let name = shard_heap_name(i);
+            let pool = machine
+                .pools()
+                .into_iter()
+                .find(|p| p.name() == name)
+                .unwrap_or_else(|| panic!("image {i} contains no {name} pool"));
+            let (heap, gc) = PHeap::attach(pool).expect("shard heap attach");
+            machines.push(machine);
+            heaps.push(heap);
+            reports.push(ReopenReports { recovery, gc });
+        }
+        let ptms = (0..images.len())
+            .map(|_| Ptm::new(ptm_cfg.clone()))
+            .collect();
+        (
+            ShardedEngine {
+                machines: MachineSet::from_machines(machines),
+                heaps,
+                ptms,
+            },
+            reports,
+        )
+    }
+
+    /// Sum of all shards' PTM counters (high-water fields take the max).
+    pub fn aggregate_ptm_stats(&self) -> PtmStatsSnapshot {
+        let mut total = PtmStatsSnapshot::default();
+        for p in &self.ptms {
+            total.merge(&p.stats.snapshot());
+        }
+        total
+    }
+
+    /// Sum of all shards' memory-system counters.
+    pub fn aggregate_mem_stats(&self) -> StatsSnapshot {
+        self.machines.aggregate_stats()
+    }
+
+    /// Per-shard memory-system snapshots, in shard order (for per-shard
+    /// WPQ-stall attribution in benchmark output).
+    pub fn per_shard_mem_stats(&self) -> Vec<StatsSnapshot> {
+        self.machines
+            .machines()
+            .iter()
+            .map(|m| m.stats.snapshot())
+            .collect()
+    }
+
+    /// Zero every shard's PTM and memory counters.
+    pub fn reset_stats(&self) {
+        for p in &self.ptms {
+            p.stats.reset();
+        }
+        self.machines.reset_stats();
+    }
+
+    /// Aggregate makespan: the largest virtual time reached on any shard.
+    pub fn max_run_time_ns(&self) -> u64 {
+        self.machines.max_run_time_ns()
+    }
+
+    /// The underlying machine set (tracer attachment, direct inspection).
+    pub fn machine_set(&self) -> &MachineSet {
+        &self.machines
+    }
+
+    /// Shard `i`'s machine.
+    pub fn machine(&self, shard: usize) -> &Arc<Machine> {
+        self.machines.get(shard)
+    }
+
+    /// Shard `i`'s heap.
+    pub fn heap(&self, shard: usize) -> &Arc<PHeap> {
+        &self.heaps[shard]
+    }
+
+    /// Shard `i`'s PTM instance.
+    pub fn ptm(&self, shard: usize) -> &Arc<Ptm> {
+        &self.ptms[shard]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::DurabilityDomain;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::functional(DurabilityDomain::Adr)
+    }
+
+    fn engine(shards: usize) -> ShardedEngine {
+        ShardedEngine::create(shards, cfg(), PtmConfig::redo(), 1 << 14, 4)
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let e = engine(4);
+        for key in 0..10_000u64 {
+            let s = e.shard_of(key);
+            assert!(s < 4);
+            assert_eq!(s, e.shard_of(key), "routing must be deterministic");
+        }
+        // All shards get some share of a dense key range.
+        let mut seen = [false; 4];
+        for key in 0..10_000u64 {
+            seen[e.shard_of(key)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "dense keys must hit every shard");
+    }
+
+    #[test]
+    fn shards_commit_independently() {
+        let e = engine(2);
+        e.begin_run_all(1, u64::MAX);
+        let mut cells = Vec::new();
+        for shard in 0..2 {
+            let mut th = e.thread(shard, 0);
+            let heap = Arc::clone(e.heap(shard));
+            let c = heap.alloc(th.session_mut(), 1);
+            th.run(|tx| tx.write(c, 100 + shard as u64));
+            cells.push(c);
+        }
+        for shard in 0..2 {
+            let mut th = e.thread(shard, 0);
+            assert_eq!(th.run(|tx| tx.read(cells[shard])), 100 + shard as u64);
+        }
+        let agg = e.aggregate_ptm_stats();
+        assert_eq!(agg.commits, 4);
+        // Each shard saw exactly its own transactions.
+        assert_eq!(e.ptm(0).stats.snapshot().commits, 2);
+        assert_eq!(e.ptm(1).stats.snapshot().commits, 2);
+    }
+
+    #[test]
+    fn crash_all_reopen_recovers_every_shard() {
+        let e = engine(3);
+        e.begin_run_all(1, u64::MAX);
+        let mut cells = Vec::new();
+        for shard in 0..3 {
+            let mut th = e.thread(shard, 0);
+            let heap = Arc::clone(e.heap(shard));
+            let c = heap.alloc(th.session_mut(), 2);
+            th.run(|tx| {
+                tx.write(c, 7 * (shard as u64 + 1))?;
+                tx.write_at(c, 1, 9)
+            });
+            heap.set_root(th.session_mut(), 0, c);
+            cells.push(c);
+        }
+        let images = e.crash_all(11);
+        assert_eq!(images.len(), 3);
+        let (e2, reports) = ShardedEngine::reopen(&images, cfg(), PtmConfig::redo());
+        assert_eq!(reports.len(), 3);
+        for (shard, rep) in reports.iter().enumerate() {
+            assert_eq!(rep.recovery.logs_scanned, 1, "shard {shard} log scan");
+        }
+        e2.begin_run_all(1, u64::MAX);
+        for shard in 0..3 {
+            let c = e2.heap(shard).root_raw(0);
+            assert_eq!(c, cells[shard]);
+            let mut th = e2.thread(shard, 0);
+            assert_eq!(th.run(|tx| tx.read(c)), 7 * (shard as u64 + 1));
+            assert_eq!(th.run(|tx| tx.read_at(c, 1)), 9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_shard_thread_rejected() {
+        let e = engine(2);
+        e.begin_run_all(1, u64::MAX);
+        let _ = e.thread(2, 0);
+    }
+}

@@ -42,6 +42,15 @@ pub struct PtmStats {
     /// CowShadow: ordering points issued while publishing shadow lines
     /// to their home locations (two per committed writer transaction).
     pub publish_fences: AtomicU64,
+    /// Group commit: fence windows opened (lead fences that later
+    /// commits could join).
+    pub group_commit_windows: AtomicU64,
+    /// Group commit: `sfence`s elided because the committing transaction
+    /// joined an already-completed window fence.
+    pub sfences_elided: AtomicU64,
+    /// Largest single contention-backoff delay issued, in virtual ns
+    /// (high-water; bounded by `PtmConfig::max_backoff_ns`).
+    pub max_backoff_ns: AtomicU64,
 }
 
 /// Plain-value snapshot.
@@ -65,6 +74,9 @@ pub struct PtmStatsSnapshot {
     pub shadow_lines_allocated: u64,
     pub shadow_lines_reclaimed: u64,
     pub publish_fences: u64,
+    pub group_commit_windows: u64,
+    pub sfences_elided: u64,
+    pub max_backoff_ns: u64,
 }
 
 impl PtmStats {
@@ -115,6 +127,9 @@ impl PtmStats {
             shadow_lines_allocated: self.shadow_lines_allocated.load(Ordering::Relaxed),
             shadow_lines_reclaimed: self.shadow_lines_reclaimed.load(Ordering::Relaxed),
             publish_fences: self.publish_fences.load(Ordering::Relaxed),
+            group_commit_windows: self.group_commit_windows.load(Ordering::Relaxed),
+            sfences_elided: self.sfences_elided.load(Ordering::Relaxed),
+            max_backoff_ns: self.max_backoff_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -138,6 +153,9 @@ impl PtmStats {
             &self.shadow_lines_allocated,
             &self.shadow_lines_reclaimed,
             &self.publish_fences,
+            &self.group_commit_windows,
+            &self.sfences_elided,
+            &self.max_backoff_ns,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -189,7 +207,38 @@ impl PtmStatsSnapshot {
                 .shadow_lines_reclaimed
                 .saturating_sub(earlier.shadow_lines_reclaimed),
             publish_fences: self.publish_fences.saturating_sub(earlier.publish_fences),
+            group_commit_windows: self
+                .group_commit_windows
+                .saturating_sub(earlier.group_commit_windows),
+            sfences_elided: self.sfences_elided.saturating_sub(earlier.sfences_elided),
+            max_backoff_ns: self.max_backoff_ns.max(earlier.max_backoff_ns),
         }
+    }
+
+    /// Accumulate another engine's counters into this snapshot (shard
+    /// aggregation): plain counters sum, high-water marks keep the max.
+    pub fn merge(&mut self, other: &PtmStatsSnapshot) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.aborts_read_locked += other.aborts_read_locked;
+        self.aborts_read_version += other.aborts_read_version;
+        self.aborts_acquire += other.aborts_acquire;
+        self.aborts_validation += other.aborts_validation;
+        self.extensions += other.extensions;
+        self.htm_commits += other.htm_commits;
+        self.htm_aborts += other.htm_aborts;
+        self.htm_fallbacks += other.htm_fallbacks;
+        self.max_write_entries = self.max_write_entries.max(other.max_write_entries);
+        self.flushes_elided += other.flushes_elided;
+        self.lines_planned += other.lines_planned;
+        self.max_read_set_unique = self.max_read_set_unique.max(other.max_read_set_unique);
+        self.max_write_lines = self.max_write_lines.max(other.max_write_lines);
+        self.shadow_lines_allocated += other.shadow_lines_allocated;
+        self.shadow_lines_reclaimed += other.shadow_lines_reclaimed;
+        self.publish_fences += other.publish_fences;
+        self.group_commit_windows += other.group_commit_windows;
+        self.sfences_elided += other.sfences_elided;
+        self.max_backoff_ns = self.max_backoff_ns.max(other.max_backoff_ns);
     }
 }
 

@@ -40,7 +40,7 @@
 //! skips only the fences while keeping flushes — the deliberately
 //! incorrect variant behind Table III.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use palloc::PHeap;
 use pmem_sim::{MemSession, PAddr};
@@ -54,6 +54,19 @@ use crate::orec::{is_locked, GlobalClock, OrecTable};
 use crate::phases::{Phase, PhaseSnapshot, PhaseStats};
 use crate::stats::{PtmStats, PtmStatsSnapshot};
 
+/// The group-commit window record: the completion time of the most
+/// recent lead fence on this PTM instance. A committing transaction
+/// whose flushes were all WPQ-accepted before `done` (and whose clock is
+/// within the recency window of it) joins that fence instead of issuing
+/// its own `sfence`. Retrospective by construction — joiners never wait
+/// for a future fence, so the protocol cannot deadlock a
+/// single-OS-thread deterministic run.
+#[derive(Debug, Default)]
+pub(crate) struct GroupFence {
+    /// Virtual completion time of the last lead `sfence` (0 = none yet).
+    pub done: u64,
+}
+
 /// A shared PTM instance: one per machine/heap.
 pub struct Ptm {
     pub config: PtmConfig,
@@ -62,6 +75,9 @@ pub struct Ptm {
     pub stats: PtmStats,
     /// Where transaction time goes, by [`Phase`] (see [`crate::phases`]).
     pub phases: PhaseStats,
+    /// Group-commit window state (uncontended single-word mutex; only
+    /// touched when `config.group_commit` is on).
+    pub(crate) group: Mutex<GroupFence>,
 }
 
 impl Ptm {
@@ -73,6 +89,7 @@ impl Ptm {
             clock: GlobalClock::new(),
             stats: PtmStats::new(),
             phases: PhaseStats::new(),
+            group: Mutex::new(GroupFence::default()),
         })
     }
 

@@ -29,6 +29,12 @@ pub struct TraceTotals {
     pub sfences: u64,
     pub fence_wait_ns: u64,
     pub wpq_stall_ns: u64,
+    /// Group-commit fence joins (each elides one `sfence`).
+    pub fence_joins: u64,
+    /// Virtual ns join sites waited for their covering fence. Derived
+    /// only — joins charge no machine counter (the wait belongs to the
+    /// covering fence's timeline), so this has no cross-check partner.
+    pub join_wait_ns: u64,
 }
 
 impl TraceTotals {
@@ -63,6 +69,10 @@ impl TraceTotals {
                     t.fence_wait_ns += ev.a;
                 }
                 EventKind::WpqStall => t.wpq_stall_ns += ev.a,
+                EventKind::FenceJoin => {
+                    t.fence_joins += 1;
+                    t.join_wait_ns += ev.a;
+                }
                 _ => {}
             }
         }
@@ -125,6 +135,7 @@ pub fn crosscheck(derived: &TraceTotals, expected: &ExpectedTotals) -> Vec<Strin
             expected.fence_wait_ns,
         ),
         ("wpq_stall_ns", derived.wpq_stall_ns, expected.wpq_stall_ns),
+        ("fence_joins", derived.fence_joins, expected.fence_joins),
     ];
     pairs
         .iter()

@@ -34,11 +34,13 @@ pub struct ExpectedTotals {
     pub sfences: u64,
     pub fence_wait_ns: u64,
     pub wpq_stall_ns: u64,
+    /// Group-commit fence joins (`PtmStats::sfences_elided`).
+    pub fence_joins: u64,
 }
 
 impl ExpectedTotals {
     /// `(name, value)` pairs in serialization order.
-    pub fn fields(&self) -> [(&'static str, u64); 15] {
+    pub fn fields(&self) -> [(&'static str, u64); 16] {
         [
             ("commits", self.commits),
             ("aborts", self.aborts),
@@ -55,6 +57,7 @@ impl ExpectedTotals {
             ("sfences", self.sfences),
             ("fence_wait_ns", self.fence_wait_ns),
             ("wpq_stall_ns", self.wpq_stall_ns),
+            ("fence_joins", self.fence_joins),
         ]
     }
 
@@ -75,6 +78,7 @@ impl ExpectedTotals {
             sfences: v[12],
             fence_wait_ns: v[13],
             wpq_stall_ns: v[14],
+            fence_joins: v[15],
         }
     }
 }
@@ -145,7 +149,7 @@ pub fn write_binary(threads: &[ThreadTrace], expected: &ExpectedTotals) -> Vec<u
     let mut threads: Vec<&ThreadTrace> = threads.iter().collect();
     threads.sort_by_key(|t| t.tid);
     let events: usize = threads.iter().map(|t| t.events.len()).sum();
-    let mut out = Vec::with_capacity(32 + 16 * 15 + events * 25 + threads.len() * 20);
+    let mut out = Vec::with_capacity(32 + 16 * 16 + events * 25 + threads.len() * 20);
     out.extend_from_slice(BINARY_MAGIC);
     let fields = expected.fields();
     put_u32(&mut out, fields.len() as u32);
@@ -180,7 +184,7 @@ pub fn read_binary(buf: &[u8]) -> Result<TraceDump, String> {
         return Err(format!("bad magic {magic:?} (expected {BINARY_MAGIC:?})"));
     }
     let n_counters = r.u32()? as usize;
-    if n_counters != 15 {
+    if n_counters != 16 {
         return Err(format!("unsupported counter-block size {n_counters}"));
     }
     let mut vals = Vec::with_capacity(n_counters);
@@ -273,7 +277,10 @@ pub fn chrome_trace_json(threads: &[ThreadTrace]) -> String {
             out.push_str("{\"name\":\"");
             out.push_str(ev.kind.label());
             out.push_str("\",\"ph\":\"");
-            let durationful = matches!(ev.kind, EventKind::Sfence | EventKind::WpqStall);
+            let durationful = matches!(
+                ev.kind,
+                EventKind::Sfence | EventKind::WpqStall | EventKind::FenceJoin
+            );
             if durationful {
                 out.push_str("X\",\"dur\":");
                 push_us(&mut out, ev.a);
@@ -399,7 +406,7 @@ mod tests {
         assert!(read_binary(&trailing).is_err(), "trailing bytes");
         // Corrupt an event kind code (first event of thread 0 sits after
         // magic + counter block + thread count + tid/dropped/count + ts).
-        let kind_off = 8 + 4 + 15 * 8 + 4 + (4 + 8 + 8) + 8;
+        let kind_off = 8 + 4 + 16 * 8 + 4 + (4 + 8 + 8) + 8;
         let mut bad_kind = bytes.clone();
         bad_kind[kind_off] = 200;
         assert!(read_binary(&bad_kind).is_err(), "kind code");

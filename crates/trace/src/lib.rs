@@ -91,10 +91,17 @@ pub enum EventKind {
     /// Recovery pass finished. `a` = redo logs replayed, `b` = undo logs
     /// rolled back.
     RecoveryEnd = 16,
+    /// A committing transaction joined an already-completed group-commit
+    /// fence instead of executing its own `sfence`. `a` = virtual ns
+    /// waited for the covering fence (0 when it already lay in the
+    /// past), `b` = the covering fence's completion timestamp. Distinct
+    /// from [`EventKind::Sfence`] so the analyzer's trace-vs-counter
+    /// cross-check of `sfences`/`fence_wait_ns` stays exact.
+    FenceJoin = 17,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// All kinds, in code order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -115,6 +122,7 @@ impl EventKind {
         EventKind::RecoveryBegin,
         EventKind::RecoveryApply,
         EventKind::RecoveryEnd,
+        EventKind::FenceJoin,
     ];
 
     /// Stable wire/display name.
@@ -137,6 +145,7 @@ impl EventKind {
             EventKind::RecoveryBegin => "recovery_begin",
             EventKind::RecoveryApply => "recovery_apply",
             EventKind::RecoveryEnd => "recovery_end",
+            EventKind::FenceJoin => "fence_join",
         }
     }
 
@@ -301,6 +310,32 @@ pub struct MergedEvent {
 /// recovery runs outside any timed session.
 pub const RECOVERY_TID: u32 = u32::MAX;
 
+/// Shard attribution: a sink created with [`TraceSink::new_for_shard`]
+/// packs its shard index into the high bits of every submitted thread
+/// id, so a merged multi-shard timeline keeps per-shard attribution
+/// without widening the event format.
+pub const SHARD_SHIFT: u32 = 20;
+
+/// The shard a (possibly tagged) thread id belongs to.
+#[inline]
+pub fn shard_of_tid(tid: u32) -> u32 {
+    if tid == RECOVERY_TID {
+        0
+    } else {
+        tid >> SHARD_SHIFT
+    }
+}
+
+/// The within-shard thread id of a (possibly tagged) thread id.
+#[inline]
+pub fn local_tid(tid: u32) -> u32 {
+    if tid == RECOVERY_TID {
+        tid
+    } else {
+        tid & ((1 << SHARD_SHIFT) - 1)
+    }
+}
+
 /// Collects per-thread rings and merges them by virtual timestamp.
 ///
 /// Threads record into their own [`TraceRing`]s without synchronization;
@@ -309,16 +344,32 @@ pub const RECOVERY_TID: u32 = u32::MAX;
 #[derive(Debug)]
 pub struct TraceSink {
     ring_capacity: usize,
+    /// `shard << SHARD_SHIFT`, OR-ed onto submitted thread ids (0 for
+    /// unsharded sinks, leaving ids untouched).
+    shard_tag: u32,
     threads: Mutex<Vec<ThreadTrace>>,
 }
 
 impl TraceSink {
     /// A sink handing out rings of `ring_capacity` events each.
     pub fn new(ring_capacity: usize) -> Arc<TraceSink> {
+        TraceSink::new_for_shard(ring_capacity, 0)
+    }
+
+    /// A sink for shard `shard` of a sharded engine: submitted thread
+    /// ids are tagged with the shard index (see [`SHARD_SHIFT`]).
+    pub fn new_for_shard(ring_capacity: usize, shard: u32) -> Arc<TraceSink> {
+        debug_assert!(shard < (RECOVERY_TID >> SHARD_SHIFT));
         Arc::new(TraceSink {
             ring_capacity: ring_capacity.max(1),
+            shard_tag: shard << SHARD_SHIFT,
             threads: Mutex::new(Vec::new()),
         })
+    }
+
+    /// The shard index this sink tags its threads with.
+    pub fn shard(&self) -> u32 {
+        self.shard_tag >> SHARD_SHIFT
     }
 
     /// Default per-thread capacity: large enough that the analyzer runs
@@ -337,6 +388,11 @@ impl TraceSink {
         if ring.recorded() == 0 {
             return;
         }
+        let tid = if tid == RECOVERY_TID {
+            tid
+        } else {
+            tid | self.shard_tag
+        };
         self.threads.lock().unwrap().push(ThreadTrace {
             tid,
             events: ring.ordered(),

@@ -20,6 +20,7 @@ pub mod btree_bench;
 pub mod driver;
 pub mod hist;
 pub mod kvstore;
+pub mod sharded;
 pub mod tatp;
 pub mod tpcc;
 pub mod vacation;
@@ -28,6 +29,10 @@ pub use btree_bench::{BTreeInsertOnly, BTreeMixed};
 pub use driver::{run_scenario, RunConfig, RunResult, Scenario, Workload, PAPER_THREADS};
 pub use hist::{LatencyHistogram, LatencySummary};
 pub use kvstore::KvStore;
+pub use sharded::{
+    gen_open_loop, run_sharded_kv, run_sharded_tpcc, Request, ShardedRunConfig, ShardedRunResult,
+    StreamConfig, ZipfGen,
+};
 pub use tatp::Tatp;
 pub use tpcc::{IndexKind, Tpcc};
 pub use vacation::{Vacation, VacationCfg};

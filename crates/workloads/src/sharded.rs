@@ -1,0 +1,565 @@
+//! Open-loop sharded front-end: a simulated client population drives a
+//! [`ShardedEngine`] through per-shard request queues.
+//!
+//! The single-machine driver ([`crate::driver`]) is closed-loop: each
+//! thread issues its next operation the instant the previous one
+//! finishes, so latency under load is invisible. This front-end is
+//! open-loop: requests *arrive* on a virtual-time schedule (bursty
+//! inter-arrival gaps, Zipfian keys — the shape memcached sees from
+//! memaslap), are routed to their home shard by key, and queue there
+//! until a shard worker picks them up. The reported latency is the
+//! **sojourn** time (arrival → completion), which is what a client
+//! observes and what a p99-under-load claim must be measured against.
+//!
+//! Routing is single-shard by construction: each request names one key,
+//! each key is homed on one shard, and the worker executing it asserts
+//! the homing before touching the heap ([`ShardedEngine::assert_routed`]).
+//! Cross-shard transactions (2PC) are out of scope.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use pmem_sim::{DurabilityDomain, LatencyModel, MachineConfig, PAddr, StatsSnapshot};
+use pstructs::PHashMap;
+use ptm::{PtmConfig, PtmStatsSnapshot, ShardedEngine};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::hist::LatencyHistogram;
+use crate::tpcc::{IndexKind, Tpcc};
+use crate::Workload;
+
+/// YCSB-style Zipfian key generator (Gray et al. rejection-free form):
+/// key 0 is the hottest, skew grows with `theta` (0 = uniform, 0.99 =
+/// YCSB default).
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl ZipfGen {
+    pub fn new(n: u64, theta: f64) -> ZipfGen {
+        assert!(n >= 1, "zipf needs a non-empty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        ZipfGen {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    pub fn next(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+}
+
+/// One client request in the open-loop stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Virtual time at which the client issues the request.
+    pub arrival_ns: u64,
+    /// Application key (routes the request to its home shard).
+    pub key: u64,
+    /// Operation selector (workload-interpreted: kv get/set, tpcc op id).
+    pub kind: u64,
+}
+
+/// Shape of the simulated client population.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Total requests across all shards.
+    pub total_ops: u64,
+    /// Key population (keys are `0..keys`).
+    pub keys: u64,
+    /// Zipfian skew over the key population (0 = uniform).
+    pub zipf_theta: f64,
+    /// Mean virtual-time gap between arrival *instants*.
+    pub mean_gap_ns: u64,
+    /// Maximum burst size: each arrival instant carries 1..=burst
+    /// requests (open-loop bursts; 1 = smooth arrivals).
+    pub burst: u64,
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            total_ops: 4_000,
+            keys: 1 << 14,
+            zipf_theta: 0.9,
+            mean_gap_ns: 300,
+            burst: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate the arrival-ordered open-loop request stream.
+pub fn gen_open_loop(cfg: &StreamConfig) -> Vec<Request> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5157_4f52_4b4c_4f41);
+    let zipf = ZipfGen::new(cfg.keys, cfg.zipf_theta);
+    let mut out = Vec::with_capacity(cfg.total_ops as usize);
+    let mut now = 0u64;
+    while (out.len() as u64) < cfg.total_ops {
+        // Bursty arrivals: a uniform gap (same mean as exponential)
+        // followed by a burst of simultaneous requests.
+        now += rng.gen_range(0..=2 * cfg.mean_gap_ns.max(1));
+        let burst = rng.gen_range(1..=cfg.burst.max(1));
+        for _ in 0..burst {
+            if out.len() as u64 >= cfg.total_ops {
+                break;
+            }
+            out.push(Request {
+                arrival_ns: now,
+                key: zipf.next(&mut rng),
+                kind: rng.gen(),
+            });
+        }
+    }
+    out
+}
+
+/// Execution parameters for one sharded measurement point.
+#[derive(Debug, Clone)]
+pub struct ShardedRunConfig {
+    pub shards: usize,
+    pub threads_per_shard: usize,
+    /// Bounded-lag window within each shard's clock domain.
+    pub window_ns: u64,
+    pub model: LatencyModel,
+    pub domain: DurabilityDomain,
+    /// PTM template: algorithm, group-commit knobs, heap media.
+    pub ptm: PtmConfig,
+    pub stream: StreamConfig,
+}
+
+impl Default for ShardedRunConfig {
+    fn default() -> Self {
+        ShardedRunConfig {
+            shards: 1,
+            threads_per_shard: 4,
+            window_ns: 1_000,
+            model: LatencyModel::default(),
+            domain: DurabilityDomain::Adr,
+            ptm: PtmConfig::default(),
+            stream: StreamConfig::default(),
+        }
+    }
+}
+
+/// Result of one sharded measurement point.
+#[derive(Debug, Clone)]
+pub struct ShardedRunResult {
+    pub label: String,
+    pub shards: usize,
+    pub threads_per_shard: usize,
+    pub ops: u64,
+    /// Aggregate makespan: the largest virtual time on any shard.
+    pub elapsed_virtual_ns: u64,
+    /// Sum of all shards' PTM counters.
+    pub ptm: PtmStatsSnapshot,
+    /// Sum of all shards' memory-system counters.
+    pub mem: StatsSnapshot,
+    /// Per-shard memory-system counters (WPQ-stall attribution).
+    pub per_shard_mem: Vec<StatsSnapshot>,
+    /// Sojourn time (request arrival → completion) distribution.
+    pub sojourn: LatencyHistogram,
+}
+
+impl ShardedRunResult {
+    /// Aggregate throughput in millions of operations per virtual second.
+    pub fn throughput_mops(&self) -> f64 {
+        if self.elapsed_virtual_ns == 0 {
+            return 0.0;
+        }
+        self.ops as f64 * 1_000.0 / self.elapsed_virtual_ns as f64
+    }
+
+    /// Fences retired per committed transaction — the group-commit
+    /// headline metric.
+    pub fn sfences_per_commit(&self) -> f64 {
+        self.mem.sfences as f64 / self.ptm.commits.max(1) as f64
+    }
+}
+
+fn machine_config(rc: &ShardedRunConfig) -> MachineConfig {
+    MachineConfig {
+        domain: rc.domain,
+        model: rc.model.clone(),
+        track_persistence: false,
+        window_ns: rc.window_ns,
+    }
+}
+
+/// Partition an arrival-ordered stream into per-shard queues (stable, so
+/// each queue stays arrival-ordered).
+fn partition<F: Fn(u64) -> usize>(reqs: &[Request], shards: usize, route: F) -> Vec<Vec<Request>> {
+    let mut queues = vec![Vec::new(); shards];
+    for r in reqs {
+        queues[route(r.key)].push(*r);
+    }
+    queues
+}
+
+/// Drive pre-partitioned queues through the engine: `threads_per_shard`
+/// workers per shard claim requests in arrival order, idle until each
+/// request's arrival instant, execute `exec`, and record sojourn times.
+fn drive<F>(
+    engine: &ShardedEngine,
+    queues: &[Vec<Request>],
+    rc: &ShardedRunConfig,
+    exec: F,
+) -> (u64, LatencyHistogram)
+where
+    F: Fn(usize, &mut ptm::TxThread, &mut SmallRng, &Request) + Sync,
+{
+    engine.begin_run_all(rc.threads_per_shard, rc.window_ns);
+    let heads: Vec<AtomicUsize> = (0..rc.shards).map(|_| AtomicUsize::new(0)).collect();
+    let sojourn = Mutex::new(LatencyHistogram::new());
+    std::thread::scope(|scope| {
+        for shard in 0..rc.shards {
+            for tid in 0..rc.threads_per_shard {
+                let engine = &engine;
+                let queue = &queues[shard];
+                let head = &heads[shard];
+                let sojourn = &sojourn;
+                let exec = &exec;
+                let seed = rc.stream.seed;
+                scope.spawn(move || {
+                    let mut th = engine.thread(shard, tid);
+                    let mut rng = SmallRng::seed_from_u64(
+                        seed ^ ((shard as u64) << 32 | tid as u64).wrapping_mul(0x9E37_79B9),
+                    );
+                    let mut local = LatencyHistogram::new();
+                    loop {
+                        let idx = head.fetch_add(1, Ordering::Relaxed);
+                        if idx >= queue.len() {
+                            break;
+                        }
+                        let req = &queue[idx];
+                        if th.session_mut().now() < req.arrival_ns {
+                            th.session_mut().advance_to(req.arrival_ns);
+                        }
+                        exec(shard, &mut th, &mut rng, req);
+                        let done = th.session_mut().now();
+                        local.record(done.saturating_sub(req.arrival_ns));
+                    }
+                    th.session_mut().finish();
+                    sojourn.lock().unwrap().merge(&local);
+                });
+            }
+        }
+    });
+    (engine.max_run_time_ns(), sojourn.into_inner().unwrap())
+}
+
+// ---------------------------------------------------------------------
+// Sharded key/value store
+// ---------------------------------------------------------------------
+
+/// Value size for the sharded KV store: 16 words = 2 cache lines (small
+/// values, so the population can scale to many keys per shard).
+pub const SHARDED_KV_VALUE_WORDS: u64 = 16;
+
+/// Run the memcached-like store across `rc.shards` shards: Zipfian keys
+/// are homed by [`ShardedEngine::shard_of`], a 50/50 get/set mix runs
+/// against each shard's private hash index.
+pub fn run_sharded_kv(rc: &ShardedRunConfig) -> ShardedRunResult {
+    const VW: u64 = SHARDED_KV_VALUE_WORDS;
+    let reqs = gen_open_loop(&rc.stream);
+    // Home every key, size each shard's heap for its population.
+    let mut per_shard_keys = vec![Vec::new(); rc.shards];
+    {
+        // Routing must match the engine's; build a throwaway hash of the
+        // same shape before the engine exists.
+        let probe = |key: u64| {
+            ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % rc.shards as u64) as usize
+        };
+        for k in 0..rc.stream.keys {
+            per_shard_keys[probe(k)].push(k);
+        }
+    }
+    let max_keys = per_shard_keys.iter().map(Vec::len).max().unwrap_or(0) as u64;
+    let heap_words = ((max_keys * (VW + 16)) as usize + (1 << 15)).next_power_of_two();
+    let engine =
+        ShardedEngine::create(rc.shards, machine_config(rc), rc.ptm.clone(), heap_words, 4);
+    for (shard, keys) in per_shard_keys.iter().enumerate() {
+        for &k in keys {
+            engine.assert_routed(shard, k);
+        }
+    }
+
+    // Parallel per-shard setup (each shard is an independent machine),
+    // single-threaded and unthrottled within a shard.
+    engine.begin_run_all(1, u64::MAX);
+    let indexes: Vec<PHashMap> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..rc.shards)
+            .map(|shard| {
+                let engine = &engine;
+                let keys = &per_shard_keys[shard];
+                scope.spawn(move || {
+                    let mut th = engine.thread(shard, 0);
+                    let index = th.run(|tx| PHashMap::create(tx, keys.len().max(64)));
+                    for &k in keys {
+                        th.run(|tx| {
+                            let block = tx.alloc(VW as usize);
+                            let mut w = 0;
+                            while w < VW {
+                                tx.write_at(block, w, k ^ w)?;
+                                w += pmem_sim::WORDS_PER_LINE as u64;
+                            }
+                            index.insert(tx, k, block.0)?;
+                            Ok(())
+                        });
+                    }
+                    th.session_mut().finish();
+                    index
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    engine.reset_stats();
+
+    let queues = partition(&reqs, rc.shards, |key| engine.shard_of(key));
+    let (elapsed, sojourn) = drive(&engine, &queues, rc, |shard, th, _rng, req| {
+        engine.assert_routed(shard, req.key);
+        let index = indexes[shard];
+        if req.kind & 1 == 0 {
+            // GET: read the whole value.
+            th.run(|tx| {
+                if let Some(block) = index.get(tx, req.key)? {
+                    let block = PAddr(block);
+                    let mut sum = 0u64;
+                    let mut w = 0;
+                    while w < VW {
+                        sum = sum.wrapping_add(tx.read_at(block, w)?);
+                        w += pmem_sim::WORDS_PER_LINE as u64;
+                    }
+                    return Ok(sum);
+                }
+                Ok(0)
+            });
+        } else {
+            // SET: overwrite the whole value.
+            let stamp = req.kind;
+            th.run(|tx| {
+                if let Some(block) = index.get(tx, req.key)? {
+                    let block = PAddr(block);
+                    let mut w = 0;
+                    while w < VW {
+                        tx.write_at(block, w, stamp ^ w)?;
+                        w += pmem_sim::WORDS_PER_LINE as u64;
+                    }
+                }
+                Ok(())
+            });
+        }
+    });
+
+    ShardedRunResult {
+        label: format!("sharded-kv-{}x{}", rc.shards, rc.threads_per_shard),
+        shards: rc.shards,
+        threads_per_shard: rc.threads_per_shard,
+        ops: reqs.len() as u64,
+        elapsed_virtual_ns: elapsed,
+        ptm: engine.aggregate_ptm_stats(),
+        mem: engine.aggregate_mem_stats(),
+        per_shard_mem: engine.per_shard_mem_stats(),
+        sojourn,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded TPCC
+// ---------------------------------------------------------------------
+
+/// Run TPCC across shards, routed by **home warehouse**: global warehouse
+/// `gw` lives on shard `gw % shards` as that shard's local warehouse
+/// `gw / shards`. Every transaction touches exactly one warehouse's data,
+/// so the partitioning is exact — this is the classic shardable slice of
+/// TPCC (cross-warehouse payments would need 2PC, which is out of scope).
+pub fn run_sharded_tpcc(rc: &ShardedRunConfig, kind: IndexKind) -> ShardedRunResult {
+    let warehouses = rc.stream.keys;
+    assert!(
+        warehouses >= rc.shards as u64,
+        "need at least one warehouse per shard"
+    );
+    let reqs = gen_open_loop(&rc.stream);
+    let route = |gw: u64| (gw % rc.shards as u64) as usize;
+    let local_of = |gw: u64| gw / rc.shards as u64;
+    let wh_per_shard = |shard: usize| {
+        (warehouses / rc.shards as u64) + u64::from((warehouses % rc.shards as u64) > shard as u64)
+    };
+
+    // Per-shard TPCC instances sized for that shard's warehouse count and
+    // expected order share.
+    let expected_per_shard = (rc.stream.total_ops / rc.shards as u64).max(256);
+    let mut insts: Vec<Tpcc> = (0..rc.shards)
+        .map(|s| Tpcc::new(kind, wh_per_shard(s), expected_per_shard))
+        .collect();
+    let heap_words = insts.iter().map(|t| t.heap_words()).max().unwrap();
+    let engine =
+        ShardedEngine::create(rc.shards, machine_config(rc), rc.ptm.clone(), heap_words, 4);
+
+    engine.begin_run_all(1, u64::MAX);
+    std::thread::scope(|scope| {
+        for (shard, inst) in insts.iter_mut().enumerate() {
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut th = engine.thread(shard, 0);
+                inst.setup(&mut th);
+                th.session_mut().finish();
+            });
+        }
+    });
+    engine.reset_stats();
+
+    let queues = partition(&reqs, rc.shards, route);
+    let insts = &insts;
+    let (elapsed, sojourn) = drive(&engine, &queues, rc, |shard, th, rng, req| {
+        debug_assert_eq!(route(req.key), shard, "warehouse routed to wrong shard");
+        insts[shard].op_at_warehouse(th, rng, local_of(req.key), req.kind);
+    });
+
+    ShardedRunResult {
+        label: format!("sharded-tpcc-{}x{}", rc.shards, rc.threads_per_shard),
+        shards: rc.shards,
+        threads_per_shard: rc.threads_per_shard,
+        ops: reqs.len() as u64,
+        elapsed_virtual_ns: elapsed,
+        ptm: engine.aggregate_ptm_stats(),
+        mem: engine.aggregate_mem_stats(),
+        per_shard_mem: engine.per_shard_mem_stats(),
+        sojourn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptm::Algo;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = ZipfGen::new(1000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..20_000 {
+            let k = z.next(&mut rng);
+            assert!(k < 1000);
+            counts[k as usize] += 1;
+        }
+        // Hot head: the top key alone draws far more than uniform share.
+        assert!(counts[0] > 20_000 / 1000 * 10, "head count {}", counts[0]);
+        // But the tail is still reachable.
+        assert!(counts[500..].iter().sum::<u64>() > 0);
+        // theta=0 is uniform-ish: head is not wildly hot.
+        let u = ZipfGen::new(1000, 0.0);
+        let mut cu = vec![0u64; 1000];
+        for _ in 0..20_000 {
+            cu[u.next(&mut rng) as usize] += 1;
+        }
+        assert!(cu[0] < 200, "uniform head count {}", cu[0]);
+    }
+
+    #[test]
+    fn stream_is_arrival_ordered_and_sized() {
+        let cfg = StreamConfig {
+            total_ops: 500,
+            ..StreamConfig::default()
+        };
+        let reqs = gen_open_loop(&cfg);
+        assert_eq!(reqs.len(), 500);
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival_ns <= w[1].arrival_ns);
+        }
+        // Bursts exist: some consecutive requests share an arrival.
+        assert!(reqs.windows(2).any(|w| w[0].arrival_ns == w[1].arrival_ns));
+        // Determinism.
+        let again = gen_open_loop(&cfg);
+        assert_eq!(reqs.len(), again.len());
+        assert!(reqs
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| a.arrival_ns == b.arrival_ns && a.key == b.key && a.kind == b.kind));
+    }
+
+    fn quick_rc(shards: usize) -> ShardedRunConfig {
+        ShardedRunConfig {
+            shards,
+            threads_per_shard: 2,
+            ptm: PtmConfig {
+                algo: Algo::RedoLazy,
+                ..PtmConfig::default()
+            },
+            stream: StreamConfig {
+                total_ops: 400,
+                keys: 512,
+                ..StreamConfig::default()
+            },
+            ..ShardedRunConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_kv_runs_and_counts() {
+        let r = run_sharded_kv(&quick_rc(2));
+        assert_eq!(r.ops, 400);
+        assert!(r.elapsed_virtual_ns > 0);
+        assert!(r.ptm.commits >= 400, "commits {}", r.ptm.commits);
+        assert_eq!(r.per_shard_mem.len(), 2);
+        assert_eq!(r.sojourn.count(), 400);
+        assert!(r.throughput_mops() > 0.0);
+    }
+
+    #[test]
+    fn sharded_tpcc_runs_and_counts() {
+        let mut rc = quick_rc(2);
+        rc.stream.keys = 4; // 4 warehouses over 2 shards
+        rc.stream.total_ops = 200;
+        let r = run_sharded_tpcc(&rc, IndexKind::Hash);
+        assert_eq!(r.ops, 200);
+        assert!(r.ptm.commits >= 200);
+        assert_eq!(r.sojourn.count(), 200);
+    }
+
+    #[test]
+    fn group_commit_elides_fences_on_sharded_kv() {
+        let mut base = quick_rc(1);
+        base.threads_per_shard = 4;
+        base.stream.total_ops = 600;
+        let plain = run_sharded_kv(&base);
+        let mut grouped = base.clone();
+        grouped.ptm.group_commit = true;
+        let g = run_sharded_kv(&grouped);
+        assert!(g.ptm.sfences_elided > 0, "no joins happened");
+        assert!(
+            g.sfences_per_commit() < plain.sfences_per_commit(),
+            "group commit must reduce fences/commit: {} vs {}",
+            g.sfences_per_commit(),
+            plain.sfences_per_commit()
+        );
+    }
+}

@@ -217,17 +217,27 @@ impl Workload for Tpcc {
     }
 
     fn op(&self, th: &mut TxThread, rng: &mut SmallRng, tid: usize, i: u64) {
+        // Warehouse selection is uniform (like the DudeTM port), so some
+        // cross-thread conflict exists at every thread count — the paper's
+        // Tables I/II show finite ratios even at 2 threads.
+        let _ = tid;
+        let w = rng.gen_range(0..self.warehouses);
+        self.op_at_warehouse(th, rng, w, i);
+    }
+}
+
+impl Tpcc {
+    /// One TPCC operation with the home warehouse pinned to `w` — the
+    /// sharded driver routes requests by home warehouse, so the warehouse
+    /// is an input there, not a random draw.
+    pub fn op_at_warehouse(&self, th: &mut TxThread, rng: &mut SmallRng, w: u64, i: u64) {
         let wh = self.wh.expect("setup");
         let dist = self.dist.expect("setup");
         let cust = self.cust.expect("setup");
         let item = self.item.expect("setup");
         let stock = self.stock.expect("setup");
         let index = self.index.expect("setup");
-        // Warehouse selection is uniform (like the DudeTM port), so some
-        // cross-thread conflict exists at every thread count — the paper's
-        // Tables I/II show finite ratios even at 2 threads.
-        let _ = tid;
-        let w = rng.gen_range(0..self.warehouses);
+        assert!(w < self.warehouses, "warehouse {w} out of range");
         let d = rng.gen_range(0..DISTRICTS);
         let c = rng.gen_range(0..self.warehouses * DISTRICTS * self.customers_per_district);
         if rng.gen_range(0..100) < self.read_pct {

@@ -29,6 +29,7 @@ fn expected_of(r: &RunResult) -> ExpectedTotals {
         sfences: r.mem.sfences,
         fence_wait_ns: r.mem.fence_wait_ns,
         wpq_stall_ns: r.mem.wpq_stall_ns,
+        fence_joins: r.ptm.sfences_elided,
     }
 }
 
