@@ -63,6 +63,17 @@ echo "=== per-shard crash sweep smoke (group-commit window workload) ==="
 # if any shard's recovery tears a joined window.
 cargo run -q --release -p bench --bin crash_sites -- --quick --workload group --shards 4 > /dev/null
 
+echo "=== recovery_bench smoke + restart SLO guards ==="
+# Restart-latency sweep (pool size x dirtiness x recovery workers) on
+# crafted committed-but-unretired log images. The binary's built-in
+# guards exit nonzero if (a) parallel recovery is slower than 0.9x
+# serial where the host has real cores (on a 1-core host this ratio
+# degenerates and the absolute overhead bound takes over), (b) 4-worker
+# recovery overhead blows up past thread bookkeeping, or (c) the first
+# read through the online-GC epoch fence degenerates to waiting for the
+# full sweep.
+cargo run -q --release -p bench --bin recovery_bench -- --quick > /dev/null
+
 echo "=== trace smoke ==="
 # Record a short traced run, then re-derive its totals from the trace
 # alone. trace_analyze exits nonzero if any trace-derived total diverges

@@ -338,6 +338,140 @@ pub fn sharded_point_json(workload: &str, r: &workloads::ShardedRunResult) -> St
     out
 }
 
+/// One restart measurement point as a single-line JSON object.
+///
+/// Emitted by `recovery_bench`: restart latency decomposed into log
+/// repair and GC phases for a pool of `pool_words` words carrying
+/// `dirty_entries` committed-but-unretired log entries, recovered with
+/// `workers` threads. Times are wall-clock ns (restart is a host-side
+/// operation — there is no virtual clock yet when it runs).
+///
+/// Schema:
+/// `{workload, scenario, pool_words, dirty_entries, workers,
+///   recovery: {logs_scanned, redo_replayed, redo_entries,
+///              undo_rolled_back, torn_entries, malformed_logs,
+///              recovery_ns, recovery_workers},
+///   gc: {blocks_scanned, live_blocks, reclaimed_blocks, leaked_blocks,
+///        corrupt_headers, gc_scan_ns, gc_mark_ns, gc_sweep_ns,
+///        gc_workers},
+///   time_to_first_txn_ns, full_restart_ns}`
+pub fn restart_point_json(
+    scenario: &str,
+    pool_words: u64,
+    dirty_entries: u64,
+    workers: u64,
+    r: &ptm::db::ReopenReports,
+) -> String {
+    let mut out = String::with_capacity(512);
+    let mut first = false;
+    out.push('{');
+    push_str_lit(&mut out, "workload");
+    out.push(':');
+    push_str_lit(&mut out, "restart");
+    out.push(',');
+    push_str_lit(&mut out, "scenario");
+    out.push(':');
+    push_str_lit(&mut out, scenario);
+    push_kv_u64(&mut out, "pool_words", pool_words, &mut first);
+    push_kv_u64(&mut out, "dirty_entries", dirty_entries, &mut first);
+    push_kv_u64(&mut out, "workers", workers, &mut first);
+
+    out.push(',');
+    push_str_lit(&mut out, "recovery");
+    out.push_str(":{");
+    let mut rf = true;
+    push_kv_u64(
+        &mut out,
+        "logs_scanned",
+        r.recovery.logs_scanned as u64,
+        &mut rf,
+    );
+    push_kv_u64(
+        &mut out,
+        "redo_replayed",
+        r.recovery.redo_replayed as u64,
+        &mut rf,
+    );
+    push_kv_u64(
+        &mut out,
+        "redo_entries",
+        r.recovery.redo_entries as u64,
+        &mut rf,
+    );
+    push_kv_u64(
+        &mut out,
+        "undo_rolled_back",
+        r.recovery.undo_rolled_back as u64,
+        &mut rf,
+    );
+    push_kv_u64(
+        &mut out,
+        "torn_entries",
+        r.recovery.torn_entries as u64,
+        &mut rf,
+    );
+    push_kv_u64(
+        &mut out,
+        "malformed_logs",
+        r.recovery.malformed.len() as u64,
+        &mut rf,
+    );
+    push_kv_u64(&mut out, "recovery_ns", r.recovery.recovery_ns, &mut rf);
+    push_kv_u64(
+        &mut out,
+        "recovery_workers",
+        r.recovery.recovery_workers as u64,
+        &mut rf,
+    );
+    out.push('}');
+
+    out.push(',');
+    push_str_lit(&mut out, "gc");
+    out.push_str(":{");
+    let mut gf = true;
+    push_kv_u64(
+        &mut out,
+        "blocks_scanned",
+        r.gc.blocks_scanned as u64,
+        &mut gf,
+    );
+    push_kv_u64(&mut out, "live_blocks", r.gc.live_blocks as u64, &mut gf);
+    push_kv_u64(
+        &mut out,
+        "reclaimed_blocks",
+        r.gc.reclaimed_blocks as u64,
+        &mut gf,
+    );
+    push_kv_u64(
+        &mut out,
+        "leaked_blocks",
+        r.gc.leaked_blocks as u64,
+        &mut gf,
+    );
+    push_kv_u64(
+        &mut out,
+        "corrupt_headers",
+        r.gc.corrupt_headers as u64,
+        &mut gf,
+    );
+    push_kv_u64(&mut out, "gc_scan_ns", r.gc.gc_scan_ns, &mut gf);
+    push_kv_u64(&mut out, "gc_mark_ns", r.gc.gc_mark_ns, &mut gf);
+    push_kv_u64(&mut out, "gc_sweep_ns", r.gc.gc_sweep_ns, &mut gf);
+    push_kv_u64(&mut out, "gc_workers", r.gc.gc_workers as u64, &mut gf);
+    out.push('}');
+
+    push_kv_u64(
+        &mut out,
+        "time_to_first_txn_ns",
+        r.time_to_first_txn_ns,
+        &mut first,
+    );
+    push_kv_u64(&mut out, "full_restart_ns", r.full_restart_ns, &mut first);
+
+    out.push('}');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,6 +627,62 @@ mod tests {
         }
         // Exactly one per-shard entry per shard.
         assert_eq!(j.matches("\"shard\":").count(), 2);
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn restart_json_pins_restart_counter_schema() {
+        use pmem_sim::{DurabilityDomain, MachineConfig};
+        use ptm::db::PtmDb;
+        use ptm::{PtmConfig, RecoverOptions};
+
+        let cfg = MachineConfig::functional(DurabilityDomain::Adr);
+        let db = PtmDb::create(cfg.clone(), PtmConfig::redo(), 1 << 12, 4);
+        let mut th = db.thread(0);
+        let heap = db.heap().clone();
+        let a = heap.alloc(th.session_mut(), 2);
+        th.run(|tx| tx.write(a, 9));
+        heap.set_root(th.session_mut(), 0, a);
+        drop(th);
+        let image = db.crash(7);
+        let (_db2, reports) = PtmDb::reopen_with(
+            &image,
+            cfg,
+            PtmConfig::redo(),
+            RecoverOptions {
+                workers: 2,
+                ..RecoverOptions::default()
+            },
+        );
+
+        let j = restart_point_json("redo/adr", 1 << 12, 1, 2, &reports);
+        // The restart counters are part of the published schema:
+        // EXPERIMENTS.md tables and the ci.sh quick guard key on them.
+        for key in [
+            "\"pool_words\"",
+            "\"dirty_entries\"",
+            "\"workers\"",
+            "\"recovery\"",
+            "\"logs_scanned\"",
+            "\"malformed_logs\"",
+            "\"recovery_ns\"",
+            "\"recovery_workers\"",
+            "\"gc\"",
+            "\"gc_scan_ns\"",
+            "\"gc_mark_ns\"",
+            "\"gc_sweep_ns\"",
+            "\"gc_workers\"",
+            "\"corrupt_headers\"",
+            "\"time_to_first_txn_ns\"",
+            "\"full_restart_ns\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // One discovered log clamps the recovery workers to 1 even when
+        // two were requested; both facts are part of the point.
+        assert!(j.contains("\"workers\":2"), "requested workers: {j}");
+        assert!(j.contains("\"recovery_workers\":1"), "clamped workers: {j}");
+        assert!(j.contains("\"gc_workers\":2"), "gc workers: {j}");
         assert!(!j.contains('\n'));
     }
 

@@ -1,11 +1,12 @@
-//! Offline conservative mark-sweep recovery (Makalu's restart GC).
+//! Restart conservative mark-sweep (Makalu's recovery GC), parallel and
+//! instrumented.
 //!
 //! After a crash, the volatile free lists are gone and some blocks may
 //! have leaked (allocated but never linked before the failure). Recovery
 //!
-//! 1. **scans** the heap's block headers sequentially from `start`
-//!    (headers are persisted before their block can be referenced, so a
-//!    zero word terminates the allocated region);
+//! 1. **scans** the heap's block headers from `start` (headers are
+//!    persisted before their block can be referenced, so a zero word
+//!    terminates the allocated region);
 //! 2. **marks** conservatively from the root table: any word inside a
 //!    reachable block whose bit pattern equals the address of a block's
 //!    first data word is treated as a pointer;
@@ -14,8 +15,50 @@
 //! Conservatism can only over-retain (an integer that happens to look
 //! like a block address keeps that block alive) — never reclaim live
 //! data.
+//!
+//! # Parallelism
+//!
+//! With `workers > 1` the two O(heap) phases split across OS threads:
+//!
+//! * **Scan** is parallel over address ranges with a speculative stitch.
+//!   The header chain is a linked hop (each header's class word names the
+//!   next header position), so a worker cannot know where the chain
+//!   enters its range. Each worker instead scans *speculatively* from the
+//!   first word in its range that decodes as a header; a serial stitch
+//!   pass then adopts a range's chain wholesale iff its speculative
+//!   origin equals the authoritative chain's entry point into that range
+//!   (the common case — data words rarely fake-decode), and re-walks the
+//!   range serially otherwise. Adoption is sound: the hop from a given
+//!   position is a pure function of the pool image, so equal origins
+//!   imply equal chains.
+//! * **Mark** runs a shared-worklist traversal: block marks are
+//!   `AtomicBool`s, so marking is idempotent and confluent — the marked
+//!   set is the reachable set regardless of traversal order, which keeps
+//!   the report and the rebuilt free lists deterministic.
+//! * **Sweep** stays serial and in discovery (address) order: free lists
+//!   are stacks, and allocation determinism after restart (tests pin
+//!   "leaked block must be recycled first") requires a stable push order.
+//!
+//! GC writes nothing persistent — all three phases only rebuild volatile
+//! state — so a parallel run is trivially crash-equivalent to a serial
+//! one.
+//!
+//! # Corruption defense
+//!
+//! A corrupted header whose class word overruns the pool used to panic
+//! the mark phase (out-of-bounds load); one that overruns into a
+//! neighbouring block silently skewed the chain. The scan now detects
+//! both: a block extent past the pool end, and a chain terminating on a
+//! *nonzero* non-header word (header slots only ever hold zero or an
+//! encoded header, so a nonzero terminator means the hop walked into
+//! block data). Both increment [`GcReport::corrupt_headers`] and
+//! quarantine the tail — the bump pointer is pinned to the pool end so
+//! no future allocation can land on memory the chain no longer accounts
+//! for (fail toward leak, never toward corruption).
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use pmem_sim::{PAddr, PmemPool};
 
@@ -37,68 +80,321 @@ pub struct GcReport {
     pub leaked_blocks: usize,
     /// Words reclaimed (data words, headers excluded).
     pub reclaimed_words: u64,
+    /// Corrupted headers detected during the scan: a class word whose
+    /// extent overruns the pool, or a chain terminating on a nonzero
+    /// non-header word (overlap into block data). Nonzero means the
+    /// unscanned tail was quarantined — see the module docs.
+    pub corrupt_headers: usize,
+    /// Wall-clock nanoseconds spent in the header scan.
+    pub gc_scan_ns: u64,
+    /// Wall-clock nanoseconds spent in the conservative mark.
+    pub gc_mark_ns: u64,
+    /// Wall-clock nanoseconds spent rebuilding the free lists.
+    pub gc_sweep_ns: u64,
+    /// Worker threads the phases ran on.
+    pub gc_workers: usize,
 }
 
-/// Scan + mark + sweep; returns the rebuilt volatile state and a report.
-pub(crate) fn recover(pool: &PmemPool, start: u64, roots: usize) -> (Inner, GcReport) {
-    // ---- scan ----
-    // data start word -> (class words, tag)
-    let mut blocks: HashMap<u64, (usize, u64)> = HashMap::new();
-    let mut order: Vec<u64> = Vec::new();
-    let mut cursor = start;
-    let len = pool.len_words() as u64;
-    while cursor < len {
+impl GcReport {
+    /// Fold another shard's (or phase's) report into this one. Counters
+    /// add saturating (a merged report must never wrap into nonsense —
+    /// mirror of the `delta_since` fix); wall-clock phase times take the
+    /// max, since per-shard GCs run concurrently and the restart clock
+    /// is the slowest shard; `gc_workers` takes the max.
+    pub fn merge(&mut self, other: &GcReport) {
+        self.blocks_scanned = self.blocks_scanned.saturating_add(other.blocks_scanned);
+        self.live_blocks = self.live_blocks.saturating_add(other.live_blocks);
+        self.reclaimed_blocks = self.reclaimed_blocks.saturating_add(other.reclaimed_blocks);
+        self.leaked_blocks = self.leaked_blocks.saturating_add(other.leaked_blocks);
+        self.reclaimed_words = self.reclaimed_words.saturating_add(other.reclaimed_words);
+        self.corrupt_headers = self.corrupt_headers.saturating_add(other.corrupt_headers);
+        self.gc_scan_ns = self.gc_scan_ns.max(other.gc_scan_ns);
+        self.gc_mark_ns = self.gc_mark_ns.max(other.gc_mark_ns);
+        self.gc_sweep_ns = self.gc_sweep_ns.max(other.gc_sweep_ns);
+        self.gc_workers = self.gc_workers.max(other.gc_workers);
+    }
+}
+
+/// One discovered block: data-start word, data words, header tag.
+type Block = (u64, usize, u64);
+
+/// How a hop over `[from, limit)` ended.
+enum HopEnd {
+    /// The chain crossed `limit`; the next header position is given.
+    Crossed(u64),
+    /// The chain terminated inside the range at the given header
+    /// position; `corrupt` is set when the terminator was a nonzero
+    /// non-header word or an extent overrun (see module docs).
+    Terminated { at: u64, corrupt: bool },
+}
+
+/// Walk the header chain from `from` until it leaves `[from, limit)` or
+/// terminates. Pure function of the pool image.
+fn hop(pool: &PmemPool, from: u64, limit: u64, len: u64, out: &mut Vec<Block>) -> HopEnd {
+    let mut cursor = from;
+    while cursor < limit {
         let word = pool.raw_load(cursor);
         let Some((tag, class)) = decode_header(word) else {
-            break; // first non-header word terminates the allocated region
+            return HopEnd::Terminated {
+                at: cursor,
+                corrupt: word != 0,
+            };
         };
         let data = cursor + 1;
-        blocks.insert(data, (class, tag));
-        order.push(data);
+        if data + class as u64 > len {
+            return HopEnd::Terminated {
+                at: cursor,
+                corrupt: true,
+            };
+        }
+        out.push((data, class, tag));
         cursor = data + class as u64;
     }
-    let bump = cursor;
+    HopEnd::Crossed(cursor)
+}
 
-    // ---- mark ----
-    let mut marked: HashMap<u64, bool> = blocks.keys().map(|&d| (d, false)).collect();
-    let mut worklist: Vec<u64> = Vec::new();
+/// One worker's speculative scan of `[lo, hi)`: the chain from the first
+/// word in the range that decodes as an in-bounds header.
+struct RangeScan {
+    hi: u64,
+    /// Speculative chain origin, `u64::MAX` when no word in the range
+    /// decodes as a header.
+    origin: u64,
+    entries: Vec<Block>,
+    end: Option<HopEnd>,
+}
+
+fn scan_range(pool: &PmemPool, lo: u64, hi: u64, len: u64) -> RangeScan {
+    let mut origin = u64::MAX;
+    for w in lo..hi {
+        if let Some((_tag, class)) = decode_header(pool.raw_load(w)) {
+            if w + 1 + class as u64 <= len {
+                origin = w;
+                break;
+            }
+        }
+    }
+    let mut entries = Vec::new();
+    let end = (origin != u64::MAX).then(|| hop(pool, origin, hi, len, &mut entries));
+    RangeScan {
+        hi,
+        origin,
+        entries,
+        end,
+    }
+}
+
+/// Parallel header scan: speculative per-range hops stitched serially.
+/// Returns the discovered blocks (address order), the recovered bump
+/// pointer, and the corrupt-header count.
+fn scan(pool: &PmemPool, start: u64, workers: usize) -> (Vec<Block>, u64, usize) {
+    let len = pool.len_words() as u64;
+    let span = len.saturating_sub(start);
+    let ranges: Vec<RangeScan> = if workers <= 1 || span < 4096 {
+        vec![scan_range(pool, start, len, len)]
+    } else {
+        let chunk = span.div_ceil(workers as u64);
+        std::thread::scope(|s| {
+            (0..workers as u64)
+                .map(|w| {
+                    let lo = start + w * chunk;
+                    let hi = (lo + chunk).min(len);
+                    s.spawn(move || scan_range(pool, lo, hi, len))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().expect("gc scan worker"))
+                .collect()
+        })
+    };
+
+    // Serial stitch: walk ranges left to right, adopting each range's
+    // speculative chain when its origin equals the authoritative entry
+    // point, re-walking the range otherwise.
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut corrupt = 0usize;
+    let mut auth = start;
+    let mut ended = None;
+    for r in &ranges {
+        if ended.is_some() {
+            break;
+        }
+        if auth >= r.hi {
+            continue; // a block from an earlier range spans past this one
+        }
+        let rewalk;
+        let end = if r.origin == auth {
+            blocks.extend_from_slice(&r.entries);
+            r.end.as_ref().expect("origin implies a hop end")
+        } else {
+            // Speculation missed (fake header before the true entry, or
+            // no decodable word found): authoritative re-walk.
+            rewalk = hop(pool, auth, r.hi, len, &mut blocks);
+            &rewalk
+        };
+        match *end {
+            HopEnd::Crossed(next) => auth = next,
+            HopEnd::Terminated { at, corrupt: c } => {
+                if c {
+                    corrupt += 1;
+                }
+                ended = Some((at, c));
+            }
+        }
+    }
+    let bump = match ended {
+        // Corruption: quarantine the tail (never re-allocate over words
+        // the chain no longer accounts for).
+        Some((_, true)) => len,
+        Some((at, false)) => at,
+        None => auth,
+    };
+    (blocks, bump, corrupt)
+}
+
+/// Shared-worklist state for the parallel mark.
+struct MarkQueue {
+    queue: Mutex<Vec<usize>>,
+    cv: Condvar,
+    /// Items queued or in flight; 0 means the traversal is complete.
+    pending: AtomicUsize,
+}
+
+impl MarkQueue {
+    fn push(&self, item: usize) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queue.lock().unwrap().push(item);
+        self.cv.notify_one();
+    }
+
+    /// Pop one item, or `None` once the traversal has drained.
+    fn pop(&self) -> Option<usize> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(item) = q.pop() {
+                return Some(item);
+            }
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Mark one popped item fully processed (its children are pushed).
+    fn done(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Traversal drained: wake every waiter so they can exit.
+            let _q = self.queue.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Scan one block's words for pointers into other blocks, marking and
+/// enqueueing newly reached ones.
+fn mark_block(
+    pool: &PmemPool,
+    blocks: &[Block],
+    marked: &[AtomicBool],
+    idx: usize,
+    enqueue: &mut impl FnMut(usize),
+) {
+    let (data, class, _) = blocks[idx];
+    for w in data..data + class as u64 {
+        let p = PAddr(pool.raw_load(w));
+        if p.pool() != pool.id() {
+            continue;
+        }
+        if let Ok(i) = blocks.binary_search_by_key(&p.word(), |b| b.0) {
+            if !marked[i].swap(true, Ordering::Relaxed) {
+                enqueue(i);
+            }
+        }
+    }
+}
+
+/// Conservative mark from the root table. Returns the per-block mark
+/// bits, index-aligned with `blocks`.
+fn mark(pool: &PmemPool, blocks: &[Block], roots: usize, workers: usize) -> Vec<AtomicBool> {
+    let marked: Vec<AtomicBool> = (0..blocks.len()).map(|_| AtomicBool::new(false)).collect();
+    let mut seeds = Vec::new();
     for slot in 0..roots {
-        let v = pool.raw_load(crate::layout::OFF_ROOTS + slot as u64);
-        let p = PAddr(v);
-        if p.pool() == pool.id() && blocks.contains_key(&p.word()) {
-            if let Some(m) = marked.get_mut(&p.word()) {
-                if !*m {
-                    *m = true;
-                    worklist.push(p.word());
-                }
+        let p = PAddr(pool.raw_load(crate::layout::OFF_ROOTS + slot as u64));
+        if p.pool() != pool.id() {
+            continue;
+        }
+        if let Ok(i) = blocks.binary_search_by_key(&p.word(), |b| b.0) {
+            if !marked[i].swap(true, Ordering::Relaxed) {
+                seeds.push(i);
             }
         }
     }
-    while let Some(data) = worklist.pop() {
-        let (class, _) = blocks[&data];
-        for w in data..data + class as u64 {
-            let v = pool.raw_load(w);
-            let p = PAddr(v);
-            if p.pool() == pool.id() {
-                if let Some(m) = marked.get_mut(&p.word()) {
-                    if !*m {
-                        *m = true;
-                        worklist.push(p.word());
+    // Thread spawns only pay off past a few cache lines of blocks; the
+    // serial fallback is observationally identical (marking is
+    // confluent), so callers may pass any worker count unconditionally.
+    if workers <= 1 || blocks.len() < 64 {
+        let mut worklist = seeds;
+        while let Some(i) = worklist.pop() {
+            mark_block(pool, blocks, &marked, i, &mut |j| worklist.push(j));
+        }
+    } else {
+        let mq = MarkQueue {
+            queue: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+            pending: AtomicUsize::new(0),
+        };
+        for i in seeds {
+            mq.push(i);
+        }
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let mq = &mq;
+                let marked = &marked;
+                s.spawn(move || {
+                    while let Some(i) = mq.pop() {
+                        mark_block(pool, blocks, marked, i, &mut |j| mq.push(j));
+                        mq.done();
                     }
-                }
+                });
             }
-        }
+        });
     }
+    marked
+}
 
-    // ---- sweep ----
+/// Scan + mark + sweep with an explicit worker-thread count for the scan
+/// and mark phases (sweep stays serial for free-list order determinism);
+/// returns the rebuilt volatile state and a report.
+pub(crate) fn recover_with(
+    pool: &PmemPool,
+    start: u64,
+    roots: usize,
+    workers: usize,
+) -> (Inner, GcReport) {
+    let workers = workers.max(1);
+    let t0 = Instant::now();
+    let (blocks, bump, corrupt_headers) = scan(pool, start, workers);
+    let gc_scan_ns = t0.elapsed().as_nanos() as u64;
+
+    let t1 = Instant::now();
+    let marked = mark(pool, &blocks, roots, workers);
+    let gc_mark_ns = t1.elapsed().as_nanos() as u64;
+
+    // Sweep: serial, in address order — free lists are stacks, and
+    // restart allocation determinism depends on a stable push order.
+    let t2 = Instant::now();
     let mut free = vec![Vec::new(); NUM_CLASSES];
     let mut report = GcReport {
-        blocks_scanned: order.len(),
+        blocks_scanned: blocks.len(),
+        corrupt_headers,
+        gc_scan_ns,
+        gc_mark_ns,
+        gc_workers: workers,
         ..GcReport::default()
     };
-    for &data in &order {
-        let (class, tag) = blocks[&data];
-        if marked[&data] {
+    for (i, &(data, class, tag)) in blocks.iter().enumerate() {
+        if marked[i].load(Ordering::Relaxed) {
             report.live_blocks += 1;
         } else {
             report.reclaimed_blocks += 1;
@@ -109,12 +405,14 @@ pub(crate) fn recover(pool: &PmemPool, start: u64, roots: usize) -> (Inner, GcRe
             free[class_index(class)].push(data);
         }
     }
+    report.gc_sweep_ns = t2.elapsed().as_nanos() as u64;
     (Inner { bump, free }, report)
 }
 
 #[cfg(test)]
 mod tests {
     use crate::heap::PHeap;
+    use crate::layout::{encode_header, TAG_LIVE};
     use pmem_sim::{DurabilityDomain, Machine, MachineConfig, PAddr};
     use std::sync::Arc;
 
@@ -162,6 +460,7 @@ mod tests {
         assert_eq!(r.live_blocks, 2);
         assert_eq!(r.reclaimed_blocks, 1);
         assert_eq!(r.leaked_blocks, 1);
+        assert_eq!(r.corrupt_headers, 0);
         // The survivors kept their contents and identity.
         let root = h2.root_raw(0);
         assert_eq!(root, a);
@@ -268,10 +567,106 @@ mod tests {
         for seed in 0..16 {
             let img = m.crash(seed);
             let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
-            let (h2, _r) = PHeap::attach(m2.pool(h.pool().id())).expect("attach");
+            let (h2, r) = PHeap::attach(m2.pool(h.pool().id())).expect("attach");
             let root = h2.root_raw(0);
             assert_eq!(root, a);
             assert_eq!(h2.pool().raw_load(root.word()), 42);
+            assert_eq!(r.corrupt_headers, 0, "truncation is not corruption");
         }
+    }
+
+    /// Build a heap whose live graph is a wide rooted tree plus leaks,
+    /// and return (machine, heap, expected live, expected reclaimed).
+    fn populated_heap(blocks: usize) -> (Arc<Machine>, Arc<PHeap>) {
+        let m = machine();
+        let h = PHeap::format(&m, "h", 1 << 18, 8);
+        let mut s = m.session(0);
+        let spine = h.alloc(&mut s, blocks);
+        for i in 0..blocks {
+            let leaf = h.alloc(&mut s, 1 + i % 17);
+            s.store(leaf.offset(0), (i as u64) << 16);
+            if i % 3 != 0 {
+                s.store(spine.offset(i as u64), leaf.0); // live
+            } // else: leaked
+        }
+        h.set_root(&mut s, 0, spine);
+        (m, h)
+    }
+
+    /// Parallel GC must produce exactly the serial result: same report
+    /// counts, same bump, same per-class free lists in the same order.
+    #[test]
+    fn parallel_gc_equals_serial() {
+        let (m, h) = populated_heap(200);
+        let img = m.crash(9);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(m.domain()));
+        let pool = m2.pool(h.pool().id());
+        let start = h.start();
+        let (serial, rs) = super::recover_with(&pool, start, 8, 1);
+        for workers in [2, 4, 8] {
+            let (par, rp) = super::recover_with(&pool, start, 8, workers);
+            assert_eq!(par.bump, serial.bump, "workers={workers}");
+            assert_eq!(par.free, serial.free, "workers={workers}");
+            assert_eq!(rp.blocks_scanned, rs.blocks_scanned, "workers={workers}");
+            assert_eq!(rp.live_blocks, rs.live_blocks, "workers={workers}");
+            assert_eq!(rp.reclaimed_blocks, rs.reclaimed_blocks);
+            assert_eq!(rp.leaked_blocks, rs.leaked_blocks);
+            assert_eq!(rp.reclaimed_words, rs.reclaimed_words);
+            assert_eq!(rp.corrupt_headers, 0);
+            assert_eq!(rp.gc_workers, workers);
+        }
+    }
+
+    /// A class word smashed to overrun the pool end must be detected and
+    /// quarantined, not panic the mark phase.
+    #[test]
+    fn overrunning_header_is_detected_not_panicking() {
+        let (m, h) = populated_heap(20);
+        let mut s = m.session(0);
+        let victim = h.alloc(&mut s, 8);
+        // Class claims more words than the pool holds.
+        h.pool().raw_store(
+            victim.word() - 1,
+            encode_header(TAG_LIVE, h.pool().len_words()),
+        );
+        h.pool()
+            .persist_line_now((victim.word() - 1) / pmem_sim::WORDS_PER_LINE as u64);
+        let img = m.crash(1);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(m.domain()));
+        let (h2, r) = PHeap::attach(m2.pool(h.pool().id())).expect("attach must fail soft");
+        assert_eq!(r.corrupt_headers, 1);
+        // Quarantine: the tail is never handed out again.
+        assert_eq!(
+            h2.high_water_words(),
+            h2.pool().len_words() as u64 - h2.start()
+        );
+    }
+
+    /// A class word smashed to overrun *into the next block* lands the
+    /// chain on nonzero block data: detected as corruption (the old code
+    /// silently skipped the remaining blocks).
+    #[test]
+    fn overlapping_header_is_detected() {
+        let m = machine();
+        let h = PHeap::format(&m, "h", 1 << 14, 4);
+        let mut s = m.session(0);
+        let a = h.alloc(&mut s, 8);
+        let b = h.alloc(&mut s, 8);
+        for i in 0..8 {
+            // Nonzero non-header data everywhere the skewed chain can
+            // land (0xEF is not a valid header tag).
+            s.store(b.offset(i), 0xDEAD_BEEF);
+        }
+        h.set_root(&mut s, 0, b);
+        // a's class now claims 3 extra words: the hop from a's header
+        // lands inside b's data.
+        h.pool()
+            .raw_store(a.word() - 1, encode_header(TAG_LIVE, 8 + 3));
+        h.pool()
+            .persist_line_now((a.word() - 1) / pmem_sim::WORDS_PER_LINE as u64);
+        let img = m.crash(2);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(m.domain()));
+        let (_h2, r) = PHeap::attach(m2.pool(h.pool().id())).expect("attach must fail soft");
+        assert_eq!(r.corrupt_headers, 1, "skewed chain must be flagged");
     }
 }

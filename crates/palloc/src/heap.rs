@@ -10,7 +10,7 @@
 //! cost of the header store + `clwb` + `sfence` is charged to the caller's
 //! clock after the lock is released.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use pmem_sim::{Machine, MemSession, PAddr, PmemPool};
 
@@ -79,6 +79,46 @@ pub struct PHeap {
     start: u64,
     roots: usize,
     inner: Mutex<Inner>,
+    /// Epoch fence for online restart GC (see [`PHeap::attach_online`]):
+    /// closed while a background mark-sweep is still rebuilding the free
+    /// lists. Read-only operations never touch it; every allocator
+    /// *mutation* waits on it.
+    gate: GcGate,
+}
+
+/// The online-GC epoch fence: `ready == false` until the background
+/// sweep has installed the rebuilt [`Inner`].
+struct GcGate {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl GcGate {
+    fn new(ready: bool) -> GcGate {
+        GcGate {
+            ready: Mutex::new(ready),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Handle on a background restart GC started by [`PHeap::attach_online`].
+/// Joining returns the sweep's [`GcReport`]; dropping without joining
+/// leaves the sweep running to completion on its own.
+pub struct OnlineGc {
+    handle: std::thread::JoinHandle<GcReport>,
+}
+
+impl OnlineGc {
+    /// Block until the background sweep finishes and take its report.
+    pub fn join(self) -> GcReport {
+        self.handle.join().expect("online GC thread panicked")
+    }
+
+    /// Whether the sweep has finished (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
 }
 
 impl PHeap {
@@ -122,6 +162,7 @@ impl PHeap {
                 bump: start,
                 free: vec![Vec::new(); NUM_CLASSES],
             }),
+            gate: GcGate::new(true),
         })
     }
 
@@ -130,6 +171,73 @@ impl PHeap {
     /// the volatile free lists and reclaim leaked blocks. Untimed: recovery
     /// happens outside measured execution.
     pub fn attach(pool: Arc<PmemPool>) -> Result<(Arc<PHeap>, GcReport), AttachError> {
+        Self::attach_with(pool, 1)
+    }
+
+    /// [`PHeap::attach`] with an explicit worker-thread count for the GC's
+    /// scan and mark phases. Observationally identical to the serial
+    /// attach (marking is confluent and the sweep order is fixed), just
+    /// faster on large pools.
+    pub fn attach_with(
+        pool: Arc<PmemPool>,
+        workers: usize,
+    ) -> Result<(Arc<PHeap>, GcReport), AttachError> {
+        let (start, roots) = Self::check_header(&pool)?;
+        let (inner, report) = gc::recover_with(&pool, start, roots, workers);
+        Ok((
+            Arc::new(PHeap {
+                pool,
+                start,
+                roots,
+                inner: Mutex::new(inner),
+                gate: GcGate::new(true),
+            }),
+            report,
+        ))
+    }
+
+    /// Attach with the restart GC running in the *background*: returns
+    /// immediately after header validation, so read-only traffic (root
+    /// reads, raw pool loads, read-only transactions over already-durable
+    /// data) can be served while the mark-sweep is still running —
+    /// time-to-first-read beats time-to-full-restart.
+    ///
+    /// The epoch-fence rule: operations that only read persistent state
+    /// never wait; every operation that could *mutate* allocator state
+    /// (`alloc`, `free`, `set_root`) or observe the volatile bookkeeping
+    /// (`validate`, `stats`, `high_water_words`, `free_blocks`) blocks
+    /// until the sweep has installed the rebuilt free lists. This is
+    /// sound because GC writes nothing persistent: the durable image a
+    /// reader sees is exactly the post-recovery image, independent of GC
+    /// progress.
+    pub fn attach_online(
+        pool: Arc<PmemPool>,
+        workers: usize,
+    ) -> Result<(Arc<PHeap>, OnlineGc), AttachError> {
+        let (start, roots) = Self::check_header(&pool)?;
+        let heap = Arc::new(PHeap {
+            pool,
+            start,
+            roots,
+            inner: Mutex::new(Inner {
+                bump: start,
+                free: vec![Vec::new(); NUM_CLASSES],
+            }),
+            gate: GcGate::new(false),
+        });
+        let h = Arc::clone(&heap);
+        let handle = std::thread::spawn(move || {
+            let (inner, report) = gc::recover_with(h.pool(), h.start, h.roots, workers);
+            *h.inner.lock().unwrap() = inner;
+            let mut ready = h.gate.ready.lock().unwrap();
+            *ready = true;
+            h.gate.cv.notify_all();
+            report
+        });
+        Ok((heap, OnlineGc { handle }))
+    }
+
+    fn check_header(pool: &Arc<PmemPool>) -> Result<(u64, usize), AttachError> {
         let magic = pool.raw_load(OFF_MAGIC);
         if magic != HEAP_MAGIC {
             return Err(AttachError::BadMagic(magic));
@@ -142,17 +250,23 @@ impl PHeap {
             });
         }
         let roots = pool.raw_load(OFF_ROOTS_LEN) as usize;
-        let start = heap_start(roots);
-        let (inner, report) = gc::recover(&pool, start, roots);
-        Ok((
-            Arc::new(PHeap {
-                pool,
-                start,
-                roots,
-                inner: Mutex::new(inner),
-            }),
-            report,
-        ))
+        Ok((heap_start(roots), roots))
+    }
+
+    /// Block until any background restart GC ([`PHeap::attach_online`])
+    /// has installed the rebuilt free lists. No-op on fully-attached
+    /// heaps.
+    fn wait_gc(&self) {
+        let mut ready = self.gate.ready.lock().unwrap();
+        while !*ready {
+            ready = self.gate.cv.wait(ready).unwrap();
+        }
+    }
+
+    /// Whether a background restart GC is still running (reads are being
+    /// served ahead of the sweep).
+    pub fn gc_pending(&self) -> bool {
+        !*self.gate.ready.lock().unwrap()
     }
 
     /// The underlying pool.
@@ -177,6 +291,7 @@ impl PHeap {
     /// # Panics
     /// Panics when the heap is exhausted.
     pub fn alloc(&self, s: &mut MemSession, words: usize) -> PAddr {
+        self.wait_gc();
         let class = class_words(words);
         let idx = class_index(class);
         enum Got {
@@ -237,6 +352,7 @@ impl PHeap {
     /// # Panics
     /// Panics on double free or on an address that is not a block start.
     pub fn free(&self, s: &mut MemSession, addr: PAddr) {
+        self.wait_gc();
         assert_eq!(addr.pool(), self.pool.id(), "free of foreign address");
         let hdr_word = addr.word() - 1;
         let (tag, class) = decode_header(self.pool.raw_load(hdr_word))
@@ -257,6 +373,9 @@ impl PHeap {
     /// Store a persistent root pointer (flushed and fenced: roots are the
     /// GC's anchor and must always be durable).
     pub fn set_root(&self, s: &mut MemSession, slot: usize, value: PAddr) {
+        // Re-rooting changes the reachability the concurrent mark is
+        // computing: it must fence behind the sweep like other mutations.
+        self.wait_gc();
         assert!(slot < self.roots, "root slot {slot} out of range");
         let addr = self.pool.addr(OFF_ROOTS + slot as u64);
         s.store(addr, value.0);
@@ -286,7 +405,9 @@ impl PHeap {
     /// (Free-list entries may still carry a live tag: the restart GC
     /// reclaims leaked blocks without rewriting their headers.)
     pub fn validate(&self) -> Result<(), String> {
+        self.wait_gc();
         let inner = self.inner.lock().unwrap();
+        let len = self.pool.len_words() as u64;
         let mut classes = std::collections::HashMap::new();
         let mut cursor = self.start;
         while cursor < inner.bump {
@@ -297,12 +418,20 @@ impl PHeap {
                     inner.bump
                 ));
             };
+            if cursor + 1 + class as u64 > len {
+                // The overrun that used to panic the mark phase: a
+                // corrupted class word claiming words past the pool end.
+                return Err(format!(
+                    "block header at {cursor} (class {class}) overruns the pool ({len} words)"
+                ));
+            }
             classes.insert(cursor + 1, class);
             cursor = cursor + 1 + class as u64;
         }
         if cursor != inner.bump {
             return Err(format!(
-                "header chain ends at {cursor}, bump pointer says {}",
+                "header chain ends at {cursor}, bump pointer says {} \
+                 (a class word overrunning into a neighbouring block skews the chain)",
                 inner.bump
             ));
         }
@@ -328,17 +457,20 @@ impl PHeap {
 
     /// Total words currently consumed from the bump region.
     pub fn high_water_words(&self) -> u64 {
+        self.wait_gc();
         self.inner.lock().unwrap().bump - self.start
     }
 
     /// Number of blocks currently on free lists (tests/introspection).
     pub fn free_blocks(&self) -> usize {
+        self.wait_gc();
         self.inner.lock().unwrap().free.iter().map(Vec::len).sum()
     }
 
     /// Occupancy snapshot: bump watermark, free-list totals, and the
     /// per-class free counts (fragmentation diagnosis).
     pub fn stats(&self) -> HeapStats {
+        self.wait_gc();
         let inner = self.inner.lock().unwrap();
         let mut per_class = Vec::new();
         let mut free_words = 0u64;
@@ -551,6 +683,91 @@ mod tests {
         h.pool().raw_store(a.word() - 1, u64::MAX); // smash the header
         let err = h.validate().unwrap_err();
         assert!(err.contains("not a block header"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_overrunning_class() {
+        // A corrupted class word overrunning the pool used to index out
+        // of bounds in the GC; validate must now name the overrun.
+        let (m, h) = setup();
+        let mut s = m.session(0);
+        let a = h.alloc(&mut s, 10);
+        h.pool().raw_store(
+            a.word() - 1,
+            crate::layout::encode_header(TAG_LIVE, h.pool().len_words()),
+        );
+        let err = h.validate().unwrap_err();
+        assert!(err.contains("overruns the pool"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_overlap_into_next_block() {
+        // A class word overrunning *into the next block* skews the chain
+        // off the bump pointer; validate must catch the mismatch.
+        let (m, h) = setup();
+        let mut s = m.session(0);
+        let a = h.alloc(&mut s, 8);
+        let _b = h.alloc(&mut s, 8);
+        h.pool()
+            .raw_store(a.word() - 1, crate::layout::encode_header(TAG_LIVE, 8 + 2));
+        let err = h.validate().unwrap_err();
+        assert!(
+            err.contains("not a block header") || err.contains("skews the chain"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn online_attach_serves_reads_before_alloc_unblocks() {
+        let (m, h) = setup();
+        let mut s = m.session(0);
+        let kept = h.alloc(&mut s, 8);
+        s.store(kept.offset(0), 4242);
+        s.clwb(kept.offset(0));
+        s.sfence();
+        h.set_root(&mut s, 0, kept);
+        let _leak = h.alloc(&mut s, 8);
+        let img = m.crash(6);
+        let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+        let pool = m2.pool(h.pool().id());
+        let (h2, gc) = PHeap::attach_online(pool, 2).expect("online attach");
+        // Reads are served immediately — no fence (regardless of whether
+        // the background sweep has finished yet).
+        let root = h2.root_raw(0);
+        assert_eq!(root, kept);
+        assert_eq!(h2.pool().raw_load(root.word()), 4242);
+        // The report arrives when the sweep does; allocation fences.
+        let report = gc.join();
+        assert_eq!(report.live_blocks, 1);
+        assert_eq!(report.leaked_blocks, 1);
+        let mut s2 = m2.session(0);
+        let d = h2.alloc(&mut s2, 8);
+        assert_eq!(d, _leak, "post-sweep alloc must reuse the leak");
+        h2.validate().unwrap();
+    }
+
+    #[test]
+    fn online_attach_alloc_blocks_until_sweep_installs_state() {
+        // Even when the caller races alloc against the background sweep,
+        // the epoch fence makes the outcome identical to a full attach.
+        let (m, h) = setup();
+        let mut s = m.session(0);
+        let kept = h.alloc(&mut s, 8);
+        h.set_root(&mut s, 0, kept);
+        let leak = h.alloc(&mut s, 8);
+        let img = m.crash(7);
+        for workers in [1, 4] {
+            let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+            let pool = m2.pool(h.pool().id());
+            let (h2, gc) = PHeap::attach_online(pool, workers).expect("online attach");
+            let mut s2 = m2.session(0);
+            // No join before alloc: wait_gc inside alloc is the fence.
+            let d = h2.alloc(&mut s2, 8);
+            assert_eq!(d, leak, "workers={workers}");
+            let report = gc.join();
+            assert_eq!(report.gc_workers, workers);
+            h2.validate().unwrap();
+        }
     }
 
     #[test]

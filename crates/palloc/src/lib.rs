@@ -25,4 +25,4 @@ pub mod heap;
 pub mod layout;
 
 pub use gc::GcReport;
-pub use heap::{AttachError, HeapStats, PHeap};
+pub use heap::{AttachError, HeapStats, OnlineGc, PHeap};

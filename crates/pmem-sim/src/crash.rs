@@ -134,8 +134,16 @@ impl Machine {
     pub fn crash_with(&self, seed: u64, policy: AdversaryPolicy) -> CrashImage {
         let mut rng = SmallRng::seed_from_u64(seed);
         let domain = self.domain();
+        // An instantaneous power cut is one cross-pool cut: freeze every
+        // pool's durability pipeline for the whole capture, so a persist
+        // racing on a sibling thread (e.g. a parallel-recovery worker
+        // mid-repair when an injector fires) lands either entirely
+        // before the cut or entirely after it — never a torn image where
+        // a later persist is included but an earlier one is not.
+        let all = self.pools();
+        let _frozen: Vec<_> = all.iter().map(|p| p.freeze_applies()).collect();
         let mut pools = Vec::new();
-        for pool in self.pools() {
+        for pool in &all {
             let words = if pool.media_kind() == MediaKind::Dram {
                 vec![0u64; pool.len_words()]
             } else if domain.preserves_cache_visible(pool.media_kind(), pool.class()) {

@@ -223,6 +223,18 @@ impl Machine {
         Arc::clone(&pools[id.0 as usize])
     }
 
+    /// Fail-soft pool lookup: `None` for ids that were never allocated
+    /// (or the reserved id 0). Recovery uses this when chasing pool ids
+    /// read from possibly-corrupt persistent headers, where a bogus id
+    /// must produce a diagnostic instead of a panic.
+    pub fn try_pool(&self, id: PoolId) -> Option<Arc<PmemPool>> {
+        if id.0 == 0 {
+            return None;
+        }
+        let pools = self.pools.read().unwrap();
+        pools.get(id.0 as usize).filter(|p| p.id() == id).cloned()
+    }
+
     /// All pools, in id order (skipping the reserved stub at index 0).
     pub fn pools(&self) -> Vec<Arc<PmemPool>> {
         let pools = self.pools.read().unwrap();

@@ -105,9 +105,27 @@ pub struct MediaShadow {
     applied: Box<[AtomicU64]>,
     /// Epoch source (incremented at snapshot/persist capture time).
     epoch: AtomicU64,
-    /// Serializes shadow applications.
-    apply_lock: std::sync::Mutex<()>,
+    /// Serializes shadow applications, striped by line: monotonicity is
+    /// a *per-line* invariant (the `applied` epoch check), so two
+    /// applications to different lines never needed mutual exclusion —
+    /// a single lock merely serialized them, which made concurrent
+    /// recovery replay into one pool lock-bound. Same-line applications
+    /// still map to the same stripe. Crash capture, which does need a
+    /// cross-line cut, takes every stripe (see
+    /// [`PmemPool::freeze_applies`]).
+    apply_locks: [ApplyStripe; APPLY_STRIPES],
 }
+
+/// Stripes of the shadow-apply lock (power of two).
+const APPLY_STRIPES: usize = 16;
+
+/// One stripe, padded to its own cache line: bare `Mutex<()>`s are a
+/// few bytes each, so an unpadded array packs every stripe into one
+/// line and the resulting false sharing re-serializes the very persists
+/// the striping is meant to let through in parallel.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct ApplyStripe(std::sync::Mutex<()>);
 
 impl MediaShadow {
     fn new(len: usize) -> Self {
@@ -116,8 +134,13 @@ impl MediaShadow {
             words: (0..len).map(|_| AtomicU64::new(0)).collect(),
             applied: (0..lines).map(|_| AtomicU64::new(0)).collect(),
             epoch: AtomicU64::new(0),
-            apply_lock: std::sync::Mutex::new(()),
+            apply_locks: std::array::from_fn(|_| ApplyStripe::default()),
         }
+    }
+
+    /// The apply-lock stripe guarding `line`.
+    fn stripe(&self, line: u64) -> &std::sync::Mutex<()> {
+        &self.apply_locks[line as usize % APPLY_STRIPES].0
     }
 
     /// Allocate a fresh capture epoch.
@@ -246,13 +269,20 @@ impl PmemPool {
     /// code should use [`crate::MemSession::clwb`]/`sfence` instead.
     pub fn persist_line_now(&self, line: u64) {
         if let Some(shadow) = &self.shadow {
-            let _g = shadow.apply_lock.lock().unwrap();
-            let epoch = shadow.next_epoch();
+            let _g = shadow.stripe(line).lock().unwrap();
+            // Reading the current epoch (not an RMW on the shared
+            // counter — that ping-pongs one cache line across every
+            // concurrently-persisting thread) is enough: any snapshot
+            // captured before this point carries an epoch <= it and
+            // must lose to this fresher whole-line data. The max keeps
+            // `applied` monotone when a newer snapshot already landed.
+            let epoch = shadow.epoch.load(Ordering::Acquire);
             let base = line * WORDS_PER_LINE as u64;
             for i in 0..WORDS_PER_LINE as u64 {
                 shadow.store(base + i, self.raw_load(base + i));
             }
-            shadow.applied[line as usize].store(epoch, Ordering::Release);
+            let cur = shadow.applied[line as usize].load(Ordering::Acquire);
+            shadow.applied[line as usize].store(cur.max(epoch), Ordering::Release);
         }
     }
 
@@ -267,7 +297,7 @@ impl PmemPool {
         epoch: u64,
     ) {
         if let Some(shadow) = &self.shadow {
-            let _g = shadow.apply_lock.lock().unwrap();
+            let _g = shadow.stripe(line).lock().unwrap();
             if shadow.applied[line as usize].load(Ordering::Acquire) >= epoch {
                 return;
             }
@@ -292,6 +322,21 @@ impl PmemPool {
 
     /// Copy the full current contents out (crash simulation under domains
     /// that preserve cache-visible state).
+    /// Freeze this pool's durability pipeline: holds the shadow-apply
+    /// lock so no concurrent `persist_line_now` / snapshot application
+    /// can land while the guard lives. Pools without a durable shadow
+    /// need no freezing (`None`). Crash capture holds every pool's
+    /// guard at once so the image is a single cross-pool cut.
+    pub(crate) fn freeze_applies(&self) -> Vec<std::sync::MutexGuard<'_, ()>> {
+        match &self.shadow {
+            // Stripes are acquired in index order; persist paths only
+            // ever hold a single stripe and take no further locks under
+            // it, so the all-stripes sweep cannot deadlock.
+            Some(s) => s.apply_locks.iter().map(|m| m.0.lock().unwrap()).collect(),
+            None => Vec::new(),
+        }
+    }
+
     pub(crate) fn dump_current(&self) -> Vec<u64> {
         (0..self.words.len() as u64)
             .map(|w| self.raw_load(w))

@@ -293,6 +293,16 @@ impl LogPolicy for CowPolicy {
             // mirror (see the redo policy): a stale count would re-copy
             // leftover publish entries from reclaimed shadow lines.
             let count = marker_count(state) as usize;
+            if count > ctx.capacity() {
+                // As in redo: a marker count beyond the log's physical
+                // capacity proves header corruption — never read entries
+                // out of bounds or publish garbage shadow data.
+                ctx.malformed(format!(
+                    "committed marker count {count} exceeds log capacity {} — publish skipped",
+                    ctx.capacity()
+                ));
+                return;
+            }
             for i in 0..count {
                 let (home, shadow, mask) = ctx.raw_entry(i);
                 for w in 0..LPW {

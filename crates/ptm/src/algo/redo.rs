@@ -204,6 +204,17 @@ impl LogPolicy for RedoPolicy {
             // leftover entries from an earlier transaction on top of
             // this one's write set.
             let count = marker_count(state) as usize;
+            if count > ctx.capacity() {
+                // A legitimate commit can never seal more entries than
+                // the log physically holds: the marker word is corrupt.
+                // Fail soft — no out-of-bounds entry reads, no replay of
+                // garbage, log left as-is for inspection.
+                ctx.malformed(format!(
+                    "committed marker count {count} exceeds log capacity {} — replay skipped",
+                    ctx.capacity()
+                ));
+                return;
+            }
             for i in 0..count {
                 let (a, v, _chk) = ctx.raw_entry(i);
                 ctx.store_persist(PAddr(a), v);

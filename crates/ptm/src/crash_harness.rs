@@ -276,8 +276,40 @@ pub fn run_site(
         violations.push("second recovery pass changed durable state".to_string());
     }
 
+    // Generic invariant: recovery is worker-count independent — the same
+    // image recovered at a different worker count lands on a bit-
+    // identical durable state (replay-order independence; see the
+    // recovery module docs) and, timing aside, an identical report.
+    {
+        let alt_workers = if opts.workers <= 1 { 4 } else { 1 };
+        let alt = Machine::reboot(&image, MachineConfig::functional(case.domain));
+        let alt_recovery = recover_with_options(
+            &alt,
+            RecoverOptions {
+                workers: alt_workers,
+                ..opts
+            },
+        );
+        if digest_pools(&alt) != digest_pools(&recovered) {
+            violations.push(format!(
+                "recovery with {alt_workers} workers diverged from {} workers \
+                 (post-recovery digests differ)",
+                recovery.recovery_workers
+            ));
+        }
+        if alt_recovery.without_timing() != recovery.without_timing() {
+            violations.push(format!(
+                "recovery report depends on worker count: \
+                 {} workers {recovery:?} vs {alt_workers} workers {alt_recovery:?}",
+                recovery.recovery_workers
+            ));
+        }
+    }
+
     // Generic invariant: the heap re-attaches, its GC report and header
-    // chain are consistent, and the workload's own invariants hold.
+    // chain are consistent, and the workload's own invariants hold. The
+    // GC runs with the same worker count as log recovery, so parallel
+    // sweeps exercise the parallel scan/mark too.
     let heap_pool = recovered
         .pools()
         .into_iter()
@@ -288,7 +320,7 @@ pub fn run_site(
             "heap pool `{}` missing after reboot",
             workload.heap_pool()
         )),
-        Some(pool) => match PHeap::attach(pool) {
+        Some(pool) => match PHeap::attach_with(pool, opts.workers.max(1)) {
             Err(e) => violations.push(format!("heap attach failed: {e}")),
             Ok((heap, gc)) => {
                 if let Err(e) = heap.validate() {
@@ -861,6 +893,57 @@ mod tests {
         let b = run_site(&bank, &c, site, RecoverOptions::default());
         assert_eq!(a.fired, b.fired);
         assert_eq!(a.state_digest, b.state_digest);
+    }
+
+    /// Satellite acceptance: the sweep run at recovery workers 1 and 4
+    /// lands on bit-identical post-recovery digests at every probed
+    /// site (the two-thread workload has two logs, so 4 workers really
+    /// does split the repair work).
+    #[test]
+    fn sweep_with_parallel_recovery_matches_serial_digests() {
+        let bank = tiny_group_bank();
+        let c = case(Algo::RedoLazy, AdversaryPolicy::PerWord);
+        let total = count_sites(&bank, &c);
+        assert!(total > 2);
+        for site in [total / 4, total / 2, total - 1] {
+            let serial = run_site(&bank, &c, site, RecoverOptions::default());
+            let parallel = run_site(
+                &bank,
+                &c,
+                site,
+                RecoverOptions {
+                    workers: 4,
+                    ..RecoverOptions::default()
+                },
+            );
+            assert_eq!(serial.fired, parallel.fired, "site {site}");
+            assert_eq!(
+                serial.state_digest, parallel.state_digest,
+                "site {site}: serial and parallel recovery must converge bit-identically"
+            );
+            assert!(parallel.violations.is_empty(), "{:?}", parallel.violations);
+        }
+    }
+
+    /// A bounded sweep of every algorithm with recovery (and GC) at 4
+    /// workers stays clean — the in-sweep worker-independence invariant
+    /// re-checks each site against a serial pass.
+    #[test]
+    fn bounded_sweep_with_four_recovery_workers_is_clean() {
+        let bank = tiny_group_bank();
+        let opts = SweepOptions {
+            max_sites_per_case: Some(12),
+            recover: RecoverOptions {
+                workers: 4,
+                ..RecoverOptions::default()
+            },
+        };
+        for algo in Algo::ALL {
+            let report = sweep_case(&bank, &case(algo, AdversaryPolicy::PerWord), opts);
+            assert!(report.sites_run > 0);
+            let msgs: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+            assert!(report.violations.is_empty(), "{algo:?}: {msgs:?}");
+        }
     }
 
     #[test]

@@ -31,22 +31,43 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use palloc::{GcReport, PHeap};
 use pmem_sim::{CrashImage, Machine, MachineConfig};
 
 use crate::config::PtmConfig;
-use crate::recovery::{recover, RecoveryReport};
+use crate::recovery::{recover_with_options, RecoverOptions, RecoveryReport};
 use crate::txn::{Ptm, TxThread};
 
 /// Pool name the façade uses for its heap (how `reopen` finds it again).
 pub const DB_HEAP_NAME: &str = "ptmdb-heap";
 
 /// Everything recovery did during [`PtmDb::reopen`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ReopenReports {
     pub recovery: RecoveryReport,
     pub gc: GcReport,
+    /// Reopen start → the heap able to serve its first (read-only)
+    /// transaction: log repair done and the pool attached behind the
+    /// GC's epoch fence, sweep possibly still running.
+    pub time_to_first_txn_ns: u64,
+    /// Reopen start → fully restarted (GC sweep installed, allocator
+    /// mutations unblocked).
+    pub full_restart_ns: u64,
+}
+
+impl ReopenReports {
+    /// Fold another engine's reopen reports into this one (shard
+    /// aggregation). Counts add saturating via the underlying reports'
+    /// `merge`; the wall-clock fields take the maximum — shards restart
+    /// concurrently, so the slowest shard *is* the restart latency.
+    pub fn merge(&mut self, other: &ReopenReports) {
+        self.recovery.merge(&other.recovery);
+        self.gc.merge(&other.gc);
+        self.time_to_first_txn_ns = self.time_to_first_txn_ns.max(other.time_to_first_txn_ns);
+        self.full_restart_ns = self.full_restart_ns.max(other.full_restart_ns);
+    }
 }
 
 /// A persistent database: one machine, one heap, one PTM.
@@ -88,16 +109,51 @@ impl PtmDb {
         machine_cfg: MachineConfig,
         ptm_cfg: PtmConfig,
     ) -> (PtmDb, ReopenReports) {
+        Self::reopen_with(image, machine_cfg, ptm_cfg, RecoverOptions::default())
+    }
+
+    /// [`PtmDb::reopen`] with explicit recovery options: log repair runs
+    /// with [`RecoverOptions::workers`] threads and the restart GC's
+    /// scan/mark phases use the same worker count. The heap is attached
+    /// *online* — the returned timing splits time-to-first-transaction
+    /// (reads servable) from the full restart (sweep installed) — but
+    /// the sweep is joined before returning, so the database is fully
+    /// ready and the reports are complete.
+    pub fn reopen_with(
+        image: &CrashImage,
+        machine_cfg: MachineConfig,
+        ptm_cfg: PtmConfig,
+        opts: RecoverOptions,
+    ) -> (PtmDb, ReopenReports) {
+        let t0 = Instant::now();
         let machine = Machine::reboot(image, machine_cfg);
-        let recovery = recover(&machine);
+        let recovery = recover_with_options(&machine, opts);
         let pool = machine
             .pools()
             .into_iter()
             .find(|p| p.name() == DB_HEAP_NAME)
             .expect("crash image contains no PtmDb heap");
-        let (heap, gc) = PHeap::attach(pool).expect("heap attach");
+        let (heap, online) = PHeap::attach_online(pool, opts.workers.max(1)).expect("heap attach");
+        let time_to_first_txn_ns = t0.elapsed().as_nanos() as u64;
+        let gc = online.join();
+        let full_restart_ns = t0.elapsed().as_nanos() as u64;
+        if let Some(sink) = machine.tracer() {
+            let mut r = sink.ring();
+            r.record(0, trace::EventKind::GcPhase, 0, gc.gc_scan_ns);
+            r.record(0, trace::EventKind::GcPhase, 1, gc.gc_mark_ns);
+            r.record(0, trace::EventKind::GcPhase, 2, gc.gc_sweep_ns);
+            sink.submit(trace::RECOVERY_TID, &r);
+        }
         let ptm = Ptm::new(ptm_cfg);
-        (PtmDb { machine, heap, ptm }, ReopenReports { recovery, gc })
+        (
+            PtmDb { machine, heap, ptm },
+            ReopenReports {
+                recovery,
+                gc,
+                time_to_first_txn_ns,
+                full_restart_ns,
+            },
+        )
     }
 
     /// Begin a timed run with `threads` virtual threads (see
@@ -188,6 +244,64 @@ mod tests {
         m.alloc_pool("something-else", 64, pmem_sim::MediaKind::Optane);
         let image = m.crash(0);
         let _ = PtmDb::reopen(&image, cfg(), PtmConfig::redo());
+    }
+
+    /// Pin the aggregation rules: counts sum (saturating — a corrupt or
+    /// overflowing shard counter must never wrap the fleet total), the
+    /// wall-clock fields take the max (shards restart concurrently).
+    #[test]
+    fn reopen_reports_merge_sums_counts_and_maxes_times() {
+        let mut a = ReopenReports::default();
+        a.recovery.logs_scanned = usize::MAX;
+        a.recovery.redo_entries = 3;
+        a.gc.blocks_scanned = 5;
+        a.time_to_first_txn_ns = 10;
+        a.full_restart_ns = 50;
+        let mut b = ReopenReports::default();
+        b.recovery.logs_scanned = 2;
+        b.recovery.redo_entries = 4;
+        b.recovery.malformed.push("pool 'x': bad".to_string());
+        b.gc.blocks_scanned = 7;
+        b.time_to_first_txn_ns = 30;
+        b.full_restart_ns = 40;
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(
+            m.recovery.logs_scanned,
+            usize::MAX,
+            "saturates, never wraps"
+        );
+        assert_eq!(m.recovery.redo_entries, 7);
+        assert_eq!(m.recovery.malformed, b.recovery.malformed);
+        assert_eq!(m.gc.blocks_scanned, 12);
+        assert_eq!(m.time_to_first_txn_ns, 30, "overlapping restarts: max");
+        assert_eq!(m.full_restart_ns, 50, "slowest shard is the restart");
+    }
+
+    /// The façade's timing split is ordered sanely: first transaction at
+    /// or before full restart, both nonzero.
+    #[test]
+    fn reopen_timing_split_is_ordered() {
+        let db = PtmDb::create(cfg(), PtmConfig::redo(), 1 << 14, 4);
+        let mut th = db.thread(0);
+        let heap = Arc::clone(db.heap());
+        let a = heap.alloc(th.session_mut(), 1);
+        th.run(|tx| tx.write(a, 1));
+        heap.set_root(th.session_mut(), 0, a);
+        drop(th);
+        let image = db.crash(2);
+        let (_db2, reports) = PtmDb::reopen_with(
+            &image,
+            cfg(),
+            PtmConfig::redo(),
+            crate::recovery::RecoverOptions {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        assert!(reports.time_to_first_txn_ns > 0);
+        assert!(reports.full_restart_ns >= reports.time_to_first_txn_ns);
+        assert!(reports.recovery.recovery_ns > 0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Post-crash recovery.
 //!
-//! Runs once, single-threaded, after [`pmem_sim::Machine::reboot`] and
-//! before any new transactions. It discovers every thread's persistent
-//! log by pool name and:
+//! Runs once, after [`pmem_sim::Machine::reboot`] and before any new
+//! transactions. It discovers every thread's persistent log by pool
+//! name and:
 //!
 //! * **redo, COMMITTED**: the transaction logically happened — replay all
 //!   `count` entries into program data and persist them, then retire the
@@ -23,14 +23,45 @@
 //! [`RecoverCtx`] repair primitives. Recovery is untimed (it happens
 //! outside measured execution) and uses raw pool operations plus
 //! `persist_line_now`.
+//!
+//! ## Parallel recovery and replay-order independence
+//!
+//! With [`RecoverOptions::workers`] > 1, discovery stays serial (it is
+//! a cheap header scan in pool order) and the discovered logs are
+//! partitioned round-robin across worker threads, each repairing its
+//! share independently. This is sound because distinct logs commute:
+//!
+//! * every committed-but-unretired log's write set still holds its
+//!   orecs — the retire store is durable *before* any orec is released
+//!   — so at most one unretired committed log covers any given word;
+//! * replay writes whole 64-bit words atomically ([`PmemPool::raw_store`])
+//!   and `persist_line_now` snapshots the line's *current* contents
+//!   under the pool's apply lock, so two logs touching different words
+//!   of the same cache line interleave safely in any order;
+//! * undo rollback targets only words its own (in-flight) transaction
+//!   wrote, which it likewise still owns.
+//!
+//! Per-log repair order within a worker is preserved, and worker
+//! reports are merged in worker-index order, so the merged
+//! [`RecoveryReport`] is deterministic for a given worker count.
+//!
+//! ## Fail-soft discovery
+//!
+//! A pool whose name collides with [`LOG_POOL_PREFIX`] but whose header
+//! is garbage (unknown algorithm tag, impossible `primary_cap`,
+//! dangling overflow pool id, marker count beyond the log's physical
+//! capacity) must not panic recovery or replay garbage: the log is left
+//! untouched and a per-log diagnostic is pushed onto
+//! [`RecoveryReport::malformed`].
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use pmem_sim::{Machine, PAddr, PmemPool, SiteKind, WORDS_PER_LINE};
 
 use crate::log::{
-    TxLog, ENTRY0, LOG_POOL_PREFIX, OVF_POOL_PREFIX, STATE_IDLE, W_ALGO, W_OVF, W_PRIMARY_CAP,
-    W_STATE,
+    TxLog, ENTRY0, ENTRY_WORDS, LOG_POOL_PREFIX, OVF_POOL_PREFIX, STATE_IDLE, W_ALGO, W_OVF,
+    W_PRIMARY_CAP, W_STATE,
 };
 
 /// Fault-injection switches for harness self-tests.
@@ -41,7 +72,7 @@ use crate::log::{
 /// tests) can demonstrate that the sweep catches the resulting
 /// inconsistencies with a deterministic reproducer. Never set in
 /// production recovery.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoverOptions {
     /// Skip rolling back in-flight undo logs (leaves torn in-place
     /// writes of uncommitted transactions in program data).
@@ -49,10 +80,25 @@ pub struct RecoverOptions {
     /// Skip replaying committed redo logs (loses transactions whose
     /// commit marker is durable but whose writeback was not).
     pub skip_redo_replay: bool,
+    /// Worker threads to repair discovered logs with (clamped to at
+    /// least 1 and at most the number of logs). Not a fault-injection
+    /// switch: any worker count produces the same post-recovery state
+    /// (see the module docs on replay-order independence).
+    pub workers: usize,
+}
+
+impl Default for RecoverOptions {
+    fn default() -> Self {
+        RecoverOptions {
+            skip_undo_rollback: false,
+            skip_redo_replay: false,
+            workers: 1,
+        }
+    }
 }
 
 /// What recovery found and repaired.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Per-thread logs examined.
     pub logs_scanned: usize,
@@ -70,6 +116,45 @@ pub struct RecoveryReport {
     pub cow_published: usize,
     /// Cow words copied shadow → home during publish replay.
     pub cow_words: usize,
+    /// Per-log diagnostics for prefix-colliding pools whose header
+    /// failed validation — these logs are left untouched.
+    pub malformed: Vec<String>,
+    /// Wall-clock duration of this recovery pass.
+    pub recovery_ns: u64,
+    /// Worker threads the pass actually ran with (after clamping).
+    pub recovery_workers: usize,
+}
+
+impl RecoveryReport {
+    /// Fold `other` (a worker's share) into `self`. Counts add
+    /// saturating (mirrors the `ReopenReports` aggregation rules);
+    /// diagnostics concatenate in call order; the timing/worker fields
+    /// take the maximum, since worker passes overlap in wall-clock time
+    /// rather than summing.
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.logs_scanned = self.logs_scanned.saturating_add(other.logs_scanned);
+        self.redo_replayed = self.redo_replayed.saturating_add(other.redo_replayed);
+        self.redo_entries = self.redo_entries.saturating_add(other.redo_entries);
+        self.undo_rolled_back = self.undo_rolled_back.saturating_add(other.undo_rolled_back);
+        self.undo_entries = self.undo_entries.saturating_add(other.undo_entries);
+        self.torn_entries = self.torn_entries.saturating_add(other.torn_entries);
+        self.cow_published = self.cow_published.saturating_add(other.cow_published);
+        self.cow_words = self.cow_words.saturating_add(other.cow_words);
+        self.malformed.extend(other.malformed.iter().cloned());
+        self.recovery_ns = self.recovery_ns.max(other.recovery_ns);
+        self.recovery_workers = self.recovery_workers.max(other.recovery_workers);
+    }
+
+    /// The report with its wall-clock timing zeroed: what must be
+    /// bit-identical between a serial and a parallel pass over the same
+    /// image (`recovery_workers` stays — callers compare it explicitly).
+    pub fn without_timing(&self) -> RecoveryReport {
+        RecoveryReport {
+            recovery_ns: 0,
+            recovery_workers: 0,
+            ..self.clone()
+        }
+    }
 }
 
 /// One crashed log, as handed to [`crate::algo::LogPolicy::recover_apply`]:
@@ -87,25 +172,83 @@ pub struct RecoverCtx<'a> {
     pub primary_cap: usize,
     pub opts: RecoverOptions,
     pub report: &'a mut RecoveryReport,
+    /// Write-back batching for replay loops: the last line stored to
+    /// but not yet persisted (with its pool handle cached, sparing the
+    /// per-entry pool-table lookup). Entries overwhelmingly target
+    /// consecutive words, so batching turns one `persist_line_now` per
+    /// *entry* into one per *line* — the dominant cost of a large
+    /// replay, and (because every persist takes the target pool's
+    /// apply lock) the serialization point when recovery workers replay
+    /// into a shared heap pool.
+    pending: Option<(Arc<PmemPool>, u64)>,
 }
 
 impl RecoverCtx<'_> {
     /// Durable raw store of one word (with its trace event and crash
     /// site). Recovery must be idempotent under a failure at any point
     /// of its own execution.
+    ///
+    /// The line flush is deferred while consecutive stores hit the same
+    /// line; [`Self::truncate_entries`] and [`Self::retire`] flush
+    /// first, so the ordering invariant recovery correctness rests on —
+    /// every replayed store durable before the retire is — holds
+    /// unchanged. A crash while a line is pending just re-runs the
+    /// (idempotent) repair: the log is still live.
     pub fn store_persist(&mut self, addr: PAddr, value: u64) {
         self.machine.note_site(SiteKind::RecoveryPersist, false);
         if let Some(r) = self.ring.as_mut() {
             r.record(0, trace::EventKind::RecoveryApply, addr.0, value);
         }
-        let pool = self.machine.pool(addr.pool());
+        let line = addr.word() / WORDS_PER_LINE as u64;
+        let reuse = match self.pending.take() {
+            Some((pool, l)) if pool.id() == addr.pool() => {
+                if l != line {
+                    pool.persist_line_now(l);
+                }
+                Some(pool)
+            }
+            Some((pool, l)) => {
+                pool.persist_line_now(l);
+                None
+            }
+            None => None,
+        };
+        let pool = reuse.unwrap_or_else(|| self.machine.pool(addr.pool()));
         pool.raw_store(addr.word(), value);
-        pool.persist_line_now(addr.word() / WORDS_PER_LINE as u64);
+        self.pending = Some((pool, line));
+    }
+
+    /// Persist the deferred line, if any. Idempotent; called by the
+    /// durable-ordering primitives below and after each log's repair.
+    pub fn flush_pending(&mut self) {
+        if let Some((pool, line)) = self.pending.take() {
+            pool.persist_line_now(line);
+        }
     }
 
     /// Untimed read of log entry `i` (primary or overflow).
     pub fn raw_entry(&self, i: usize) -> (u64, u64, u64) {
         TxLog::raw_entry(&self.primary, self.overflow.as_deref(), self.primary_cap, i)
+    }
+
+    /// Physical entry capacity of the discovered pools — the hard upper
+    /// bound any persisted count field must respect. A marker count
+    /// beyond it proves header corruption: reject via [`Self::malformed`]
+    /// rather than reading out of bounds.
+    pub fn capacity(&self) -> usize {
+        self.primary_cap
+            + self
+                .overflow
+                .as_ref()
+                .map_or(0, |p| p.len_words() / ENTRY_WORDS as usize)
+    }
+
+    /// Record a per-log diagnostic: the log failed validation and was
+    /// left untouched.
+    pub fn malformed(&mut self, msg: String) {
+        self.report
+            .malformed
+            .push(format!("pool '{}': {msg}", self.primary.name()));
     }
 
     /// Untimed raw load of an arbitrary persistent word (e.g. cow
@@ -120,6 +263,7 @@ impl RecoverCtx<'_> {
     /// either sees the full valid prefix again (and harmlessly repairs
     /// it a second time) or an already-truncated log.
     pub fn truncate_entries(&mut self) {
+        self.flush_pending();
         self.machine.note_site(SiteKind::RecoveryPersist, false);
         self.primary.raw_store(ENTRY0, 0);
         self.primary
@@ -130,6 +274,7 @@ impl RecoverCtx<'_> {
     /// recovery: a failure before it re-runs the (idempotent) repair, a
     /// failure after it finds an idle log.
     pub fn retire(&mut self) {
+        self.flush_pending();
         self.machine.note_site(SiteKind::RecoveryPersist, false);
         self.primary.raw_store(W_STATE, STATE_IDLE);
         self.primary.persist_line_now(0);
@@ -141,12 +286,55 @@ pub fn recover(machine: &Arc<Machine>) -> RecoveryReport {
     recover_with_options(machine, RecoverOptions::default())
 }
 
-/// [`recover`] with fault-injection switches (harness self-tests only).
+/// One discovered, header-validated log awaiting repair.
+struct DiscoveredLog {
+    primary: Arc<PmemPool>,
+    overflow: Option<Arc<PmemPool>>,
+    primary_cap: usize,
+    policy: &'static dyn crate::algo::LogPolicy,
+}
+
+/// Repair one discovered log, attributing its trace events to `worker`.
+fn recover_one(
+    machine: &Arc<Machine>,
+    log: DiscoveredLog,
+    worker: usize,
+    opts: RecoverOptions,
+    report: &mut RecoveryReport,
+    ring: &mut Option<trace::TraceRing>,
+) {
+    if let Some(r) = ring.as_mut() {
+        r.record(
+            0,
+            trace::EventKind::RecoveryLog,
+            log.primary.id().0 as u64,
+            worker as u64,
+        );
+    }
+    let mut ctx = RecoverCtx {
+        machine,
+        ring,
+        primary: log.primary,
+        overflow: log.overflow,
+        primary_cap: log.primary_cap,
+        opts,
+        report,
+        pending: None,
+    };
+    log.policy.recover_apply(&mut ctx);
+    // Belt and braces: every policy ends with `retire` (which flushes),
+    // but a pending line must never outlive its log's repair.
+    ctx.flush_pending();
+}
+
+/// [`recover`] with fault-injection switches and a worker count.
 pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> RecoveryReport {
+    let t0 = Instant::now();
     let mut report = RecoveryReport::default();
-    // Recovery is untimed and single-threaded: its events carry ts 0 and
-    // are submitted under the reserved RECOVERY_TID stream (ordering
-    // within the stream is preserved by the merge's sequence tiebreak).
+    // Recovery is untimed: its events carry ts 0 and are submitted
+    // under the reserved recovery-tid band (ordering within each stream
+    // is preserved by the merge's sequence tiebreak; worker streams get
+    // distinct band tids so a merged timeline stays deterministic).
     let tracer = machine.tracer();
     let mut ring = tracer.as_ref().map(|sink| sink.ring());
     if let Some(r) = ring.as_mut() {
@@ -157,6 +345,9 @@ pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> Rec
             0,
         );
     }
+    // Discovery: a serial header scan in pool order, validating each
+    // prefix-colliding pool fail-soft before it is handed to a policy.
+    let mut logs = Vec::new();
     for primary in machine.pools() {
         if !primary.name().starts_with(LOG_POOL_PREFIX)
             || primary.name().starts_with(OVF_POOL_PREFIX)
@@ -167,23 +358,107 @@ pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> Rec
         let tag = primary.raw_load(W_ALGO);
         let Some(policy) = crate::algo::policy_for_tag(tag) else {
             // Unformatted or foreign pool that happens to share the
-            // prefix: leave it alone.
+            // prefix: leave it alone, but say so.
+            report.malformed.push(format!(
+                "pool '{}': unknown algorithm tag {tag:#x} — log left untouched",
+                primary.name()
+            ));
             continue;
         };
         let primary_cap = primary.raw_load(W_PRIMARY_CAP) as usize;
+        if primary_cap as u64 > (primary.len_words() as u64).saturating_sub(ENTRY0) / ENTRY_WORDS {
+            report.malformed.push(format!(
+                "pool '{}': primary_cap {primary_cap} does not fit a {}-word pool — log left untouched",
+                primary.name(),
+                primary.len_words()
+            ));
+            continue;
+        }
         let ovf_id = primary.raw_load(W_OVF) as u32;
-        let overflow = (ovf_id != 0).then(|| machine.pool(pmem_sim::PoolId(ovf_id)));
-        let mut ctx = RecoverCtx {
-            machine,
-            ring: &mut ring,
+        let overflow = match ovf_id {
+            0 => None,
+            id => match machine.try_pool(pmem_sim::PoolId(id)) {
+                Some(p) if p.name().starts_with(OVF_POOL_PREFIX) => Some(p),
+                Some(p) => {
+                    report.malformed.push(format!(
+                        "pool '{}': overflow id {id} names non-overflow pool '{}' — log left untouched",
+                        primary.name(),
+                        p.name()
+                    ));
+                    continue;
+                }
+                None => {
+                    report.malformed.push(format!(
+                        "pool '{}': overflow id {id} names no pool — log left untouched",
+                        primary.name()
+                    ));
+                    continue;
+                }
+            },
+        };
+        logs.push(DiscoveredLog {
             primary,
             overflow,
             primary_cap,
-            opts,
-            report: &mut report,
-        };
-        policy.recover_apply(&mut ctx);
+            policy,
+        });
     }
+    let workers = opts.workers.clamp(1, logs.len().max(1));
+    report.recovery_workers = workers;
+    if workers <= 1 {
+        for log in logs {
+            recover_one(machine, log, 0, opts, &mut report, &mut ring);
+        }
+    } else {
+        // Round-robin partition in discovery order; each worker repairs
+        // its share with a private report and trace ring, merged back in
+        // worker-index order so the result is deterministic. Sound for
+        // any partition — distinct logs commute (see module docs).
+        let mut buckets: Vec<Vec<DiscoveredLog>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, log) in logs.into_iter().enumerate() {
+            buckets[i % workers].push(log);
+        }
+        let tracer_ref = tracer.as_ref();
+        let joined: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .enumerate()
+                .map(|(w, bucket)| {
+                    s.spawn(move || {
+                        let mut rep = RecoveryReport::default();
+                        let mut ring = tracer_ref.map(|sink| sink.ring());
+                        for log in bucket {
+                            recover_one(machine, log, w, opts, &mut rep, &mut ring);
+                        }
+                        (rep, ring)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        // Merge completed workers first (their repairs are durable and
+        // idempotent regardless of a sibling's fate), then re-raise the
+        // first simulated-crash panic so the caller's crash harness sees
+        // it exactly as in the serial path.
+        let mut panic_payload = None;
+        for (w, res) in joined.into_iter().enumerate() {
+            match res {
+                Ok((rep, worker_ring)) => {
+                    report.merge(&rep);
+                    if let (Some(sink), Some(r)) = (tracer.as_ref(), worker_ring) {
+                        sink.submit(trace::recovery_worker_tid(w), &r);
+                    }
+                }
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+    report.recovery_ns = t0.elapsed().as_nanos() as u64;
     if let (Some(sink), Some(mut r)) = (tracer, ring) {
         r.record(
             0,
@@ -369,6 +644,304 @@ mod tests {
         let r = recover(&m);
         assert_eq!(r.logs_scanned, 1);
         assert_eq!(r.redo_replayed + r.undo_rolled_back, 0);
+        assert_eq!(r.malformed.len(), 1, "unknown tag must leave a diagnostic");
+        assert!(
+            r.malformed[0].contains("unknown algorithm tag"),
+            "{:?}",
+            r.malformed
+        );
+    }
+}
+
+#[cfg(test)]
+mod malformed_log_tests {
+    use super::*;
+    use crate::config::PtmConfig;
+    use crate::log::{committed_marker, ALGO_REDO, W_COUNT};
+    use pmem_sim::{DurabilityDomain, Machine, MachineConfig, MediaKind};
+
+    fn machine() -> Arc<Machine> {
+        Machine::new(MachineConfig::functional(DurabilityDomain::Adr))
+    }
+
+    /// A prefix-colliding pool whose overflow word names a pool id that
+    /// does not exist must not panic recovery (it used to: discovery
+    /// chased the id through the panicking `Machine::pool`). It fails
+    /// soft with a per-log diagnostic and the log is left untouched.
+    #[test]
+    fn dangling_overflow_id_fails_soft() {
+        let m = machine();
+        let pool = m.alloc_pool("ptm-log-0", 256, MediaKind::Optane);
+        pool.raw_store(W_ALGO, ALGO_REDO);
+        pool.raw_store(W_PRIMARY_CAP, 8);
+        pool.raw_store(W_OVF, 999); // no such pool
+        pool.raw_store(W_STATE, committed_marker(1));
+        let r = recover(&m);
+        assert_eq!(r.logs_scanned, 1);
+        assert_eq!(r.redo_replayed, 0, "malformed log must not replay");
+        assert_eq!(r.malformed.len(), 1);
+        assert!(
+            r.malformed[0].contains("overflow id 999"),
+            "{:?}",
+            r.malformed
+        );
+        // Untouched: still marked committed, not retired.
+        assert_eq!(pool.raw_load(W_STATE), committed_marker(1));
+    }
+
+    /// An overflow word pointing at a real pool that is *not* an
+    /// overflow pool (e.g. the heap) is equally corrupt — replaying
+    /// "entries" out of heap data would write garbage everywhere.
+    #[test]
+    fn overflow_id_naming_a_foreign_pool_fails_soft() {
+        let m = machine();
+        let victim = m.alloc_pool("some-heap", 1 << 12, MediaKind::Optane);
+        let pool = m.alloc_pool("ptm-log-0", 256, MediaKind::Optane);
+        pool.raw_store(W_ALGO, ALGO_REDO);
+        pool.raw_store(W_PRIMARY_CAP, 8);
+        pool.raw_store(W_OVF, victim.id().0 as u64);
+        pool.raw_store(W_STATE, committed_marker(1));
+        let r = recover(&m);
+        assert_eq!(r.redo_replayed, 0);
+        assert_eq!(r.malformed.len(), 1);
+        assert!(
+            r.malformed[0].contains("non-overflow pool"),
+            "{:?}",
+            r.malformed
+        );
+    }
+
+    /// A `primary_cap` larger than the pool can physically hold proves
+    /// header corruption before any entry is read.
+    #[test]
+    fn oversized_primary_cap_fails_soft() {
+        let m = machine();
+        let pool = m.alloc_pool("ptm-log-0", 64, MediaKind::Optane);
+        pool.raw_store(W_ALGO, ALGO_REDO);
+        pool.raw_store(W_PRIMARY_CAP, 1_000_000);
+        let r = recover(&m);
+        assert_eq!(r.redo_replayed, 0);
+        assert_eq!(r.malformed.len(), 1);
+        assert!(r.malformed[0].contains("primary_cap"), "{:?}", r.malformed);
+    }
+
+    /// A committed marker whose count exceeds the log's entry capacity
+    /// is corrupt: recovery must neither read entries out of bounds nor
+    /// replay garbage, and a second pass converges (same diagnostic,
+    /// no state change).
+    #[test]
+    fn oversized_marker_count_fails_soft() {
+        let m = machine();
+        let cfg = PtmConfig::redo();
+        let log = crate::log::TxLog::create(&m, 0, &cfg);
+        let bogus = log.capacity as u64 + 5;
+        log.primary.raw_store(W_COUNT, bogus);
+        log.primary.raw_store(W_STATE, committed_marker(bogus));
+        log.primary.persist_line_now(0);
+        let r = recover(&m);
+        assert_eq!(r.redo_replayed, 0);
+        assert_eq!(r.redo_entries, 0);
+        assert_eq!(r.malformed.len(), 1);
+        assert!(
+            r.malformed[0].contains("exceeds log capacity"),
+            "{:?}",
+            r.malformed
+        );
+        // Left as evidence, not retired.
+        assert_eq!(log.primary.raw_load(W_STATE), committed_marker(bogus));
+        let r2 = recover(&m);
+        assert_eq!(r2.malformed, r.malformed, "second pass converges");
+    }
+}
+
+#[cfg(test)]
+mod parallel_recovery_tests {
+    use super::*;
+    use crate::config::PtmConfig;
+    use crate::log::{committed_marker, W_COUNT};
+    use palloc::PHeap;
+    use pmem_sim::{
+        catch_simulated_crash, silence_simulated_crash_panics, AdversaryPolicy, CrashImage,
+        CrashInjector, DurabilityDomain, Machine, MachineConfig,
+    };
+
+    const LOGS: usize = 6;
+    const N: usize = 4;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::functional(DurabilityDomain::Adr)
+    }
+
+    /// Craft `LOGS` committed-but-not-written-back redo logs, one per
+    /// virtual thread, each targeting its own block (`1000*(t+1)+i`),
+    /// and crash the machine.
+    fn crashed_multi_log_image() -> (CrashImage, Vec<PAddr>) {
+        let m = Machine::new(cfg());
+        let heap = PHeap::format(&m, "heap", 1 << 16, 4);
+        let cfg = PtmConfig::redo();
+        let mut blocks = Vec::new();
+        for t in 0..LOGS {
+            let log = crate::log::TxLog::create(&m, t, &cfg);
+            let block = {
+                let mut s = m.session(0);
+                let b = heap.alloc(&mut s, N);
+                for i in 0..N as u64 {
+                    s.store(b.offset(i), 1);
+                }
+                s.persist_range(b, N as u64);
+                b
+            };
+            for i in 0..N {
+                let e = log.entry_addr(i);
+                log.primary.raw_store(e.word(), block.offset(i as u64).0);
+                log.primary
+                    .raw_store(e.word() + 1, 1000 * (t as u64 + 1) + i as u64);
+                log.primary.persist_line_now(e.line());
+            }
+            log.primary.raw_store(W_COUNT, N as u64);
+            log.primary.raw_store(W_STATE, committed_marker(N as u64));
+            log.primary.persist_line_now(0);
+            blocks.push(block);
+        }
+        (m.crash(1), blocks)
+    }
+
+    fn full_state(machine: &Arc<Machine>) -> Vec<Vec<u64>> {
+        machine
+            .pools()
+            .iter()
+            .map(|p| (0..p.len_words() as u64).map(|w| p.raw_load(w)).collect())
+            .collect()
+    }
+
+    /// The tentpole contract: recovering the same image with any worker
+    /// count yields a bit-identical machine state and (timing aside) an
+    /// identical report.
+    #[test]
+    fn parallel_recovery_matches_serial_bit_for_bit() {
+        let (img, _) = crashed_multi_log_image();
+        let serial_m = Machine::reboot(&img, cfg());
+        let serial_rep = recover(&serial_m);
+        assert_eq!(serial_rep.redo_replayed, LOGS);
+        let serial_state = full_state(&serial_m);
+        for workers in [2, 4, 8] {
+            let m = Machine::reboot(&img, cfg());
+            let rep = recover_with_options(
+                &m,
+                RecoverOptions {
+                    workers,
+                    ..RecoverOptions::default()
+                },
+            );
+            assert_eq!(rep.recovery_workers, workers.min(LOGS), "workers {workers}");
+            assert_eq!(
+                rep.without_timing(),
+                serial_rep.without_timing(),
+                "workers {workers}"
+            );
+            assert_eq!(full_state(&m), serial_state, "workers {workers}");
+        }
+    }
+
+    /// Replay-order independence in its sharpest form: two distinct
+    /// committed logs whose write sets land on *different words of the
+    /// same cache line*. Whole-word atomic stores plus whole-line
+    /// durable snapshots under the pool's apply lock make the two
+    /// replays commute, whichever worker gets there first.
+    #[test]
+    fn two_logs_replaying_into_one_cache_line_commute() {
+        let m = Machine::new(cfg());
+        let heap = PHeap::format(&m, "heap", 1 << 14, 4);
+        let cfg_p = PtmConfig::redo();
+        let block = {
+            let mut s = m.session(0);
+            let b = heap.alloc(&mut s, 16);
+            for i in 0..16u64 {
+                s.store(b.offset(i), 1);
+            }
+            s.persist_range(b, 16);
+            b
+        };
+        // Pick a line-aligned offset inside the block so `o` and `o+1`
+        // share a cache line for sure.
+        let o =
+            (WORDS_PER_LINE as u64 - block.word() % WORDS_PER_LINE as u64) % WORDS_PER_LINE as u64;
+        for (t, (word, value)) in [(o, 111u64), (o + 1, 222u64)].into_iter().enumerate() {
+            let log = crate::log::TxLog::create(&m, t, &cfg_p);
+            let e = log.entry_addr(0);
+            log.primary.raw_store(e.word(), block.offset(word).0);
+            log.primary.raw_store(e.word() + 1, value);
+            log.primary.persist_line_now(e.line());
+            log.primary.raw_store(W_COUNT, 1);
+            log.primary.raw_store(W_STATE, committed_marker(1));
+            log.primary.persist_line_now(0);
+        }
+        let img = m.crash(7);
+        let mut states = Vec::new();
+        for workers in [1, 2] {
+            let m2 = Machine::reboot(&img, cfg());
+            let rep = recover_with_options(
+                &m2,
+                RecoverOptions {
+                    workers,
+                    ..RecoverOptions::default()
+                },
+            );
+            assert_eq!(rep.redo_replayed, 2, "workers {workers}");
+            let pool = m2.pool(block.pool());
+            assert_eq!(pool.raw_load(block.word() + o), 111, "workers {workers}");
+            assert_eq!(
+                pool.raw_load(block.word() + o + 1),
+                222,
+                "workers {workers}"
+            );
+            states.push(full_state(&m2));
+        }
+        assert_eq!(states[0], states[1], "same line, any order: same state");
+    }
+
+    /// A crash *during* a parallel recovery pass (simulated-crash panic
+    /// on a worker thread, re-raised on the caller) must leave state a
+    /// second, serial pass converges from — the same idempotence
+    /// contract the serial sweeps pin, minus site determinism, which an
+    /// interleaved global site counter cannot promise.
+    #[test]
+    fn crash_during_parallel_recovery_converges() {
+        silence_simulated_crash_panics();
+        let (img, blocks) = crashed_multi_log_image();
+        for policy in AdversaryPolicy::SWEEP {
+            for site in 0..64 {
+                let m2 = Machine::reboot(&img, cfg());
+                let inj = CrashInjector::at_site(site, policy, site ^ 0xBEEF);
+                m2.arm_injector(Arc::clone(&inj));
+                let interrupted = catch_simulated_crash(|| {
+                    recover_with_options(
+                        &m2,
+                        RecoverOptions {
+                            workers: 4,
+                            ..RecoverOptions::default()
+                        },
+                    )
+                })
+                .is_err();
+                m2.disarm_injector();
+                if !interrupted {
+                    break;
+                }
+                let fired = inj.take_outcome().expect("crash fired");
+                let m3 = Machine::reboot(&fired.image, cfg());
+                recover(&m3);
+                for (t, block) in blocks.iter().enumerate() {
+                    for i in 0..N as u64 {
+                        assert_eq!(
+                            m3.pool(block.pool()).raw_load(block.word() + i),
+                            1000 * (t as u64 + 1) + i,
+                            "policy {policy} site {site} log {t} entry {i}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -98,10 +98,18 @@ pub enum EventKind {
     /// from [`EventKind::Sfence`] so the analyzer's trace-vs-counter
     /// cross-check of `sfences`/`fence_wait_ns` stays exact.
     FenceJoin = 17,
+    /// Recovery dispatched one discovered log to its policy's
+    /// `recover_apply`. `a` = the log's primary pool id, `b` = the
+    /// recovery worker index that replayed it (0 on the serial path).
+    RecoveryLog = 18,
+    /// One restart-GC phase completed. `a` = phase code (0 = scan,
+    /// 1 = mark, 2 = sweep), `b` = wall-clock duration in ns. Recovery
+    /// events are untimed (`ts` 0); the duration rides in `b`.
+    GcPhase = 19,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 20;
 
     /// All kinds, in code order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -123,6 +131,8 @@ impl EventKind {
         EventKind::RecoveryApply,
         EventKind::RecoveryEnd,
         EventKind::FenceJoin,
+        EventKind::RecoveryLog,
+        EventKind::GcPhase,
     ];
 
     /// Stable wire/display name.
@@ -146,6 +156,8 @@ impl EventKind {
             EventKind::RecoveryApply => "recovery_apply",
             EventKind::RecoveryEnd => "recovery_end",
             EventKind::FenceJoin => "fence_join",
+            EventKind::RecoveryLog => "recovery_log",
+            EventKind::GcPhase => "gc_phase",
         }
     }
 
@@ -310,6 +322,27 @@ pub struct MergedEvent {
 /// recovery runs outside any timed session.
 pub const RECOVERY_TID: u32 = u32::MAX;
 
+/// Width of the reserved recovery-tid band: parallel recovery workers
+/// submit their rings under `RECOVERY_TID - 1 - worker`, so up to
+/// `RECOVERY_TID_BAND - 1` workers get distinct, deterministically
+/// ordered streams that — like [`RECOVERY_TID`] itself — are exempt
+/// from shard tagging.
+pub const RECOVERY_TID_BAND: u32 = 64;
+
+/// The thread id a parallel recovery worker submits under.
+#[inline]
+pub fn recovery_worker_tid(worker: usize) -> u32 {
+    debug_assert!((worker as u32) < RECOVERY_TID_BAND - 1);
+    RECOVERY_TID - 1 - worker as u32
+}
+
+/// Whether `tid` lies in the reserved recovery band (the machine-level
+/// recovery stream or one of its workers).
+#[inline]
+pub fn is_recovery_tid(tid: u32) -> bool {
+    tid >= RECOVERY_TID - RECOVERY_TID_BAND
+}
+
 /// Shard attribution: a sink created with [`TraceSink::new_for_shard`]
 /// packs its shard index into the high bits of every submitted thread
 /// id, so a merged multi-shard timeline keeps per-shard attribution
@@ -319,7 +352,7 @@ pub const SHARD_SHIFT: u32 = 20;
 /// The shard a (possibly tagged) thread id belongs to.
 #[inline]
 pub fn shard_of_tid(tid: u32) -> u32 {
-    if tid == RECOVERY_TID {
+    if is_recovery_tid(tid) {
         0
     } else {
         tid >> SHARD_SHIFT
@@ -329,7 +362,7 @@ pub fn shard_of_tid(tid: u32) -> u32 {
 /// The within-shard thread id of a (possibly tagged) thread id.
 #[inline]
 pub fn local_tid(tid: u32) -> u32 {
-    if tid == RECOVERY_TID {
+    if is_recovery_tid(tid) {
         tid
     } else {
         tid & ((1 << SHARD_SHIFT) - 1)
@@ -388,7 +421,7 @@ impl TraceSink {
         if ring.recorded() == 0 {
             return;
         }
-        let tid = if tid == RECOVERY_TID {
+        let tid = if is_recovery_tid(tid) {
             tid
         } else {
             tid | self.shard_tag
