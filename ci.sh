@@ -26,16 +26,23 @@ if grep -rn "match .*\.algo\b" crates examples tests --include='*.rs' \
   exit 1
 fi
 
-echo "=== phase_profile smoke (3 algorithms x {ADR, eADR}) ==="
-# phase_profile iterates the full {undo, redo, cow} x {ADR, eADR} matrix
-# internally, so this one smoke run exercises every registered algorithm
-# in both flush-required and flush-elided domains.
+echo "=== phase_profile smoke (4 algorithms x {ADR, eADR}) ==="
+# phase_profile iterates the full {undo, redo, cow, htm-logged} x
+# {ADR, eADR} matrix internally, so this one smoke run exercises every
+# registered algorithm in both flush-required and flush-elided domains.
 cargo run -q --release -p bench --bin phase_profile -- --threads 1 --ops 200 > /dev/null
 
 echo "=== algo_compare smoke ==="
-# Head-to-head {redo, undo, cow} comparison across all four durability
-# domains (throughput / abort rate / persistence work).
+# Head-to-head {redo, undo, cow, htm-logged} comparison across all four
+# durability domains (throughput / abort rate / persistence work).
 cargo run -q --release -p bench --bin algo_compare -- --quick --threads 2 --ops 100 > /dev/null
+
+echo "=== htm-logged ablation smoke + ADR crossover guard ==="
+# Redo vs HtmLogged on the KV workload under ADR. The binary's built-in
+# guard exits nonzero if the logged hardware path commits nothing or
+# loses to software redo at low contention at 1-2 threads (the PR 8
+# acceptance claim: back-end logging brings the HTM fast path to ADR).
+cargo run -q --release -p bench --bin ablation_htm_logged -- --quick > /dev/null
 
 echo "=== write-combining smoke + flush-elision guard ==="
 # Quick naive-vs-combined ablation. The binary's built-in regression
@@ -43,11 +50,12 @@ echo "=== write-combining smoke + flush-elision guard ==="
 # the redo ADR workload (i.e. the planner stopped deduplicating).
 cargo run -q --release -p bench --bin ablation_write_combining -- --quick > /dev/null
 
-echo "=== crash_sites smoke sweep (3 algorithms x 4 domains) ==="
+echo "=== crash_sites smoke sweep (4 algorithms x 4 domains) ==="
 # Bounded deterministic crash-site sweep: every {algo x domain x policy}
-# case — all three registered algorithms, including cow shadow — with 12
-# strided sites each. Exits nonzero on any invariant violation, printing
-# CRASH-REPRO reproducer lines to stderr.
+# case — all four registered algorithms, including cow shadow and the
+# htm-logged back-end ring — with 12 strided sites each. Exits nonzero
+# on any invariant violation, printing CRASH-REPRO reproducer lines to
+# stderr.
 cargo run -q --release -p bench --bin crash_sites -- --quick > /dev/null
 
 echo "=== shard_scaling smoke + scaling / group-commit guards ==="

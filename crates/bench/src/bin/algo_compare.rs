@@ -4,11 +4,13 @@
 //! counts, shadow traffic for copy-on-write).
 //!
 //! This is the experiment that proves the `ptm::algo` seam carries its
-//! weight: the three policies run the *same* driver, differ only behind
-//! the `LogPolicy` trait, and land exactly where the paper's logging
-//! analysis predicts — redo with O(1) fences per transaction, undo with
-//! O(W) fences, and cow shadow paying ~2x data writes for line-granular
-//! publication. Under eADR all three collapse toward the same cost.
+//! weight: the registered policies run the *same* driver, differ only
+//! behind the `LogPolicy` trait, and land exactly where the paper's
+//! logging analysis predicts — redo with O(1) fences per transaction,
+//! undo with O(W) fences, cow shadow paying ~2x data writes for
+//! line-granular publication, and htm-logged trading orec bookkeeping
+//! for hardware sections sealed by a 2-fence back-end log. Under eADR
+//! the software policies collapse toward the same cost.
 
 use bench::{emit_point, run_point, HarnessOpts};
 use pmem_sim::{DurabilityDomain, MediaKind};

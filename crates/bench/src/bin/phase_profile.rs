@@ -34,7 +34,7 @@ fn main() {
             (DurabilityDomain::Adr, "ADR"),
             (DurabilityDomain::Eadr, "eADR"),
         ] {
-            for algo in [Algo::UndoEager, Algo::RedoLazy, Algo::CowShadow] {
+            for algo in Algo::ALL {
                 let sc = Scenario::new(
                     format!("Optane_{dname}_{}", algo.label()),
                     MediaKind::Optane,

@@ -18,7 +18,9 @@ pub mod report;
 pub mod trace_out;
 
 use workloads::driver::{run_scenario, RunConfig, RunResult, Scenario, Workload};
-use workloads::{BTreeInsertOnly, BTreeMixed, IndexKind, Tatp, Tpcc, Vacation, VacationCfg};
+use workloads::{
+    BTreeInsertOnly, BTreeMixed, IndexKind, KvStore, Tatp, Tpcc, Vacation, VacationCfg,
+};
 
 /// Parsed harness options.
 #[derive(Debug, Clone)]
@@ -126,6 +128,7 @@ pub fn make_workload(name: &str, total_ops: u64, quick: bool) -> Box<dyn Workloa
         "vacation-low" => Box::new(Vacation::new(VacationCfg::low(256 << scale))),
         "vacation-high" => Box::new(Vacation::new(VacationCfg::high(256 << scale))),
         "tatp" => Box::new(Tatp::new(1024 << scale)),
+        "kvstore" => Box::new(KvStore::new(64 << scale)),
         other => panic!("unknown workload `{other}`"),
     }
 }

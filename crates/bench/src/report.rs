@@ -154,8 +154,38 @@ pub fn point_json(workload: &str, r: &RunResult) -> String {
     );
     push_kv_u64(&mut out, "extensions", r.ptm.extensions, &mut tf);
     push_kv_u64(&mut out, "htm_commits", r.ptm.htm_commits, &mut tf);
+    push_kv_u64(
+        &mut out,
+        "htm_logged_commits",
+        r.ptm.htm_logged_commits,
+        &mut tf,
+    );
     push_kv_u64(&mut out, "htm_aborts", r.ptm.htm_aborts, &mut tf);
+    push_kv_u64(
+        &mut out,
+        "htm_capacity_aborts",
+        r.ptm.htm_capacity_aborts,
+        &mut tf,
+    );
+    push_kv_u64(
+        &mut out,
+        "htm_conflict_aborts",
+        r.ptm.htm_conflict_aborts,
+        &mut tf,
+    );
+    push_kv_u64(
+        &mut out,
+        "htm_explicit_aborts",
+        r.ptm.htm_explicit_aborts,
+        &mut tf,
+    );
     push_kv_u64(&mut out, "htm_fallbacks", r.ptm.htm_fallbacks, &mut tf);
+    push_kv_u64(
+        &mut out,
+        "backend_log_bytes",
+        r.ptm.backend_log_bytes,
+        &mut tf,
+    );
     push_kv_u64(
         &mut out,
         "max_write_entries",
@@ -577,8 +607,13 @@ mod tests {
             "\"aborts_acquire\"",
             "\"aborts_validation\"",
             "\"htm_commits\"",
+            "\"htm_logged_commits\"",
             "\"htm_aborts\"",
+            "\"htm_capacity_aborts\"",
+            "\"htm_conflict_aborts\"",
+            "\"htm_explicit_aborts\"",
             "\"htm_fallbacks\"",
+            "\"backend_log_bytes\"",
             "\"wpq_stall_ns\"",
             "\"dram_write_stall_ns\"",
             "\"fence_wait_ns\"",

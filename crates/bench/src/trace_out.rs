@@ -21,7 +21,11 @@ pub fn expected_totals(r: &RunResult) -> ExpectedTotals {
         aborts_acquire: r.ptm.aborts_acquire,
         aborts_validation: r.ptm.aborts_validation,
         htm_commits: r.ptm.htm_commits,
+        htm_logged_commits: r.ptm.htm_logged_commits,
         htm_aborts: r.ptm.htm_aborts,
+        htm_capacity_aborts: r.ptm.htm_capacity_aborts,
+        htm_conflict_aborts: r.ptm.htm_conflict_aborts,
+        htm_explicit_aborts: r.ptm.htm_explicit_aborts,
         htm_fallbacks: r.ptm.htm_fallbacks,
         clwbs: r.mem.clwbs,
         clwb_writebacks: r.mem.clwb_writebacks,

@@ -73,7 +73,7 @@ pub use inject::{
     SimulatedCrash, SiteKind,
 };
 pub use latency::LatencyModel;
-pub use machine::{Machine, MachineConfig};
+pub use machine::{HtmModel, Machine, MachineConfig};
 pub use pool::{MediaKind, PAddr, PersistenceClass, PmemPool, PoolId};
 pub use session::MemSession;
 pub use shard::MachineSet;

@@ -1,6 +1,8 @@
 //! The simulated machine: pools + cache + bandwidth servers + clocks.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::bandwidth::Servers;
@@ -12,6 +14,43 @@ use crate::latency::LatencyModel;
 use crate::pool::{MediaKind, PersistenceClass, PmemPool, PoolId};
 use crate::session::MemSession;
 use crate::stats::MachineStats;
+
+/// First-class simulated-HTM model: the machine (not the PTM layer)
+/// decides whether hardware transactions exist, how many cache lines a
+/// section may touch, and what `xbegin`/`xend` cost. Conflict detection
+/// is line-granular against a machine-wide table of recently committed
+/// lines — the cache-coherence view a real HTM implementation has —
+/// so sections abort against *any* concurrent committer that published
+/// an overlapping line, exactly like a remote RFO would abort TSX.
+#[derive(Clone, Debug)]
+pub struct HtmModel {
+    /// Whether the machine offers hardware transactions at all. When
+    /// off, PTM hybrid paths must fall back to software.
+    pub enabled: bool,
+    /// Line-granular footprint bound (read set + write set combined),
+    /// modeling the L1/L2 capacity a real HTM tracks speculative state
+    /// in. Exceeding it is a capacity abort.
+    pub capacity_lines: usize,
+    /// `xbegin` cost, in virtual ns.
+    pub begin_ns: u64,
+    /// `xend` cost, in virtual ns.
+    pub commit_ns: u64,
+}
+
+impl Default for HtmModel {
+    fn default() -> Self {
+        HtmModel {
+            enabled: true,
+            capacity_lines: 512,
+            // Measured TSX round trips are a few dozen cycles each way
+            // (xbegin ~30-45 cycles, xend ~20-40 on Skylake-class parts):
+            // cheap enough that even read-only transactions can afford a
+            // section, which is what makes the hybrid pay off.
+            begin_ns: 12,
+            commit_ns: 15,
+        }
+    }
+}
 
 /// Construction parameters for a [`Machine`].
 #[derive(Clone, Debug)]
@@ -25,6 +64,8 @@ pub struct MachineConfig {
     pub track_persistence: bool,
     /// Bounded-lag window for multi-threaded runs, in virtual ns.
     pub window_ns: u64,
+    /// Hardware-transactional-memory capabilities of this machine.
+    pub htm: HtmModel,
 }
 
 impl Default for MachineConfig {
@@ -34,6 +75,7 @@ impl Default for MachineConfig {
             model: LatencyModel::default(),
             track_persistence: false,
             window_ns: 2_000,
+            htm: HtmModel::default(),
         }
     }
 }
@@ -46,6 +88,7 @@ impl MachineConfig {
             model: LatencyModel::zero(),
             track_persistence: true,
             window_ns: u64::MAX,
+            htm: HtmModel::default(),
         }
     }
 }
@@ -76,6 +119,12 @@ pub struct Machine {
     /// from it at construction; same arming idiom as the injector.
     tracer: Mutex<Option<Arc<trace::TraceSink>>>,
     tracer_armed: AtomicBool,
+    /// Monotonic serial stamped on every HTM line publication; sections
+    /// sample it at `xbegin` and conflict against later publications.
+    htm_serial: AtomicU64,
+    /// line key -> serial of the latest HTM-visible commit that wrote
+    /// the line (the simulated coherence-conflict directory).
+    htm_table: Mutex<HashMap<u64, u64>>,
     pub stats: MachineStats,
 }
 
@@ -97,8 +146,59 @@ impl Machine {
             injector_armed: AtomicBool::new(false),
             tracer: Mutex::new(None),
             tracer_armed: AtomicBool::new(false),
+            htm_serial: AtomicU64::new(0),
+            htm_table: Mutex::new(HashMap::new()),
             stats: MachineStats::new(),
         })
+    }
+
+    /// The machine's HTM capabilities.
+    pub fn htm(&self) -> &HtmModel {
+        &self.config.htm
+    }
+
+    /// Serial to sample at `xbegin`: publications with a larger serial
+    /// conflict with the section.
+    pub(crate) fn htm_serial_now(&self) -> u64 {
+        self.htm_serial.load(Ordering::Acquire)
+    }
+
+    /// Atomic conflict-check-and-publish at `xend`: if any line of the
+    /// section's footprint was published after `start_serial`, the
+    /// section loses (a remote committer invalidated its speculative
+    /// state) and nothing is published. Otherwise the section's write
+    /// lines are published under a fresh serial.
+    pub(crate) fn htm_try_commit(
+        &self,
+        start_serial: u64,
+        footprint: &HashSet<u64>,
+        writes: &HashSet<u64>,
+    ) -> bool {
+        let mut table = self.htm_table.lock().unwrap();
+        for key in footprint {
+            if let Some(&s) = table.get(key) {
+                if s > start_serial {
+                    return false;
+                }
+            }
+        }
+        let serial = self.htm_serial.fetch_add(1, Ordering::AcqRel) + 1;
+        for &key in writes {
+            table.insert(key, serial);
+        }
+        true
+    }
+
+    /// Publish committed lines on behalf of a *software* commit so
+    /// concurrent HTM sections whose footprints overlap it abort — the
+    /// coherence traffic a software writeback generates is conflict
+    /// traffic to a hardware section just like another section's commit.
+    pub(crate) fn htm_publish(&self, lines: impl Iterator<Item = u64>) {
+        let mut table = self.htm_table.lock().unwrap();
+        let serial = self.htm_serial.fetch_add(1, Ordering::AcqRel) + 1;
+        for key in lines {
+            table.insert(key, serial);
+        }
     }
 
     /// Arm a crash-site injector: every subsequent persistence-relevant

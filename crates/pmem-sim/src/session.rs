@@ -18,6 +18,7 @@
 //! writeback traffic against the Optane write path (stalling only when the
 //! backlog bound is exceeded — the paper's WPQ-saturation wall).
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use crate::cache::{line_key, Access};
@@ -59,6 +60,17 @@ pub struct MemSession {
     /// every record site is a single branch on an owned Option). The
     /// ring is submitted back to the sink when the session drops.
     ring: Option<(Arc<trace::TraceSink>, trace::TraceRing)>,
+    /// Inside a hardware-transactional section ([`Self::htm_begin`] ..
+    /// commit/abort). Flush/fence instructions are illegal in a section
+    /// (they abort real HTM — the paper's §V TSX observation); debug
+    /// builds assert it.
+    htm_active: bool,
+    /// Conflict serial sampled at `xbegin`.
+    htm_start_serial: u64,
+    /// Line-granular footprint of the current section (reads + writes).
+    htm_footprint: HashSet<u64>,
+    /// Write subset of the footprint: the lines published at `xend`.
+    htm_writes: HashSet<u64>,
 }
 
 impl MemSession {
@@ -75,7 +87,115 @@ impl MemSession {
             pending: Vec::new(),
             last_flush_accept: 0,
             ring,
+            htm_active: false,
+            htm_start_serial: 0,
+            htm_footprint: HashSet::new(),
+            htm_writes: HashSet::new(),
         }
+    }
+
+    // ---- hardware transactional memory -------------------------------
+
+    /// Whether this machine offers hardware transactions at all.
+    #[inline]
+    pub fn htm_enabled(&self) -> bool {
+        self.machine.config().htm.enabled
+    }
+
+    /// Begin a hardware-transactional section (`xbegin`): charges the
+    /// begin cost and samples the machine's conflict serial. Sections do
+    /// not nest.
+    pub fn htm_begin(&mut self) {
+        debug_assert!(!self.htm_active, "hardware sections do not nest");
+        self.htm_active = true;
+        self.htm_start_serial = self.machine.htm_serial_now();
+        self.htm_footprint.clear();
+        self.htm_writes.clear();
+        self.clock.advance(self.machine.config().htm.begin_ns);
+    }
+
+    /// Whether a hardware section is currently open.
+    #[inline]
+    pub fn htm_in_section(&self) -> bool {
+        self.htm_active
+    }
+
+    /// Track a read inside the section at line granularity. `false`
+    /// means the footprint exceeded the modeled capacity — the caller
+    /// must abort the section (capacity abort).
+    #[inline]
+    pub fn htm_track_read(&mut self, addr: PAddr) -> bool {
+        debug_assert!(self.htm_active, "htm_track_read outside a section");
+        self.htm_footprint
+            .insert(line_key(addr.pool().0, addr.line()));
+        self.htm_footprint.len() <= self.machine.config().htm.capacity_lines
+    }
+
+    /// Track a (buffered) write inside the section at line granularity;
+    /// write lines are also part of the read/write footprint. `false` is
+    /// a capacity abort, as for [`Self::htm_track_read`].
+    #[inline]
+    pub fn htm_track_write(&mut self, addr: PAddr) -> bool {
+        debug_assert!(self.htm_active, "htm_track_write outside a section");
+        let key = line_key(addr.pool().0, addr.line());
+        self.htm_footprint.insert(key);
+        self.htm_writes.insert(key);
+        self.htm_footprint.len() <= self.machine.config().htm.capacity_lines
+    }
+
+    /// Current line-granular footprint of the open section.
+    #[inline]
+    pub fn htm_footprint_lines(&self) -> usize {
+        self.htm_footprint.len()
+    }
+
+    /// End the section with a conflict check (`xend`): charges the
+    /// commit cost; atomically verifies no concurrent committer
+    /// published a line of this section's footprint since `xbegin`, and
+    /// publishes this section's write lines. `false` = conflict abort
+    /// (nothing published). Either way the section is closed.
+    pub fn htm_commit(&mut self) -> bool {
+        debug_assert!(self.htm_active, "htm_commit outside a section");
+        self.clock.advance(self.machine.config().htm.commit_ns);
+        let ok = self.machine.htm_try_commit(
+            self.htm_start_serial,
+            &self.htm_footprint,
+            &self.htm_writes,
+        );
+        self.htm_close();
+        ok
+    }
+
+    /// End the section without a conflict check or publication: the
+    /// read-only retire, for callers whose per-read validation already
+    /// guarantees a consistent snapshot as of the start timestamp.
+    /// Charges the commit cost.
+    pub fn htm_commit_readonly(&mut self) {
+        debug_assert!(self.htm_active, "htm_commit_readonly outside a section");
+        self.clock.advance(self.machine.config().htm.commit_ns);
+        self.htm_close();
+    }
+
+    /// Abort the section (`xabort` or an internal conflict/capacity
+    /// event): discards tracking state, publishes nothing, charges
+    /// nothing beyond what the section already paid.
+    pub fn htm_abort(&mut self) {
+        self.htm_close();
+    }
+
+    fn htm_close(&mut self) {
+        self.htm_active = false;
+        self.htm_footprint.clear();
+        self.htm_writes.clear();
+    }
+
+    /// Publish committed lines on behalf of a software (non-HTM) commit
+    /// so overlapping open sections conflict-abort against it. Call
+    /// while the commit still excludes racing readers (e.g. before
+    /// releasing its write locks).
+    pub fn htm_publish_lines(&mut self, lines: impl IntoIterator<Item = PAddr>) {
+        self.machine
+            .htm_publish(lines.into_iter().map(|a| line_key(a.pool().0, a.line())));
     }
 
     /// Record a flight-recorder event at the current virtual time. A
@@ -360,6 +480,10 @@ impl MemSession {
         if !self.machine.domain().requires_flushes() {
             return;
         }
+        debug_assert!(
+            !self.htm_active,
+            "clwb inside a hardware section would abort it"
+        );
         self.site(SiteKind::Clwb);
         let pool = self.resolve(addr.pool());
         let key = line_key(addr.pool().0, addr.line());
@@ -466,6 +590,10 @@ impl MemSession {
         if !self.machine.domain().requires_flushes() {
             return;
         }
+        debug_assert!(
+            !self.htm_active,
+            "sfence inside a hardware section would abort it"
+        );
         self.site(SiteKind::Sfence);
         MachineStats::bump(&self.machine.stats.sfences, 1);
         let now = self.now();
@@ -704,6 +832,7 @@ mod tests {
             model,
             track_persistence: false,
             window_ns: u64::MAX,
+            ..MachineConfig::default()
         });
         let p = m.alloc_pool("h", 1 << 12, MediaKind::Optane);
         let mut s = m.session(0);
@@ -772,6 +901,7 @@ mod tests {
             model,
             track_persistence: false,
             window_ns: u64::MAX,
+            ..MachineConfig::default()
         });
         let p = m.alloc_pool("h", 1 << 16, MediaKind::Optane);
         let mut s = m.session(0);
@@ -797,6 +927,7 @@ mod tests {
             model,
             track_persistence: false,
             window_ns: u64::MAX,
+            ..MachineConfig::default()
         });
         let p = m.alloc_pool("h", 1 << 16, MediaKind::Dram);
         let mut s = m.session(0);
@@ -829,6 +960,7 @@ mod tests {
             model,
             track_persistence: false,
             window_ns: u64::MAX,
+            ..MachineConfig::default()
         });
         let sink = trace::TraceSink::new(1 << 14);
         m.attach_tracer(Arc::clone(&sink));

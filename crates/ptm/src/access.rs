@@ -15,7 +15,7 @@ use pmem_sim::{MemSession, PAddr};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use trace::{AbortCause, EventKind};
+use trace::{AbortCause, EventKind, HtmAbortCause};
 
 use crate::log::TxLog;
 use crate::orec::{is_locked, owner_of};
@@ -74,6 +74,18 @@ pub struct TxAccess {
     pub(crate) undo_seq: u64,
     /// Executing on the hardware path (no logging, no orec charges).
     pub(crate) in_htm: bool,
+    /// Why the current hardware attempt aborted, set at the site that
+    /// decided it (capacity overflow, conflict, explicit policy abort);
+    /// consumed by the driver when the abort is counted.
+    pub(crate) htm_abort_cause: Option<HtmAbortCause>,
+    /// The commit timestamp of the in-flight commit, set by the driver
+    /// after the clock bump so `make_durable` can seal entries with it.
+    pub(crate) commit_wv: u64,
+    /// `HtmLogged` back-end log ring base: entries `0..log_sealed` belong
+    /// to earlier committed-but-unretired transactions. Lives *across*
+    /// transactions (the ring is reset outside the hardware section);
+    /// deliberately not cleared by [`Self::begin`].
+    pub(crate) log_sealed: usize,
     pub(crate) rng: SmallRng,
     pub(crate) attempts: u32,
     /// Charges elapsed virtual time to [`Phase`]s; drained into
@@ -116,6 +128,9 @@ impl TxAccess {
             tx_frees: Vec::new(),
             undo_seq: 0,
             in_htm: false,
+            htm_abort_cause: None,
+            commit_wv: 0,
+            log_sealed: 0,
             rng: SmallRng::seed_from_u64(0x9E37 ^ tid),
             attempts: 0,
             timer: PhaseTimer::new(),
@@ -283,6 +298,8 @@ impl TxAccess {
         self.start_time = self.ptm.clock.sample();
         self.s.advance(self.ptm.config.orec_ns);
         self.pending_abort = None;
+        self.htm_abort_cause = None;
+        self.commit_wv = 0;
         let (attempts, start) = (self.attempts as u64, self.start_time);
         self.trace(EventKind::TxBegin, attempts, start);
     }

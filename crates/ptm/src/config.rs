@@ -23,20 +23,35 @@ pub enum Algo {
     /// on abort (or by the restart GC after a crash). O(1) fences, ~2x
     /// data writes.
     CowShadow,
+    /// Durable HTM via aliased back-end logging (Giles et al., *Hardware
+    /// Transactional Persistent Memory*): the transaction body runs in a
+    /// simulated hardware section with buffered writes and **no** orec
+    /// acquisition, flush or fence inside the section; after the section
+    /// retires, a redo-style back-end log is persisted and sealed, then
+    /// home locations are written back lazily. Conflict detection is the
+    /// hardware section itself, so the contention window contains zero
+    /// persistence stalls — the HTM fast path works under ADR.
+    HtmLogged,
 }
 
 impl Algo {
     /// Every registered algorithm, in registry order. Test helpers and
     /// sweep grids iterate this so a newly registered algorithm is
     /// exercised automatically.
-    pub const ALL: [Algo; 3] = [Algo::RedoLazy, Algo::UndoEager, Algo::CowShadow];
+    pub const ALL: [Algo; 4] = [
+        Algo::RedoLazy,
+        Algo::UndoEager,
+        Algo::CowShadow,
+        Algo::HtmLogged,
+    ];
 
-    /// Suffix used in the paper's curve labels ("R" / "U" / "C").
+    /// Suffix used in the paper's curve labels ("R" / "U" / "C" / "H").
     pub fn label(self) -> &'static str {
         match self {
             Algo::RedoLazy => "R",
             Algo::UndoEager => "U",
             Algo::CowShadow => "C",
+            Algo::HtmLogged => "H",
         }
     }
 
@@ -48,6 +63,7 @@ impl Algo {
             Algo::RedoLazy => "redo",
             Algo::UndoEager => "undo",
             Algo::CowShadow => "cow",
+            Algo::HtmLogged => "htm",
         }
     }
 }
@@ -65,7 +81,7 @@ impl std::str::FromStr for Algo {
         Algo::ALL
             .into_iter()
             .find(|a| a.name() == s)
-            .ok_or_else(|| format!("unknown algorithm `{s}` (known: redo, undo, cow)"))
+            .ok_or_else(|| format!("unknown algorithm `{s}` (known: redo, undo, cow, htm)"))
     }
 }
 
@@ -145,16 +161,13 @@ pub struct PtmConfig {
     /// (0 disables the hybrid entirely). The paper's §V future work:
     /// TSX-style transactions skip all orec instrumentation and logging,
     /// but are incompatible with ADR (`clwb` aborts a hardware
-    /// transaction), so under flush-requiring domains the hybrid always
-    /// takes the software path.
+    /// transaction), so under flush-requiring domains the plain hybrid
+    /// always takes the software path; [`Algo::HtmLogged`] removes that
+    /// restriction by keeping all persistence outside the section. The
+    /// hardware model itself (capacity, begin/commit costs, whether HTM
+    /// exists at all) lives in `pmem_sim::HtmModel` — a machine property,
+    /// not a PTM knob.
     pub htm_retries: u32,
-    /// Modeled cost of `xbegin`.
-    pub htm_begin_ns: u64,
-    /// Modeled cost of `xend` (commit).
-    pub htm_commit_ns: u64,
-    /// Hardware write-set capacity in words; exceeding it is a capacity
-    /// abort (TSX is L1-bound).
-    pub htm_capacity: usize,
     /// Record transaction-lifecycle events into the flight recorder
     /// attached to the machine (see the `trace` crate). The memory-system
     /// events trace whenever a sink is attached; this flag additionally
@@ -185,9 +198,6 @@ impl Default for PtmConfig {
             lock_spin: 16,
             max_retries: 1_000_000,
             htm_retries: 0,
-            htm_begin_ns: 40,
-            htm_commit_ns: 40,
-            htm_capacity: 256,
             tracing: false,
         }
     }
@@ -221,6 +231,10 @@ impl PtmConfig {
 
     pub fn cow() -> Self {
         Self::with_algo(Algo::CowShadow)
+    }
+
+    pub fn htm_logged() -> Self {
+        Self::with_algo(Algo::HtmLogged)
     }
 
     /// The given algorithm with the write-combining commit pipeline on.
@@ -276,12 +290,14 @@ mod tests {
         assert_eq!(PtmConfig::redo().algo, Algo::RedoLazy);
         assert_eq!(PtmConfig::undo().algo, Algo::UndoEager);
         assert_eq!(PtmConfig::cow().algo, Algo::CowShadow);
+        assert_eq!(PtmConfig::htm_logged().algo, Algo::HtmLogged);
         for algo in Algo::ALL {
             assert_eq!(PtmConfig::with_algo(algo).algo, algo);
         }
         assert_eq!(Algo::RedoLazy.label(), "R");
         assert_eq!(Algo::UndoEager.label(), "U");
         assert_eq!(Algo::CowShadow.label(), "C");
+        assert_eq!(Algo::HtmLogged.label(), "H");
     }
 
     #[test]

@@ -269,7 +269,7 @@ pub fn run_site(
     // work and leaves every durable word unchanged.
     let before = snapshot_pools(&recovered);
     let second = recover_with_options(&recovered, opts);
-    if second.redo_replayed + second.undo_rolled_back != 0 {
+    if second.redo_replayed + second.undo_rolled_back + second.htm_replayed != 0 {
         violations.push(format!("second recovery pass still found work: {second:?}"));
     }
     if snapshot_pools(&recovered) != before {

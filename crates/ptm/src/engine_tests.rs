@@ -1,5 +1,5 @@
 //! Engine-level tests for the transaction driver and every registered
-//! algorithm policy (redo, undo, cow shadow). These exercise the public
+//! algorithm policy (redo, undo, cow shadow, htm). These exercise the public
 //! `TxThread`/`Tx` API only; policy-internal unit tests live next to
 //! their modules.
 
@@ -71,7 +71,9 @@ fn user_abort_rolls_back() {
         });
         let v = th.run(|tx| tx.read(a));
         assert_eq!(v, 1, "{algo:?}: speculative write must be undone");
-        assert!(ptm.stats_snapshot().aborts >= 1);
+        // HtmLogged takes the user abort on the hardware path.
+        let s = ptm.stats_snapshot();
+        assert!(s.aborts + s.htm_aborts >= 1, "{algo:?}: {s:?}");
     }
 }
 
@@ -96,8 +98,19 @@ fn commit_is_durable_under_adr() {
         let mut th = TxThread::new(ptm, heap.clone(), m.session(0));
         let a = heap.alloc(th.session_mut(), 4);
         th.run(|tx| tx.write(a, 77));
-        // After commit, the value must be durable (in the shadow).
-        assert_eq!(heap.pool().shadow().unwrap().load(a.word()), 77, "{algo:?}");
+        if algo == Algo::HtmLogged {
+            // The home writeback is deliberately unfenced — until the
+            // ring retires, durability lives in the sealed back-end
+            // log. Crash and recover to observe it.
+            drop(th);
+            let img = m.crash(0);
+            let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+            crate::recovery::recover(&m2);
+            assert_eq!(m2.pool(a.pool()).raw_load(a.word()), 77, "{algo:?}");
+        } else {
+            // After commit, the value must be durable (in the shadow).
+            assert_eq!(heap.pool().shadow().unwrap().load(a.word()), 77, "{algo:?}");
+        }
     }
 }
 
@@ -651,19 +664,46 @@ mod htm {
     fn htm_capacity_overflow_falls_back() {
         let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
         let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
-        let cap = ptm.config.htm_capacity;
-        let a = heap.alloc(th.session_mut(), cap + 8);
+        let cap = m.config().htm.capacity_lines as u64;
+        let wpl = pmem_sim::WORDS_PER_LINE as u64;
+        let a = heap.alloc(th.session_mut(), ((cap + 4) * wpl) as usize);
         th.run(|tx| {
-            for i in 0..(cap as u64 + 4) {
-                tx.write_at(a, i, i)?;
+            // One word per line: the distinct-line footprint overflows
+            // the modeled capacity.
+            for i in 0..(cap + 2) {
+                tx.write_at(a, i * wpl, i)?;
             }
             Ok(())
         });
         let s = ptm.stats_snapshot();
         assert!(s.htm_fallbacks >= 1, "capacity abort must fall back: {s:?}");
+        assert!(s.htm_capacity_aborts >= 1, "attributed to capacity: {s:?}");
         assert_eq!(s.commits, 1);
         // Data intact via the software path.
-        assert_eq!(th.run(|tx| tx.read_at(a, cap as u64 + 3)), cap as u64 + 3);
+        assert_eq!(th.run(|tx| tx.read_at(a, (cap + 1) * wpl)), cap + 1);
+    }
+
+    #[test]
+    fn htm_capacity_counts_lines_not_entries() {
+        // The capacity bound is the distinct-*line* footprint, not the
+        // write-set entry count: twice as many word writes as the line
+        // capacity, packed onto a fraction of the lines, must stay on
+        // the hardware path.
+        let (m, ptm, heap) = setup(DurabilityDomain::Eadr);
+        let mut th = TxThread::new(ptm.clone(), heap.clone(), m.session(0));
+        let words = 2 * m.config().htm.capacity_lines as u64;
+        let a = heap.alloc(th.session_mut(), words as usize);
+        th.run(|tx| {
+            for i in 0..words {
+                tx.write_at(a, i, i)?;
+            }
+            Ok(())
+        });
+        let s = ptm.stats_snapshot();
+        assert_eq!(s.htm_capacity_aborts, 0, "dense lines fit: {s:?}");
+        assert_eq!(s.htm_fallbacks, 0);
+        assert!(s.htm_commits >= 1, "stayed on the hardware path: {s:?}");
+        assert_eq!(th.run(|tx| tx.read_at(a, words - 1)), words - 1);
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! ```text
 //! word 0  state        (IDLE / COMMITTED — the redo linearization marker)
 //! word 1  count        (redo: number of valid entries, sealed with state)
-//! word 2  algo         (1 = redo, 2 = undo, 3 = cow; recovery dispatches
-//!                       on it via the `crate::algo` registry)
+//! word 2  algo         (1 = redo, 2 = undo, 3 = cow, 4 = htm; recovery
+//!                       dispatches on it via the `crate::algo` registry)
 //! word 3  overflow id  (pool id of the spill region, 0 = none)
 //! word 4  primary cap  (entries that fit in this pool)
 //! word 8… entries      (4 words each: addr, value, checksum, pad)
@@ -74,6 +74,7 @@ pub fn marker_count(state: u64) -> u64 {
 pub const ALGO_REDO: u64 = 1;
 pub const ALGO_UNDO: u64 = 2;
 pub const ALGO_COW: u64 = 3;
+pub const ALGO_HTM: u64 = 4;
 
 /// Header word offsets.
 pub const W_STATE: u64 = 0;
@@ -221,6 +222,30 @@ impl TxLog {
             pool.raw_load(base),
             pool.raw_load(base + 1),
             pool.raw_load(base + 2),
+        )
+    }
+
+    /// Untimed read of a full 4-word entry (recovery of `HtmLogged`
+    /// back-end logs, whose fourth word is a checksum rather than pad).
+    pub fn raw_entry4(
+        primary: &PmemPool,
+        overflow: Option<&PmemPool>,
+        primary_cap: usize,
+        i: usize,
+    ) -> (u64, u64, u64, u64) {
+        let (pool, base) = if i < primary_cap {
+            (primary, ENTRY0 + i as u64 * ENTRY_WORDS)
+        } else {
+            (
+                overflow.expect("entry beyond primary with no overflow"),
+                (i - primary_cap) as u64 * ENTRY_WORDS,
+            )
+        };
+        (
+            pool.raw_load(base),
+            pool.raw_load(base + 1),
+            pool.raw_load(base + 2),
+            pool.raw_load(base + 3),
         )
     }
 }

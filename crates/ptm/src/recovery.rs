@@ -16,6 +16,10 @@
 //! * **cow, COMMITTED**: publish each logged shadow line's masked words
 //!   to its home location (idempotent, like redo replay), then retire;
 //!   the orphaned shadow blocks are reclaimed by the restart GC.
+//! * **htm, COMMITTED**: the back-end *ring* may seal several
+//!   transactions' entries under one grown marker — replay the slots in
+//!   order, skipping checksum failures (tombstoned entries a newer
+//!   commit superseded), then retire.
 //!
 //! The per-algorithm repair logic lives in each policy's
 //! [`crate::algo::LogPolicy::recover_apply`], dispatched on the log
@@ -33,7 +37,11 @@
 //!
 //! * every committed-but-unretired log's write set still holds its
 //!   orecs — the retire store is durable *before* any orec is released
-//!   — so at most one unretired committed log covers any given word;
+//!   — so at most one unretired committed log covers any given word.
+//!   HtmLogged entries outlive their orec release, but a commit that
+//!   overwrites a word another ring still covers *tombstones* the
+//!   superseded entry before sealing its own (see `crate::algo::htm`),
+//!   restoring the one-covering-entry invariant;
 //! * replay writes whole 64-bit words atomically ([`PmemPool::raw_store`])
 //!   and `persist_line_now` snapshots the line's *current* contents
 //!   under the pool's apply lock, so two logs touching different words
@@ -116,6 +124,10 @@ pub struct RecoveryReport {
     pub cow_published: usize,
     /// Cow words copied shadow → home during publish replay.
     pub cow_words: usize,
+    /// Committed HtmLogged back-end rings replayed forward.
+    pub htm_replayed: usize,
+    /// Live (non-tombstoned) ring entries written back during replay.
+    pub htm_entries: usize,
     /// Per-log diagnostics for prefix-colliding pools whose header
     /// failed validation — these logs are left untouched.
     pub malformed: Vec<String>,
@@ -140,6 +152,8 @@ impl RecoveryReport {
         self.torn_entries = self.torn_entries.saturating_add(other.torn_entries);
         self.cow_published = self.cow_published.saturating_add(other.cow_published);
         self.cow_words = self.cow_words.saturating_add(other.cow_words);
+        self.htm_replayed = self.htm_replayed.saturating_add(other.htm_replayed);
+        self.htm_entries = self.htm_entries.saturating_add(other.htm_entries);
         self.malformed.extend(other.malformed.iter().cloned());
         self.recovery_ns = self.recovery_ns.max(other.recovery_ns);
         self.recovery_workers = self.recovery_workers.max(other.recovery_workers);
@@ -229,6 +243,12 @@ impl RecoverCtx<'_> {
     /// Untimed read of log entry `i` (primary or overflow).
     pub fn raw_entry(&self, i: usize) -> (u64, u64, u64) {
         TxLog::raw_entry(&self.primary, self.overflow.as_deref(), self.primary_cap, i)
+    }
+
+    /// Untimed read of all four words of log entry `i` (HtmLogged ring
+    /// entries carry the sealing timestamp as their third word).
+    pub fn raw_entry4(&self, i: usize) -> (u64, u64, u64, u64) {
+        TxLog::raw_entry4(&self.primary, self.overflow.as_deref(), self.primary_cap, i)
     }
 
     /// Physical entry capacity of the discovered pools — the hard upper

@@ -21,6 +21,20 @@ pub struct PtmStats {
     /// Transactions that exhausted hardware retries and took the
     /// software path.
     pub htm_fallbacks: AtomicU64,
+    /// Hardware commits that went through the `HtmLogged` aliased
+    /// back-end-logging path (also counted in `htm_commits`).
+    pub htm_logged_commits: AtomicU64,
+    /// Hardware aborts by cause: the section's line footprint exceeded
+    /// the model's capacity.
+    pub htm_capacity_aborts: AtomicU64,
+    /// Hardware aborts by cause: coherence conflict with a concurrent
+    /// committer (or a locked/too-new orec seen inside the section).
+    pub htm_conflict_aborts: AtomicU64,
+    /// Hardware aborts by cause: the policy aborted the section
+    /// explicitly (e.g. back-end log ring full).
+    pub htm_explicit_aborts: AtomicU64,
+    /// `HtmLogged`: bytes appended to back-end redo logs.
+    pub backend_log_bytes: AtomicU64,
     /// Largest write set observed, in log entries (the paper's §IV-B
     /// sizing argument for PDRAM-Lite: Vacation <= 37 log cache lines,
     /// TPCC <= 36).
@@ -66,6 +80,11 @@ pub struct PtmStatsSnapshot {
     pub htm_commits: u64,
     pub htm_aborts: u64,
     pub htm_fallbacks: u64,
+    pub htm_logged_commits: u64,
+    pub htm_capacity_aborts: u64,
+    pub htm_conflict_aborts: u64,
+    pub htm_explicit_aborts: u64,
+    pub backend_log_bytes: u64,
     pub max_write_entries: u64,
     pub flushes_elided: u64,
     pub lines_planned: u64,
@@ -119,6 +138,11 @@ impl PtmStats {
             htm_commits: self.htm_commits.load(Ordering::Relaxed),
             htm_aborts: self.htm_aborts.load(Ordering::Relaxed),
             htm_fallbacks: self.htm_fallbacks.load(Ordering::Relaxed),
+            htm_logged_commits: self.htm_logged_commits.load(Ordering::Relaxed),
+            htm_capacity_aborts: self.htm_capacity_aborts.load(Ordering::Relaxed),
+            htm_conflict_aborts: self.htm_conflict_aborts.load(Ordering::Relaxed),
+            htm_explicit_aborts: self.htm_explicit_aborts.load(Ordering::Relaxed),
+            backend_log_bytes: self.backend_log_bytes.load(Ordering::Relaxed),
             max_write_entries: self.max_write_entries.load(Ordering::Relaxed),
             flushes_elided: self.flushes_elided.load(Ordering::Relaxed),
             lines_planned: self.lines_planned.load(Ordering::Relaxed),
@@ -145,6 +169,11 @@ impl PtmStats {
             &self.htm_commits,
             &self.htm_aborts,
             &self.htm_fallbacks,
+            &self.htm_logged_commits,
+            &self.htm_capacity_aborts,
+            &self.htm_conflict_aborts,
+            &self.htm_explicit_aborts,
+            &self.backend_log_bytes,
             &self.max_write_entries,
             &self.flushes_elided,
             &self.lines_planned,
@@ -195,6 +224,21 @@ impl PtmStatsSnapshot {
             htm_commits: self.htm_commits.saturating_sub(earlier.htm_commits),
             htm_aborts: self.htm_aborts.saturating_sub(earlier.htm_aborts),
             htm_fallbacks: self.htm_fallbacks.saturating_sub(earlier.htm_fallbacks),
+            htm_logged_commits: self
+                .htm_logged_commits
+                .saturating_sub(earlier.htm_logged_commits),
+            htm_capacity_aborts: self
+                .htm_capacity_aborts
+                .saturating_sub(earlier.htm_capacity_aborts),
+            htm_conflict_aborts: self
+                .htm_conflict_aborts
+                .saturating_sub(earlier.htm_conflict_aborts),
+            htm_explicit_aborts: self
+                .htm_explicit_aborts
+                .saturating_sub(earlier.htm_explicit_aborts),
+            backend_log_bytes: self
+                .backend_log_bytes
+                .saturating_sub(earlier.backend_log_bytes),
             max_write_entries: self.max_write_entries.max(earlier.max_write_entries),
             flushes_elided: self.flushes_elided.saturating_sub(earlier.flushes_elided),
             lines_planned: self.lines_planned.saturating_sub(earlier.lines_planned),
@@ -228,6 +272,11 @@ impl PtmStatsSnapshot {
         self.htm_commits += other.htm_commits;
         self.htm_aborts += other.htm_aborts;
         self.htm_fallbacks += other.htm_fallbacks;
+        self.htm_logged_commits += other.htm_logged_commits;
+        self.htm_capacity_aborts += other.htm_capacity_aborts;
+        self.htm_conflict_aborts += other.htm_conflict_aborts;
+        self.htm_explicit_aborts += other.htm_explicit_aborts;
+        self.backend_log_bytes += other.backend_log_bytes;
         self.max_write_entries = self.max_write_entries.max(other.max_write_entries);
         self.flushes_elided += other.flushes_elided;
         self.lines_planned += other.lines_planned;

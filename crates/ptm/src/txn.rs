@@ -32,7 +32,11 @@
 //!   location persists an undo entry (`clwb` + `sfence`) *before* the
 //!   in-place store;
 //! * **cow shadow** is O(1)-fenced like redo, trading the log payload
-//!   for shadow lines published home at commit.
+//!   for shadow lines published home at commit;
+//! * **htm-logged** commits in a hardware section whose contention
+//!   window contains *no* `clwb` or `sfence` — persistence moves to a
+//!   back-end log sealed after the section retires (two fences,
+//!   amortized ring retirement; see `crate::algo::htm`).
 //!
 //! Under eADR-class durability domains the `clwb`/`sfence` calls are
 //! free ([`pmem_sim::MemSession`] elides them), which is precisely the
@@ -40,14 +44,16 @@
 //! skips only the fences while keeping flushes — the deliberately
 //! incorrect variant behind Table III.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use palloc::PHeap;
 use pmem_sim::{MemSession, PAddr};
 
-use trace::{AbortCause, EventKind};
+use trace::{AbortCause, EventKind, HtmAbortCause};
 
 use crate::access::TxAccess;
+use crate::algo::htm::PendingEntry;
 use crate::algo::LogPolicy;
 use crate::config::PtmConfig;
 use crate::orec::{is_locked, GlobalClock, OrecTable};
@@ -78,6 +84,23 @@ pub struct Ptm {
     /// Group-commit window state (uncontended single-word mutex; only
     /// touched when `config.group_commit` is on).
     pub(crate) group: Mutex<GroupFence>,
+    /// `HtmLogged` pending table: home address → the committed-but-
+    /// unretired back-end log entry covering it (see `algo::htm`).
+    /// Never iterated in a state-bearing order, so a `HashMap` keeps
+    /// deterministic runs deterministic.
+    ///
+    /// Lock discipline: the mutex guards only DRAM bookkeeping. No
+    /// holder may issue a timed memory operation (store/clwb/sfence)
+    /// while inside — a timed op can block in the clock-domain lag
+    /// window waiting for peers to advance, and a peer parked on this
+    /// mutex never advances its virtual clock: deadlock.
+    pub(crate) pending_log: Mutex<HashMap<u64, PendingEntry>>,
+    /// Committers currently persisting tombstones *outside* the
+    /// `pending_log` lock (see `algo::htm::append_and_seal`). Ring
+    /// recycling must not reuse slots while a tombstone store to one of
+    /// them may still be in flight, so `reset_ring` waits for this to
+    /// drain before deregistering its records.
+    pub(crate) tombstones_in_flight: std::sync::atomic::AtomicU64,
 }
 
 impl Ptm {
@@ -90,6 +113,8 @@ impl Ptm {
             stats: PtmStats::new(),
             phases: PhaseStats::new(),
             group: Mutex::new(GroupFence::default()),
+            pending_log: Mutex::new(HashMap::new()),
+            tombstones_in_flight: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -141,9 +166,12 @@ impl TxThread {
     /// require flushes (eADR / PDRAM / PDRAM-Lite), the hardware path is
     /// attempted first: no orec instrumentation, no log, no flushes —
     /// conflicts and capacity overflows fall back to the software
-    /// algorithm. Under ADR the hardware path is skipped entirely: a
-    /// `clwb` inside a hardware transaction aborts it (the paper's §V
-    /// observation about TSX).
+    /// algorithm. Under ADR the plain hybrid skips the hardware path
+    /// entirely: a `clwb` inside a hardware transaction aborts it (the
+    /// paper's §V observation about TSX). A logged hardware policy
+    /// ([`crate::config::Algo::HtmLogged`]) keeps all persistence
+    /// outside the section and therefore runs the hardware path under
+    /// every domain.
     pub fn run<T>(&mut self, f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
         // Phase accounting brackets the whole call: every virtual
         // nanosecond between here and the drain is charged to exactly one
@@ -159,20 +187,41 @@ impl TxThread {
     fn run_inner<T>(&mut self, mut f: impl FnMut(&mut Tx<'_>) -> TxResult<T>) -> T {
         self.ax.attempts = 0;
         let htm_retries = self.ax.ptm.config.htm_retries;
-        if htm_retries > 0 && !self.ax.s.machine().domain().requires_flushes() {
-            for attempt in 0..htm_retries {
+        let htm_tries = if !self.ax.s.htm_enabled() {
+            0
+        } else if self.policy.htm_mode() {
+            // A logged hardware policy persists outside the section, so
+            // the hardware path is its point under *every* domain — it
+            // runs even when the hybrid knob is off.
+            htm_retries.max(4)
+        } else if htm_retries > 0 && !self.ax.s.machine().domain().requires_flushes() {
+            htm_retries
+        } else {
+            0
+        };
+        if htm_tries > 0 {
+            for attempt in 0..htm_tries {
+                // Before the section: the policy's only chance to fence
+                // (ring recycling) without the flush landing inside the
+                // TxBegin→HtmRetire window.
+                self.policy.htm_prepare(&mut self.ax);
                 self.ax.begin();
                 self.ax.in_htm = true;
-                self.ax.s.advance(self.ax.ptm.config.htm_begin_ns);
+                self.ax.s.htm_begin();
                 let outcome = f(&mut Tx { th: self });
                 let committed = match outcome {
                     Ok(v) => {
-                        if self.commit_htm() {
+                        if self.policy.htm_commit(&mut self.ax) {
                             self.ax.in_htm = false;
+                            let logged = self.policy.htm_mode();
                             PtmStats::bump(&self.ax.ptm.stats.htm_commits);
+                            if logged {
+                                PtmStats::bump(&self.ax.ptm.stats.htm_logged_commits);
+                            }
                             PtmStats::bump(&self.ax.ptm.stats.commits);
                             let n = self.ax.entries.len() as u64;
-                            self.ax.trace(EventKind::TxCommit, n, 1);
+                            self.ax
+                                .trace(EventKind::TxCommit, n, if logged { 2 } else { 1 });
                             return v;
                         }
                         false
@@ -180,16 +229,32 @@ impl TxThread {
                     Err(Abort) => false,
                 };
                 debug_assert!(!committed);
+                if self.ax.s.htm_in_section() {
+                    // `Err(Abort)` escaped the closure with the section
+                    // still open (policy commit paths close it themselves).
+                    self.ax.s.htm_abort();
+                }
                 self.ax.in_htm = false;
+                let cause = self
+                    .ax
+                    .htm_abort_cause
+                    .take()
+                    .unwrap_or(HtmAbortCause::Explicit);
                 PtmStats::bump(&self.ax.ptm.stats.htm_aborts);
-                self.ax.trace(EventKind::HtmAbort, attempt as u64, 0);
+                PtmStats::bump(match cause {
+                    HtmAbortCause::Capacity => &self.ax.ptm.stats.htm_capacity_aborts,
+                    HtmAbortCause::Conflict => &self.ax.ptm.stats.htm_conflict_aborts,
+                    HtmAbortCause::Explicit => &self.ax.ptm.stats.htm_explicit_aborts,
+                });
+                self.ax
+                    .trace(EventKind::HtmAbort, cause as u64, attempt as u64);
                 self.ax.abort_cleanup();
                 let now = self.ax.s.now();
                 self.ax.timer.switch(now, Phase::Backoff);
                 self.ax.s.advance(60u64 << attempt.min(6));
             }
             PtmStats::bump(&self.ax.ptm.stats.htm_fallbacks);
-            self.ax.trace(EventKind::HtmFallback, htm_retries as u64, 0);
+            self.ax.trace(EventKind::HtmFallback, htm_tries as u64, 0);
         }
         self.run_software(f)
     }
@@ -286,6 +351,7 @@ impl TxThread {
             return false;
         }
         let wv = self.ax.ptm.clock.bump();
+        self.ax.commit_wv = wv;
         self.ax.s.advance(self.ax.ptm.config.orec_ns);
         if wv != self.ax.start_time + 2 {
             if let Err(o) = self.ax.validate_reads() {
@@ -311,8 +377,14 @@ impl TxThread {
     /// Hardware-path read: the cache coherence protocol does the conflict
     /// tracking, so no orec time is charged — but a locked or too-new
     /// stripe means a software writer is (or was) active and the hardware
-    /// transaction must abort.
+    /// transaction must abort. The read's line joins the section's
+    /// footprint; overflowing the modeled L1/L2 bound is a capacity
+    /// abort.
     fn htm_read(&mut self, addr: PAddr) -> TxResult<u64> {
+        if !self.ax.s.htm_track_read(addr) {
+            self.ax.htm_abort_cause = Some(HtmAbortCause::Capacity);
+            return Err(Abort);
+        }
         if !self.ax.entries.is_empty() {
             if let Some(i) = self.ax.redo_index.get(addr.0) {
                 return Ok(self.ax.entries[i as usize].1);
@@ -321,88 +393,30 @@ impl TxThread {
         let o = self.ax.ptm.orecs.index_of(addr);
         let v = self.ax.ptm.orecs.load(o);
         if is_locked(v) || v > self.ax.start_time {
+            self.ax.htm_abort_cause = Some(HtmAbortCause::Conflict);
             return Err(Abort);
         }
         Ok(self.ax.s.load(addr))
     }
 
-    /// Hardware-path write: buffered in the (volatile) write set; exceeds
-    /// of the modeled L1-bound capacity abort the hardware transaction.
+    /// Hardware-path write: buffered in the (volatile) write set. The
+    /// capacity bound is the section's *distinct-line* footprint (what a
+    /// real HTM tracks), not the entry count — many words on one line
+    /// cost one footprint line.
     fn htm_write(&mut self, addr: PAddr, val: u64) -> TxResult<()> {
+        if !self.ax.s.htm_track_write(addr) {
+            self.ax.htm_abort_cause = Some(HtmAbortCause::Capacity);
+            return Err(Abort);
+        }
         if let Some(i) = self.ax.redo_index.get(addr.0) {
             self.ax.entries[i as usize].1 = val;
             return Ok(());
-        }
-        if self.ax.entries.len() >= self.ax.ptm.config.htm_capacity {
-            return Err(Abort); // capacity abort
         }
         self.ax.entries.push((addr.0, val));
         self.ax
             .redo_index
             .insert(addr.0, self.ax.entries.len() as u64 - 1);
         Ok(())
-    }
-
-    /// Hardware-path commit: acquire the write-set stripes, then
-    /// atomically validate-and-serialize on the global clock (no other
-    /// transaction may have committed since begin — conservative, like a
-    /// real HTM's read-set tracking at line granularity), then apply.
-    /// No logging and no flushes: under eADR-class domains the stores are
-    /// durable the moment they are cache-visible, which is exactly why
-    /// the paper expects TSX to compose with eADR but not ADR.
-    fn commit_htm(&mut self) -> bool {
-        let ax = &mut self.ax;
-        let now = ax.s.now();
-        ax.timer.switch(now, Phase::Validation);
-        ax.s.advance(ax.ptm.config.htm_commit_ns);
-        if ax.entries.is_empty() {
-            // Read-only: all reads saw orec versions <= start_time and
-            // unlocked stripes; any later committer would have bumped the
-            // clock, which htm_read's version check bounds. Commit.
-            ax.apply_frees();
-            return true;
-        }
-        for i in 0..ax.entries.len() {
-            let addr = PAddr(ax.entries[i].0);
-            let o = ax.ptm.orecs.index_of(addr);
-            if ax.owned_map.get(o as u64).is_some() {
-                continue;
-            }
-            let v = ax.ptm.orecs.load(o);
-            if is_locked(v) || ax.ptm.orecs.try_lock(o, v, ax.tid).is_err() {
-                ax.release_owned_restore();
-                return false;
-            }
-            ax.owned_map.insert(o as u64, ax.owned.len() as u64);
-            ax.owned.push((o, v));
-        }
-        let wv = match ax.ptm.clock.try_advance(ax.start_time) {
-            Ok(wv) => wv,
-            Err(_) => {
-                ax.release_owned_restore();
-                return false;
-            }
-        };
-        // A real hardware transaction's stores become visible (and, under
-        // eADR, durable) atomically at xend; a simulated power failure
-        // must not split the application of the write set — there is no
-        // log to repair a torn hardware commit.
-        ax.s.enter_atomic();
-        let now = ax.s.now();
-        ax.timer.switch(now, Phase::Writeback);
-        for i in 0..ax.entries.len() {
-            let (a, v) = ax.entries[i];
-            ax.s.store(PAddr(a), v);
-        }
-        let now = ax.s.now();
-        ax.timer.switch(now, Phase::Validation);
-        for i in 0..ax.owned.len() {
-            let (o, _) = ax.owned[i];
-            ax.ptm.orecs.release(o, wv);
-        }
-        ax.s.exit_atomic();
-        ax.apply_frees();
-        true
     }
 }
 

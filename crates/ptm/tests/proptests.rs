@@ -137,7 +137,19 @@ proptest! {
                     Ok(())
                 });
             }
-            // Durable (shadow) state, not just cache-visible state.
+            // Durable (shadow) state, not just cache-visible state. For
+            // HtmLogged the home writeback is deliberately unfenced and
+            // durability lives in the sealed back-end ring, so its
+            // durable state is what a crash recovers to.
+            if algo == Algo::HtmLogged {
+                drop(th);
+                let img = m.crash(0);
+                let m2 = Machine::reboot(&img, MachineConfig::functional(DurabilityDomain::Adr));
+                ptm::recover(&m2);
+                return (0..48u64)
+                    .map(|a| m2.pool(base.pool()).raw_load(base.word() + a))
+                    .collect::<Vec<u64>>();
+            }
             (0..48u64)
                 .map(|a| heap.pool().shadow().unwrap().load(base.word() + a))
                 .collect::<Vec<u64>>()
@@ -232,9 +244,10 @@ proptest! {
     /// Cross-algorithm differential test: an identical sequential
     /// workload (random writes, reads, user aborts, arbitrary
     /// transaction boundaries) produces the identical committed heap
-    /// state under redo, undo, and cow shadow, in every durability
-    /// domain. The algorithm seam may change *how* writes become
-    /// durable, never *what* commits.
+    /// state under every registered algorithm (redo, undo, cow shadow,
+    /// htm-logged — the latter on its hardware path), in every
+    /// durability domain. The algorithm seam may change *how* writes
+    /// become durable, never *what* commits.
     #[test]
     fn algorithms_commit_identical_heap_state(
         program in prop::collection::vec(

@@ -8,7 +8,7 @@
 //! rendering lives in the `trace_analyze` binary.
 
 use crate::export::ExpectedTotals;
-use crate::{AbortCause, EventKind, MergedEvent, ThreadTrace};
+use crate::{AbortCause, EventKind, HtmAbortCause, MergedEvent, ThreadTrace};
 
 /// Aggregate totals independently re-derived from trace events alone.
 ///
@@ -21,7 +21,12 @@ pub struct TraceTotals {
     pub aborts: u64,
     pub aborts_by_cause: [u64; AbortCause::COUNT],
     pub htm_commits: u64,
+    /// Hardware commits that went through the `HtmLogged` aliased
+    /// back-end-logging path (`TxCommit` with `b == 2`; also counted in
+    /// `htm_commits`).
+    pub htm_logged_commits: u64,
     pub htm_aborts: u64,
+    pub htm_aborts_by_cause: [u64; HtmAbortCause::COUNT],
     pub htm_fallbacks: u64,
     pub clwbs: u64,
     pub clwb_writebacks: u64,
@@ -45,8 +50,11 @@ impl TraceTotals {
             match ev.kind {
                 EventKind::TxCommit => {
                     t.commits += 1;
-                    if ev.b == 1 {
+                    if ev.b >= 1 {
                         t.htm_commits += 1;
+                    }
+                    if ev.b == 2 {
+                        t.htm_logged_commits += 1;
                     }
                 }
                 EventKind::TxAbort => {
@@ -55,7 +63,12 @@ impl TraceTotals {
                         t.aborts_by_cause[c as usize] += 1;
                     }
                 }
-                EventKind::HtmAbort => t.htm_aborts += 1,
+                EventKind::HtmAbort => {
+                    t.htm_aborts += 1;
+                    if let Some(c) = HtmAbortCause::from_code(ev.a) {
+                        t.htm_aborts_by_cause[c as usize] += 1;
+                    }
+                }
                 EventKind::HtmFallback => t.htm_fallbacks += 1,
                 EventKind::Clwb => {
                     t.clwbs += 1;
@@ -81,6 +94,10 @@ impl TraceTotals {
 
     fn cause(&self, c: AbortCause) -> u64 {
         self.aborts_by_cause[c as usize]
+    }
+
+    fn htm_cause(&self, c: HtmAbortCause) -> u64 {
+        self.htm_aborts_by_cause[c as usize]
     }
 }
 
@@ -115,7 +132,27 @@ pub fn crosscheck(derived: &TraceTotals, expected: &ExpectedTotals) -> Vec<Strin
             expected.aborts_validation,
         ),
         ("htm_commits", derived.htm_commits, expected.htm_commits),
+        (
+            "htm_logged_commits",
+            derived.htm_logged_commits,
+            expected.htm_logged_commits,
+        ),
         ("htm_aborts", derived.htm_aborts, expected.htm_aborts),
+        (
+            "htm_capacity_aborts",
+            derived.htm_cause(HtmAbortCause::Capacity),
+            expected.htm_capacity_aborts,
+        ),
+        (
+            "htm_conflict_aborts",
+            derived.htm_cause(HtmAbortCause::Conflict),
+            expected.htm_conflict_aborts,
+        ),
+        (
+            "htm_explicit_aborts",
+            derived.htm_cause(HtmAbortCause::Explicit),
+            expected.htm_explicit_aborts,
+        ),
         (
             "htm_fallbacks",
             derived.htm_fallbacks,

@@ -26,7 +26,11 @@ pub struct ExpectedTotals {
     pub aborts_acquire: u64,
     pub aborts_validation: u64,
     pub htm_commits: u64,
+    pub htm_logged_commits: u64,
     pub htm_aborts: u64,
+    pub htm_capacity_aborts: u64,
+    pub htm_conflict_aborts: u64,
+    pub htm_explicit_aborts: u64,
     pub htm_fallbacks: u64,
     pub clwbs: u64,
     pub clwb_writebacks: u64,
@@ -40,7 +44,7 @@ pub struct ExpectedTotals {
 
 impl ExpectedTotals {
     /// `(name, value)` pairs in serialization order.
-    pub fn fields(&self) -> [(&'static str, u64); 16] {
+    pub fn fields(&self) -> [(&'static str, u64); 20] {
         [
             ("commits", self.commits),
             ("aborts", self.aborts),
@@ -49,7 +53,11 @@ impl ExpectedTotals {
             ("aborts_acquire", self.aborts_acquire),
             ("aborts_validation", self.aborts_validation),
             ("htm_commits", self.htm_commits),
+            ("htm_logged_commits", self.htm_logged_commits),
             ("htm_aborts", self.htm_aborts),
+            ("htm_capacity_aborts", self.htm_capacity_aborts),
+            ("htm_conflict_aborts", self.htm_conflict_aborts),
+            ("htm_explicit_aborts", self.htm_explicit_aborts),
             ("htm_fallbacks", self.htm_fallbacks),
             ("clwbs", self.clwbs),
             ("clwb_writebacks", self.clwb_writebacks),
@@ -70,15 +78,19 @@ impl ExpectedTotals {
             aborts_acquire: v[4],
             aborts_validation: v[5],
             htm_commits: v[6],
-            htm_aborts: v[7],
-            htm_fallbacks: v[8],
-            clwbs: v[9],
-            clwb_writebacks: v[10],
-            clwb_batches: v[11],
-            sfences: v[12],
-            fence_wait_ns: v[13],
-            wpq_stall_ns: v[14],
-            fence_joins: v[15],
+            htm_logged_commits: v[7],
+            htm_aborts: v[8],
+            htm_capacity_aborts: v[9],
+            htm_conflict_aborts: v[10],
+            htm_explicit_aborts: v[11],
+            htm_fallbacks: v[12],
+            clwbs: v[13],
+            clwb_writebacks: v[14],
+            clwb_batches: v[15],
+            sfences: v[16],
+            fence_wait_ns: v[17],
+            wpq_stall_ns: v[18],
+            fence_joins: v[19],
         }
     }
 }
@@ -184,7 +196,7 @@ pub fn read_binary(buf: &[u8]) -> Result<TraceDump, String> {
         return Err(format!("bad magic {magic:?} (expected {BINARY_MAGIC:?})"));
     }
     let n_counters = r.u32()? as usize;
-    if n_counters != 16 {
+    if n_counters != 20 {
         return Err(format!("unsupported counter-block size {n_counters}"));
     }
     let mut vals = Vec::with_capacity(n_counters);
@@ -406,7 +418,7 @@ mod tests {
         assert!(read_binary(&trailing).is_err(), "trailing bytes");
         // Corrupt an event kind code (first event of thread 0 sits after
         // magic + counter block + thread count + tid/dropped/count + ts).
-        let kind_off = 8 + 4 + 16 * 8 + 4 + (4 + 8 + 8) + 8;
+        let kind_off = 8 + 4 + 20 * 8 + 4 + (4 + 8 + 8) + 8;
         let mut bad_kind = bytes.clone();
         bad_kind[kind_off] = 200;
         assert!(read_binary(&bad_kind).is_err(), "kind code");

@@ -57,12 +57,14 @@ pub enum EventKind {
     /// entries, `b` = commit timestamp.
     TxValidate = 4,
     /// Transaction committed. `a` = write-set size in log entries,
-    /// `b` = 1 if committed on the hardware path, else 0.
+    /// `b` = 0 for software commits, 1 for plain hardware-path commits,
+    /// 2 for `HtmLogged` hardware commits (aliased back-end logging).
     TxCommit = 5,
     /// Transaction attempt aborted. `a` = [`AbortCause`] code,
     /// `b` = the orec that caused it (0 when not orec-attributable).
     TxAbort = 6,
-    /// Hardware-path attempt aborted. `a` = attempt number.
+    /// Hardware-path attempt aborted. `a` = [`HtmAbortCause`] code,
+    /// `b` = attempt number (0-based within this `run` call).
     HtmAbort = 7,
     /// Hardware retries exhausted; falling back to software.
     /// `a` = configured retry budget.
@@ -106,10 +108,16 @@ pub enum EventKind {
     /// 1 = mark, 2 = sweep), `b` = wall-clock duration in ns. Recovery
     /// events are untimed (`ts` 0); the duration rides in `b`.
     GcPhase = 19,
+    /// The simulated hardware section retired (HTM commit succeeded).
+    /// Everything between the attempt's [`EventKind::TxBegin`] and this
+    /// event executed *inside* the section, so no [`EventKind::Clwb`] or
+    /// [`EventKind::Sfence`] may appear in that window. `a` = footprint
+    /// in distinct cache lines, `b` = write-set size in log entries.
+    HtmRetire = 20,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 21;
 
     /// All kinds, in code order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -133,6 +141,7 @@ impl EventKind {
         EventKind::FenceJoin,
         EventKind::RecoveryLog,
         EventKind::GcPhase,
+        EventKind::HtmRetire,
     ];
 
     /// Stable wire/display name.
@@ -158,6 +167,7 @@ impl EventKind {
             EventKind::FenceJoin => "fence_join",
             EventKind::RecoveryLog => "recovery_log",
             EventKind::GcPhase => "gc_phase",
+            EventKind::HtmRetire => "htm_retire",
         }
     }
 
@@ -207,6 +217,43 @@ impl AbortCause {
 
     pub fn from_code(code: u64) -> Option<AbortCause> {
         AbortCause::ALL.get(code as usize).copied()
+    }
+}
+
+/// Why a hardware-path attempt aborted (the `a` word of an
+/// [`EventKind::HtmAbort`] event). Mirrors the per-cause
+/// `htm_*_aborts` counters in `ptm::PtmStats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum HtmAbortCause {
+    /// The section's line footprint exceeded the model's capacity.
+    Capacity = 0,
+    /// A concurrent committer touched a line in the section's footprint
+    /// (coherence conflict), or a read saw a locked/too-new orec.
+    Conflict = 1,
+    /// The policy aborted the section explicitly (e.g. the back-end log
+    /// ring was full and needed a reset outside the section).
+    Explicit = 2,
+}
+
+impl HtmAbortCause {
+    pub const COUNT: usize = 3;
+    pub const ALL: [HtmAbortCause; HtmAbortCause::COUNT] = [
+        HtmAbortCause::Capacity,
+        HtmAbortCause::Conflict,
+        HtmAbortCause::Explicit,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            HtmAbortCause::Capacity => "capacity",
+            HtmAbortCause::Conflict => "conflict",
+            HtmAbortCause::Explicit => "explicit",
+        }
+    }
+
+    pub fn from_code(code: u64) -> Option<HtmAbortCause> {
+        HtmAbortCause::ALL.get(code as usize).copied()
     }
 }
 
@@ -608,5 +655,9 @@ mod tests {
             assert_eq!(AbortCause::from_code(i as u64), Some(*c));
         }
         assert_eq!(AbortCause::from_code(AbortCause::COUNT as u64), None);
+        for (i, c) in HtmAbortCause::ALL.iter().enumerate() {
+            assert_eq!(HtmAbortCause::from_code(i as u64), Some(*c));
+        }
+        assert_eq!(HtmAbortCause::from_code(HtmAbortCause::COUNT as u64), None);
     }
 }

@@ -216,6 +216,7 @@ pub fn run_scenario<W: Workload>(w: &mut W, sc: &Scenario, rc: &RunConfig) -> Ru
         model: rc.model.clone(),
         track_persistence: false,
         window_ns: rc.window_ns,
+        ..MachineConfig::default()
     });
     let heap = PHeap::format_with_media(&machine, "heap", w.heap_words(), 16, sc.heap_media);
     let ptm = Ptm::new(PtmConfig {
@@ -400,6 +401,7 @@ mod tests {
                 model: LatencyModel::default(),
                 track_persistence: false,
                 window_ns: u64::MAX,
+                ..MachineConfig::default()
             });
             let heap =
                 PHeap::format_with_media(&machine, "heap", w.heap_words(), 16, MediaKind::Optane);

@@ -209,6 +209,7 @@ fn machine_config(rc: &ShardedRunConfig) -> MachineConfig {
         model: rc.model.clone(),
         track_persistence: false,
         window_ns: rc.window_ns,
+        ..MachineConfig::default()
     }
 }
 

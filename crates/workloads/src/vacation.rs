@@ -284,6 +284,7 @@ mod tests {
             model: rc.model.clone(),
             track_persistence: false,
             window_ns: rc.window_ns,
+            ..pmem_sim::MachineConfig::default()
         });
         let heap = palloc::PHeap::format(&machine, "heap", w.heap_words(), 16);
         let ptm = ptm::Ptm::new(ptm::PtmConfig {

@@ -6,7 +6,7 @@ use optane_ptm::pmem_sim::{DurabilityDomain, MediaKind};
 use optane_ptm::ptm::Algo;
 use optane_ptm::trace::analyze::{crosscheck, TraceTotals};
 use optane_ptm::trace::export::{read_binary, write_binary, ExpectedTotals};
-use optane_ptm::trace::TraceSink;
+use optane_ptm::trace::{EventKind, TraceSink};
 use optane_ptm::workloads::driver::{run_scenario, RunConfig, RunResult, Scenario};
 use optane_ptm::workloads::{IndexKind, Tatp, Tpcc, Vacation, VacationCfg};
 use proptest::prelude::*;
@@ -21,7 +21,11 @@ fn expected_of(r: &RunResult) -> ExpectedTotals {
         aborts_acquire: r.ptm.aborts_acquire,
         aborts_validation: r.ptm.aborts_validation,
         htm_commits: r.ptm.htm_commits,
+        htm_logged_commits: r.ptm.htm_logged_commits,
         htm_aborts: r.ptm.htm_aborts,
+        htm_capacity_aborts: r.ptm.htm_capacity_aborts,
+        htm_conflict_aborts: r.ptm.htm_conflict_aborts,
+        htm_explicit_aborts: r.ptm.htm_explicit_aborts,
         htm_fallbacks: r.ptm.htm_fallbacks,
         clwbs: r.mem.clwbs,
         clwb_writebacks: r.mem.clwb_writebacks,
@@ -96,6 +100,51 @@ fn merged_timeline_is_nondecreasing_across_threads() {
             w[1].ts
         );
     }
+}
+
+#[test]
+fn htm_sections_retire_with_zero_persistence_events() {
+    // `Algo::HtmLogged`'s defining contract under ADR: everything between
+    // an attempt's `TxBegin` and its `HtmRetire` ran inside the hardware
+    // section, and a `clwb` or `sfence` there would have aborted it on
+    // real silicon. The per-thread event streams are program-ordered, so
+    // the window check is a linear scan.
+    let (sink, r) = traced_run(0, 2, 300, Algo::HtmLogged, DurabilityDomain::Adr);
+    assert!(
+        r.ptm.htm_logged_commits > 0,
+        "tatp under ADR must commit on the logged hardware path"
+    );
+    assert_eq!(sink.dropped_events(), 0);
+    let mut retires = 0u64;
+    for th in sink.threads() {
+        let mut persists_since_begin = 0u64;
+        let mut saw_begin = false;
+        for e in &th.events {
+            match e.kind {
+                EventKind::TxBegin => {
+                    persists_since_begin = 0;
+                    saw_begin = true;
+                }
+                EventKind::Clwb | EventKind::ClwbBatch | EventKind::Sfence => {
+                    persists_since_begin += 1;
+                }
+                EventKind::HtmRetire => {
+                    assert!(saw_begin, "HtmRetire without a TxBegin");
+                    assert_eq!(
+                        persists_since_begin, 0,
+                        "clwb/sfence retired inside an HTM section (tid {})",
+                        th.tid
+                    );
+                    retires += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(
+        retires, r.ptm.htm_commits,
+        "every hardware commit must be marked by exactly one HtmRetire"
+    );
 }
 
 proptest! {
