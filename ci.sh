@@ -93,4 +93,25 @@ cargo run -q --release -p bench --bin trace_analyze -- --file "$TRACE_TMP/smoke.
 # And the live self-run cross-check (4-thread tpcc-hash under ADR).
 cargo run -q --release -p bench --bin trace_analyze -- --quick > /dev/null
 
+echo "=== obs_report smoke (ADR series + eADR domain sanity) ==="
+# Continuous-telemetry report on the sharded open-loop run. The binary's
+# built-in checks exit nonzero if (a) the span decomposition fails to
+# close against the driver's measured sojourn total within 1%, (b) the
+# replayed run produces a different series (determinism), or (c) the
+# series contradicts the domain: ADR must show fence + WPQ activity,
+# eADR must show zero fence and zero WPQ sample rows.
+cargo run -q --release -p bench --bin obs_report -- --quick --verify > /dev/null
+cargo run -q --release -p bench --bin obs_report -- --quick --domain eadr > /dev/null
+
+echo "=== obs overhead ablation (sampler off = inert, on <= 2%) ==="
+# Sampling disabled must be bit-identical run to run; armed must not
+# perturb 1-thread virtual time at all and stay within 2% at 4 threads.
+cargo run -q --release -p bench --bin ablation_obs_overhead -- --quick > /dev/null
+
+echo "=== bench_trend smoke ==="
+# Diff consecutive results/BENCH_PR<N>.json archives. --quick tolerates
+# an empty or single-archive history (fresh checkout) but still fails on
+# unreadable/unparseable archives.
+cargo run -q --release -p bench --bin bench_trend -- --quick > /dev/null
+
 echo CI_OK

@@ -1,0 +1,182 @@
+//! bench_trend — regression guard over archived bench results (PR9).
+//!
+//! Discovers `results/BENCH_PR<N>.json` archives (one JSONL file per
+//! PR, produced by `run_benches.sh`), parses every line's identity
+//! (workload, scenario, population) and headline metrics (throughput,
+//! p99), and diffs each consecutive archive pair. A point regresses
+//! when its throughput drops beyond the throughput tolerance (default
+//! 10% — virtual-time results are deterministic, so the tolerance
+//! absorbs intentional model retuning, not noise), or its p99 rises
+//! beyond the p99 tolerance (default 60%: archived percentiles are
+//! power-bucketed with 33–50% bucket steps, so anything under one
+//! bucket is quantization).
+//!
+//! Archives from PR ≤ 8 predate `schema_version` stamping and parse as
+//! version 1; lines stamped with a *newer* schema than this binary
+//! understands are skipped and counted, never misread.
+//!
+//! Exit is nonzero when the newest pair has regressions, unless
+//! `--quick` (CI smoke: history may be empty or single-archive — both
+//! are OK; regressions are still printed but only parse failures fail).
+//!
+//! Flags: `--quick --json --dir PATH --tolerance PCT --p99-tolerance PCT`.
+
+use std::path::PathBuf;
+
+use obs::trend::{self, Tolerance, TrendReport};
+
+struct Opts {
+    quick: bool,
+    json: bool,
+    dir: PathBuf,
+    tol: Tolerance,
+}
+
+fn parse_opts() -> Opts {
+    let mut quick = false;
+    let mut json = false;
+    let mut dir = PathBuf::from("results");
+    let mut tol = Tolerance::default();
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--dir" => dir = PathBuf::from(next(&mut args, "--dir")),
+            "--tolerance" => {
+                tol.throughput = next(&mut args, "--tolerance")
+                    .parse::<f64>()
+                    .expect("bad tolerance")
+                    / 100.0;
+            }
+            "--p99-tolerance" => {
+                tol.p99 = next(&mut args, "--p99-tolerance")
+                    .parse::<f64>()
+                    .expect("bad tolerance")
+                    / 100.0;
+            }
+            other => panic!(
+                "unknown flag `{other}` (known: --quick --json --dir --tolerance \
+                 --p99-tolerance)"
+            ),
+        }
+    }
+    Opts {
+        quick,
+        json,
+        dir,
+        tol,
+    }
+}
+
+fn emit_pair(o: &Opts, prev_n: u64, next_n: u64, rep: &TrendReport) {
+    if o.json {
+        print!(
+            "{{\"schema_version\":{},\"kind\":\"bench_trend\",\"prev\":\"PR{prev_n}\",\
+             \"next\":\"PR{next_n}\",\"common\":{},\"added\":{},\"removed\":{},\
+             \"regressions\":{},\"deltas\":[",
+            obs::export::SCHEMA_VERSION,
+            rep.common,
+            rep.added,
+            rep.removed,
+            rep.regressions
+        );
+        for (i, d) in rep.deltas.iter().filter(|d| d.regressed).enumerate() {
+            if i > 0 {
+                print!(",");
+            }
+            print!(
+                "{{\"key\":\"{}\",\"metric\":\"{}\",\"prev\":{:.4},\"next\":{:.4},\
+                 \"pct\":{:.2}}}",
+                d.key, d.metric, d.prev, d.next, d.pct
+            );
+        }
+        println!("]}}");
+        return;
+    }
+    println!(
+        "BENCH_PR{prev_n} -> BENCH_PR{next_n}: {} common points, {} added, {} removed, \
+         {} regression(s) beyond {:.0}% throughput / {:.0}% p99",
+        rep.common,
+        rep.added,
+        rep.removed,
+        rep.regressions,
+        o.tol.throughput * 100.0,
+        o.tol.p99 * 100.0
+    );
+    // Largest movers first, regressions always included.
+    let mut deltas: Vec<_> = rep.deltas.iter().collect();
+    deltas.sort_by(|a, b| b.pct.abs().total_cmp(&a.pct.abs()));
+    for d in deltas
+        .iter()
+        .enumerate()
+        .filter(|(i, d)| d.regressed || *i < 5)
+        .map(|(_, d)| d)
+    {
+        println!(
+            "  {} {} {:.4} -> {:.4} ({:+.2}%){}",
+            if d.regressed { "REGRESSED" } else { "moved" },
+            format_args!("{} [{}]", d.key, d.metric),
+            d.prev,
+            d.next,
+            d.pct,
+            if d.regressed { " !!" } else { "" }
+        );
+    }
+}
+
+fn main() {
+    let o = parse_opts();
+    let archives = trend::discover_archives(&o.dir);
+    if archives.len() < 2 {
+        let msg = format!(
+            "bench_trend: {} archive(s) under {} — need 2 to diff",
+            archives.len(),
+            o.dir.display()
+        );
+        if o.quick {
+            println!("{msg} (ok under --quick)");
+            return;
+        }
+        eprintln!("{msg}");
+        std::process::exit(1);
+    }
+
+    let mut parsed = Vec::new();
+    for (n, path) in &archives {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let (points, skipped) = trend::parse_archive(&text);
+        if points.is_empty() {
+            eprintln!(
+                "bench_trend: {} parsed to zero points ({skipped} skipped lines)",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        parsed.push((*n, points, skipped));
+    }
+
+    let mut newest_regressions = 0usize;
+    for pair in parsed.windows(2) {
+        let (prev_n, prev, _) = &pair[0];
+        let (next_n, next, _) = &pair[1];
+        let rep = trend::diff(prev, next, o.tol);
+        emit_pair(&o, *prev_n, *next_n, &rep);
+        newest_regressions = rep.regressions;
+    }
+
+    if newest_regressions > 0 && !o.quick {
+        eprintln!(
+            "bench_trend: {newest_regressions} regression(s) in the newest archive pair \
+             beyond tolerance ({:.0}% throughput / {:.0}% p99)",
+            o.tol.throughput * 100.0,
+            o.tol.p99 * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,402 @@
+//! obs_report — continuous-telemetry report for the sharded open-loop
+//! front-end: WPQ/abort-mix time series plus a tail-latency
+//! critical-path decomposition (PR9 tentpole).
+//!
+//! Runs the sharded KV workload (8 shards x 1 worker by default — one
+//! worker per shard keeps request claiming, and hence the whole trace,
+//! deterministic) with a per-shard [`obs::Sampler`] and
+//! [`trace::TraceSink`] armed for the measured phase. From the samplers
+//! it renders the merged time series (virtual-time windows x shards);
+//! from the trace it reconstructs per-request span trees and prints the
+//! exact p50/p95/p99 sojourn decomposition (queue wait, execution,
+//! commit, flush, fence wait, WPQ stall, backoff, rollback).
+//!
+//! Always-on validation (nonzero exit on failure):
+//!
+//! * **coverage** — one reconstructed span per completed request, no
+//!   trace-ring loss;
+//! * **1% closure** — the sum of span components equals the driver's
+//!   independently-recorded sojourn total (`LatencyHistogram::sum()`,
+//!   which is exact, unlike its bucketed percentiles) within 1%;
+//! * **domain sanity** — under `--domain eadr` the series must contain
+//!   zero fence-activity and zero WPQ-activity rows (eADR has no flush
+//!   fences and no WPQ); under ADR both must be present.
+//!
+//! `--verify` replays the identical configuration and asserts the
+//! exported series and decomposition are byte-identical (virtual-time
+//! determinism of the telemetry pipeline).
+//!
+//! Flags: `--quick --json --domain adr|eadr --shards N`
+//! `--threads-per-shard N --ops N --period NS --gap NS --seed S`
+//! `--out PREFIX --verify`.
+
+use std::sync::Arc;
+
+use obs::series::{self, SeriesSummary, ShardRow};
+use obs::spans::{self, Comp, Decomposition};
+use obs::{export, Sampler};
+use pmem_sim::DurabilityDomain;
+use trace::TraceSink;
+use workloads::{ShardedRunConfig, ShardedRunResult, StreamConfig};
+
+struct Opts {
+    json: bool,
+    domain: DurabilityDomain,
+    shards: usize,
+    threads_per_shard: usize,
+    ops: u64,
+    period_ns: u64,
+    gap_ns: u64,
+    seed: u64,
+    out: Option<String>,
+    verify: bool,
+}
+
+fn parse_opts() -> Opts {
+    let mut quick = false;
+    let mut json = false;
+    let mut domain = DurabilityDomain::Adr;
+    let mut shards = 8usize;
+    let mut threads_per_shard = 1usize;
+    let mut ops: Option<u64> = None;
+    let mut period_ns = obs::DEFAULT_PERIOD_NS;
+    let mut gap_ns = 100u64;
+    let mut seed = 42u64;
+    let mut out = None;
+    let mut verify = false;
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--domain" => {
+                domain = match next(&mut args, "--domain").as_str() {
+                    "adr" => DurabilityDomain::Adr,
+                    "eadr" => DurabilityDomain::Eadr,
+                    other => panic!("unknown domain `{other}` (adr|eadr)"),
+                };
+            }
+            "--shards" => shards = next(&mut args, "--shards").parse().expect("bad shards"),
+            "--threads-per-shard" => {
+                threads_per_shard = next(&mut args, "--threads-per-shard")
+                    .parse()
+                    .expect("bad thread count");
+            }
+            "--ops" => ops = Some(next(&mut args, "--ops").parse().expect("bad op count")),
+            "--period" => period_ns = next(&mut args, "--period").parse().expect("bad period"),
+            "--gap" => gap_ns = next(&mut args, "--gap").parse().expect("bad gap"),
+            "--seed" => seed = next(&mut args, "--seed").parse().expect("bad seed"),
+            "--out" => out = Some(next(&mut args, "--out")),
+            "--verify" => verify = true,
+            other => panic!(
+                "unknown flag `{other}` (known: --quick --json --domain --shards \
+                 --threads-per-shard --ops --period --gap --seed --out --verify)"
+            ),
+        }
+    }
+    Opts {
+        json,
+        domain,
+        shards,
+        threads_per_shard,
+        ops: ops.unwrap_or(if quick { 800 } else { 4_000 }),
+        period_ns,
+        gap_ns,
+        seed,
+        out,
+        verify,
+    }
+}
+
+struct Report {
+    rows: Vec<ShardRow>,
+    summary: SeriesSummary,
+    op_spans: Vec<spans::OpSpan>,
+    decomp: Decomposition,
+    result: ShardedRunResult,
+    trace_dropped: u64,
+    sample_dropped: u64,
+}
+
+fn run(o: &Opts) -> Report {
+    let mut rc = ShardedRunConfig {
+        shards: o.shards,
+        threads_per_shard: o.threads_per_shard,
+        domain: o.domain,
+        ..ShardedRunConfig::default()
+    };
+    rc.stream = StreamConfig {
+        total_ops: o.ops,
+        mean_gap_ns: o.gap_ns,
+        seed: o.seed,
+        ..StreamConfig::default()
+    };
+    // Size trace rings so the hottest shard keeps every event (the 1%
+    // closure check below requires zero ring loss).
+    let ring_cap = ((o.ops * 256 / o.shards as u64).max(1 << 12)).next_power_of_two() as usize;
+    rc.trace = (0..o.shards)
+        .map(|i| TraceSink::new_for_shard(ring_cap, i as u32))
+        .collect();
+    rc.obs = (0..o.shards)
+        .map(|i| {
+            Arc::new(Sampler::new_for_shard(
+                o.period_ns,
+                obs::DEFAULT_RING_CAPACITY,
+                i,
+            ))
+        })
+        .collect();
+
+    let result = workloads::run_sharded_kv(&rc);
+
+    let samplers: Vec<&Sampler> = rc.obs.iter().map(|s| s.as_ref()).collect();
+    let rows = series::aggregate(&samplers);
+    let summary = SeriesSummary::from_rows(&rows);
+    let sample_dropped: u64 = samplers.iter().map(|s| s.dropped_samples()).sum();
+
+    let mut threads = Vec::new();
+    let mut trace_dropped = 0u64;
+    for sink in &rc.trace {
+        for t in sink.threads() {
+            trace_dropped += t.dropped;
+            threads.push(t);
+        }
+    }
+    let (op_spans, dropped_events) = spans::reconstruct(&threads);
+    let decomp = spans::decompose(&op_spans, dropped_events, &[50.0, 95.0, 99.0]);
+
+    Report {
+        rows,
+        summary,
+        op_spans,
+        decomp,
+        result,
+        trace_dropped,
+        sample_dropped,
+    }
+}
+
+/// Canonical exported form of a report — what `--verify` compares
+/// byte-for-byte across two identically-configured runs.
+fn export_text(rep: &Report) -> String {
+    let mut out = String::new();
+    for row in &rep.rows {
+        out.push_str(&export::series_row_json(row));
+        out.push('\n');
+    }
+    out.push_str(&export::decomposition_json("sharded-kv", &rep.decomp));
+    out.push('\n');
+    out
+}
+
+/// Pick up to `n` evenly spaced windows for the text timeline.
+fn timeline(rows: &[ShardRow], n: usize) -> Vec<(u64, u64, u64, u64, u64)> {
+    let mut windows: Vec<u64> = rows.iter().map(|r| r.ts).collect();
+    windows.dedup();
+    let stride = windows.len().div_ceil(n).max(1);
+    windows
+        .iter()
+        .step_by(stride)
+        .map(|&ts| {
+            let mut commits = 0u64;
+            let mut aborts = 0u64;
+            let mut backlog_hw = 0u64;
+            let mut stall_ns = 0u64;
+            for r in rows.iter().filter(|r| r.ts == ts) {
+                commits += r.g.commits;
+                aborts += r.g.aborts_total();
+                backlog_hw = backlog_hw.max(r.g.wpq_backlog_hw_ns);
+                stall_ns += r.g.wpq_stall_ns;
+            }
+            (ts, commits, aborts, backlog_hw, stall_ns)
+        })
+        .collect()
+}
+
+fn main() {
+    let o = parse_opts();
+    let rep = run(&o);
+    let mut failures: Vec<String> = Vec::new();
+
+    // Coverage: every completed request reconstructed, no ring loss.
+    let hist_count = rep.result.sojourn.count();
+    let span_count = rep.op_spans.len() as u64;
+    if rep.trace_dropped > 0 {
+        failures.push(format!(
+            "trace rings dropped {} events; span totals would be lower bounds",
+            rep.trace_dropped
+        ));
+    }
+    if span_count != hist_count {
+        failures.push(format!(
+            "reconstructed {span_count} spans but the driver completed {hist_count} requests"
+        ));
+    }
+
+    // 1% closure: span components vs the driver's exact sojourn sum.
+    let span_total: u64 = rep.op_spans.iter().map(|s| s.total_ns()).sum();
+    let hist_total = rep.result.sojourn.sum();
+    let closure_pct = if hist_total == 0 {
+        0.0
+    } else {
+        100.0 * (span_total as f64 - hist_total as f64).abs() / hist_total as f64
+    };
+    if closure_pct > 1.0 {
+        failures.push(format!(
+            "span components sum to {span_total} ns vs measured sojourn total \
+             {hist_total} ns ({closure_pct:.3}% > 1%)"
+        ));
+    }
+
+    // Domain sanity on the series.
+    match o.domain {
+        DurabilityDomain::Eadr => {
+            if rep.summary.fence_rows != 0 || rep.summary.wpq_rows != 0 {
+                failures.push(format!(
+                    "eADR series shows fence/WPQ activity: {} fence rows, {} WPQ rows",
+                    rep.summary.fence_rows, rep.summary.wpq_rows
+                ));
+            }
+        }
+        _ => {
+            if rep.summary.fence_rows == 0 || rep.summary.wpq_rows == 0 {
+                failures.push(format!(
+                    "ADR series missing expected activity: {} fence rows, {} WPQ rows",
+                    rep.summary.fence_rows, rep.summary.wpq_rows
+                ));
+            }
+        }
+    }
+
+    if o.verify {
+        let rep2 = run(&o);
+        if export_text(&rep) != export_text(&rep2) {
+            failures.push("replay produced a different series/decomposition".to_string());
+        }
+    }
+
+    if let Some(prefix) = &o.out {
+        let mut csv = export::series_csv_header();
+        csv.push('\n');
+        for row in &rep.rows {
+            csv.push_str(&export::series_row_csv(row));
+            csv.push('\n');
+        }
+        std::fs::write(format!("{prefix}.series.csv"), csv).expect("write csv");
+        std::fs::write(format!("{prefix}.series.jsonl"), export_text(&rep)).expect("write jsonl");
+    }
+
+    if o.json {
+        print!("{}", export_text(&rep));
+        println!(
+            "{{\"schema_version\":{},\"kind\":\"obs_validation\",\"domain\":\"{:?}\",\
+             \"shards\":{},\"threads_per_shard\":{},\"ops\":{},\"spans\":{span_count},\
+             \"requests\":{hist_count},\"span_total_ns\":{span_total},\
+             \"sojourn_total_ns\":{hist_total},\"closure_pct\":{closure_pct:.4},\
+             \"fence_rows\":{},\"wpq_rows\":{},\"series_rows\":{},\"windows\":{},\
+             \"trace_dropped\":{},\"sample_dropped\":{},\"verified_deterministic\":{},\
+             \"ok\":{}}}",
+            export::SCHEMA_VERSION,
+            o.domain,
+            o.shards,
+            o.threads_per_shard,
+            o.ops,
+            rep.summary.fence_rows,
+            rep.summary.wpq_rows,
+            rep.rows.len(),
+            rep.summary.windows,
+            rep.trace_dropped,
+            rep.sample_dropped,
+            o.verify,
+            failures.is_empty()
+        );
+    } else {
+        println!(
+            "# obs_report: sharded-kv {}x{} {:?} period={}ns ops={}",
+            o.shards, o.threads_per_shard, o.domain, o.period_ns, o.ops
+        );
+        let s = &rep.summary;
+        println!(
+            "series: rows={} windows={} shards={} span=[{}..{}]ns \
+             fence_rows={} wpq_rows={} peak_window_commits={} sample_dropped={}",
+            rep.rows.len(),
+            s.windows,
+            s.shards,
+            s.first_ts,
+            s.last_ts,
+            s.fence_rows,
+            s.wpq_rows,
+            s.peak_window_commits,
+            rep.sample_dropped
+        );
+        let t = &s.totals;
+        println!(
+            "totals: commits={} aborts={} sfences={} fence_wait_ns={} fence_joins={} \
+             clwbs={} wpq_accepts={} wpq_stalls={} wpq_stall_ns={} backoffs={} \
+             queue_waits={} queue_wait_ns={}",
+            t.commits,
+            t.aborts_total(),
+            t.sfences,
+            t.fence_wait_ns,
+            t.fence_joins,
+            t.clwbs,
+            t.wpq_accepts,
+            t.wpq_stalls,
+            t.wpq_stall_ns,
+            t.backoffs,
+            t.queue_waits,
+            t.queue_wait_ns
+        );
+
+        println!("## timeline (window_ts_ns, commits, aborts, wpq_backlog_hw_ns, wpq_stall_ns)");
+        for (ts, commits, aborts, hw, stall) in timeline(&rep.rows, 16) {
+            println!("{ts},{commits},{aborts},{hw},{stall}");
+        }
+
+        println!("## sojourn decomposition (ns)");
+        print!("cohort,count,threshold_ns,mean_total");
+        for c in Comp::ALL {
+            print!(",{}", c.label());
+        }
+        println!();
+        print!(
+            "all,{},,{:.0}",
+            rep.decomp.mean.count, rep.decomp.mean.mean_total_ns
+        );
+        for c in Comp::ALL {
+            print!(",{:.0}", rep.decomp.mean.mean_comp_ns[c as usize]);
+        }
+        println!();
+        for tail in &rep.decomp.tails {
+            print!(
+                "p{:.0},{},{},{:.0}",
+                tail.pct, tail.cohort.count, tail.threshold_ns, tail.cohort.mean_total_ns
+            );
+            for c in Comp::ALL {
+                print!(",{:.0}", tail.cohort.mean_comp_ns[c as usize]);
+            }
+            println!();
+        }
+
+        println!(
+            "## validation: spans={span_count} requests={hist_count} \
+             span_total={span_total}ns sojourn_total={hist_total}ns closure={closure_pct:.3}%{}",
+            if o.verify {
+                " replay=deterministic"
+            } else {
+                ""
+            }
+        );
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("obs_report: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

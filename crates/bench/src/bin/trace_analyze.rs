@@ -37,6 +37,9 @@ struct Opts {
     file: Option<String>,
     threads: usize,
     ops: u64,
+    /// Treat ring-overwrite loss as a failure: any dropped events exit
+    /// nonzero instead of silently downgrading totals to lower bounds.
+    strict: bool,
 }
 
 fn parse_args() -> Opts {
@@ -46,6 +49,7 @@ fn parse_args() -> Opts {
         file: None,
         threads: 4,
         ops: 1_500,
+        strict: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,6 +59,7 @@ fn parse_args() -> Opts {
                 o.ops = 300;
             }
             "--json" => o.json = true,
+            "--strict" => o.strict = true,
             "--file" => o.file = Some(args.next().expect("--file needs a dump path")),
             "--threads" => {
                 o.threads = args
@@ -71,7 +76,10 @@ fn parse_args() -> Opts {
                     .expect("bad op count");
             }
             other => {
-                panic!("unknown flag `{other}` (known: --quick --threads --ops --json --file)")
+                panic!(
+                    "unknown flag `{other}` \
+                     (known: --quick --threads --ops --json --file --strict)"
+                )
             }
         }
     }
@@ -170,11 +178,27 @@ fn print_text(a: &Analysis, heat: &[trace::analyze::OrecAborts], wpq: &WpqTimeli
         a.threads.len(),
         a.dropped
     );
+    if a.dropped > 0 {
+        // Ring-overwrite loss is a first-class signal: name the lossy
+        // threads so the operator can resize their rings.
+        println!("\n## ring loss (per thread)");
+        for t in a.threads.iter().filter(|t| t.dropped > 0) {
+            let kept = t.events.len() as u64;
+            println!(
+                "tid={} dropped={} kept={} loss={:.1}%",
+                t.tid,
+                t.dropped,
+                kept,
+                100.0 * t.dropped as f64 / (t.dropped + kept).max(1) as f64
+            );
+        }
+    }
 
     println!("\n## counter cross-check (trace-derived vs live counters)");
     if a.dropped > 0 {
         println!(
-            "SKIPPED: {} events dropped (ring overflow) — totals are lower bounds",
+            "SKIPPED: {} events dropped (ring overflow) — all derived totals, \
+             heatmaps and timelines below are LOWER BOUNDS over a suffix of the run",
             a.dropped
         );
     } else if a.divergences.is_empty() {
@@ -194,8 +218,9 @@ fn print_text(a: &Analysis, heat: &[trace::analyze::OrecAborts], wpq: &WpqTimeli
         }
     }
 
+    let bound = if a.dropped > 0 { " [lower bound]" } else { "" };
     println!(
-        "\n## orec abort heatmap (top-{}, cause breakdown)",
+        "\n## orec abort heatmap (top-{}, cause breakdown){bound}",
         heat.len()
     );
     println!("orec,total,read_locked,read_version,acquire,validation");
@@ -214,7 +239,7 @@ fn print_text(a: &Analysis, heat: &[trace::analyze::OrecAborts], wpq: &WpqTimeli
         println!("(no orec-attributable aborts)");
     }
 
-    println!("\n## WPQ occupancy timeline");
+    println!("\n## WPQ occupancy timeline{bound}");
     println!(
         "samples={} max_backlog_ns={} total_stall_ns={} stall_intervals={}",
         wpq.samples.len(),
@@ -234,7 +259,7 @@ fn print_text(a: &Analysis, heat: &[trace::analyze::OrecAborts], wpq: &WpqTimeli
     }
 
     let windows = fence_windows(&a.threads);
-    println!("\n## fence windows");
+    println!("\n## fence windows{bound}");
     if windows.is_empty() {
         println!("windows=0 (no sfence events — eADR or untraced run)");
     } else {
@@ -255,12 +280,27 @@ fn print_json(a: &Analysis, heat: &[trace::analyze::OrecAborts], wpq: &WpqTimeli
     let windows = fence_windows(&a.threads);
     let mut out = String::with_capacity(1024);
     out.push('{');
+    out.push_str(&format!(
+        "\"schema_version\":{},",
+        bench::report::SCHEMA_VERSION
+    ));
     out.push_str(&format!("\"mode\":{:?}", a.mode));
     out.push_str(&format!(
-        ",\"events\":{events},\"threads\":{},\"dropped_events\":{}",
+        ",\"events\":{events},\"threads\":{},\"dropped_events\":{},\"lower_bounds\":{}",
         a.threads.len(),
-        a.dropped
+        a.dropped,
+        a.dropped > 0
     ));
+    out.push_str(",\"dropped_per_thread\":[");
+    let mut first = true;
+    for t in a.threads.iter().filter(|t| t.dropped > 0) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{{\"tid\":{},\"dropped\":{}}}", t.tid, t.dropped));
+    }
+    out.push(']');
     out.push_str(&format!(
         ",\"crosscheck\":{{\"checked\":{},\"divergences\":[",
         a.dropped == 0
@@ -336,6 +376,13 @@ fn main() -> ExitCode {
     let json_bad = matches!(&a.json_check, Some(Err(_)));
     if !a.divergences.is_empty() || json_bad {
         eprintln!("trace_analyze: FAILED (divergences or invalid chrome JSON)");
+        return ExitCode::FAILURE;
+    }
+    if o.strict && a.dropped > 0 {
+        eprintln!(
+            "trace_analyze: FAILED (--strict: {} events dropped by ring overwrite)",
+            a.dropped
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -8,6 +8,12 @@
 use ptm::Phase;
 use workloads::driver::RunResult;
 
+/// The report schema version stamped on every JSONL line (shared with
+/// the `obs` exports — see `obs::export::SCHEMA_VERSION`). Version 2
+/// introduced the stamp itself; unversioned lines are the PR 1-8
+/// archives (version 1).
+pub use obs::export::SCHEMA_VERSION;
+
 /// Append a JSON-escaped string literal (with quotes).
 fn push_str_lit(out: &mut String, s: &str) {
     out.push('"');
@@ -62,6 +68,7 @@ pub fn point_json(workload: &str, r: &RunResult) -> String {
     let mut out = String::with_capacity(1024);
     let mut first = true;
     out.push('{');
+    out.push_str(&format!("\"schema_version\":{SCHEMA_VERSION},"));
 
     if !first {
         out.push(',');
@@ -274,6 +281,7 @@ pub fn sharded_point_json(workload: &str, r: &workloads::ShardedRunResult) -> St
     let mut out = String::with_capacity(1024);
     let mut first = false;
     out.push('{');
+    out.push_str(&format!("\"schema_version\":{SCHEMA_VERSION},"));
     push_str_lit(&mut out, "workload");
     out.push(':');
     push_str_lit(&mut out, workload);
@@ -395,6 +403,7 @@ pub fn restart_point_json(
     let mut out = String::with_capacity(512);
     let mut first = false;
     out.push('{');
+    out.push_str(&format!("\"schema_version\":{SCHEMA_VERSION},"));
     push_str_lit(&mut out, "workload");
     out.push(':');
     push_str_lit(&mut out, "restart");
@@ -560,6 +569,10 @@ mod tests {
         // Structural sanity without a JSON parser: balanced delimiters,
         // escaped quotes in the scenario label, the expected keys.
         assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(
+            j.starts_with("{\"schema_version\":2,"),
+            "schema_version must lead every line: {j}"
+        );
         let depth_ok = {
             let mut depth = 0i64;
             let mut in_str = false;
@@ -644,6 +657,7 @@ mod tests {
         };
         let r = workloads::run_sharded_kv(&rc);
         let j = sharded_point_json("sharded-kv", &r);
+        assert!(j.starts_with("{\"schema_version\":2,"), "unversioned: {j}");
         for key in [
             "\"shards\"",
             "\"threads_per_shard\"",
@@ -691,6 +705,7 @@ mod tests {
         );
 
         let j = restart_point_json("redo/adr", 1 << 12, 1, 2, &reports);
+        assert!(j.starts_with("{\"schema_version\":2,"), "unversioned: {j}");
         // The restart counters are part of the published schema:
         // EXPERIMENTS.md tables and the ci.sh quick guard key on them.
         for key in [

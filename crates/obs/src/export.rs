@@ -1,0 +1,241 @@
+//! JSONL + CSV export of sampled series and span decompositions,
+//! next to the bench `--json` schema (hand-rolled writers — the build
+//! environment has no serde).
+
+use crate::series::ShardRow;
+use crate::spans::{Comp, Decomposition, COMP_COUNT};
+use trace::{AbortCause, HtmAbortCause};
+
+/// Version stamped into every JSONL line this workspace emits
+/// (`obs` series/decomposition rows and the bench report schemas).
+/// Bump when a consumer-visible key changes meaning or disappears;
+/// `bench_trend` and `obs_report` refuse lines from a newer version
+/// instead of misparsing them.
+pub const SCHEMA_VERSION: u32 = 2;
+
+fn push_kv_u64(out: &mut String, key: &str, v: u64) {
+    out.push_str(&format!("\"{key}\":{v}"));
+}
+
+fn push_kv_f64(out: &mut String, key: &str, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("\"{key}\":{v:.4}"));
+    } else {
+        out.push_str(&format!("\"{key}\":null"));
+    }
+}
+
+/// One series row as a JSON line.
+pub fn series_row_json(r: &ShardRow) -> String {
+    let mut o = String::with_capacity(512);
+    o.push('{');
+    push_kv_u64(&mut o, "schema_version", SCHEMA_VERSION as u64);
+    o.push_str(",\"kind\":\"obs_series\",");
+    push_kv_u64(&mut o, "ts", r.ts);
+    o.push(',');
+    push_kv_u64(&mut o, "shard", r.shard as u64);
+    o.push(',');
+    push_kv_u64(&mut o, "threads", r.threads as u64);
+    o.push(',');
+    push_kv_u64(&mut o, "commits", r.g.commits);
+    o.push(',');
+    push_kv_u64(&mut o, "htm_commits", r.g.htm_commits);
+    o.push_str(",\"aborts\":{");
+    for (i, c) in AbortCause::ALL.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        push_kv_u64(&mut o, c.label(), r.g.aborts[i]);
+    }
+    o.push_str("},\"htm_aborts\":{");
+    for (i, c) in HtmAbortCause::ALL.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        push_kv_u64(&mut o, c.label(), r.g.htm_aborts[i]);
+    }
+    o.push_str("},");
+    for (key, v) in [
+        ("htm_fallbacks", r.g.htm_fallbacks),
+        ("reads", r.g.reads),
+        ("writes", r.g.writes),
+        ("log_entries", r.g.log_entries),
+        ("htm_log_entries", r.g.htm_log_entries),
+        ("sfences", r.g.sfences),
+        ("fence_wait_ns", r.g.fence_wait_ns),
+        ("fence_joins", r.g.fence_joins),
+        ("join_wait_ns", r.g.join_wait_ns),
+        ("clwbs", r.g.clwbs),
+        ("clwb_batches", r.g.clwb_batches),
+        ("wpq_accepts", r.g.wpq_accepts),
+        ("wpq_backlog_hw_ns", r.g.wpq_backlog_hw_ns),
+        ("wpq_stalls", r.g.wpq_stalls),
+        ("wpq_stall_ns", r.g.wpq_stall_ns),
+        ("backoffs", r.g.backoffs),
+        ("backoff_ns", r.g.backoff_ns),
+        ("backoff_hw_ns", r.g.backoff_hw_ns),
+        ("queue_waits", r.g.queue_waits),
+        ("queue_wait_ns", r.g.queue_wait_ns),
+    ] {
+        push_kv_u64(&mut o, key, v);
+        o.push(',');
+    }
+    o.pop();
+    o.push('}');
+    o
+}
+
+/// CSV header matching [`series_row_csv`].
+pub fn series_csv_header() -> String {
+    let mut h = String::from("ts,shard,threads,commits,htm_commits");
+    for c in AbortCause::ALL {
+        h.push_str(",aborts_");
+        h.push_str(c.label());
+    }
+    for c in HtmAbortCause::ALL {
+        h.push_str(",htm_aborts_");
+        h.push_str(c.label());
+    }
+    h.push_str(
+        ",htm_fallbacks,reads,writes,log_entries,htm_log_entries,\
+         sfences,fence_wait_ns,fence_joins,join_wait_ns,clwbs,clwb_batches,\
+         wpq_accepts,wpq_backlog_hw_ns,wpq_stalls,wpq_stall_ns,\
+         backoffs,backoff_ns,backoff_hw_ns,queue_waits,queue_wait_ns",
+    );
+    h
+}
+
+/// One series row as a CSV line (column order = [`series_csv_header`]).
+pub fn series_row_csv(r: &ShardRow) -> String {
+    let mut o = format!(
+        "{},{},{},{},{}",
+        r.ts, r.shard, r.threads, r.g.commits, r.g.htm_commits
+    );
+    for v in r.g.aborts {
+        o.push_str(&format!(",{v}"));
+    }
+    for v in r.g.htm_aborts {
+        o.push_str(&format!(",{v}"));
+    }
+    for v in [
+        r.g.htm_fallbacks,
+        r.g.reads,
+        r.g.writes,
+        r.g.log_entries,
+        r.g.htm_log_entries,
+        r.g.sfences,
+        r.g.fence_wait_ns,
+        r.g.fence_joins,
+        r.g.join_wait_ns,
+        r.g.clwbs,
+        r.g.clwb_batches,
+        r.g.wpq_accepts,
+        r.g.wpq_backlog_hw_ns,
+        r.g.wpq_stalls,
+        r.g.wpq_stall_ns,
+        r.g.backoffs,
+        r.g.backoff_ns,
+        r.g.backoff_hw_ns,
+        r.g.queue_waits,
+        r.g.queue_wait_ns,
+    ] {
+        o.push_str(&format!(",{v}"));
+    }
+    o
+}
+
+/// A whole decomposition as one JSON line (tail rows inline).
+pub fn decomposition_json(label: &str, d: &Decomposition) -> String {
+    let mut o = String::with_capacity(1024);
+    o.push('{');
+    push_kv_u64(&mut o, "schema_version", SCHEMA_VERSION as u64);
+    o.push_str(&format!(
+        ",\"kind\":\"obs_decomposition\",\"label\":\"{}\",",
+        label.replace('\\', "\\\\").replace('"', "\\\"")
+    ));
+    push_kv_u64(&mut o, "spans", d.spans as u64);
+    o.push(',');
+    push_kv_u64(&mut o, "dropped_events", d.dropped_events);
+    o.push(',');
+    push_kv_f64(&mut o, "mean_total_ns", d.mean.mean_total_ns);
+    o.push_str(",\"mean\":{");
+    for (i, c) in Comp::ALL.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        push_kv_f64(&mut o, c.label(), d.mean.mean_comp_ns[i]);
+    }
+    o.push_str("},\"tails\":[");
+    for (ti, t) in d.tails.iter().enumerate() {
+        if ti > 0 {
+            o.push(',');
+        }
+        o.push('{');
+        push_kv_f64(&mut o, "pct", t.pct);
+        o.push(',');
+        push_kv_u64(&mut o, "threshold_ns", t.threshold_ns);
+        o.push(',');
+        push_kv_u64(&mut o, "cohort", t.cohort.count as u64);
+        o.push(',');
+        push_kv_f64(&mut o, "mean_total_ns", t.cohort.mean_total_ns);
+        for (i, c) in Comp::ALL.iter().enumerate().take(COMP_COUNT) {
+            o.push(',');
+            push_kv_f64(&mut o, c.label(), t.cohort.mean_comp_ns[i]);
+        }
+        o.push('}');
+    }
+    o.push_str("]}");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::shard_rows;
+    use crate::{merge_samplers, Sampler};
+    use trace::EventKind;
+
+    fn balanced(s: &str) -> bool {
+        let (mut b, mut c) = (0i32, 0i32);
+        let mut in_str = false;
+        let mut esc = false;
+        for ch in s.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match ch {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => b += 1,
+                '}' if !in_str => b -= 1,
+                '[' if !in_str => c += 1,
+                ']' if !in_str => c -= 1,
+                _ => {}
+            }
+        }
+        !in_str && b == 0 && c == 0
+    }
+
+    #[test]
+    fn exports_are_well_formed_and_versioned() {
+        let s = Sampler::new(100, 16);
+        let mut r = s.ring();
+        r.ingest(10, EventKind::TxCommit, 2, 0);
+        r.ingest(40, EventKind::Sfence, 25, 0);
+        s.submit(0, r);
+        let rows = shard_rows(&merge_samplers(&[&s]));
+        assert_eq!(rows.len(), 1);
+        let line = series_row_json(&rows[0]);
+        assert!(balanced(&line), "unbalanced: {line}");
+        assert!(line.starts_with("{\"schema_version\":2,"));
+        assert!(line.contains("\"fence_wait_ns\":25"));
+        let header_cols = series_csv_header().split(',').count();
+        let row_cols = series_row_csv(&rows[0]).split(',').count();
+        assert_eq!(header_cols, row_cols);
+        let d = crate::spans::decompose(&[], 0, &[99.0]);
+        let dj = decomposition_json("adr \"q\"", &d);
+        assert!(balanced(&dj), "unbalanced: {dj}");
+        assert!(dj.contains("\"schema_version\":2"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-shard time-series aggregation and run summaries.
+//!
+//! The raw merged timeline ([`crate::merge_samplers`]) has one sample
+//! per (thread, window). Dashboards and the eADR sanity checks want the
+//! per-shard view: all threads of a shard folded into one [`GaugeSet`]
+//! per window, rows ordered by `(ts, shard)` — still fully
+//! deterministic.
+
+use crate::{merge_samplers, GaugeSet, MergedSample, Sampler};
+use trace::shard_of_tid;
+
+/// One (window, shard) row of the aggregated series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRow {
+    /// Window start timestamp (multiple of the sampling period).
+    pub ts: u64,
+    pub shard: u32,
+    /// Threads of this shard that contributed to the window.
+    pub threads: u32,
+    pub g: GaugeSet,
+}
+
+/// Fold a merged timeline into per-(window, shard) rows.
+pub fn shard_rows(merged: &[MergedSample]) -> Vec<ShardRow> {
+    let mut rows: Vec<ShardRow> = Vec::new();
+    for s in merged {
+        let shard = shard_of_tid(s.tid);
+        match rows.last_mut() {
+            Some(r) if r.ts == s.ts && r.shard == shard => {
+                r.g.merge(&s.g);
+                r.threads += 1;
+            }
+            _ => {
+                // Merged order is (ts, tid, seq) and tids are
+                // shard-tagged in the high bits, so equal (ts, shard)
+                // runs are contiguous only per shard prefix; fall back
+                // to a search for interleaved shards.
+                if let Some(r) = rows.iter_mut().find(|r| r.ts == s.ts && r.shard == shard) {
+                    r.g.merge(&s.g);
+                    r.threads += 1;
+                } else {
+                    rows.push(ShardRow {
+                        ts: s.ts,
+                        shard,
+                        threads: 1,
+                        g: s.g,
+                    });
+                }
+            }
+        }
+    }
+    rows.sort_by_key(|r| (r.ts, r.shard));
+    rows
+}
+
+/// Convenience: merge samplers and aggregate per shard in one step.
+pub fn aggregate(samplers: &[&Sampler]) -> Vec<ShardRow> {
+    shard_rows(&merge_samplers(samplers))
+}
+
+/// Whole-run rollup of a series, for report headers and CI sanity
+/// checks (eADR runs must show zero fence-wait / WPQ samples).
+#[derive(Debug, Clone, Default)]
+pub struct SeriesSummary {
+    /// Distinct (window, shard) rows.
+    pub rows: usize,
+    /// Distinct window timestamps.
+    pub windows: usize,
+    /// Shards observed.
+    pub shards: usize,
+    /// First and last window start.
+    pub first_ts: u64,
+    pub last_ts: u64,
+    /// Sum of every row (high-waters are run maxima).
+    pub totals: GaugeSet,
+    /// Rows in which any fence or WPQ activity appeared
+    /// (`sfences`, `fence_wait_ns`, `wpq_accepts`, `wpq_stalls`).
+    pub fence_rows: usize,
+    pub wpq_rows: usize,
+    /// Peak per-window committed ops across shards (burst gauge).
+    pub peak_window_commits: u64,
+}
+
+impl SeriesSummary {
+    pub fn from_rows(rows: &[ShardRow]) -> SeriesSummary {
+        let mut s = SeriesSummary {
+            rows: rows.len(),
+            first_ts: rows.first().map_or(0, |r| r.ts),
+            last_ts: rows.last().map_or(0, |r| r.ts),
+            ..SeriesSummary::default()
+        };
+        let mut shards: Vec<u32> = Vec::new();
+        let mut windows: Vec<u64> = Vec::new();
+        for r in rows {
+            s.totals.merge(&r.g);
+            if !shards.contains(&r.shard) {
+                shards.push(r.shard);
+            }
+            if windows.last() != Some(&r.ts) {
+                windows.push(r.ts);
+            }
+            if r.g.sfences > 0 || r.g.fence_wait_ns > 0 || r.g.fence_joins > 0 {
+                s.fence_rows += 1;
+            }
+            if r.g.wpq_accepts > 0 || r.g.wpq_stalls > 0 {
+                s.wpq_rows += 1;
+            }
+            s.peak_window_commits = s.peak_window_commits.max(r.g.commits);
+        }
+        s.shards = shards.len();
+        s.windows = windows.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::EventKind;
+
+    fn sampled(shard: usize, tid: u32, events: &[(u64, EventKind, u64, u64)]) -> Sampler {
+        let s = Sampler::new_for_shard(100, 64, shard);
+        let mut r = s.ring();
+        for &(ts, k, a, b) in events {
+            r.ingest(ts, k, a, b);
+        }
+        s.submit(tid, r);
+        s
+    }
+
+    #[test]
+    fn rows_fold_threads_of_a_shard_per_window() {
+        let s0 = sampled(0, 0, &[(10, EventKind::TxCommit, 1, 0)]);
+        let mut r = s0.ring();
+        r.ingest(20, EventKind::TxCommit, 2, 0);
+        r.ingest(120, EventKind::Sfence, 5, 0);
+        s0.submit(1, r);
+        let s1 = sampled(3, 0, &[(15, EventKind::WpqAccept, 700, 15)]);
+        let rows = aggregate(&[&s0, &s1]);
+        assert_eq!(rows.len(), 3);
+        // (ts 0, shard 0): two threads' commits folded.
+        assert_eq!((rows[0].ts, rows[0].shard, rows[0].threads), (0, 0, 2));
+        assert_eq!(rows[0].g.commits, 2);
+        assert_eq!(rows[0].g.log_entries, 3);
+        // (ts 0, shard 3).
+        assert_eq!((rows[1].ts, rows[1].shard), (0, 3));
+        assert_eq!(rows[1].g.wpq_backlog_hw_ns, 700);
+        // (ts 100, shard 0).
+        assert_eq!((rows[2].ts, rows[2].shard), (100, 0));
+        let sum = SeriesSummary::from_rows(&rows);
+        assert_eq!(sum.rows, 3);
+        assert_eq!(sum.windows, 2);
+        assert_eq!(sum.shards, 2);
+        assert_eq!(sum.totals.commits, 2);
+        assert_eq!(sum.fence_rows, 1);
+        assert_eq!(sum.wpq_rows, 1);
+        assert_eq!(sum.peak_window_commits, 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! Bench-trend regression guard: parse archived `results/BENCH_*.json`
+//! files (JSON-Lines concatenations of every bench bin's `--json`
+//! output) and diff headline metrics across consecutive PRs.
+//!
+//! The extractor is deliberately narrow: it pulls only the identity
+//! keys (`workload`, `scenario`, `threads` / `shards` ×
+//! `threads_per_shard`) and the headline metrics (`throughput_mops`,
+//! first `"p99"`), and it refuses lines stamped with a *newer*
+//! `schema_version` than it understands instead of misparsing them.
+//! Lines without a version are grandfathered as version 1 (the PR 1-8
+//! archives).
+
+use crate::export::SCHEMA_VERSION;
+
+/// Locate `"key":` at object scope and return the text after the colon.
+fn after_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    line.find(&needle).map(|i| &line[i + needle.len()..])
+}
+
+/// Extract a numeric value for `key` (first occurrence).
+pub fn json_num(line: &str, key: &str) -> Option<f64> {
+    let rest = after_key(line, key)?;
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract a string value for `key` (first occurrence), unescaping the
+/// two escapes our writers emit (`\"` and `\\`).
+pub fn json_str(line: &str, key: &str) -> Option<String> {
+    let rest = after_key(line, key)?.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// One comparable point extracted from an archive line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// Identity: `workload|scenario|<population>`.
+    pub key: String,
+    pub throughput_mops: Option<f64>,
+    /// First `"p99"` on the line: per-op latency p99 for driver points,
+    /// sojourn p99 for sharded open-loop points.
+    pub p99_ns: Option<f64>,
+    pub schema_version: u32,
+}
+
+/// Parse one archive. Returns the points plus the number of lines
+/// skipped because they carry a newer schema than this build.
+pub fn parse_archive(text: &str) -> (Vec<TrendPoint>, usize) {
+    let mut points: Vec<TrendPoint> = Vec::new();
+    let mut skipped = 0;
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        let version = json_num(line, "schema_version").map_or(1, |v| v as u32);
+        if version > SCHEMA_VERSION {
+            skipped += 1;
+            continue;
+        }
+        let (Some(workload), Some(scenario)) =
+            (json_str(line, "workload"), json_str(line, "scenario"))
+        else {
+            continue;
+        };
+        let population = if let Some(shards) = json_num(line, "shards") {
+            let tps = json_num(line, "threads_per_shard").unwrap_or(1.0);
+            format!("s{}x{}", shards as u64, tps as u64)
+        } else if let Some(t) = json_num(line, "threads") {
+            format!("t{}", t as u64)
+        } else {
+            "t0".to_string()
+        };
+        let key = format!("{workload}|{scenario}|{population}");
+        if points.iter().any(|p| p.key == key) {
+            // Bins occasionally re-run the same point; first wins so
+            // diffs stay stable.
+            continue;
+        }
+        points.push(TrendPoint {
+            key,
+            throughput_mops: json_num(line, "throughput_mops"),
+            p99_ns: json_num(line, "p99"),
+            schema_version: version,
+        });
+    }
+    (points, skipped)
+}
+
+/// One metric's movement between two archives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendDelta {
+    pub key: String,
+    pub metric: &'static str,
+    pub prev: f64,
+    pub next: f64,
+    /// Signed relative change in percent (positive = metric went up).
+    pub pct: f64,
+    /// True when the movement is in the *bad* direction beyond
+    /// tolerance (throughput down, p99 up).
+    pub regressed: bool,
+}
+
+/// Diff two archives' points at a tolerance (e.g. `0.10` = 10%).
+#[derive(Debug, Clone, Default)]
+pub struct TrendReport {
+    pub deltas: Vec<TrendDelta>,
+    /// Points present in both archives.
+    pub common: usize,
+    pub added: usize,
+    pub removed: usize,
+    pub regressions: usize,
+}
+
+/// Per-metric regression tolerances (relative, e.g. `0.10` = 10%).
+///
+/// p99 gets a wider default than throughput: archived percentiles come
+/// from the power-bucketed `LatencyHistogram`, whose adjacent buckets
+/// are 33–50% apart, so any real movement lands at least one bucket
+/// (≥ 33%) away and sub-bucket "changes" cannot exist. A p99 tolerance
+/// below one bucket would flag pure quantization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    pub throughput: f64,
+    pub p99: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            throughput: 0.10,
+            p99: 0.60,
+        }
+    }
+}
+
+pub fn diff(prev: &[TrendPoint], next: &[TrendPoint], tol: Tolerance) -> TrendReport {
+    let mut rep = TrendReport::default();
+    for n in next {
+        let Some(p) = prev.iter().find(|p| p.key == n.key) else {
+            rep.added += 1;
+            continue;
+        };
+        rep.common += 1;
+        let mut push =
+            |metric: &'static str, pv: f64, nv: f64, higher_is_worse: bool, tolerance: f64| {
+                if pv <= 0.0 {
+                    return;
+                }
+                let pct = (nv - pv) / pv * 100.0;
+                let regressed = if higher_is_worse {
+                    nv > pv * (1.0 + tolerance)
+                } else {
+                    nv < pv * (1.0 - tolerance)
+                };
+                if regressed {
+                    rep.regressions += 1;
+                }
+                rep.deltas.push(TrendDelta {
+                    key: n.key.clone(),
+                    metric,
+                    prev: pv,
+                    next: nv,
+                    pct,
+                    regressed,
+                });
+            };
+        if let (Some(pv), Some(nv)) = (p.throughput_mops, n.throughput_mops) {
+            push("throughput_mops", pv, nv, false, tol.throughput);
+        }
+        if let (Some(pv), Some(nv)) = (p.p99_ns, n.p99_ns) {
+            push("p99_ns", pv, nv, true, tol.p99);
+        }
+    }
+    rep.removed = prev
+        .iter()
+        .filter(|p| !next.iter().any(|n| n.key == p.key))
+        .count();
+    rep
+}
+
+/// Discover `BENCH_PR<N>.json` archives under `dir`, ordered by N.
+pub fn discover_archives(dir: &std::path::Path) -> Vec<(u64, std::path::PathBuf)> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(num) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|s| s.strip_suffix(".json"))
+        {
+            if let Ok(n) = num.parse::<u64>() {
+                found.push((n, e.path()));
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V1: &str = r#"{"workload":"tpcc-hash","scenario":"Optane_ADR","threads":4,"throughput_mops":1.2000,"latency":{"count":100,"p50":10,"p99":900}}
+{"workload":"kv-zipf","scenario":"Optane_ADR_sharded","shards":8,"threads_per_shard":1,"throughput_mops":6.0000,"sojourn":{"count":10,"p99":5000}}"#;
+
+    #[test]
+    fn extracts_identity_and_metrics() {
+        let (pts, skipped) = parse_archive(V1);
+        assert_eq!(skipped, 0);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].key, "tpcc-hash|Optane_ADR|t4");
+        assert_eq!(pts[0].throughput_mops, Some(1.2));
+        assert_eq!(pts[0].p99_ns, Some(900.0));
+        assert_eq!(pts[0].schema_version, 1);
+        assert_eq!(pts[1].key, "kv-zipf|Optane_ADR_sharded|s8x1");
+        assert_eq!(pts[1].p99_ns, Some(5000.0));
+    }
+
+    #[test]
+    fn rejects_newer_schema_lines() {
+        let line = format!(
+            "{{\"schema_version\":{},\"workload\":\"x\",\"scenario\":\"y\",\"threads\":1}}",
+            SCHEMA_VERSION + 1
+        );
+        let (pts, skipped) = parse_archive(&line);
+        assert!(pts.is_empty());
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn diff_flags_directional_regressions() {
+        let (prev, _) = parse_archive(V1);
+        let next_text = V1
+            .replace("\"throughput_mops\":1.2000", "\"throughput_mops\":0.9000")
+            .replace("\"p99\":5000", "\"p99\":5200");
+        let (next, _) = parse_archive(&next_text);
+        let rep = diff(&prev, &next, Tolerance::default());
+        assert_eq!(rep.common, 2);
+        // Throughput -25% regresses; sojourn p99 +4% is far below the
+        // one-bucket (60%) p99 tolerance.
+        assert_eq!(rep.regressions, 1);
+        let t = rep
+            .deltas
+            .iter()
+            .find(|d| d.metric == "throughput_mops" && d.key.starts_with("tpcc-hash"))
+            .unwrap();
+        assert!(t.regressed);
+        assert!((t.pct + 25.0).abs() < 0.01);
+        let p = rep.deltas.iter().find(|d| d.metric == "p99_ns").unwrap();
+        assert!(!p.regressed);
+    }
+
+    #[test]
+    fn p99_tolerance_absorbs_one_bucket_quantization() {
+        let (prev, _) = parse_archive(V1);
+        // +33% = one histogram bucket: quantization, not a regression.
+        let one_bucket = V1.replace("\"p99\":5000", "\"p99\":6650");
+        let (next, _) = parse_archive(&one_bucket);
+        assert_eq!(diff(&prev, &next, Tolerance::default()).regressions, 0);
+        // +100% = clearly more than one bucket: flagged.
+        let two_bucket = V1.replace("\"p99\":5000", "\"p99\":10000");
+        let (next, _) = parse_archive(&two_bucket);
+        assert_eq!(diff(&prev, &next, Tolerance::default()).regressions, 1);
+    }
+
+    #[test]
+    fn p999_does_not_shadow_p99() {
+        let line = r#"{"workload":"w","scenario":"s","threads":1,"latency":{"p999":7,"p99":5}}"#;
+        assert_eq!(json_num(line, "p99"), Some(5.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property: the merged, per-shard time series is a pure function of
+//! what each thread observed — the order in which threads retire (and
+//! hence submit their sample rings), and the order shards are merged
+//! in, must not change a single exported row.
+
+use obs::{export, series, Sampler};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use trace::EventKind;
+
+/// A compact thread event script: (virtual-time delta, kind selector,
+/// payload). Deltas keep per-thread timestamps monotone, as the real
+/// session clock does.
+type Script = Vec<(u64, u8, u64)>;
+
+const KINDS: [EventKind; 6] = [
+    EventKind::TxCommit,
+    EventKind::TxAbort,
+    EventKind::Sfence,
+    EventKind::WpqStall,
+    EventKind::Clwb,
+    EventKind::Backoff,
+];
+
+fn scripts() -> impl Strategy<Value = Vec<Vec<Script>>> {
+    // 1..=3 shards, each with 1..=3 threads, each with up to 40 events.
+    prop::collection::vec(
+        prop::collection::vec(
+            prop::collection::vec((1u64..20_000, 0u8..KINDS.len() as u8, 0u64..500), 1..40),
+            1..4,
+        ),
+        1..4,
+    )
+}
+
+/// Feed every script into per-shard samplers, submitting thread rings
+/// in the order given by `order` (a permutation of all (shard, thread)
+/// pairs), then export the merged series as canonical JSONL.
+fn render(shards: &[Vec<Script>], order: &[(usize, usize)]) -> String {
+    let samplers: Vec<Sampler> = (0..shards.len())
+        .map(|s| Sampler::new_for_shard(obs::DEFAULT_PERIOD_NS, 64, s))
+        .collect();
+    for &(s, t) in order {
+        let sampler = &samplers[s];
+        let mut ring = sampler.ring();
+        let mut ts = 0u64;
+        for &(dt, k, a) in &shards[s][t] {
+            ts += dt;
+            ring.ingest(ts, KINDS[k as usize], a, a / 3);
+        }
+        sampler.submit(t as u32, ring);
+    }
+    // Merge the shards in the order their threads happened to retire —
+    // the aggregate must not care.
+    let mut refs: Vec<&Sampler> = Vec::new();
+    for &(s, _) in order {
+        if !refs.iter().any(|r| std::ptr::eq(*r, &samplers[s])) {
+            refs.push(&samplers[s]);
+        }
+    }
+    let mut out = String::new();
+    for row in series::aggregate(&refs) {
+        out.push_str(&export::series_row_json(&row));
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_series_is_submission_order_invariant(
+        shards in scripts(),
+        seed in any::<u64>(),
+    ) {
+        let mut order: Vec<(usize, usize)> = shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, threads)| (0..threads.len()).map(move |t| (s, t)))
+            .collect();
+        let baseline = render(&shards, &order);
+
+        // Fisher–Yates shuffle: an arbitrary retirement order.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let shuffled = render(&shards, &order);
+        prop_assert_eq!(baseline, shuffled);
+    }
+}

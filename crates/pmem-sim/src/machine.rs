@@ -119,6 +119,10 @@ pub struct Machine {
     /// from it at construction; same arming idiom as the injector.
     tracer: Mutex<Option<Arc<trace::TraceSink>>>,
     tracer_armed: AtomicBool,
+    /// Attached telemetry sampler, if any. Sessions capture a sample
+    /// ring from it at construction; same arming idiom as the tracer.
+    sampler: Mutex<Option<Arc<obs::Sampler>>>,
+    sampler_armed: AtomicBool,
     /// Monotonic serial stamped on every HTM line publication; sections
     /// sample it at `xbegin` and conflict against later publications.
     htm_serial: AtomicU64,
@@ -146,6 +150,8 @@ impl Machine {
             injector_armed: AtomicBool::new(false),
             tracer: Mutex::new(None),
             tracer_armed: AtomicBool::new(false),
+            sampler: Mutex::new(None),
+            sampler_armed: AtomicBool::new(false),
             htm_serial: AtomicU64::new(0),
             htm_table: Mutex::new(HashMap::new()),
             stats: MachineStats::new(),
@@ -261,6 +267,37 @@ impl Machine {
     #[cold]
     fn tracer_slow(&self) -> Option<Arc<trace::TraceSink>> {
         self.tracer.lock().unwrap().clone()
+    }
+
+    /// Attach a telemetry sampler: sessions created *afterwards* fold
+    /// their events into per-thread sample rings submitted back to this
+    /// sampler. Sampling never advances virtual time. Replaces any
+    /// previously attached sampler.
+    pub fn attach_sampler(&self, sampler: Arc<obs::Sampler>) {
+        *self.sampler.lock().unwrap() = Some(sampler);
+        self.sampler_armed.store(true, Ordering::Release);
+    }
+
+    /// Detach and return the current sampler.
+    pub fn detach_sampler(&self) -> Option<Arc<obs::Sampler>> {
+        self.sampler_armed.store(false, Ordering::Release);
+        self.sampler.lock().unwrap().take()
+    }
+
+    /// The attached sampler, if any. One relaxed load when none is
+    /// attached (the common case).
+    #[inline]
+    pub fn sampler(&self) -> Option<Arc<obs::Sampler>> {
+        if self.sampler_armed.load(Ordering::Relaxed) {
+            self.sampler_slow()
+        } else {
+            None
+        }
+    }
+
+    #[cold]
+    fn sampler_slow(&self) -> Option<Arc<obs::Sampler>> {
+        self.sampler.lock().unwrap().clone()
     }
 
     pub fn config(&self) -> &MachineConfig {

@@ -561,6 +561,8 @@ impl TxAccess {
         let ceiling = (100u64 << shift).min(self.ptm.config.max_backoff_ns.max(1));
         let delay = self.rng.gen_range(ceiling / 2..=ceiling);
         PtmStats::high_water(&self.ptm.stats.max_backoff_ns, delay);
+        // Stamped at backoff start so [ts, ts+delay] is the interval.
+        self.trace(EventKind::Backoff, delay, self.attempts as u64);
         self.s.advance(delay);
         self.s.publish_clock();
         std::thread::yield_now();

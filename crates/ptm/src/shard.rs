@@ -227,6 +227,13 @@ impl ShardedEngine {
             r.record(0, trace::EventKind::GcPhase, 2, gc.gc_sweep_ns);
             sink.submit(trace::RECOVERY_TID, &r);
         }
+        if let Some(sampler) = machine.sampler() {
+            // Restart runs outside virtual time; GC progress is noted
+            // as untimed phase observations rather than series windows.
+            sampler.note_gc_phase(0, gc.gc_scan_ns);
+            sampler.note_gc_phase(1, gc.gc_mark_ns);
+            sampler.note_gc_phase(2, gc.gc_sweep_ns);
+        }
         (
             machine,
             heap,

@@ -251,7 +251,9 @@ impl TxThread {
                 self.ax.abort_cleanup();
                 let now = self.ax.s.now();
                 self.ax.timer.switch(now, Phase::Backoff);
-                self.ax.s.advance(60u64 << attempt.min(6));
+                let delay = 60u64 << attempt.min(6);
+                self.ax.trace(EventKind::Backoff, delay, attempt as u64);
+                self.ax.s.advance(delay);
             }
             PtmStats::bump(&self.ax.ptm.stats.htm_fallbacks);
             self.ax.trace(EventKind::HtmFallback, htm_tries as u64, 0);

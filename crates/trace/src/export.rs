@@ -291,7 +291,11 @@ pub fn chrome_trace_json(threads: &[ThreadTrace]) -> String {
             out.push_str("\",\"ph\":\"");
             let durationful = matches!(
                 ev.kind,
-                EventKind::Sfence | EventKind::WpqStall | EventKind::FenceJoin
+                EventKind::Sfence
+                    | EventKind::WpqStall
+                    | EventKind::FenceJoin
+                    | EventKind::Backoff
+                    | EventKind::QueueWait
             );
             if durationful {
                 out.push_str("X\",\"dur\":");

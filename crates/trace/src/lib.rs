@@ -114,10 +114,21 @@ pub enum EventKind {
     /// [`EventKind::Sfence`] may appear in that window. `a` = footprint
     /// in distinct cache lines, `b` = write-set size in log entries.
     HtmRetire = 20,
+    /// Contention backoff started (STM retry or HTM inter-attempt
+    /// pause). `a` = backoff duration in virtual ns, `b` = the failed
+    /// attempt number. Timestamped at backoff start, so `[ts, ts+a]`
+    /// is the backoff interval.
+    Backoff = 21,
+    /// An open-loop front-end request waited in the arrival queue
+    /// before its worker picked it up. `a` = queue wait in virtual ns
+    /// (0 when the worker was already behind the arrival), `b` = the
+    /// request's arrival timestamp. Emitted at dequeue, timestamped at
+    /// service start.
+    QueueWait = 22,
 }
 
 impl EventKind {
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 23;
 
     /// All kinds, in code order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -142,6 +153,8 @@ impl EventKind {
         EventKind::RecoveryLog,
         EventKind::GcPhase,
         EventKind::HtmRetire,
+        EventKind::Backoff,
+        EventKind::QueueWait,
     ];
 
     /// Stable wire/display name.
@@ -168,6 +181,8 @@ impl EventKind {
             EventKind::RecoveryLog => "recovery_log",
             EventKind::GcPhase => "gc_phase",
             EventKind::HtmRetire => "htm_retire",
+            EventKind::Backoff => "backoff",
+            EventKind::QueueWait => "queue_wait",
         }
     }
 

@@ -17,7 +17,7 @@
 //! Cross-shard transactions (2PC) are out of scope.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use pmem_sim::{DurabilityDomain, LatencyModel, MachineConfig, PAddr, StatsSnapshot};
 use pstructs::PHashMap;
@@ -152,6 +152,16 @@ pub struct ShardedRunConfig {
     /// PTM template: algorithm, group-commit knobs, heap media.
     pub ptm: PtmConfig,
     pub stream: StreamConfig,
+    /// Per-shard flight-recorder sinks (`trace[i]` → shard `i`'s
+    /// machine, attached for the measured phase only). Empty = off.
+    /// Build them with `TraceSink::new_for_shard` so merged tids stay
+    /// shard-attributable. `PtmConfig::tracing` is forced on while any
+    /// sink or sampler is present.
+    pub trace: Vec<Arc<trace::TraceSink>>,
+    /// Per-shard telemetry samplers, mirroring `trace`. Build with
+    /// `obs::Sampler::new_for_shard`. Sampling never advances virtual
+    /// time.
+    pub obs: Vec<Arc<obs::Sampler>>,
 }
 
 impl Default for ShardedRunConfig {
@@ -164,6 +174,8 @@ impl Default for ShardedRunConfig {
             domain: DurabilityDomain::Adr,
             ptm: PtmConfig::default(),
             stream: StreamConfig::default(),
+            trace: Vec::new(),
+            obs: Vec::new(),
         }
     }
 }
@@ -203,6 +215,15 @@ impl ShardedRunResult {
     }
 }
 
+/// PTM template with tracing forced on while telemetry is armed, so
+/// transaction lifecycle events reach the sinks/samplers.
+fn ptm_config(rc: &ShardedRunConfig) -> PtmConfig {
+    PtmConfig {
+        tracing: rc.ptm.tracing || !rc.trace.is_empty() || !rc.obs.is_empty(),
+        ..rc.ptm.clone()
+    }
+}
+
 fn machine_config(rc: &ShardedRunConfig) -> MachineConfig {
     MachineConfig {
         domain: rc.domain,
@@ -235,6 +256,14 @@ fn drive<F>(
 where
     F: Fn(usize, &mut ptm::TxThread, &mut SmallRng, &Request) + Sync,
 {
+    // Arm telemetry for the measured phase only: worker sessions below
+    // capture their rings at construction.
+    for (i, sink) in rc.trace.iter().enumerate() {
+        engine.machine(i).attach_tracer(Arc::clone(sink));
+    }
+    for (i, sampler) in rc.obs.iter().enumerate() {
+        engine.machine(i).attach_sampler(Arc::clone(sampler));
+    }
     engine.begin_run_all(rc.threads_per_shard, rc.window_ns);
     let heads: Vec<AtomicUsize> = (0..rc.shards).map(|_| AtomicUsize::new(0)).collect();
     let sojourn = Mutex::new(LatencyHistogram::new());
@@ -262,6 +291,16 @@ where
                         if th.session_mut().now() < req.arrival_ns {
                             th.session_mut().advance_to(req.arrival_ns);
                         }
+                        {
+                            // Queue wait observed at dequeue: how long
+                            // the request sat before this worker picked
+                            // it up (0 when the worker idled for it).
+                            let s = th.session_mut();
+                            if s.tracing() {
+                                let wait = s.now().saturating_sub(req.arrival_ns);
+                                s.trace_event(trace::EventKind::QueueWait, wait, req.arrival_ns);
+                            }
+                        }
                         exec(shard, &mut th, &mut rng, req);
                         let done = th.session_mut().now();
                         local.record(done.saturating_sub(req.arrival_ns));
@@ -272,6 +311,13 @@ where
             }
         }
     });
+    // Worker sessions have dropped (submitting their rings); disarm.
+    for (i, _) in rc.trace.iter().enumerate() {
+        engine.machine(i).detach_tracer();
+    }
+    for (i, _) in rc.obs.iter().enumerate() {
+        engine.machine(i).detach_sampler();
+    }
     (engine.max_run_time_ns(), sojourn.into_inner().unwrap())
 }
 
@@ -304,7 +350,7 @@ pub fn run_sharded_kv(rc: &ShardedRunConfig) -> ShardedRunResult {
     let max_keys = per_shard_keys.iter().map(Vec::len).max().unwrap_or(0) as u64;
     let heap_words = ((max_keys * (VW + 16)) as usize + (1 << 15)).next_power_of_two();
     let engine =
-        ShardedEngine::create(rc.shards, machine_config(rc), rc.ptm.clone(), heap_words, 4);
+        ShardedEngine::create(rc.shards, machine_config(rc), ptm_config(rc), heap_words, 4);
     for (shard, keys) in per_shard_keys.iter().enumerate() {
         for &k in keys {
             engine.assert_routed(shard, k);
@@ -422,7 +468,7 @@ pub fn run_sharded_tpcc(rc: &ShardedRunConfig, kind: IndexKind) -> ShardedRunRes
         .collect();
     let heap_words = insts.iter().map(|t| t.heap_words()).max().unwrap();
     let engine =
-        ShardedEngine::create(rc.shards, machine_config(rc), rc.ptm.clone(), heap_words, 4);
+        ShardedEngine::create(rc.shards, machine_config(rc), ptm_config(rc), heap_words, 4);
 
     engine.begin_run_all(1, u64::MAX);
     std::thread::scope(|scope| {

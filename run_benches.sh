@@ -1,14 +1,20 @@
 #!/bin/bash
 # Regenerates every table and figure of the paper into results/, plus the
 # crash-site sweep, then consolidates everything into one JSON-Lines
-# report (results/BENCH_PR8.json, one object per figure/table point).
+# archive (results/BENCH_${BENCH_TAG}.json, one object per figure/table
+# point) and diffs it against the previous archive with bench_trend.
+#
+# The archive tag defaults to the current PR; override with e.g.
+# `BENCH_TAG=PR10 ./run_benches.sh`. Archiving is unconditional: every
+# full run leaves a BENCH_<tag>.json for the trend guard to compare.
 #
 # Each binary runs once with --json (the structured superset of its CSV;
 # run any binary without flags for the human-readable CSV instead).
 set -u
 cd /root/repo
 mkdir -p results
-BINS="fig3 fig4 fig6 fig7 table1 table2 table3 fig8 algo_compare ablation_log_split ablation_flush_timing ablation_lite_budget ablation_orec ablation_htm ablation_window ablation_index ablation_write_combining ablation_trace_overhead ablation_htm_logged memstats latency shard_scaling recovery_bench"
+BENCH_TAG="${BENCH_TAG:-PR9}"
+BINS="fig3 fig4 fig6 fig7 table1 table2 table3 fig8 algo_compare ablation_log_split ablation_flush_timing ablation_lite_budget ablation_orec ablation_htm ablation_window ablation_index ablation_write_combining ablation_trace_overhead ablation_obs_overhead ablation_htm_logged memstats latency shard_scaling recovery_bench"
 for bin in $BINS; do
   echo "=== $bin start $(date +%T) ==="
   cargo run -q --release -p bench --bin $bin -- --json > results/$bin.jsonl 2> results/$bin.log
@@ -23,6 +29,12 @@ echo "=== crash_sites (sharded group-commit) done  $(date +%T) (rc=$?) ==="
 echo "=== trace_analyze start $(date +%T) ==="
 cargo run -q --release -p bench --bin trace_analyze -- --json > results/trace_analyze.jsonl 2> results/trace_analyze.log
 echo "=== trace_analyze done  $(date +%T) (rc=$?) ==="
-cat results/*.jsonl > results/BENCH_PR8.json
-echo "consolidated $(wc -l < results/BENCH_PR8.json) points into results/BENCH_PR8.json"
+echo "=== obs_report start $(date +%T) ==="
+cargo run -q --release -p bench --bin obs_report -- --verify --json > results/obs_report.jsonl 2> results/obs_report.log
+echo "=== obs_report done  $(date +%T) (rc=$?) ==="
+cat results/*.jsonl > "results/BENCH_${BENCH_TAG}.json"
+echo "consolidated $(wc -l < "results/BENCH_${BENCH_TAG}.json") points into results/BENCH_${BENCH_TAG}.json"
+echo "=== bench_trend start $(date +%T) ==="
+cargo run -q --release -p bench --bin bench_trend 2>&1 | tee results/bench_trend.log
+echo "=== bench_trend done  $(date +%T) (rc=$?) ==="
 echo ALL_BENCHES_DONE

@@ -15,8 +15,12 @@
 //! * [`workloads`] — the paper's five benchmark applications and the
 //!   virtual-thread measurement driver;
 //! * [`trace`] — the virtual-time flight recorder (per-thread event rings,
-//!   Perfetto/binary export, abort-attribution and WPQ analysis).
+//!   Perfetto/binary export, abort-attribution and WPQ analysis);
+//! * [`obs`] — continuous telemetry on top of the trace funnel
+//!   (virtual-time time-series sampler, per-request critical-path span
+//!   reconstruction, bench-trend regression guard).
 
+pub use obs;
 pub use palloc;
 pub use pmem_sim;
 pub use pstructs;
