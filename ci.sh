@@ -58,11 +58,14 @@ echo "=== crash_sites smoke sweep (4 algorithms x 4 domains) ==="
 # stderr.
 cargo run -q --release -p bench --bin crash_sites -- --quick > /dev/null
 
-echo "=== shard_scaling smoke + scaling / group-commit guards ==="
-# Quick 1 -> 4 shard sweep of the sharded multi-pool engine. The
+echo "=== shard_scaling smoke + scaling / group-commit / 2PC-cost guards ==="
+# Quick 1 -> 4 shard sweep of the sharded multi-pool engine, plus the
+# cross-shard transfer sweep at frac {0, 0.1} under ADR and eADR. The
 # binary's built-in guards exit nonzero if aggregate throughput stops
 # scaling (largest shard count must beat shards/2 x the 1-shard
-# baseline) or if group commit stops reducing fences per commit.
+# baseline), if group commit stops reducing fences per commit, or if
+# cross-shard mean latency at frac=0.1 under ADR exceeds 2.5x the
+# all-single-shard baseline.
 cargo run -q --release -p bench --bin shard_scaling -- --quick > /dev/null
 
 echo "=== per-shard crash sweep smoke (group-commit window workload) ==="
@@ -70,6 +73,25 @@ echo "=== per-shard crash sweep smoke (group-commit window workload) ==="
 # two-thread group-commit bank inside open fence windows. Exits nonzero
 # if any shard's recovery tears a joined window.
 cargo run -q --release -p bench --bin crash_sites -- --quick --workload group --shards 4 > /dev/null
+
+echo "=== cross-shard 2PC crash sweep smoke (transfer workload) ==="
+# One 2-shard engine, one global site numbering across both shard
+# machines: {redo, undo, cow} x 4 domains x adversary policies, a few
+# strided sites each, asserting cross-shard transfers stay all-or-nothing
+# and in-doubt resolution is idempotent and worker-count independent.
+cargo run -q --release -p bench --bin crash_sites -- --workload transfer --shards 2 --max-sites 4 > /dev/null
+
+echo "=== 2PC recovery digest equality (1 vs 4 recovery workers) ==="
+# Replay one mid-run cross-shard crash site twice, rebooting with 1 and
+# 4 recovery workers; the printed recovered-state digests must match
+# bit for bit (parallel recovery is a pure scheduling change).
+XS_ARGS="--workload transfer --shards 2 --site 150 --algo redo --domain adr --policy all-old"
+DIGEST_1=$(cargo run -q --release -p bench --bin crash_sites -- $XS_ARGS --workers 1 | grep 'state digest')
+DIGEST_4=$(cargo run -q --release -p bench --bin crash_sites -- $XS_ARGS --workers 4 | grep 'state digest')
+if [ -z "$DIGEST_1" ] || [ "$DIGEST_1" != "$DIGEST_4" ]; then
+  echo "ERROR: recovery digest differs across worker counts: [$DIGEST_1] vs [$DIGEST_4]" >&2
+  exit 1
+fi
 
 echo "=== recovery_bench smoke + restart SLO guards ==="
 # Restart-latency sweep (pool size x dirtiness x recovery workers) on

@@ -17,7 +17,10 @@
 //!
 //! Exit is nonzero when the newest pair has regressions, unless
 //! `--quick` (CI smoke: history may be empty or single-archive — both
-//! are OK; regressions are still printed but only parse failures fail).
+//! are OK). Truncated / partially written archive lines (a run killed
+//! mid-append) degrade gracefully: the complete lines still diff, a
+//! warning goes to stderr, and a zero-point archive is ignored rather
+//! than failing the whole diff.
 //!
 //! Flags: `--quick --json --dir PATH --tolerance PCT --p99-tolerance PCT`.
 
@@ -150,15 +153,36 @@ fn main() {
     for (n, path) in &archives {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-        let (points, skipped) = trend::parse_archive(&text);
-        if points.is_empty() {
+        let arch = trend::parse_archive(&text);
+        if arch.truncated > 0 {
+            // A partially written archive (run killed mid-append) is a
+            // warning, not an abort: the complete lines still diff.
             eprintln!(
-                "bench_trend: {} parsed to zero points ({skipped} skipped lines)",
-                path.display()
+                "bench_trend: warning: {} has {} truncated line(s); \
+                 diffing the {} complete point(s)",
+                path.display(),
+                arch.truncated,
+                arch.points.len()
             );
-            std::process::exit(1);
         }
-        parsed.push((*n, points, skipped));
+        if arch.points.is_empty() {
+            eprintln!(
+                "bench_trend: warning: {} parsed to zero points \
+                 ({} newer-schema, {} truncated lines skipped) — archive ignored",
+                path.display(),
+                arch.skipped_newer,
+                arch.truncated
+            );
+            continue;
+        }
+        parsed.push((*n, arch.points, arch.skipped_newer));
+    }
+    if parsed.len() < 2 {
+        println!(
+            "bench_trend: fewer than 2 parseable archives under {} — nothing to diff",
+            o.dir.display()
+        );
+        return;
     }
 
     let mut newest_regressions = 0usize;

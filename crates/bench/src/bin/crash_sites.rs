@@ -12,12 +12,21 @@
 //! * `--quick` — bounded smoke sweep (12 sites per case);
 //! * `--max-sites N` — stride the sweep down to ≤ N sites per case;
 //! * `--seed S` — workload/adversary seed (default 42);
-//! * `--workload bank|group` — single-threaded bank transfers (default)
-//!   or the two-thread group-commit window workload (crashes inside an
-//!   open fence window must never tear the joined transactions);
-//! * `--shards N` — sweep N shards' logs independently, each under its
-//!   own derived seed (shard 0 keeps the base seed, so `--shards 1` is
-//!   bit-identical to the unsharded sweep);
+//! * `--workload bank|group|transfer` — single-threaded bank transfers
+//!   (default), the two-thread group-commit window workload (crashes
+//!   inside an open fence window must never tear the joined
+//!   transactions), or the cross-shard 2PC transfer workload (one
+//!   global site numbering across all shard machines; crashes anywhere
+//!   in the prepare/decide/commit window must leave transfers atomic);
+//! * `--shards N` — for `bank`/`group`: sweep N shards' logs
+//!   independently, each under its own derived seed (shard 0 keeps the
+//!   base seed, so `--shards 1` is bit-identical to the unsharded
+//!   sweep); for `transfer`: the shard count of the one sharded engine
+//!   the sweep runs 2PC over;
+//! * `--workers N` — recovery (and GC) worker threads used when
+//!   rebooting from each crash image (replay mode prints the recovered
+//!   state digest, so two replays at different worker counts make a
+//!   digest-equality check);
 //! * `--json` — one JSON object per case (JSON Lines) instead of CSV;
 //! * `--skip-undo-rollback`, `--skip-redo-replay` — deliberately break
 //!   recovery to demonstrate the sweep catches it (must exit nonzero);
@@ -30,10 +39,11 @@
 
 use pmem_sim::AdversaryPolicy;
 use ptm::crash_harness::{
-    algo_name, count_sites, default_cases, domain_name, parse_algo, parse_domain, run_site,
-    sweep_case, BankTransfers, CrashWorkload, GroupWindowBank, SweepCase, SweepOptions,
+    algo_name, count_sites, count_sites_sharded, default_cases, domain_name, parse_algo,
+    parse_domain, run_site, run_site_sharded, sweep_case, sweep_case_sharded, BankTransfers,
+    CrashWorkload, GroupWindowBank, ShardedTransfers, SweepCase, SweepOptions,
 };
-use ptm::RecoverOptions;
+use ptm::{Algo, RecoverOptions};
 
 struct Opts {
     quick: bool,
@@ -95,6 +105,11 @@ fn parse_opts() -> Opts {
                     .expect("bad shard count");
                 assert!(opts.shards >= 1, "--shards needs at least 1");
             }
+            "--workers" => {
+                opts.recover.workers = next(&mut args, "--workers")
+                    .parse()
+                    .expect("bad worker count");
+            }
             "--skip-undo-rollback" => opts.recover.skip_undo_rollback = true,
             "--skip-redo-replay" => opts.recover.skip_redo_replay = true,
             "--site" => {
@@ -116,7 +131,7 @@ fn parse_opts() -> Opts {
             }
             other => panic!(
                 "unknown flag `{other}` (known: --quick --json --max-sites --seed \
-                 --workload --shards --skip-undo-rollback --skip-redo-replay \
+                 --workload --shards --workers --skip-undo-rollback --skip-redo-replay \
                  --site --algo --domain --policy)"
             ),
         }
@@ -169,8 +184,127 @@ fn case_json(
     )
 }
 
+/// The cross-shard 2PC sweep: one sharded engine, one global site
+/// numbering over all shard machines, `sweep_case_sharded` invariants
+/// (all-or-nothing transfers, idempotent resolution, worker-count
+/// independent digests).
+fn run_transfer_sweep(opts: &Opts) {
+    let workload = ShardedTransfers {
+        shards: opts.shards as usize,
+        ..ShardedTransfers::default()
+    };
+
+    if let (Some(case), Some(site)) = (opts.replay, opts.replay_site) {
+        let total = count_sites_sharded(&workload, &case);
+        let r = run_site_sharded(&workload, &case, site, opts.recover);
+        println!(
+            "replay workload=transfer shards={} site={}/{} algo={} domain={} policy={} seed={} workers={}",
+            workload.shards,
+            site,
+            total,
+            algo_name(case.algo),
+            domain_name(case.domain),
+            case.policy,
+            case.seed,
+            opts.recover.workers.max(1),
+        );
+        match r.fired {
+            Some((at, kind)) => println!("crash fired at site {at} ({})", kind.label()),
+            None => println!("run completed; crashed at end-of-run"),
+        }
+        println!(
+            "recovery: logs={} redo_replayed={} undo_rolled_back={} torn={} \
+             prepared={} indoubt_commit={} indoubt_abort={}",
+            r.recovery.logs_scanned,
+            r.recovery.redo_replayed,
+            r.recovery.undo_rolled_back,
+            r.recovery.torn_entries,
+            r.recovery.prepared_skipped,
+            r.recovery.indoubt_resolved_commit,
+            r.recovery.indoubt_resolved_abort,
+        );
+        println!("state digest: {:#018x}", r.state_digest);
+        if r.violations.is_empty() {
+            println!("invariants: OK");
+        } else {
+            for v in &r.violations {
+                eprintln!("VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let sweep_opts = SweepOptions {
+        max_sites_per_case: if opts.quick { Some(12) } else { opts.max_sites },
+        recover: opts.recover,
+    };
+    if !opts.json {
+        println!("workload,shard,algo,domain,policy,seed,total_sites,sites_run,violations");
+    }
+    let mut dirty = false;
+    // The 2PC window is a software-path construct; the sweep grid runs
+    // the three software logging policies over every domain and
+    // adversary (HTM cross-shard commits always take the software path).
+    for case in default_cases(opts.seed)
+        .into_iter()
+        .filter(|c| c.algo != Algo::HtmLogged)
+    {
+        let r = sweep_case_sharded(&workload, &case, sweep_opts);
+        if opts.json {
+            let violations: Vec<String> = r
+                .violations
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{{\"site\":{},\"detail\":\"{}\"}}",
+                        v.site,
+                        v.detail.replace('\\', "\\\\").replace('"', "\\\"")
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"workload\":\"transfer\",\"shard\":{},\"algo\":\"{}\",\"domain\":\"{}\",\
+                 \"policy\":\"{}\",\"seed\":{},\"total_sites\":{},\"sites_run\":{},\
+                 \"violations\":[{}]}}",
+                workload.shards,
+                algo_name(case.algo),
+                domain_name(case.domain),
+                case.policy,
+                case.seed,
+                r.total_sites,
+                r.sites_run,
+                violations.join(",")
+            );
+        } else {
+            println!(
+                "transfer,{},{},{},{},{},{},{},{}",
+                workload.shards,
+                algo_name(case.algo),
+                domain_name(case.domain),
+                case.policy,
+                case.seed,
+                r.total_sites,
+                r.sites_run,
+                r.violations.len()
+            );
+        }
+        for v in &r.violations {
+            dirty = true;
+            eprintln!("{v}");
+        }
+    }
+    if dirty {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse_opts();
+    if opts.workload == "transfer" {
+        run_transfer_sweep(&opts);
+        return;
+    }
     let workload = make_workload(&opts.workload);
 
     if let (Some(case), Some(site)) = (opts.replay, opts.replay_site) {

@@ -17,10 +17,21 @@
 //! * **group commit** — at ≥ 4 threads per shard the grouped arm must
 //!   retire fewer fences per commit than the plain arm.
 //!
+//! The run then sweeps the cross-shard transfer workload over
+//! `--cross-shard-frac` at the largest configured shard count, under
+//! both ADR and eADR, reporting the single-shard-vs-2PC throughput and
+//! fence-cost curve (EXPERIMENTS.md §"Cross-shard 2PC"). A third guard
+//! rides along whenever the frac list contains both 0 and 0.1:
+//!
+//! * **2PC cost** — mean transaction latency at frac=0.1 under ADR must
+//!   stay ≤ 2.5× the all-single-shard (frac=0) latency.
+//!
 //! Flags: `--quick`, `--json`, `--shards a,b,c`,
-//! `--threads-per-shard N`, `--ops-per-shard N`, `--seed S`.
+//! `--threads-per-shard N`, `--ops-per-shard N`, `--seed S`,
+//! `--cross-shard-frac a,b,c` (default 0,0.01,0.1,0.5; quick 0,0.1).
 
 use bench::report;
+use pmem_sim::DurabilityDomain;
 use workloads::{IndexKind, ShardedRunConfig, ShardedRunResult, StreamConfig};
 
 struct Opts {
@@ -30,6 +41,7 @@ struct Opts {
     threads_per_shard: usize,
     ops_per_shard: u64,
     seed: u64,
+    cross_frac: Vec<f64>,
 }
 
 fn parse_opts() -> Opts {
@@ -39,6 +51,7 @@ fn parse_opts() -> Opts {
     let mut threads_per_shard = 4usize;
     let mut ops_per_shard: Option<u64> = None;
     let mut seed = 42u64;
+    let mut cross_frac: Option<Vec<f64>> = None;
     let mut args = std::env::args().skip(1);
     let next = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next()
@@ -69,9 +82,21 @@ fn parse_opts() -> Opts {
                 );
             }
             "--seed" => seed = next(&mut args, "--seed").parse().expect("bad seed"),
+            "--cross-shard-frac" => {
+                cross_frac = Some(
+                    next(&mut args, "--cross-shard-frac")
+                        .split(',')
+                        .map(|s| {
+                            let f: f64 = s.parse().expect("bad fraction");
+                            assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+                            f
+                        })
+                        .collect(),
+                );
+            }
             other => panic!(
                 "unknown flag `{other}` (known: --quick --json --shards \
-                 --threads-per-shard --ops-per-shard --seed)"
+                 --threads-per-shard --ops-per-shard --seed --cross-shard-frac)"
             ),
         }
     }
@@ -80,6 +105,11 @@ fn parse_opts() -> Opts {
     } else {
         vec![1, 2, 4, 8, 16]
     };
+    let default_frac = if quick {
+        vec![0.0, 0.1]
+    } else {
+        vec![0.0, 0.01, 0.1, 0.5]
+    };
     Opts {
         quick,
         json,
@@ -87,6 +117,7 @@ fn parse_opts() -> Opts {
         threads_per_shard,
         ops_per_shard: ops_per_shard.unwrap_or(if quick { 250 } else { 2_000 }),
         seed,
+        cross_frac: cross_frac.unwrap_or(default_frac),
     }
 }
 
@@ -171,6 +202,30 @@ fn main() {
         }
     }
 
+    // Cross-shard 2PC cost curve: the transfer/multi-get workload at
+    // the largest configured shard count, swept over the cross-shard
+    // fraction under ADR and eADR. The eADR arm shows the prepare-fence
+    // collapse the paper predicts for flush-free domains.
+    let xshard_shards = opts.shards.iter().copied().max().unwrap_or(1);
+    let mut adr_latency: Vec<(f64, f64)> = Vec::new();
+    if xshard_shards > 1 {
+        for &(domain, dom_label) in &[
+            (DurabilityDomain::Adr, "adr"),
+            (DurabilityDomain::Eadr, "eadr"),
+        ] {
+            for &frac in &opts.cross_frac {
+                let mut rc = point(&opts, xshard_shards, false);
+                rc.domain = domain;
+                rc.stream.keys = 1 << 12;
+                let r = workloads::run_cross_shard_transfer(&rc, frac);
+                if domain == DurabilityDomain::Adr {
+                    adr_latency.push((frac, r.sojourn.summary().mean_ns));
+                }
+                emit(&opts, &format!("xshard-{dom_label}-f{frac:.2}"), &r, false);
+            }
+        }
+    }
+
     let mut failed = false;
     let base = kv_plain.iter().find(|(s, _)| *s == 1).map(|(_, t)| *t);
     let top = kv_plain.iter().max_by_key(|(s, _)| *s);
@@ -185,6 +240,21 @@ fn main() {
                      {speedup:.2}x the 1-shard baseline (needs > {bar:.1}x)"
                 );
             }
+        }
+    }
+    let at = |fs: &[(f64, f64)], want: f64| {
+        fs.iter()
+            .find(|(f, _)| (f - want).abs() < 1e-9)
+            .map(|(_, m)| *m)
+    };
+    if let (Some(base), Some(mixed)) = (at(&adr_latency, 0.0), at(&adr_latency, 0.1)) {
+        let ratio = mixed / base.max(1e-9);
+        if ratio > 2.5 {
+            failed = true;
+            eprintln!(
+                "REGRESSION: cross-shard mean latency at frac=0.1 under ADR is {ratio:.2}x \
+                 the all-single-shard baseline (needs <= 2.5x)"
+            );
         }
     }
     if let Some((plain, grouped)) = gc_guard {

@@ -187,6 +187,46 @@ pub fn point_json(workload: &str, r: &RunResult) -> String {
         &mut tf,
     );
     push_kv_u64(&mut out, "htm_fallbacks", r.ptm.htm_fallbacks, &mut tf);
+    // Contention-pacing and 2PC counters are emitted only when nonzero:
+    // runs that never pace or cross shards keep the exact PR 1-9 line
+    // (the phase_profile byte-identity baseline depends on this).
+    if r.ptm.htm_fallback_fastpathed > 0 {
+        push_kv_u64(
+            &mut out,
+            "htm_fallback_fastpathed",
+            r.ptm.htm_fallback_fastpathed,
+            &mut tf,
+        );
+    }
+    if r.ptm.prepares > 0 || r.ptm.coordinator_commits > 0 {
+        push_kv_u64(&mut out, "prepares", r.ptm.prepares, &mut tf);
+        push_kv_u64(
+            &mut out,
+            "coordinator_commits",
+            r.ptm.coordinator_commits,
+            &mut tf,
+        );
+        push_kv_u64(
+            &mut out,
+            "prepare_fence_ns",
+            r.ptm.prepare_fence_ns,
+            &mut tf,
+        );
+    }
+    if r.ptm.indoubt_resolved_commit > 0 || r.ptm.indoubt_resolved_abort > 0 {
+        push_kv_u64(
+            &mut out,
+            "indoubt_resolved_commit",
+            r.ptm.indoubt_resolved_commit,
+            &mut tf,
+        );
+        push_kv_u64(
+            &mut out,
+            "indoubt_resolved_abort",
+            r.ptm.indoubt_resolved_abort,
+            &mut tf,
+        );
+    }
     push_kv_u64(
         &mut out,
         "backend_log_bytes",
@@ -339,6 +379,41 @@ pub fn sharded_point_json(workload: &str, r: &workloads::ShardedRunResult) -> St
     push_kv_u64(&mut out, "sfences_elided", r.ptm.sfences_elided, &mut tf);
     push_kv_u64(&mut out, "max_backoff_ns", r.ptm.max_backoff_ns, &mut tf);
     out.push('}');
+
+    // 2PC counters, emitted only when the run actually crossed shards
+    // (single-shard sweeps keep the exact PR 1-9 line).
+    if r.ptm.prepares > 0 || r.ptm.coordinator_commits > 0 {
+        out.push(',');
+        push_str_lit(&mut out, "twopc");
+        out.push_str(":{");
+        let mut xf = true;
+        push_kv_u64(&mut out, "prepares", r.ptm.prepares, &mut xf);
+        push_kv_u64(
+            &mut out,
+            "coordinator_commits",
+            r.ptm.coordinator_commits,
+            &mut xf,
+        );
+        push_kv_u64(
+            &mut out,
+            "prepare_fence_ns",
+            r.ptm.prepare_fence_ns,
+            &mut xf,
+        );
+        push_kv_u64(
+            &mut out,
+            "indoubt_resolved_commit",
+            r.ptm.indoubt_resolved_commit,
+            &mut xf,
+        );
+        push_kv_u64(
+            &mut out,
+            "indoubt_resolved_abort",
+            r.ptm.indoubt_resolved_abort,
+            &mut xf,
+        );
+        out.push('}');
+    }
 
     out.push(',');
     push_str_lit(&mut out, "mem");
@@ -677,6 +752,56 @@ mod tests {
         // Exactly one per-shard entry per shard.
         assert_eq!(j.matches("\"shard\":").count(), 2);
         assert!(!j.contains('\n'));
+    }
+
+    /// The 2PC block is strictly opt-in: a run that never crosses shards
+    /// (and never paces HTM fallbacks) emits the exact PR 1-9 keys —
+    /// the phase_profile byte-identity baseline depends on this.
+    #[test]
+    fn twopc_keys_absent_when_run_never_crosses_shards() {
+        let r = sample_result();
+        let j = point_json("noop", &r);
+        for key in [
+            "\"prepares\"",
+            "\"coordinator_commits\"",
+            "\"prepare_fence_ns\"",
+            "\"indoubt_resolved_commit\"",
+            "\"htm_fallback_fastpathed\"",
+        ] {
+            assert!(!j.contains(key), "gated key {key} leaked into {j}");
+        }
+    }
+
+    #[test]
+    fn sharded_json_carries_twopc_block_for_cross_shard_runs() {
+        use workloads::{ShardedRunConfig, StreamConfig};
+        let rc = ShardedRunConfig {
+            shards: 2,
+            threads_per_shard: 1,
+            stream: StreamConfig {
+                total_ops: 200,
+                keys: 256,
+                ..StreamConfig::default()
+            },
+            ..ShardedRunConfig::default()
+        };
+        let r = workloads::run_cross_shard_transfer(&rc, 0.5);
+        let j = sharded_point_json("xshard-transfer", &r);
+        for key in [
+            "\"twopc\"",
+            "\"prepares\"",
+            "\"coordinator_commits\"",
+            "\"prepare_fence_ns\"",
+            "\"indoubt_resolved_commit\"",
+            "\"indoubt_resolved_abort\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // And the gate really gates: a frac=0 run has no 2PC block.
+        let r0 = workloads::run_cross_shard_transfer(&rc, 0.0);
+        let j0 = sharded_point_json("xshard-transfer", &r0);
+        assert!(!j0.contains("\"twopc\""), "2PC block leaked into {j0}");
+        assert!(!j0.contains('\n'));
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub fn series_row_json(r: &ShardRow) -> String {
     push_kv_u64(&mut o, "commits", r.g.commits);
     o.push(',');
     push_kv_u64(&mut o, "htm_commits", r.g.htm_commits);
+    o.push(',');
+    push_kv_u64(&mut o, "twopc_commits", r.g.twopc_commits);
     o.push_str(",\"aborts\":{");
     for (i, c) in AbortCause::ALL.iter().enumerate() {
         if i > 0 {
@@ -87,7 +89,7 @@ pub fn series_row_json(r: &ShardRow) -> String {
 
 /// CSV header matching [`series_row_csv`].
 pub fn series_csv_header() -> String {
-    let mut h = String::from("ts,shard,threads,commits,htm_commits");
+    let mut h = String::from("ts,shard,threads,commits,htm_commits,twopc_commits");
     for c in AbortCause::ALL {
         h.push_str(",aborts_");
         h.push_str(c.label());
@@ -108,8 +110,8 @@ pub fn series_csv_header() -> String {
 /// One series row as a CSV line (column order = [`series_csv_header`]).
 pub fn series_row_csv(r: &ShardRow) -> String {
     let mut o = format!(
-        "{},{},{},{},{}",
-        r.ts, r.shard, r.threads, r.g.commits, r.g.htm_commits
+        "{},{},{},{},{},{}",
+        r.ts, r.shard, r.threads, r.g.commits, r.g.htm_commits, r.g.twopc_commits
     );
     for v in r.g.aborts {
         o.push_str(&format!(",{v}"));

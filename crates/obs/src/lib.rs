@@ -57,6 +57,9 @@ pub struct GaugeSet {
     pub commits: u64,
     /// Hardware-path commits (plain HTM or `HtmLogged`).
     pub htm_commits: u64,
+    /// Commits issued through the cross-shard handle (`TxCommit` with
+    /// `b == 3`), 2PC and single-shard-fast-path alike.
+    pub twopc_commits: u64,
     /// Software aborts by [`AbortCause`] code.
     pub aborts: [u64; AbortCause::COUNT],
     /// Hardware aborts by [`HtmAbortCause`] code (PR 8 cause split).
@@ -111,8 +114,11 @@ impl GaugeSet {
             EventKind::TxCommit => {
                 self.commits += 1;
                 self.log_entries += a;
-                if b >= 1 {
+                if b == 1 || b == 2 {
                     self.htm_commits += 1;
+                }
+                if b == 3 {
+                    self.twopc_commits += 1;
                 }
             }
             EventKind::TxAbort => {
@@ -165,6 +171,7 @@ impl GaugeSet {
     pub fn merge(&mut self, o: &GaugeSet) {
         self.commits += o.commits;
         self.htm_commits += o.htm_commits;
+        self.twopc_commits += o.twopc_commits;
         for (d, s) in self.aborts.iter_mut().zip(o.aborts.iter()) {
             *d += s;
         }

@@ -55,14 +55,55 @@ pub struct TrendPoint {
     pub schema_version: u32,
 }
 
-/// Parse one archive. Returns the points plus the number of lines
-/// skipped because they carry a newer schema than this build.
-pub fn parse_archive(text: &str) -> (Vec<TrendPoint>, usize) {
+/// What [`parse_archive`] extracted from one archive file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArchive {
+    pub points: Vec<TrendPoint>,
+    /// Lines skipped because they carry a newer schema than this build.
+    pub skipped_newer: usize,
+    /// Lines that start an object but never close it — a truncated or
+    /// partially written archive (e.g. a run killed mid-append). The
+    /// caller should warn and diff the surviving points, not abort.
+    pub truncated: usize,
+}
+
+/// True when `line`'s braces, brackets and quotes all close — the test
+/// a partially written JSONL line fails.
+fn line_is_complete(line: &str) -> bool {
+    let (mut braces, mut brackets) = (0i64, 0i64);
+    let mut in_str = false;
+    let mut esc = false;
+    for c in line.chars() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => braces += 1,
+            '}' if !in_str => braces -= 1,
+            '[' if !in_str => brackets += 1,
+            ']' if !in_str => brackets -= 1,
+            _ => {}
+        }
+    }
+    !in_str && braces == 0 && brackets == 0
+}
+
+/// Parse one archive: the points, plus counts of newer-schema lines
+/// and truncated (partially written) lines, both skipped.
+pub fn parse_archive(text: &str) -> ParsedArchive {
     let mut points: Vec<TrendPoint> = Vec::new();
     let mut skipped = 0;
+    let mut truncated = 0;
     for line in text.lines() {
         let line = line.trim();
         if !line.starts_with('{') {
+            continue;
+        }
+        if !line_is_complete(line) {
+            truncated += 1;
             continue;
         }
         let version = json_num(line, "schema_version").map_or(1, |v| v as u32);
@@ -96,7 +137,11 @@ pub fn parse_archive(text: &str) -> (Vec<TrendPoint>, usize) {
             schema_version: version,
         });
     }
-    (points, skipped)
+    ParsedArchive {
+        points,
+        skipped_newer: skipped,
+        truncated,
+    }
 }
 
 /// One metric's movement between two archives.
@@ -222,8 +267,10 @@ mod tests {
 
     #[test]
     fn extracts_identity_and_metrics() {
-        let (pts, skipped) = parse_archive(V1);
+        let parsed = parse_archive(V1);
+        let (pts, skipped) = (parsed.points, parsed.skipped_newer);
         assert_eq!(skipped, 0);
+        assert_eq!(parsed.truncated, 0);
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].key, "tpcc-hash|Optane_ADR|t4");
         assert_eq!(pts[0].throughput_mops, Some(1.2));
@@ -239,18 +286,18 @@ mod tests {
             "{{\"schema_version\":{},\"workload\":\"x\",\"scenario\":\"y\",\"threads\":1}}",
             SCHEMA_VERSION + 1
         );
-        let (pts, skipped) = parse_archive(&line);
-        assert!(pts.is_empty());
-        assert_eq!(skipped, 1);
+        let parsed = parse_archive(&line);
+        assert!(parsed.points.is_empty());
+        assert_eq!(parsed.skipped_newer, 1);
     }
 
     #[test]
     fn diff_flags_directional_regressions() {
-        let (prev, _) = parse_archive(V1);
+        let prev = parse_archive(V1).points;
         let next_text = V1
             .replace("\"throughput_mops\":1.2000", "\"throughput_mops\":0.9000")
             .replace("\"p99\":5000", "\"p99\":5200");
-        let (next, _) = parse_archive(&next_text);
+        let next = parse_archive(&next_text).points;
         let rep = diff(&prev, &next, Tolerance::default());
         assert_eq!(rep.common, 2);
         // Throughput -25% regresses; sojourn p99 +4% is far below the
@@ -269,15 +316,39 @@ mod tests {
 
     #[test]
     fn p99_tolerance_absorbs_one_bucket_quantization() {
-        let (prev, _) = parse_archive(V1);
+        let prev = parse_archive(V1).points;
         // +33% = one histogram bucket: quantization, not a regression.
         let one_bucket = V1.replace("\"p99\":5000", "\"p99\":6650");
-        let (next, _) = parse_archive(&one_bucket);
+        let next = parse_archive(&one_bucket).points;
         assert_eq!(diff(&prev, &next, Tolerance::default()).regressions, 0);
         // +100% = clearly more than one bucket: flagged.
         let two_bucket = V1.replace("\"p99\":5000", "\"p99\":10000");
-        let (next, _) = parse_archive(&two_bucket);
+        let next = parse_archive(&two_bucket).points;
         assert_eq!(diff(&prev, &next, Tolerance::default()).regressions, 1);
+    }
+
+    #[test]
+    fn truncated_lines_are_counted_not_parsed() {
+        // A complete line, a line cut mid-string, a line cut mid-object,
+        // and one cut inside a nested array — only the first parses.
+        let text = concat!(
+            r#"{"workload":"a","scenario":"s","threads":1,"throughput_mops":1.0}"#,
+            "\n",
+            r#"{"workload":"b","scenario":"s","threads":2,"throughput_mo"#,
+            "\n",
+            r#"{"workload":"c","scenario":"s","threads":4,"#,
+            "\n",
+            r#"{"workload":"d","scenario":"s","tails":[{"pct":99.0,"#,
+            "\n",
+        );
+        let parsed = parse_archive(text);
+        assert_eq!(parsed.truncated, 3);
+        assert_eq!(parsed.points.len(), 1);
+        assert_eq!(parsed.points[0].key, "a|s|t1");
+        // The surviving points still diff normally.
+        let rep = diff(&parsed.points, &parsed.points, Tolerance::default());
+        assert_eq!(rep.common, 1);
+        assert_eq!(rep.regressions, 0);
     }
 
     #[test]

@@ -23,7 +23,10 @@ use trace::EventKind;
 
 use crate::access::TxAccess;
 use crate::config::Algo;
-use crate::log::{committed_marker, is_committed, marker_count, ALGO_COW, STATE_IDLE, W_STATE};
+use crate::log::{
+    committed_marker, is_committed, marker_count, prepared_count, prepared_marker, ALGO_COW,
+    STATE_IDLE, W_STATE,
+};
 use crate::phases::Phase;
 use crate::recovery::RecoverCtx;
 use crate::stats::PtmStats;
@@ -73,6 +76,63 @@ fn reclaim_shadows(ax: &mut TxAccess) {
     ax.cow_lines.clear();
     ax.cow_map.clear();
     ax.cow_words.clear();
+}
+
+/// Persist the shadow data and publish log, sealing under `marker`
+/// (COMMITTED single-shard, PREPARED on the 2PC prepare path — same
+/// flush/fence sequence either way).
+fn seal_publish_log(ax: &mut TxAccess, marker: u64) {
+    // Publish log: one (home, shadow, mask) record per dirtied line.
+    // Marker-protected like redo — the records mean nothing until
+    // the marker is durable, so no per-record checksum.
+    let now = ax.s.now();
+    let outer = ax.timer.switch(now, Phase::LogAppend);
+    for i in 0..ax.cow_lines.len() {
+        let line = ax.cow_lines[i];
+        let e = ax.log.entry_addr(i);
+        ax.s.store(e, line.home);
+        ax.s.store(e.offset(1), line.shadow);
+        ax.s.store(e.offset(2), line.mask);
+    }
+    let now = ax.s.now();
+    ax.timer.switch(now, outer);
+    // Shadow data + publish log + alloc-new blocks: flush each line
+    // once, one fence for all three.
+    if ax.combining() {
+        ax.plan_fresh_blocks();
+        for i in 0..ax.cow_lines.len() {
+            ax.plan_line(PAddr(ax.cow_lines[i].shadow));
+            ax.plan_line(ax.log.entry_addr(i));
+        }
+        ax.drain_plan();
+    } else {
+        ax.flush_fresh_blocks();
+        for i in 0..ax.cow_lines.len() {
+            ax.flush_line(PAddr(ax.cow_lines[i].shadow));
+        }
+        let mut last_line = (pmem_sim::PoolId(u32::MAX), u64::MAX);
+        for i in 0..ax.cow_lines.len() {
+            let e = ax.log.entry_addr(i);
+            let line = (e.pool(), e.line());
+            if line != last_line {
+                ax.flush_line(e);
+                last_line = line;
+            }
+        }
+    }
+    ax.fence();
+    // Linearization + durability point: the marker.
+    let now = ax.s.now();
+    ax.timer.switch(now, Phase::LogAppend);
+    let state = ax.log.state_addr();
+    let count = ax.log.count_addr();
+    // As in redo: the count rides inside the marker word so a torn
+    // header line can never persist the marker with a stale count.
+    // `W_COUNT` is only a mirror.
+    ax.s.store(count, ax.cow_lines.len() as u64);
+    ax.s.store(state, marker);
+    ax.flush_line(state);
+    ax.fence();
 }
 
 impl LogPolicy for CowPolicy {
@@ -168,57 +228,11 @@ impl LogPolicy for CowPolicy {
     }
 
     fn make_durable(&self, ax: &mut TxAccess) {
-        // Publish log: one (home, shadow, mask) record per dirtied line.
-        // Marker-protected like redo — the records mean nothing until
-        // the COMMITTED marker is durable, so no per-record checksum.
-        let now = ax.s.now();
-        let outer = ax.timer.switch(now, Phase::LogAppend);
-        for i in 0..ax.cow_lines.len() {
-            let line = ax.cow_lines[i];
-            let e = ax.log.entry_addr(i);
-            ax.s.store(e, line.home);
-            ax.s.store(e.offset(1), line.shadow);
-            ax.s.store(e.offset(2), line.mask);
-        }
-        let now = ax.s.now();
-        ax.timer.switch(now, outer);
-        // Shadow data + publish log + alloc-new blocks: flush each line
-        // once, one fence for all three.
-        if ax.combining() {
-            ax.plan_fresh_blocks();
-            for i in 0..ax.cow_lines.len() {
-                ax.plan_line(PAddr(ax.cow_lines[i].shadow));
-                ax.plan_line(ax.log.entry_addr(i));
-            }
-            ax.drain_plan();
-        } else {
-            ax.flush_fresh_blocks();
-            for i in 0..ax.cow_lines.len() {
-                ax.flush_line(PAddr(ax.cow_lines[i].shadow));
-            }
-            let mut last_line = (pmem_sim::PoolId(u32::MAX), u64::MAX);
-            for i in 0..ax.cow_lines.len() {
-                let e = ax.log.entry_addr(i);
-                let line = (e.pool(), e.line());
-                if line != last_line {
-                    ax.flush_line(e);
-                    last_line = line;
-                }
-            }
-        }
-        ax.fence();
-        // Linearization + durability point: the COMMITTED marker.
-        let now = ax.s.now();
-        ax.timer.switch(now, Phase::LogAppend);
-        let state = ax.log.state_addr();
-        let count = ax.log.count_addr();
-        // As in redo: the count rides inside the marker word so a torn
-        // header line can never persist the marker with a stale count.
-        // `W_COUNT` is only a mirror.
-        ax.s.store(count, ax.cow_lines.len() as u64);
-        ax.s.store(state, committed_marker(ax.cow_lines.len() as u64));
-        ax.flush_line(state);
-        ax.fence();
+        seal_publish_log(ax, committed_marker(ax.cow_lines.len() as u64));
+    }
+
+    fn make_prepared(&self, ax: &mut TxAccess, gtid: u64) {
+        seal_publish_log(ax, prepared_marker(ax.cow_lines.len() as u64, gtid));
     }
 
     fn commit_publish(&self, ax: &mut TxAccess, wv: u64) {
@@ -317,6 +331,35 @@ impl LogPolicy for CowPolicy {
         }
         // The orphaned shadow blocks stay allocated until the restart
         // GC sweeps them (they are unreachable from the heap roots).
+        ctx.retire();
+    }
+
+    fn resolve_prepared(&self, ctx: &mut RecoverCtx<'_>, committed: bool) {
+        let state = ctx.primary.raw_load(W_STATE);
+        if committed {
+            // The coordinator decided commit: publish the masked shadow
+            // words home, exactly like a committed publish log.
+            let count = prepared_count(state) as usize;
+            if count > ctx.capacity() {
+                ctx.malformed(format!(
+                    "prepared marker count {count} exceeds log capacity {} — publish skipped",
+                    ctx.capacity()
+                ));
+                return;
+            }
+            for i in 0..count {
+                let (home, shadow, mask) = ctx.raw_entry(i);
+                for w in 0..LPW {
+                    if mask & (1 << w) != 0 {
+                        let v = ctx.raw_load(PAddr(shadow).offset(w));
+                        ctx.store_persist(PAddr(home).offset(w), v);
+                        ctx.report.cow_words += 1;
+                    }
+                }
+            }
+        }
+        // Presumed abort: home untouched — retiring is the rollback.
+        // Either way the shadow blocks fall to the restart GC.
         ctx.retire();
     }
 }

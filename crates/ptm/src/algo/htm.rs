@@ -65,7 +65,10 @@ use trace::{EventKind, HtmAbortCause};
 
 use crate::access::TxAccess;
 use crate::config::Algo;
-use crate::log::{committed_marker, is_committed, marker_count, seal, ALGO_HTM, STATE_IDLE};
+use crate::log::{
+    committed_marker, is_committed, marker_count, prepared_count, prepared_marker, seal, ALGO_HTM,
+    STATE_IDLE,
+};
 use crate::orec::is_locked;
 use crate::phases::Phase;
 use crate::recovery::RecoverCtx;
@@ -151,12 +154,15 @@ fn reset_ring(ax: &mut TxAccess) {
 }
 
 /// Persist `ax.entries` into ring slots `log_sealed..` and seal them
-/// under the grown COMMITTED marker: two fences (entries, marker), the
-/// policy's entire per-commit fence budget. Handles cross-log overlap
-/// via the pending table (see the module docs) and advances
-/// `log_sealed`. Caller guarantees the entries fit
-/// (`log_sealed + entries.len() <= capacity`).
-fn append_and_seal(ax: &mut TxAccess, wv: u64) {
+/// under the grown COMMITTED marker — or, when `gtid` is set (the 2PC
+/// prepare path), under a PREPARED marker: two fences (entries,
+/// marker), the policy's entire per-commit fence budget. Handles
+/// cross-log overlap via the pending table (see the module docs) and
+/// advances `log_sealed`. Caller guarantees the entries fit
+/// (`log_sealed + entries.len() <= capacity`); the prepare path
+/// additionally guarantees the ring was reset, so a PREPARED marker's
+/// count covers only the in-doubt transaction's own entries.
+fn append_and_seal(ax: &mut TxAccess, wv: u64, gtid: Option<u64>) {
     let base = ax.log_sealed;
     let n = ax.entries.len();
     debug_assert!(base + n <= ax.log.capacity, "back-end ring overflow");
@@ -246,7 +252,11 @@ fn append_and_seal(ax: &mut TxAccess, wv: u64) {
     let state = ax.log.state_addr();
     let count = ax.log.count_addr();
     ax.s.store(count, total);
-    ax.s.store(state, committed_marker(total));
+    let marker = match gtid {
+        Some(g) => prepared_marker(total, g),
+        None => committed_marker(total),
+    };
+    ax.s.store(state, marker);
     ax.flush_line(state);
     ax.fence();
     ax.log_sealed = base + n;
@@ -385,7 +395,7 @@ impl LogPolicy for HtmPolicy {
         // Section retired — persistence is legal again, and the
         // contention window above contained no clwb or sfence.
         ax.trace(EventKind::HtmRetire, fp, n as u64);
-        append_and_seal(ax, wv);
+        append_and_seal(ax, wv, None);
         publish_home(ax, wv);
         ax.ptm.stats.note_write_set(n as u64);
         ax.apply_frees();
@@ -452,11 +462,77 @@ impl LogPolicy for HtmPolicy {
             "back-end log overflow ({} entries)",
             ax.entries.len()
         );
-        append_and_seal(ax, ax.commit_wv);
+        append_and_seal(ax, ax.commit_wv, None);
     }
 
     fn commit_publish(&self, ax: &mut TxAccess, wv: u64) {
         publish_home(ax, wv);
+    }
+
+    fn make_prepared(&self, ax: &mut TxAccess, gtid: u64) {
+        // Force a ring reset even below the recycle threshold: a
+        // PREPARED marker covers the whole valid prefix, and a
+        // decide-abort must be able to drop it without losing earlier
+        // committed-but-unretired transactions' entries (their home
+        // writebacks were unfenced). Resetting first means the in-doubt
+        // window contains exactly this transaction.
+        reset_ring(ax);
+        assert!(
+            ax.entries.len() <= ax.log.capacity,
+            "back-end log overflow ({} entries)",
+            ax.entries.len()
+        );
+        append_and_seal(ax, ax.commit_wv, Some(gtid));
+    }
+
+    fn commit_prepared(&self, ax: &mut TxAccess, wv: u64) {
+        // Upgrade the marker to COMMITTED durably *before* the lazy
+        // home writeback: once the coordinator record is tombstoned, a
+        // still-PREPARED ring would resolve as aborted and retire
+        // without replay, leaving the unfenced writeback unrepairable.
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::LogAppend);
+        let state = ax.log.state_addr();
+        ax.s.store(state, committed_marker(ax.log_sealed as u64));
+        ax.flush_line(state);
+        ax.fence();
+        publish_home(ax, wv);
+    }
+
+    fn abort_prepared(&self, ax: &mut TxAccess, _wv: u64) {
+        // Nothing was written in place; the sealed prepared entries are
+        // dropped by retiring the ring durably (which also deregisters
+        // this thread's pending-table records before any slot reuse).
+        reset_ring(ax);
+        ax.release_owned_restore();
+    }
+
+    fn resolve_prepared(&self, ctx: &mut RecoverCtx<'_>, committed: bool) {
+        let state = ctx.primary.raw_load(crate::log::W_STATE);
+        if committed {
+            let count = prepared_count(state) as usize;
+            if count > ctx.capacity() {
+                ctx.malformed(format!(
+                    "prepared marker count {count} exceeds log capacity {} — replay skipped",
+                    ctx.capacity()
+                ));
+                return;
+            }
+            // The prepare path reset the ring first, so the prefix is
+            // exactly the in-doubt transaction. Checksum failures are
+            // tombstoned entries — skipped, counted as torn.
+            for i in 0..count {
+                let (a, v, wv, chk) = ctx.raw_entry4(i);
+                if chk != seal(a, v, wv) {
+                    ctx.report.torn_entries += 1;
+                    continue;
+                }
+                ctx.store_persist(PAddr(a), v);
+                ctx.report.htm_entries += 1;
+            }
+        }
+        // Presumed abort: nothing in place — retiring is the rollback.
+        ctx.retire();
     }
 
     /// Nothing was written in place and no ring slot was consumed;

@@ -90,6 +90,45 @@ pub trait LogPolicy: Sync {
     /// persistent tag, not on configuration).
     fn recover_apply(&self, ctx: &mut RecoverCtx<'_>);
 
+    // ---- two-phase commit (cross-shard) ---------------------------------
+
+    /// 2PC prepare: make the write set durable under a `PREPARED`
+    /// marker carrying `gtid` instead of the `COMMITTED` marker. After
+    /// this returns the participant is *in-doubt* — a crash must leave
+    /// recovery consulting the coordinator record for the outcome, and
+    /// the per-shard replay pass must neither replay nor roll back the
+    /// log. Called with the commit timestamp already in `ax.commit_wv`
+    /// (like `make_durable`).
+    fn make_prepared(&self, ax: &mut TxAccess, gtid: u64);
+
+    /// 2PC decide-commit on a prepared participant: publish the writes,
+    /// retire the log, release orecs at `wv`. The default is
+    /// [`LogPolicy::commit_publish`], correct for policies whose publish
+    /// path overwrites the marker with a durable `IDLE` (redo, cow).
+    fn commit_prepared(&self, ax: &mut TxAccess, wv: u64) {
+        self.commit_publish(ax, wv);
+    }
+
+    /// 2PC decide-abort on a prepared participant: roll back, then
+    /// durably clear the `PREPARED` marker so presumed-abort resolution
+    /// finds nothing. Rollback runs *first*: a crash in between leaves
+    /// the marker with no live entries, which resolution handles
+    /// idempotently.
+    fn abort_prepared(&self, ax: &mut TxAccess, wv: u64) {
+        self.abort_rollback(ax, Some(wv));
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::LogAppend);
+        let state = ax.log.state_addr();
+        ax.s.store(state, crate::log::STATE_IDLE);
+        ax.flush_line(state);
+        ax.fence();
+    }
+
+    /// Resolve one in-doubt (`PREPARED`) log during recovery:
+    /// `committed` reflects the coordinator record. Must be idempotent
+    /// (a crash mid-resolution re-runs it) and end with the log retired.
+    fn resolve_prepared(&self, ctx: &mut RecoverCtx<'_>, committed: bool);
+
     // ---- hardware path --------------------------------------------------
 
     /// Whether this policy persists *through* the hardware path (a

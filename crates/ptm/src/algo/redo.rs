@@ -13,7 +13,10 @@ use trace::EventKind;
 
 use crate::access::TxAccess;
 use crate::config::{Algo, FlushTiming};
-use crate::log::{committed_marker, is_committed, marker_count, ALGO_REDO, STATE_IDLE};
+use crate::log::{
+    committed_marker, is_committed, marker_count, prepared_count, prepared_marker, ALGO_REDO,
+    STATE_IDLE, W_STATE,
+};
 use crate::phases::Phase;
 use crate::recovery::RecoverCtx;
 use crate::stats::PtmStats;
@@ -22,6 +25,49 @@ use crate::txn::TxResult;
 use super::LogPolicy;
 
 pub struct RedoPolicy;
+
+/// Persist the redo log and seal it under `marker` (the COMMITTED
+/// marker on the single-shard path, a PREPARED marker on the 2PC
+/// prepare path — same flush/fence sequence either way).
+fn seal_log(ax: &mut TxAccess, marker: u64) {
+    // Persist alloc-new initialization and the redo log: flush each
+    // line once, one fence for both.
+    if ax.combining() {
+        // Window 1: plan fresh-block lines and log lines together —
+        // the planner dedupes across both sources (a fresh block the
+        // log pass also covered is flushed once).
+        ax.plan_fresh_blocks();
+        for i in 0..ax.entries.len() {
+            let e = ax.log.entry_addr(i);
+            ax.plan_line(e);
+        }
+        ax.drain_plan();
+    } else {
+        ax.flush_fresh_blocks();
+        let mut last_line = (pmem_sim::PoolId(u32::MAX), u64::MAX);
+        for i in 0..ax.entries.len() {
+            let e = ax.log.entry_addr(i);
+            let line = (e.pool(), e.line());
+            if line != last_line {
+                ax.flush_line(e);
+                last_line = line;
+            }
+        }
+    }
+    ax.fence();
+    // Linearization + durability point: the marker.
+    let now = ax.s.now();
+    ax.timer.switch(now, Phase::LogAppend);
+    let state = ax.log.state_addr();
+    let count = ax.log.count_addr();
+    // The count rides inside the marker word (see `committed_marker`):
+    // marker and count must persist atomically, and a torn header
+    // line persists word by word. `W_COUNT` is only a mirror.
+    ax.s.store(count, ax.entries.len() as u64);
+    ax.s.store(state, marker);
+    ax.flush_line(state); // state & count share the header line
+    ax.fence();
+}
 
 impl LogPolicy for RedoPolicy {
     fn algo(&self) -> Algo {
@@ -107,43 +153,11 @@ impl LogPolicy for RedoPolicy {
     }
 
     fn make_durable(&self, ax: &mut TxAccess) {
-        // Persist alloc-new initialization and the redo log: flush each
-        // line once, one fence for both.
-        if ax.combining() {
-            // Window 1: plan fresh-block lines and log lines together —
-            // the planner dedupes across both sources (a fresh block the
-            // log pass also covered is flushed once).
-            ax.plan_fresh_blocks();
-            for i in 0..ax.entries.len() {
-                let e = ax.log.entry_addr(i);
-                ax.plan_line(e);
-            }
-            ax.drain_plan();
-        } else {
-            ax.flush_fresh_blocks();
-            let mut last_line = (pmem_sim::PoolId(u32::MAX), u64::MAX);
-            for i in 0..ax.entries.len() {
-                let e = ax.log.entry_addr(i);
-                let line = (e.pool(), e.line());
-                if line != last_line {
-                    ax.flush_line(e);
-                    last_line = line;
-                }
-            }
-        }
-        ax.fence();
-        // Linearization + durability point: the COMMITTED marker.
-        let now = ax.s.now();
-        ax.timer.switch(now, Phase::LogAppend);
-        let state = ax.log.state_addr();
-        let count = ax.log.count_addr();
-        // The count rides inside the marker word (see `committed_marker`):
-        // marker and count must persist atomically, and a torn header
-        // line persists word by word. `W_COUNT` is only a mirror.
-        ax.s.store(count, ax.entries.len() as u64);
-        ax.s.store(state, committed_marker(ax.entries.len() as u64));
-        ax.flush_line(state); // state & count share the header line
-        ax.fence();
+        seal_log(ax, committed_marker(ax.entries.len() as u64));
+    }
+
+    fn make_prepared(&self, ax: &mut TxAccess, gtid: u64) {
+        seal_log(ax, prepared_marker(ax.entries.len() as u64, gtid));
     }
 
     fn commit_publish(&self, ax: &mut TxAccess, wv: u64) {
@@ -222,6 +236,30 @@ impl LogPolicy for RedoPolicy {
             }
             ctx.report.redo_replayed += 1;
         }
+        ctx.retire();
+    }
+
+    fn resolve_prepared(&self, ctx: &mut RecoverCtx<'_>, committed: bool) {
+        let state = ctx.primary.raw_load(W_STATE);
+        if committed {
+            // The coordinator decided commit: the prepared entries are a
+            // complete redo log — replay like a committed one.
+            let count = prepared_count(state) as usize;
+            if count > ctx.capacity() {
+                ctx.malformed(format!(
+                    "prepared marker count {count} exceeds log capacity {} — replay skipped",
+                    ctx.capacity()
+                ));
+                return;
+            }
+            for i in 0..count {
+                let (a, v, _chk) = ctx.raw_entry(i);
+                ctx.store_persist(PAddr(a), v);
+                ctx.report.redo_entries += 1;
+            }
+        }
+        // Presumed abort: nothing was written in place, retiring the
+        // log is the whole rollback.
         ctx.retire();
     }
 }

@@ -12,7 +12,7 @@ use trace::{AbortCause, EventKind};
 
 use crate::access::TxAccess;
 use crate::config::Algo;
-use crate::log::{seal, ALGO_UNDO, ENTRY_WORDS, W_SEQ};
+use crate::log::{prepared_marker, seal, ALGO_UNDO, ENTRY_WORDS, STATE_IDLE, W_SEQ};
 use crate::orec::is_locked;
 use crate::phases::Phase;
 use crate::recovery::RecoverCtx;
@@ -204,6 +204,68 @@ impl LogPolicy for UndoPolicy {
         for i in 0..ax.owned.len() {
             let (o, _) = ax.owned[i];
             ax.ptm.orecs.release(o, wv);
+        }
+    }
+
+    fn make_prepared(&self, ax: &mut TxAccess, gtid: u64) {
+        // Flush the in-place data and alloc-new blocks, one fence —
+        // exactly `make_durable`'s first half.
+        if ax.combining() {
+            ax.plan_fresh_blocks();
+            for i in 0..ax.eager_writes.len() {
+                let addr = PAddr(ax.eager_writes[i]);
+                ax.plan_line(addr);
+            }
+            PtmStats::high_water(&ax.ptm.stats.max_write_lines, ax.plan.len() as u64);
+            ax.drain_plan();
+        } else {
+            ax.flush_fresh_blocks();
+            for i in 0..ax.eager_writes.len() {
+                let addr = PAddr(ax.eager_writes[i]);
+                ax.flush_line(addr);
+            }
+        }
+        ax.fence();
+        // But do NOT truncate: the sealed undo entries are the only way
+        // a decide-abort (or presumed-abort recovery) can restore the
+        // in-place writes. Seal the in-doubt window with the PREPARED
+        // marker instead.
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::LogAppend);
+        let state = ax.log.state_addr();
+        ax.s.store(state, prepared_marker(ax.entries.len() as u64, gtid));
+        ax.flush_line(state);
+        ax.fence();
+    }
+
+    fn commit_prepared(&self, ax: &mut TxAccess, wv: u64) {
+        // Decide-commit: truncate the undo log and clear the marker
+        // (different cache lines — one flush each, one fence), then
+        // release the orecs. In-place data is durable since prepare.
+        let now = ax.s.now();
+        ax.timer.switch(now, Phase::LogAppend);
+        if !ax.entries.is_empty() {
+            let e0 = ax.log.entry_addr(0);
+            ax.s.store(e0, 0);
+            ax.flush_line(e0);
+        }
+        let state = ax.log.state_addr();
+        ax.s.store(state, STATE_IDLE);
+        ax.flush_line(state);
+        ax.fence();
+        self.commit_publish(ax, wv);
+    }
+
+    fn resolve_prepared(&self, ctx: &mut RecoverCtx<'_>, committed: bool) {
+        if committed {
+            // In-place data was durable at prepare; the entries hold old
+            // values and must NOT be restored. Truncate and retire.
+            ctx.truncate_entries();
+            ctx.retire();
+        } else {
+            // Decide-abort: the ordinary crashed-undo repair — roll the
+            // seal-valid prefix back, truncate, retire.
+            self.recover_apply(ctx);
         }
     }
 

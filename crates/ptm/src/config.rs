@@ -168,6 +168,13 @@ pub struct PtmConfig {
     /// exists at all) lives in `pmem_sim::HtmModel` — a machine property,
     /// not a PTM knob.
     pub htm_retries: u32,
+    /// Contention-aware HTM fallback pacing: after this many
+    /// *consecutive* hardware capacity/conflict aborts on the same
+    /// footprint, skip the remaining retry budget and go straight to
+    /// the software fallback (counted in `htm_fallback_fastpathed`).
+    /// `0` disables pacing — the full `htm_retries` budget is always
+    /// burned, bit-identical to the pre-pacing behavior.
+    pub htm_fastpath_threshold: u32,
     /// Record transaction-lifecycle events into the flight recorder
     /// attached to the machine (see the `trace` crate). The memory-system
     /// events trace whenever a sink is attached; this flag additionally
@@ -198,6 +205,7 @@ impl Default for PtmConfig {
             lock_spin: 16,
             max_retries: 1_000_000,
             htm_retries: 0,
+            htm_fastpath_threshold: 0,
             tracing: false,
         }
     }
@@ -268,6 +276,7 @@ mod tests {
         assert!(!c.elide_fences, "fence elision is an incorrect variant");
         assert!(!c.write_combining, "write combining is the ablation arm");
         assert!(!c.group_commit, "group commit is opt-in");
+        assert_eq!(c.htm_fastpath_threshold, 0, "fallback pacing is opt-in");
         assert!(c.max_backoff_ns > 0, "backoff ceiling must be positive");
     }
 

@@ -60,17 +60,21 @@ pub mod phases;
 pub mod recovery;
 pub mod shard;
 pub mod stats;
+pub mod twopc;
 pub mod txn;
 pub mod umap;
 
 pub use config::{Algo, FlushTiming, PtmConfig};
 pub use crash_harness::{
-    count_sites, default_cases, run_site, sweep, sweep_case, BankTransfers, CaseResult,
-    CrashWorkload, GroupWindowBank, SiteResult, SweepCase, SweepOptions, SweepReport, Violation,
+    count_sites, count_sites_sharded, default_cases, run_site, run_site_sharded, sweep, sweep_case,
+    sweep_case_sharded, BankTransfers, CaseResult, CrashWorkload, GroupWindowBank,
+    ShardedTransfers, SiteResult, SweepCase, SweepOptions, SweepReport, Violation,
 };
 pub use db::PtmDb;
 pub use phases::{Phase, PhaseSnapshot, PhaseStats, PhaseTimer, PHASE_COUNT};
+pub use recovery::resolve_in_doubt;
 pub use recovery::{recover, recover_with_options, RecoverOptions, RecoveryReport};
 pub use shard::{ShardedEngine, SHARD_HEAP_PREFIX};
 pub use stats::{PtmStats, PtmStatsSnapshot};
+pub use twopc::{CrossShardTx, CrossTx};
 pub use txn::{Abort, Ptm, Tx, TxResult, TxThread};

@@ -40,6 +40,11 @@ use crate::config::PtmConfig;
 /// Descriptor state values (the low byte of `W_STATE`).
 pub const STATE_IDLE: u64 = 0;
 pub const STATE_COMMITTED: u64 = 2;
+/// 2PC participant state: the write set is durable but the outcome
+/// belongs to the coordinator record, not this log. Recovery must
+/// neither replay nor roll back a prepared log until the outcome-
+/// resolution pass has consulted the coordinator.
+pub const STATE_PREPARED: u64 = 3;
 /// Bits of the state word holding the state value proper; the upper
 /// bits of a committed marker carry the entry count (see
 /// [`committed_marker`]).
@@ -67,6 +72,59 @@ pub fn is_committed(state: u64) -> bool {
 /// The entry count packed into a committed marker.
 pub fn marker_count(state: u64) -> u64 {
     state >> 8
+}
+
+/// Build a prepared marker for a 2PC participant, carrying both the
+/// entry count (bits 8..32) and the global transaction id (bits
+/// 32..64). Like [`committed_marker`], packing everything recovery
+/// needs into one word makes a torn header line unable to pair a
+/// durable marker with a stale count or gtid.
+pub fn prepared_marker(count: u64, gtid: u64) -> u64 {
+    debug_assert!(count < 1 << 24, "entry count overflows prepared marker");
+    debug_assert!(gtid > 0 && gtid < 1 << 32, "gtid out of marker range");
+    STATE_PREPARED | (count << 8) | (gtid << 32)
+}
+
+/// Whether a state word is a prepared marker.
+pub fn is_prepared(state: u64) -> bool {
+    state & STATE_MASK == STATE_PREPARED
+}
+
+/// The entry count packed into a prepared marker.
+pub fn prepared_count(state: u64) -> u64 {
+    (state >> 8) & 0xFF_FFFF
+}
+
+/// The global transaction id packed into a prepared marker.
+pub fn prepared_gtid(state: u64) -> u64 {
+    state >> 32
+}
+
+// ---- coordinator commit record ------------------------------------------
+//
+// The 2PC decision record lives in a small pool (`ptm-2pc-coord`) on the
+// *coordinator shard's* machine — a designated participant, not a
+// separate coordinator node, so the record rides the same crash/recovery
+// machinery as every other pool (DESIGN.md decision 14). A record is two
+// words on one cache line: the gtid and a seal derived from it. The
+// decision point is the flush+fence of that line; a torn record (gtid
+// durable, seal stale or vice versa) fails the seal check and reads as
+// "no decision", which resolves the transaction as aborted — exactly the
+// presumed-abort contract.
+
+/// Name of the per-machine coordinator-record pool.
+pub const COORD_POOL: &str = "ptm-2pc-coord";
+/// Slots in the coordinator pool (2 words each; one line holds 4).
+pub const COORD_SLOTS: usize = 64;
+/// Words per coordinator slot.
+pub const COORD_SLOT_WORDS: usize = 2;
+/// Seal constant for coordinator records.
+pub const COORD_SEAL: u64 = 0x00C0_012D_2BC5_EA1E;
+
+/// Seal for a coordinator commit record of `gtid`.
+#[inline]
+pub fn coord_seal(gtid: u64) -> u64 {
+    gtid.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ COORD_SEAL
 }
 
 /// Algo discriminants as stored persistently (each policy's
@@ -325,6 +383,32 @@ mod tests {
                 (0..count).map(|i| log.entry_addr(i).line()).collect();
             assert_eq!(entry_lines(count), lines.len(), "count {count}");
         }
+    }
+
+    #[test]
+    fn prepared_marker_round_trips_and_is_distinct() {
+        let m = prepared_marker(37, 0xDEAD_BEEF);
+        assert!(is_prepared(m));
+        assert!(!is_committed(m));
+        assert_eq!(prepared_count(m), 37);
+        assert_eq!(prepared_gtid(m), 0xDEAD_BEEF);
+        // Committed markers never read as prepared and vice versa.
+        let c = committed_marker(37);
+        assert!(is_committed(c));
+        assert!(!is_prepared(c));
+        assert_ne!(m & STATE_MASK, c & STATE_MASK);
+        assert!(!is_prepared(STATE_IDLE));
+    }
+
+    #[test]
+    fn coord_seal_rejects_torn_records() {
+        let gtid = 42u64;
+        let s = coord_seal(gtid);
+        assert_eq!(coord_seal(gtid), s);
+        // Torn record: gtid word durable, seal word lost (zero) — or a
+        // seal from a different gtid. Both must fail.
+        assert_ne!(coord_seal(gtid), 0);
+        assert_ne!(coord_seal(41), s);
     }
 
     #[test]

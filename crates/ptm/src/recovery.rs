@@ -68,8 +68,8 @@ use std::time::Instant;
 use pmem_sim::{Machine, PAddr, PmemPool, SiteKind, WORDS_PER_LINE};
 
 use crate::log::{
-    TxLog, ENTRY0, ENTRY_WORDS, LOG_POOL_PREFIX, OVF_POOL_PREFIX, STATE_IDLE, W_ALGO, W_OVF,
-    W_PRIMARY_CAP, W_STATE,
+    is_prepared, TxLog, ENTRY0, ENTRY_WORDS, LOG_POOL_PREFIX, OVF_POOL_PREFIX, STATE_IDLE, W_ALGO,
+    W_OVF, W_PRIMARY_CAP, W_STATE,
 };
 
 /// Fault-injection switches for harness self-tests.
@@ -128,6 +128,17 @@ pub struct RecoveryReport {
     pub htm_replayed: usize,
     /// Live (non-tombstoned) ring entries written back during replay.
     pub htm_entries: usize,
+    /// PREPARED (in-doubt 2PC participant) logs the per-shard pass left
+    /// untouched — their fate is a *cross-shard* decision taken by
+    /// [`resolve_in_doubt`] once every shard's coordinator pool is
+    /// readable.
+    pub prepared_skipped: usize,
+    /// In-doubt participant logs resolved as committed (a durable,
+    /// seal-valid coordinator record carried their gtid).
+    pub indoubt_resolved_commit: usize,
+    /// In-doubt participant logs resolved as aborted (no durable
+    /// coordinator record — presumed abort).
+    pub indoubt_resolved_abort: usize,
     /// Per-log diagnostics for prefix-colliding pools whose header
     /// failed validation — these logs are left untouched.
     pub malformed: Vec<String>,
@@ -154,6 +165,13 @@ impl RecoveryReport {
         self.cow_words = self.cow_words.saturating_add(other.cow_words);
         self.htm_replayed = self.htm_replayed.saturating_add(other.htm_replayed);
         self.htm_entries = self.htm_entries.saturating_add(other.htm_entries);
+        self.prepared_skipped = self.prepared_skipped.saturating_add(other.prepared_skipped);
+        self.indoubt_resolved_commit = self
+            .indoubt_resolved_commit
+            .saturating_add(other.indoubt_resolved_commit);
+        self.indoubt_resolved_abort = self
+            .indoubt_resolved_abort
+            .saturating_add(other.indoubt_resolved_abort);
         self.malformed.extend(other.malformed.iter().cloned());
         self.recovery_ns = self.recovery_ns.max(other.recovery_ns);
         self.recovery_workers = self.recovery_workers.max(other.recovery_workers);
@@ -367,62 +385,8 @@ pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> Rec
     }
     // Discovery: a serial header scan in pool order, validating each
     // prefix-colliding pool fail-soft before it is handed to a policy.
-    let mut logs = Vec::new();
-    for primary in machine.pools() {
-        if !primary.name().starts_with(LOG_POOL_PREFIX)
-            || primary.name().starts_with(OVF_POOL_PREFIX)
-        {
-            continue;
-        }
-        report.logs_scanned += 1;
-        let tag = primary.raw_load(W_ALGO);
-        let Some(policy) = crate::algo::policy_for_tag(tag) else {
-            // Unformatted or foreign pool that happens to share the
-            // prefix: leave it alone, but say so.
-            report.malformed.push(format!(
-                "pool '{}': unknown algorithm tag {tag:#x} — log left untouched",
-                primary.name()
-            ));
-            continue;
-        };
-        let primary_cap = primary.raw_load(W_PRIMARY_CAP) as usize;
-        if primary_cap as u64 > (primary.len_words() as u64).saturating_sub(ENTRY0) / ENTRY_WORDS {
-            report.malformed.push(format!(
-                "pool '{}': primary_cap {primary_cap} does not fit a {}-word pool — log left untouched",
-                primary.name(),
-                primary.len_words()
-            ));
-            continue;
-        }
-        let ovf_id = primary.raw_load(W_OVF) as u32;
-        let overflow = match ovf_id {
-            0 => None,
-            id => match machine.try_pool(pmem_sim::PoolId(id)) {
-                Some(p) if p.name().starts_with(OVF_POOL_PREFIX) => Some(p),
-                Some(p) => {
-                    report.malformed.push(format!(
-                        "pool '{}': overflow id {id} names non-overflow pool '{}' — log left untouched",
-                        primary.name(),
-                        p.name()
-                    ));
-                    continue;
-                }
-                None => {
-                    report.malformed.push(format!(
-                        "pool '{}': overflow id {id} names no pool — log left untouched",
-                        primary.name()
-                    ));
-                    continue;
-                }
-            },
-        };
-        logs.push(DiscoveredLog {
-            primary,
-            overflow,
-            primary_cap,
-            policy,
-        });
-    }
+    let (logs, prepared) = discover(machine, &mut report);
+    report.prepared_skipped = prepared.len();
     let workers = opts.workers.clamp(1, logs.len().max(1));
     report.recovery_workers = workers;
     if workers <= 1 {
@@ -489,6 +453,168 @@ pub fn recover_with_options(machine: &Arc<Machine>, opts: RecoverOptions) -> Rec
         sink.submit(trace::RECOVERY_TID, &r);
     }
     report
+}
+
+/// Serial header scan in pool order, validating each prefix-colliding
+/// pool fail-soft. Returns `(repairable, prepared)`: logs whose header
+/// carries a PREPARED marker are in doubt — the per-shard pass must
+/// leave them untouched, because their fate is a *cross-shard* decision
+/// that [`resolve_in_doubt`] takes once every shard's coordinator pool
+/// is readable.
+fn discover(
+    machine: &Arc<Machine>,
+    report: &mut RecoveryReport,
+) -> (Vec<DiscoveredLog>, Vec<DiscoveredLog>) {
+    let mut logs = Vec::new();
+    let mut prepared = Vec::new();
+    for primary in machine.pools() {
+        if !primary.name().starts_with(LOG_POOL_PREFIX)
+            || primary.name().starts_with(OVF_POOL_PREFIX)
+        {
+            continue;
+        }
+        report.logs_scanned += 1;
+        let tag = primary.raw_load(W_ALGO);
+        let Some(policy) = crate::algo::policy_for_tag(tag) else {
+            // Unformatted or foreign pool that happens to share the
+            // prefix: leave it alone, but say so.
+            report.malformed.push(format!(
+                "pool '{}': unknown algorithm tag {tag:#x} — log left untouched",
+                primary.name()
+            ));
+            continue;
+        };
+        let primary_cap = primary.raw_load(W_PRIMARY_CAP) as usize;
+        if primary_cap as u64 > (primary.len_words() as u64).saturating_sub(ENTRY0) / ENTRY_WORDS {
+            report.malformed.push(format!(
+                "pool '{}': primary_cap {primary_cap} does not fit a {}-word pool — log left untouched",
+                primary.name(),
+                primary.len_words()
+            ));
+            continue;
+        }
+        let ovf_id = primary.raw_load(W_OVF) as u32;
+        let overflow = match ovf_id {
+            0 => None,
+            id => match machine.try_pool(pmem_sim::PoolId(id)) {
+                Some(p) if p.name().starts_with(OVF_POOL_PREFIX) => Some(p),
+                Some(p) => {
+                    report.malformed.push(format!(
+                        "pool '{}': overflow id {id} names non-overflow pool '{}' — log left untouched",
+                        primary.name(),
+                        p.name()
+                    ));
+                    continue;
+                }
+                None => {
+                    report.malformed.push(format!(
+                        "pool '{}': overflow id {id} names no pool — log left untouched",
+                        primary.name()
+                    ));
+                    continue;
+                }
+            },
+        };
+        let found = DiscoveredLog {
+            primary,
+            overflow,
+            primary_cap,
+            policy,
+        };
+        if is_prepared(found.primary.raw_load(W_STATE)) {
+            prepared.push(found);
+        } else {
+            logs.push(found);
+        }
+    }
+    (logs, prepared)
+}
+
+/// Cross-shard outcome resolution: the second recovery phase of a
+/// sharded (2PC) deployment, run *after* every shard's per-shard pass.
+///
+/// Walks each machine's coordinator pool ([`crate::log::COORD_POOL`]) and
+/// collects the gtids of every durable, seal-valid commit record; then
+/// walks every PREPARED participant log in machine/pool order and hands
+/// it to its policy's [`crate::algo::LogPolicy::resolve_prepared`] —
+/// commit if the coordinator decided commit, presumed abort otherwise
+/// (including a torn record, which fails the seal check). Finally zeroes
+/// every coordinator slot durably, so a stale record can never collide
+/// with a reused gtid after restart.
+///
+/// Deterministic under any shard recovery order (the per-shard pass
+/// never touches PREPARED logs, and this pass iterates `machines` in
+/// the caller's fixed shard order) and idempotent: resolved logs are
+/// retired before slots are zeroed, so a crash at any point re-runs to
+/// the same state. Returns one report per machine (resolution counts
+/// attributed to the shard owning each participant log).
+pub fn resolve_in_doubt(machines: &[Arc<Machine>]) -> Vec<RecoveryReport> {
+    use crate::log::{coord_seal, prepared_gtid, COORD_POOL, COORD_SLOTS, COORD_SLOT_WORDS};
+    // Phase 1: gather durable commit decisions from every coordinator
+    // pool. A record is a decision iff its seal validates — a torn or
+    // half-written record is indistinguishable from "never decided" and
+    // resolves its transaction as aborted (presumed abort).
+    let mut committed = std::collections::HashSet::new();
+    let mut coords = Vec::new();
+    for m in machines {
+        let Some(pool) = m.pools().into_iter().find(|p| p.name() == COORD_POOL) else {
+            continue;
+        };
+        for slot in 0..COORD_SLOTS {
+            let g = pool.raw_load((slot * COORD_SLOT_WORDS) as u64);
+            let s = pool.raw_load((slot * COORD_SLOT_WORDS + 1) as u64);
+            if g != 0 && s == coord_seal(g) {
+                committed.insert(g);
+            }
+        }
+        coords.push(pool);
+    }
+    // Phase 2: resolve every in-doubt participant log, in machine/pool
+    // order. Discovery re-validates headers fail-soft; its scratch
+    // report is discarded (the per-shard pass already counted scans and
+    // malformed diagnostics for these pools).
+    let mut reports = vec![RecoveryReport::default(); machines.len()];
+    for (mi, m) in machines.iter().enumerate() {
+        let mut scratch = RecoveryReport::default();
+        let (_, prepared) = discover(m, &mut scratch);
+        let report = &mut reports[mi];
+        for log in prepared {
+            let gtid = prepared_gtid(log.primary.raw_load(W_STATE));
+            let decide_commit = committed.contains(&gtid);
+            let mut ring = None;
+            let mut ctx = RecoverCtx {
+                machine: m,
+                ring: &mut ring,
+                primary: log.primary,
+                overflow: log.overflow,
+                primary_cap: log.primary_cap,
+                opts: RecoverOptions::default(),
+                report,
+                pending: None,
+            };
+            log.policy.resolve_prepared(&mut ctx, decide_commit);
+            ctx.flush_pending();
+            if decide_commit {
+                report.indoubt_resolved_commit += 1;
+            } else {
+                report.indoubt_resolved_abort += 1;
+            }
+        }
+    }
+    // Phase 3: clear the decision records. Every prepared log is retired
+    // (durably) by now, so losing the records cannot change any outcome;
+    // clearing them durably is what makes gtid reuse after restart safe.
+    for pool in coords {
+        for slot in 0..COORD_SLOTS {
+            pool.raw_store((slot * COORD_SLOT_WORDS) as u64, 0);
+            pool.raw_store((slot * COORD_SLOT_WORDS + 1) as u64, 0);
+        }
+        let lines = (COORD_SLOTS * COORD_SLOT_WORDS).div_ceil(WORDS_PER_LINE);
+        for line in 0..lines as u64 {
+            pool.persist_line_now(line);
+        }
+    }
+    reports
 }
 
 #[cfg(test)]

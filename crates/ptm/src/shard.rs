@@ -10,22 +10,32 @@
 //! ([`ShardedEngine::thread`]) is *structurally* confined to one shard:
 //! its heap and memory session belong to that shard's machine, so a
 //! cross-shard access is not merely forbidden but unrepresentable
-//! (`PAddr`s of foreign pools panic at the pool boundary). Cross-shard
-//! atomicity (2PC) is deliberately out of scope.
+//! (`PAddr`s of foreign pools panic at the pool boundary).
+//!
+//! Cross-shard atomicity is provided by [`crate::twopc::CrossShardTx`]:
+//! two-phase commit over the per-shard logs, with the decision record
+//! persisted in the coordinator shard's [`crate::log::COORD_POOL`]
+//! (allocated here, one per shard machine, so the record rides the same
+//! crash/recovery machinery as every other pool).
 //!
 //! Crash behaviour composes per shard: [`ShardedEngine::crash_all`]
 //! yields one media image per shard, and [`ShardedEngine::reopen`] runs
-//! log recovery and allocator GC on every shard independently.
+//! log recovery and allocator GC on every shard independently — then a
+//! single cross-shard outcome-resolution pass
+//! ([`crate::recovery::resolve_in_doubt`]) decides every in-doubt 2PC
+//! participant from the durable coordinator records.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use palloc::PHeap;
-use pmem_sim::{CrashImage, Machine, MachineConfig, MachineSet, StatsSnapshot};
+use pmem_sim::{CrashImage, Machine, MachineConfig, MachineSet, PmemPool, StatsSnapshot};
 
 use crate::config::PtmConfig;
 use crate::db::ReopenReports;
-use crate::recovery::{recover_with_options, RecoverOptions};
-use crate::stats::PtmStatsSnapshot;
+use crate::log::{COORD_POOL, COORD_SLOTS, COORD_SLOT_WORDS};
+use crate::recovery::{recover_with_options, resolve_in_doubt, RecoverOptions};
+use crate::stats::{PtmStats, PtmStatsSnapshot};
 use crate::txn::{Ptm, TxThread};
 
 /// Pool-name prefix for shard heaps; shard `i`'s heap pool is named
@@ -41,6 +51,19 @@ pub struct ShardedEngine {
     machines: MachineSet,
     heaps: Vec<Arc<PHeap>>,
     ptms: Vec<Arc<Ptm>>,
+    /// Per-shard 2PC coordinator-record pools (`COORD_POOL` on each
+    /// shard machine), in shard order.
+    coords: Vec<Arc<PmemPool>>,
+    /// Next global transaction id for cross-shard commits. Gtids are
+    /// engine-local, start at 1 (0 = free slot), and must fit 32 bits
+    /// (the PREPARED marker packs them into the log state word). Safe
+    /// to restart from 1 after reopen: resolution durably clears every
+    /// coordinator slot before new transactions run.
+    gtid_next: AtomicU64,
+    /// Round-robin coordinator slot cursor. With fewer than
+    /// [`COORD_SLOTS`] cross-shard commits in flight a slot is always
+    /// tombstoned (in cache) before the cursor wraps back to it.
+    coord_cursor: AtomicUsize,
 }
 
 impl ShardedEngine {
@@ -67,10 +90,22 @@ impl ShardedEngine {
             })
             .collect();
         let ptms = (0..shards).map(|_| Ptm::new(ptm_cfg.clone())).collect();
+        let coords = (0..shards)
+            .map(|i| {
+                machines.get(i).alloc_pool(
+                    COORD_POOL,
+                    COORD_SLOTS * COORD_SLOT_WORDS,
+                    ptm_cfg.heap_media,
+                )
+            })
+            .collect();
         ShardedEngine {
             machines,
             heaps,
             ptms,
+            coords,
+            gtid_next: AtomicU64::new(1),
+            coord_cursor: AtomicUsize::new(0),
         }
     }
 
@@ -100,14 +135,18 @@ impl ShardedEngine {
 
     /// Assert that `key` is homed on `shard` — drivers call this on every
     /// operation so a routing bug fails loudly instead of silently doing
-    /// single-shard work on the wrong shard.
+    /// single-shard work on the wrong shard. Checked in release builds
+    /// too (one multiply-shift per op): a misroute is silent data
+    /// misplacement, exactly the class of bug benchmarks would otherwise
+    /// launder into plausible numbers.
     pub fn assert_routed(&self, shard: usize, key: u64) {
-        debug_assert_eq!(
-            self.shard_of(key),
-            shard,
-            "key {key} executed on shard {shard} but is homed on shard {}",
-            self.shard_of(key)
-        );
+        let home = self.shard_of(key);
+        if home != shard {
+            panic!(
+                "misrouted operation: key {key} executed on shard {shard} but is homed on shard {home} (of {})",
+                self.shards()
+            );
+        }
     }
 
     /// Start a timed run on every shard: `threads_per_shard` virtual
@@ -183,14 +222,53 @@ impl ShardedEngine {
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        let ptms = (0..images.len())
+        // Cross-shard outcome resolution: with every shard's pools
+        // readable, decide each in-doubt (PREPARED) participant log from
+        // the durable coordinator records, in fixed shard order — the
+        // result is independent of the per-shard recovery order above.
+        let resolution = resolve_in_doubt(&machines);
+        for (i, res) in resolution.iter().enumerate() {
+            reports[i].recovery.merge(res);
+        }
+        let ptms: Vec<Arc<Ptm>> = (0..images.len())
             .map(|_| Ptm::new(ptm_cfg.clone()))
+            .collect();
+        for (i, res) in resolution.iter().enumerate() {
+            PtmStats::add(
+                &ptms[i].stats.indoubt_resolved_commit,
+                res.indoubt_resolved_commit as u64,
+            );
+            PtmStats::add(
+                &ptms[i].stats.indoubt_resolved_abort,
+                res.indoubt_resolved_abort as u64,
+            );
+        }
+        // Re-adopt (or re-create, for images that predate 2PC) each
+        // shard's coordinator pool; resolution left every slot durably
+        // zeroed, so restarting gtids from 1 is safe.
+        let coords = machines
+            .iter()
+            .map(|m| {
+                m.pools()
+                    .into_iter()
+                    .find(|p| p.name() == COORD_POOL)
+                    .unwrap_or_else(|| {
+                        m.alloc_pool(
+                            COORD_POOL,
+                            COORD_SLOTS * COORD_SLOT_WORDS,
+                            ptm_cfg.heap_media,
+                        )
+                    })
+            })
             .collect();
         (
             ShardedEngine {
                 machines: MachineSet::from_machines(machines),
                 heaps,
                 ptms,
+                coords,
+                gtid_next: AtomicU64::new(1),
+                coord_cursor: AtomicUsize::new(0),
             },
             reports,
         )
@@ -301,6 +379,25 @@ impl ShardedEngine {
     /// Shard `i`'s PTM instance.
     pub fn ptm(&self, shard: usize) -> &Arc<Ptm> {
         &self.ptms[shard]
+    }
+
+    /// Shard `i`'s 2PC coordinator-record pool.
+    pub(crate) fn coord_pool(&self, shard: usize) -> &Arc<PmemPool> {
+        &self.coords[shard]
+    }
+
+    /// Allocate the next cross-shard global transaction id (never 0;
+    /// must fit the PREPARED marker's 32-bit gtid field).
+    pub(crate) fn next_gtid(&self) -> u64 {
+        let g = self.gtid_next.fetch_add(1, Ordering::Relaxed);
+        assert!(g < u32::MAX as u64, "cross-shard gtid space exhausted");
+        g
+    }
+
+    /// Claim a coordinator record slot (round-robin over the fixed slot
+    /// array; see `coord_cursor` for why reuse is safe).
+    pub(crate) fn next_coord_slot(&self) -> usize {
+        self.coord_cursor.fetch_add(1, Ordering::Relaxed) % COORD_SLOTS
     }
 }
 

@@ -65,6 +65,24 @@ pub struct PtmStats {
     /// Largest single contention-backoff delay issued, in virtual ns
     /// (high-water; bounded by `PtmConfig::max_backoff_ns`).
     pub max_backoff_ns: AtomicU64,
+    /// 2PC: participant-shard prepares made durable.
+    pub prepares: AtomicU64,
+    /// 2PC: coordinator commit records written (one per committed
+    /// cross-shard transaction).
+    pub coordinator_commits: AtomicU64,
+    /// 2PC recovery: in-doubt participants resolved to commit by the
+    /// coordinator record.
+    pub indoubt_resolved_commit: AtomicU64,
+    /// 2PC recovery: in-doubt participants resolved to abort (no
+    /// coordinator record — presumed abort).
+    pub indoubt_resolved_abort: AtomicU64,
+    /// 2PC: virtual ns spent in the prepare phase (per-participant
+    /// `make_prepared` flush+fence work), the ADR-vs-eADR knee.
+    pub prepare_fence_ns: AtomicU64,
+    /// Hardware retries skipped by contention-aware fallback pacing
+    /// (`PtmConfig::htm_fastpath_threshold`): transactions that jumped
+    /// to the software path early (also counted in `htm_fallbacks`).
+    pub htm_fallback_fastpathed: AtomicU64,
 }
 
 /// Plain-value snapshot.
@@ -96,6 +114,12 @@ pub struct PtmStatsSnapshot {
     pub group_commit_windows: u64,
     pub sfences_elided: u64,
     pub max_backoff_ns: u64,
+    pub prepares: u64,
+    pub coordinator_commits: u64,
+    pub indoubt_resolved_commit: u64,
+    pub indoubt_resolved_abort: u64,
+    pub prepare_fence_ns: u64,
+    pub htm_fallback_fastpathed: u64,
 }
 
 impl PtmStats {
@@ -154,6 +178,12 @@ impl PtmStats {
             group_commit_windows: self.group_commit_windows.load(Ordering::Relaxed),
             sfences_elided: self.sfences_elided.load(Ordering::Relaxed),
             max_backoff_ns: self.max_backoff_ns.load(Ordering::Relaxed),
+            prepares: self.prepares.load(Ordering::Relaxed),
+            coordinator_commits: self.coordinator_commits.load(Ordering::Relaxed),
+            indoubt_resolved_commit: self.indoubt_resolved_commit.load(Ordering::Relaxed),
+            indoubt_resolved_abort: self.indoubt_resolved_abort.load(Ordering::Relaxed),
+            prepare_fence_ns: self.prepare_fence_ns.load(Ordering::Relaxed),
+            htm_fallback_fastpathed: self.htm_fallback_fastpathed.load(Ordering::Relaxed),
         }
     }
 
@@ -185,6 +215,12 @@ impl PtmStats {
             &self.group_commit_windows,
             &self.sfences_elided,
             &self.max_backoff_ns,
+            &self.prepares,
+            &self.coordinator_commits,
+            &self.indoubt_resolved_commit,
+            &self.indoubt_resolved_abort,
+            &self.prepare_fence_ns,
+            &self.htm_fallback_fastpathed,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -256,6 +292,22 @@ impl PtmStatsSnapshot {
                 .saturating_sub(earlier.group_commit_windows),
             sfences_elided: self.sfences_elided.saturating_sub(earlier.sfences_elided),
             max_backoff_ns: self.max_backoff_ns.max(earlier.max_backoff_ns),
+            prepares: self.prepares.saturating_sub(earlier.prepares),
+            coordinator_commits: self
+                .coordinator_commits
+                .saturating_sub(earlier.coordinator_commits),
+            indoubt_resolved_commit: self
+                .indoubt_resolved_commit
+                .saturating_sub(earlier.indoubt_resolved_commit),
+            indoubt_resolved_abort: self
+                .indoubt_resolved_abort
+                .saturating_sub(earlier.indoubt_resolved_abort),
+            prepare_fence_ns: self
+                .prepare_fence_ns
+                .saturating_sub(earlier.prepare_fence_ns),
+            htm_fallback_fastpathed: self
+                .htm_fallback_fastpathed
+                .saturating_sub(earlier.htm_fallback_fastpathed),
         }
     }
 
@@ -288,6 +340,12 @@ impl PtmStatsSnapshot {
         self.group_commit_windows += other.group_commit_windows;
         self.sfences_elided += other.sfences_elided;
         self.max_backoff_ns = self.max_backoff_ns.max(other.max_backoff_ns);
+        self.prepares += other.prepares;
+        self.coordinator_commits += other.coordinator_commits;
+        self.indoubt_resolved_commit += other.indoubt_resolved_commit;
+        self.indoubt_resolved_abort += other.indoubt_resolved_abort;
+        self.prepare_fence_ns += other.prepare_fence_ns;
+        self.htm_fallback_fastpathed += other.htm_fallback_fastpathed;
     }
 }
 

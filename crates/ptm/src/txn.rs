@@ -145,8 +145,8 @@ pub type TxResult<T> = Result<T, Abort>;
 /// from `read`/`write` (use `?`) — swallowing it would let inconsistent
 /// reads escape.
 pub struct TxThread {
-    ax: TxAccess,
-    policy: &'static dyn LogPolicy,
+    pub(crate) ax: TxAccess,
+    pub(crate) policy: &'static dyn LogPolicy,
 }
 
 impl TxThread {
@@ -200,6 +200,15 @@ impl TxThread {
             0
         };
         if htm_tries > 0 {
+            // Contention-aware fallback pacing (opt-in): consecutive
+            // capacity/conflict aborts with an unchanged write-set
+            // footprint mean the section will keep failing the same way
+            // — skip the rest of the retry budget. Pure DRAM
+            // bookkeeping; with the threshold at 0 the loop below is
+            // bit-identical to the unpaced driver.
+            let pace_threshold = self.ax.ptm.config.htm_fastpath_threshold;
+            let mut pace_streak: u32 = 0;
+            let mut pace_key: (u64, u64) = (u64::MAX, u64::MAX);
             for attempt in 0..htm_tries {
                 // Before the section: the policy's only chance to fence
                 // (ring recycling) without the flush landing inside the
@@ -249,6 +258,21 @@ impl TxThread {
                 self.ax
                     .trace(EventKind::HtmAbort, cause as u64, attempt as u64);
                 self.ax.abort_cleanup();
+                if pace_threshold > 0
+                    && matches!(cause, HtmAbortCause::Capacity | HtmAbortCause::Conflict)
+                {
+                    let key = (cause as u64, self.ax.entries.len() as u64);
+                    if key == pace_key {
+                        pace_streak += 1;
+                    } else {
+                        pace_key = key;
+                        pace_streak = 1;
+                    }
+                    if pace_streak >= pace_threshold {
+                        PtmStats::bump(&self.ax.ptm.stats.htm_fallback_fastpathed);
+                        break;
+                    }
+                }
                 let now = self.ax.s.now();
                 self.ax.timer.switch(now, Phase::Backoff);
                 let delay = 60u64 << attempt.min(6);

@@ -25,6 +25,11 @@ pub struct TraceTotals {
     /// back-end-logging path (`TxCommit` with `b == 2`; also counted in
     /// `htm_commits`).
     pub htm_logged_commits: u64,
+    /// Commits issued through the cross-shard handle (`TxCommit` with
+    /// `b == 3`; also counted in `commits`). Single-shard fast-path
+    /// commits and 2PC commits alike — the 2PC subset is the engine's
+    /// `coordinator_commits` counter.
+    pub twopc_commits: u64,
     pub htm_aborts: u64,
     pub htm_aborts_by_cause: [u64; HtmAbortCause::COUNT],
     pub htm_fallbacks: u64,
@@ -50,11 +55,14 @@ impl TraceTotals {
             match ev.kind {
                 EventKind::TxCommit => {
                     t.commits += 1;
-                    if ev.b >= 1 {
+                    if ev.b == 1 || ev.b == 2 {
                         t.htm_commits += 1;
                     }
                     if ev.b == 2 {
                         t.htm_logged_commits += 1;
+                    }
+                    if ev.b == 3 {
+                        t.twopc_commits += 1;
                     }
                 }
                 EventKind::TxAbort => {

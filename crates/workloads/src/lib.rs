@@ -30,8 +30,8 @@ pub use driver::{run_scenario, RunConfig, RunResult, Scenario, Workload, PAPER_T
 pub use hist::{LatencyHistogram, LatencySummary};
 pub use kvstore::KvStore;
 pub use sharded::{
-    gen_open_loop, run_sharded_kv, run_sharded_tpcc, Request, ShardedRunConfig, ShardedRunResult,
-    StreamConfig, ZipfGen,
+    gen_open_loop, run_cross_shard_transfer, run_sharded_kv, run_sharded_tpcc, Request,
+    ShardedRunConfig, ShardedRunResult, StreamConfig, ZipfGen, TRANSFER_INITIAL_BALANCE,
 };
 pub use tatp::Tatp;
 pub use tpcc::{IndexKind, Tpcc};

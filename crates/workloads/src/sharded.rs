@@ -11,17 +11,21 @@
 //! **sojourn** time (arrival → completion), which is what a client
 //! observes and what a p99-under-load claim must be measured against.
 //!
-//! Routing is single-shard by construction: each request names one key,
-//! each key is homed on one shard, and the worker executing it asserts
-//! the homing before touching the heap ([`ShardedEngine::assert_routed`]).
-//! Cross-shard transactions (2PC) are out of scope.
+//! Routing is single-shard for the open-loop front-ends: each request
+//! names one key, each key is homed on one shard, and the worker
+//! executing it asserts the homing before touching the heap
+//! ([`ShardedEngine::assert_routed`]). The closed-loop
+//! [`run_cross_shard_transfer`] workload additionally exercises
+//! cross-shard atomicity: a tunable fraction of its transfers/multi-gets
+//! spans two shards via [`ptm::CrossShardTx`] (2PC over the per-shard
+//! logs).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pmem_sim::{DurabilityDomain, LatencyModel, MachineConfig, PAddr, StatsSnapshot};
 use pstructs::PHashMap;
-use ptm::{PtmConfig, PtmStatsSnapshot, ShardedEngine};
+use ptm::{CrossShardTx, PtmConfig, PtmStatsSnapshot, ShardedEngine};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -503,6 +507,190 @@ pub fn run_sharded_tpcc(rc: &ShardedRunConfig, kind: IndexKind) -> ShardedRunRes
     }
 }
 
+// ---------------------------------------------------------------------
+// Cross-shard transfer / multi-get (2PC)
+// ---------------------------------------------------------------------
+
+/// Initial balance of every account in [`run_cross_shard_transfer`].
+pub const TRANSFER_INITIAL_BALANCE: u64 = 1_000;
+
+/// Closed-loop account-transfer workload over a [`ShardedEngine`] with a
+/// tunable cross-shard fraction.
+///
+/// `rc.stream.keys` accounts (one word each) are homed across shards by
+/// [`ShardedEngine::shard_of`]. `rc.threads_per_shard * rc.shards`
+/// roaming workers each drive a [`CrossShardTx`]; every operation picks
+/// an account pair — spanning two shards with probability `cross_frac`,
+/// homed on one shard otherwise — and runs either a balance transfer
+/// (odd ops) or a multi-get (even ops) as **one atomic transaction**.
+/// Single-shard pairs take the ordinary single-shard commit path;
+/// cross-shard pairs pay the 2PC prepare/decide protocol, so sweeping
+/// `cross_frac` traces out exactly the seam cost the fence-budget table
+/// documents.
+///
+/// Workers roam every shard, so the run uses an unbounded lag window
+/// regardless of `rc.window_ns` (see `ptm::twopc` module docs on why a
+/// bounded window would deadlock idle cross-shard sessions).
+pub fn run_cross_shard_transfer(rc: &ShardedRunConfig, cross_frac: f64) -> ShardedRunResult {
+    assert!((0.0..=1.0).contains(&cross_frac), "cross_frac in [0, 1]");
+    let keys = rc.stream.keys;
+    assert!(keys >= 4, "transfer workload needs at least 4 accounts");
+    let heap_words = ((keys as usize * 8) + (1 << 14)).next_power_of_two();
+    let engine =
+        ShardedEngine::create(rc.shards, machine_config(rc), ptm_config(rc), heap_words, 4);
+
+    // Per-shard parallel setup: allocate this shard's accounts and seed
+    // the initial balance; accounts are reported back into one global
+    // key-indexed table.
+    engine.begin_run_all(1, u64::MAX);
+    let mut accounts: Vec<PAddr> = vec![PAddr(0); keys as usize];
+    let per_shard: Vec<Vec<(u64, PAddr)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..rc.shards)
+            .map(|shard| {
+                let engine = &engine;
+                scope.spawn(move || {
+                    let mut th = engine.thread(shard, 0);
+                    let mut out = Vec::new();
+                    for k in 0..keys {
+                        if engine.shard_of(k) != shard {
+                            continue;
+                        }
+                        let c = th.run(|tx| {
+                            let c = tx.alloc(1);
+                            tx.write(c, TRANSFER_INITIAL_BALANCE)?;
+                            Ok(c)
+                        });
+                        out.push((k, c));
+                    }
+                    th.session_mut().finish();
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (shard, pairs) in per_shard.iter().enumerate() {
+        for &(k, c) in pairs {
+            engine.assert_routed(shard, k);
+            accounts[k as usize] = c;
+        }
+    }
+    engine.reset_stats();
+
+    for (i, sink) in rc.trace.iter().enumerate() {
+        engine.machine(i).attach_tracer(Arc::clone(sink));
+    }
+    for (i, sampler) in rc.obs.iter().enumerate() {
+        engine.machine(i).attach_sampler(Arc::clone(sampler));
+    }
+    let workers = (rc.threads_per_shard * rc.shards).max(1);
+    engine.begin_run_all(workers, u64::MAX);
+    let total_ops = rc.stream.total_ops;
+    let accounts = &accounts;
+    let latency = Mutex::new(LatencyHistogram::new());
+    // Cross-shard probability as a 32-bit threshold (exact for the
+    // fractions the benches sweep; avoids per-op float draws).
+    let cross_threshold = (cross_frac * u32::MAX as f64) as u32;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let engine = &engine;
+            let latency = &latency;
+            let seed = rc.stream.seed;
+            let zipf = ZipfGen::new(keys, rc.stream.zipf_theta);
+            scope.spawn(move || {
+                let mut cx = CrossShardTx::new(engine, w);
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut local = LatencyHistogram::new();
+                let my_ops =
+                    total_ops / workers as u64 + u64::from((total_ops % workers as u64) > w as u64);
+                for op in 0..my_ops {
+                    let k1 = zipf.next(&mut rng);
+                    let s1 = engine.shard_of(k1);
+                    let want_cross = rc.shards > 1 && rng.gen::<u32>() < cross_threshold;
+                    let (k2, s2) = loop {
+                        let k = zipf.next(&mut rng);
+                        if k == k1 {
+                            continue;
+                        }
+                        let s = engine.shard_of(k);
+                        if (s != s1) == want_cross {
+                            break (k, s);
+                        }
+                    };
+                    engine.assert_routed(s1, k1);
+                    engine.assert_routed(s2, k2);
+                    let (a1, a2) = (accounts[k1 as usize], accounts[k2 as usize]);
+                    let t0 = cx.frontier();
+                    if op & 1 == 1 {
+                        // Transfer: move one unit k1 -> k2 (skip when
+                        // k1 is broke, keeping balances non-negative).
+                        cx.run(|tx| {
+                            let b1 = tx.read(s1, a1)?;
+                            if b1 == 0 {
+                                return Ok(());
+                            }
+                            let b2 = tx.read(s2, a2)?;
+                            tx.write(s1, a1, b1 - 1)?;
+                            tx.write(s2, a2, b2 + 1)
+                        });
+                    } else {
+                        // Multi-get: one consistent read of both.
+                        cx.run(|tx| {
+                            let b1 = tx.read(s1, a1)?;
+                            let b2 = tx.read(s2, a2)?;
+                            Ok(b1.wrapping_add(b2))
+                        });
+                    }
+                    local.record(cx.frontier().saturating_sub(t0));
+                }
+                cx.finish();
+                latency.lock().unwrap().merge(&local);
+            });
+        }
+    });
+    for (i, _) in rc.trace.iter().enumerate() {
+        engine.machine(i).detach_tracer();
+    }
+    for (i, _) in rc.obs.iter().enumerate() {
+        engine.machine(i).detach_sampler();
+    }
+
+    // Workload invariant: transfers conserve the total balance. A 2PC
+    // bug that commits one leg of a transfer and drops the other shows
+    // up here immediately, even without a crash.
+    let total: u64 = accounts
+        .iter()
+        .enumerate()
+        .map(|(k, a)| {
+            engine
+                .machine(engine.shard_of(k as u64))
+                .pool(a.pool())
+                .raw_load(a.word())
+        })
+        .sum();
+    assert_eq!(
+        total,
+        keys * TRANSFER_INITIAL_BALANCE,
+        "transfer workload lost or minted balance"
+    );
+
+    ShardedRunResult {
+        label: format!(
+            "xshard-transfer-{}x{}-f{:.2}",
+            rc.shards, rc.threads_per_shard, cross_frac
+        ),
+        shards: rc.shards,
+        threads_per_shard: rc.threads_per_shard,
+        ops: total_ops,
+        elapsed_virtual_ns: engine.max_run_time_ns(),
+        ptm: engine.aggregate_ptm_stats(),
+        mem: engine.aggregate_mem_stats(),
+        per_shard_mem: engine.per_shard_mem_stats(),
+        sojourn: latency.into_inner().unwrap(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +778,28 @@ mod tests {
         assert_eq!(r.ops, 200);
         assert!(r.ptm.commits >= 200);
         assert_eq!(r.sojourn.count(), 200);
+    }
+
+    #[test]
+    fn cross_shard_transfer_runs_and_counts_2pc() {
+        let mut rc = quick_rc(2);
+        rc.stream.total_ops = 300;
+        rc.stream.keys = 64;
+        let r = run_cross_shard_transfer(&rc, 0.5);
+        assert_eq!(r.ops, 300);
+        assert!(r.ptm.commits >= 300);
+        assert!(r.ptm.coordinator_commits > 0, "no cross-shard commits");
+        assert_eq!(
+            r.ptm.prepares,
+            2 * r.ptm.coordinator_commits,
+            "every 2PC transfer has exactly two writer participants"
+        );
+        assert_eq!(r.sojourn.count(), 300);
+
+        // frac=0 never engages the 2PC machinery.
+        let r0 = run_cross_shard_transfer(&rc, 0.0);
+        assert_eq!(r0.ptm.prepares, 0);
+        assert_eq!(r0.ptm.coordinator_commits, 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 set -u
 cd /root/repo
 mkdir -p results
-BENCH_TAG="${BENCH_TAG:-PR9}"
+BENCH_TAG="${BENCH_TAG:-PR10}"
 BINS="fig3 fig4 fig6 fig7 table1 table2 table3 fig8 algo_compare ablation_log_split ablation_flush_timing ablation_lite_budget ablation_orec ablation_htm ablation_window ablation_index ablation_write_combining ablation_trace_overhead ablation_obs_overhead ablation_htm_logged memstats latency shard_scaling recovery_bench"
 for bin in $BINS; do
   echo "=== $bin start $(date +%T) ==="
@@ -26,6 +26,9 @@ echo "=== crash_sites done  $(date +%T) (rc=$?) ==="
 echo "=== crash_sites (sharded group-commit) start $(date +%T) ==="
 cargo run -q --release -p bench --bin crash_sites -- --workload group --shards 4 --max-sites 50 --json > results/crash_sites_sharded.jsonl 2> results/crash_sites_sharded.log
 echo "=== crash_sites (sharded group-commit) done  $(date +%T) (rc=$?) ==="
+echo "=== crash_sites (cross-shard 2PC transfer) start $(date +%T) ==="
+cargo run -q --release -p bench --bin crash_sites -- --workload transfer --shards 2 --max-sites 24 --json > results/crash_sites_transfer.jsonl 2> results/crash_sites_transfer.log
+echo "=== crash_sites (cross-shard 2PC transfer) done  $(date +%T) (rc=$?) ==="
 echo "=== trace_analyze start $(date +%T) ==="
 cargo run -q --release -p bench --bin trace_analyze -- --json > results/trace_analyze.jsonl 2> results/trace_analyze.log
 echo "=== trace_analyze done  $(date +%T) (rc=$?) ==="
